@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Float List Printf Qca Qca_anneal Qca_circuit Qca_compiler Qca_genome Qca_microarch Qca_qaoa Qca_qec Qca_qx Qca_tsp Qca_util String Sys

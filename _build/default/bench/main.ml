@@ -1,0 +1,182 @@
+(* Benchmark harness: `dune exec bench/main.exe` prints every experiment
+   table (E1-E13, one per paper figure/claim) and then runs the Bechamel
+   micro-benchmarks (one Test.make per experiment family).
+
+   `dune exec bench/main.exe -- e9` runs a single experiment;
+   `dune exec bench/main.exe -- micro` runs only the micro-benchmarks. *)
+
+open Bechamel
+
+module Gate = Qca_circuit.Gate
+module Circuit = Qca_circuit.Circuit
+module Library = Qca_circuit.Library
+module Sim = Qca_qx.Sim
+module Platform = Qca_compiler.Platform
+module Compiler = Qca_compiler.Compiler
+module Code = Qca_qec.Code
+module Decoder = Qca_qec.Decoder
+module Tableau = Qca_qec.Tableau
+module Pauli = Qca_qec.Pauli
+module Sa = Qca_anneal.Sa
+module Chimera = Qca_anneal.Chimera
+module Embedding = Qca_anneal.Embedding
+module Qaoa = Qca_qaoa.Qaoa
+module Ising = Qca_anneal.Ising
+module Grover = Qca_genome.Grover
+module Tsp = Qca_tsp.Tsp
+module Exact = Qca_tsp.Exact
+module Encode = Qca_tsp.Encode
+module Rng = Qca_util.Rng
+
+(* --- one Bechamel test per experiment family --- *)
+
+let micro_tests () =
+  let rng = Rng.create 9 in
+  let park = Qca.Accelerator.default_park () in
+  let tasks = [ Qca.Host.Classical ("c", 10.0); Qca.Host.Offload ("gpu0", "k", 50.0, "") ] in
+  let t_e1 =
+    Test.make ~name:"e1-host-offload"
+      (Staged.stage (fun () -> Qca.Host.run ~accelerators:park tasks))
+  in
+  let t_e5 =
+    Test.make ~name:"e5-ghz16-statevector" (Staged.stage (fun () -> Sim.run (Library.ghz 16)))
+  in
+  let qft5 = Library.qft 5 in
+  let t_e3 =
+    Test.make ~name:"e3-compile-qft5-realistic"
+      (Staged.stage (fun () ->
+           Compiler.compile Platform.superconducting_17 Compiler.Realistic qft5))
+  in
+  let bell_eqasm =
+    let circuit =
+      Circuit.append (Library.bell ())
+        (Circuit.of_list 2 [ Gate.Measure 0; Gate.Measure 1 ])
+    in
+    match
+      (Compiler.compile Platform.superconducting_17 Compiler.Real circuit).Compiler.eqasm
+    with
+    | Some p -> p
+    | None -> assert false
+  in
+  let t_e4 =
+    Test.make ~name:"e4-microarch-bell"
+      (Staged.stage (fun () ->
+           Qca_microarch.Controller.run Qca_microarch.Controller.superconducting bell_eqasm))
+  in
+  let noisy = Qca_qx.Noise.depolarizing 0.001 in
+  let ghz5 = Library.ghz 5 in
+  let t_e6 =
+    Test.make ~name:"e6-noisy-ghz5-shot"
+      (Staged.stage (fun () -> Sim.run ~noise:noisy ~rng ghz5))
+  in
+  let surface = Code.surface_17 in
+  let decoder = Decoder.build surface in
+  let t_e7_decode =
+    Test.make ~name:"e7-surface17-decode"
+      (Staged.stage (fun () ->
+           let e = Pauli.depolarizing_error rng 9 0.01 in
+           Decoder.decode_outcome surface decoder e))
+  in
+  let prepared = Qca_qec.Qec_experiment.prepare_logical_zero surface (Rng.create 3) in
+  let t_e7_tableau =
+    Test.make ~name:"e7-tableau-syndrome-round"
+      (Staged.stage (fun () ->
+           let t = Tableau.copy prepared in
+           Qca_qec.Qec_experiment.extract_syndrome surface t rng))
+  in
+  let t_e8 =
+    Test.make ~name:"e8-grover-10q"
+      (Staged.stage (fun () -> Grover.success_after ~n_qubits:10 ~oracle:(fun k -> k = 37) 3))
+  in
+  let tsp_qubo = Encode.to_qubo (Tsp.netherlands ()) in
+  let sa_params = { Sa.default_params with Sa.sweeps = 200; restarts = 1 } in
+  let t_e9_sa =
+    Test.make ~name:"e9-sa-tsp16"
+      (Staged.stage (fun () -> Sa.minimize_qubo ~params:sa_params ~rng tsp_qubo))
+  in
+  let model, _ = Ising.of_qubo tsp_qubo in
+  let params = { Qaoa.gammas = [| 0.4 |]; betas = [| 0.3 |] } in
+  let t_e9_qaoa =
+    Test.make ~name:"e9-qaoa-expectation-16q"
+      (Staged.stage (fun () -> Qaoa.expectation model params))
+  in
+  let k6 = Qca_util.Graph.complete 6 (fun _ _ -> 1.0) in
+  let c4 = Chimera.graph 4 in
+  let t_e10 =
+    Test.make ~name:"e10-embed-k6-c4"
+      (Staged.stage (fun () -> Embedding.embed ~tries:4 ~rng ~logical:k6 c4))
+  in
+  let tsp12 = Tsp.random (Rng.create 5) 12 in
+  let t_e11 =
+    Test.make ~name:"e11-held-karp-12" (Staged.stage (fun () -> Exact.held_karp tsp12))
+  in
+  let t_e12 =
+    Test.make ~name:"e12-rb-seq16"
+      (Staged.stage (fun () ->
+           Sim.run ~noise:noisy ~rng
+             (Qca.Rb.sequence_circuit rng ~qubit:0 ~total_qubits:1 ~length:16)))
+  in
+  let routed_input =
+    Qca_compiler.Decompose.run
+      {
+        Platform.superconducting_17 with
+        Platform.primitives = "swap" :: Platform.superconducting_17.Platform.primitives;
+      }
+      (Circuit.of_list 17
+         (Circuit.instructions (Library.random_circuit (Rng.create 404) ~qubits:10 ~gates:60)))
+  in
+  let t_e13 =
+    Test.make ~name:"e13-route-random10x60"
+      (Staged.stage (fun () -> Qca_compiler.Mapping.run Platform.superconducting_17 routed_input))
+  in
+  [
+    t_e1; t_e3; t_e4; t_e5; t_e6; t_e7_decode; t_e7_tableau; t_e8; t_e9_sa; t_e9_qaoa;
+    t_e10; t_e11; t_e12; t_e13;
+  ]
+
+let run_micro () =
+  print_endline "\n=== Bechamel micro-benchmarks (time per run, OLS fit) ===";
+  let tests = micro_tests () in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let grouped = Test.make_grouped ~name:"qca" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with Some [ e ] -> e | Some _ | None -> nan
+      in
+      rows := (name, estimate) :: !rows)
+    results;
+  Printf.printf "%-40s %16s\n" "benchmark" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Printf.printf "%-40s %16s\n" name human)
+    (List.sort compare !rows)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+      List.iter (fun e -> e ()) Experiments.all;
+      run_micro ()
+  | [ "micro" ] -> run_micro ()
+  | ids ->
+      List.iter
+        (fun id ->
+          match List.assoc_opt (String.lowercase_ascii id) Experiments.by_id with
+          | Some e -> e ()
+          | None ->
+              Printf.eprintf "unknown experiment '%s' (use e1..e13 or micro)\n" id;
+              exit 1)
+        ids

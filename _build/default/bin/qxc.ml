@@ -1,0 +1,290 @@
+(* qxc: compile and execute cQASM programs on the QX simulator through the
+   OpenQL-style compiler and, optionally, the micro-architecture model. *)
+
+module Circuit = Qca_circuit.Circuit
+module Cqasm = Qca_circuit.Cqasm
+module Sim = Qca_qx.Sim
+module Noise = Qca_qx.Noise
+module Platform = Qca_compiler.Platform
+module Compiler = Qca_compiler.Compiler
+module Eqasm = Qca_compiler.Eqasm
+module Controller = Qca_microarch.Controller
+module Rng = Qca_util.Rng
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  content
+
+let load_circuit path =
+  try Ok (Cqasm.parse_circuit (read_file path)) with
+  | Cqasm.Parse_error (line, msg) ->
+      Error (Printf.sprintf "%s:%d: parse error: %s" path line msg)
+  | Sys_error msg -> Error msg
+  | Invalid_argument msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+let platform_of_string name qubits =
+  match name with
+  | "superconducting" -> Ok Platform.superconducting_17
+  | "semiconducting" -> Ok Platform.semiconducting_4
+  | "perfect" -> Ok (Platform.perfect qubits)
+  | other -> Error (Printf.sprintf "unknown platform '%s'" other)
+
+let mode_of_string = function
+  | "perfect" -> Ok Compiler.Perfect
+  | "realistic" -> Ok Compiler.Realistic
+  | "real" -> Ok Compiler.Real
+  | other -> Error (Printf.sprintf "unknown mode '%s'" other)
+
+(* --- common args --- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"cQASM source file.")
+
+let shots_arg =
+  Arg.(value & opt int 1024 & info [ "shots" ] ~docv:"N" ~doc:"Number of shots.")
+
+let seed_arg =
+  Arg.(value & opt int 0x5EED & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let noise_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "noise" ] ~docv:"P" ~doc:"Depolarising error rate for realistic qubits.")
+
+let platform_arg =
+  Arg.(
+    value
+    & opt string "superconducting"
+    & info [ "platform" ] ~docv:"NAME"
+        ~doc:"Target platform: superconducting, semiconducting or perfect.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt string "realistic"
+    & info [ "mode" ] ~docv:"MODE" ~doc:"Qubit model: perfect, realistic or real.")
+
+(* --- run --- *)
+
+let run_command file shots seed noise =
+  match load_circuit file with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok circuit ->
+      let noise = match noise with Some p -> Noise.depolarizing p | None -> Noise.ideal in
+      let rng = Rng.create seed in
+      let histogram = Sim.histogram ~noise ~rng ~shots circuit in
+      Printf.printf "# %d qubits, %d instructions, %d shots\n" (Circuit.qubit_count circuit)
+        (Circuit.length circuit) shots;
+      List.iter
+        (fun (key, count) ->
+          Printf.printf "%s  %6d  %.4f\n" key count (float_of_int count /. float_of_int shots))
+        histogram;
+      0
+
+let run_term = Term.(const run_command $ file_arg $ shots_arg $ seed_arg $ noise_arg)
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"Execute a cQASM program on the QX simulator.") run_term
+
+(* --- compile --- *)
+
+let compile_command file platform_name mode_name emit_eqasm =
+  match load_circuit file with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok circuit -> (
+      match
+        ( platform_of_string platform_name (Circuit.qubit_count circuit),
+          mode_of_string mode_name )
+      with
+      | Error msg, _ | _, Error msg ->
+          prerr_endline msg;
+          1
+      | Ok platform, Ok mode ->
+          let out = Compiler.compile platform mode circuit in
+          print_string (Compiler.report out);
+          print_newline ();
+          if emit_eqasm then begin
+            match out.Compiler.eqasm with
+            | Some program -> print_string (Eqasm.to_string program)
+            | None -> print_endline "# perfect mode: no eQASM emitted"
+          end
+          else print_string out.Compiler.cqasm;
+          0)
+
+let eqasm_flag =
+  Arg.(value & flag & info [ "eqasm" ] ~doc:"Emit eQASM instead of cQASM.")
+
+let compile_term =
+  Term.(const compile_command $ file_arg $ platform_arg $ mode_arg $ eqasm_flag)
+
+let compile_cmd =
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a cQASM program for a platform and qubit model.")
+    compile_term
+
+(* --- exec (through the micro-architecture) --- *)
+
+let exec_command file platform_name shots seed =
+  match load_circuit file with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok circuit -> (
+      match platform_of_string platform_name (Circuit.qubit_count circuit) with
+      | Error msg ->
+          prerr_endline msg;
+          1
+      | Ok platform -> (
+          let out = Compiler.compile platform Compiler.Real circuit in
+          match out.Compiler.eqasm with
+          | None ->
+              prerr_endline "no eQASM produced";
+              1
+          | Some program ->
+              let technology =
+                if platform_name = "semiconducting" then Controller.semiconducting
+                else Controller.superconducting
+              in
+              let rng = Rng.create seed in
+              let table = Hashtbl.create 32 in
+              let stats = ref None in
+              for _ = 1 to shots do
+                let result =
+                  Controller.run ~noise:platform.Platform.noise ~rng technology program
+                in
+                stats := Some result.Controller.stats;
+                let key =
+                  String.concat ""
+                    (List.rev_map
+                       (fun b -> if b < 0 then "-" else string_of_int b)
+                       (Array.to_list result.Controller.outcome.Sim.classical))
+                in
+                Hashtbl.replace table key
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+              done;
+              (match !stats with
+              | Some s ->
+                  Printf.printf
+                    "# microarch: %d bundles, %d micro-ops, %d ns, peak queue %d, %d \
+                     violations\n"
+                    s.Controller.bundles_issued s.Controller.micro_ops s.Controller.total_ns
+                    s.Controller.peak_queue_depth s.Controller.timing_violations
+              | None -> ());
+              Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+              |> List.sort (fun (_, a) (_, b) -> compare b a)
+              |> List.iter (fun (key, count) -> Printf.printf "%s  %6d\n" key count);
+              0))
+
+let exec_term = Term.(const exec_command $ file_arg $ platform_arg $ shots_arg $ seed_arg)
+
+let exec_cmd =
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:"Execute through the cycle-accurate micro-architecture (real qubits).")
+    exec_term
+
+(* --- qisa --- *)
+
+let qisa_command file qubits shots seed tech_name =
+  match (try Ok (read_file file) with Sys_error m -> Error m) with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok source -> (
+      let technology =
+        if tech_name = "semiconducting" then Qca_microarch.Controller.semiconducting
+        else Qca_microarch.Controller.superconducting
+      in
+      let cycle_ns = if tech_name = "semiconducting" then 100 else 20 in
+      match
+        Qca_microarch.Qisa.parse ~name:(Filename.basename file) ~qubit_count:qubits
+          ~cycle_ns source
+      with
+      | exception Qca_microarch.Qisa.Parse_error (line, msg) ->
+          Printf.eprintf "%s:%d: %s\n" file line msg;
+          1
+      | exception Invalid_argument msg ->
+          prerr_endline msg;
+          1
+      | program ->
+          let rng = Rng.create seed in
+          let counts = Hashtbl.create 16 in
+          let last = ref None in
+          for _ = 1 to shots do
+            let result = Qca_microarch.Qisa.execute ~rng technology program in
+            last := Some result;
+            let key =
+              String.concat ","
+                (List.map string_of_int
+                   (Array.to_list (Array.sub result.Qca_microarch.Qisa.registers 0 8)))
+            in
+            Hashtbl.replace counts key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+          done;
+          (match !last with
+          | Some result ->
+              Printf.printf "# %d classical instructions retired (last run)\n"
+                result.Qca_microarch.Qisa.executed
+          | None -> ());
+          print_endline "# register file r0..r7 -> count";
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+          |> List.sort (fun (_, a) (_, b) -> compare b a)
+          |> List.iter (fun (key, count) -> Printf.printf "[%s]  %d\n" key count);
+          0)
+
+let qubits_arg =
+  Arg.(value & opt int 2 & info [ "qubits" ] ~docv:"N" ~doc:"Qubit count for QISA programs.")
+
+let tech_arg =
+  Arg.(
+    value
+    & opt string "superconducting"
+    & info [ "technology" ] ~docv:"TECH" ~doc:"Micro-architecture technology.")
+
+let qisa_term =
+  Term.(const qisa_command $ file_arg $ qubits_arg $ shots_arg $ seed_arg $ tech_arg)
+
+let qisa_cmd =
+  Cmd.v
+    (Cmd.info "qisa"
+       ~doc:"Assemble and execute a QISA program (classical + quantum ISA, Figure 5).")
+    qisa_term
+
+(* --- info --- *)
+
+let info_command file =
+  match load_circuit file with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok circuit ->
+      Printf.printf "name:          %s\n" (Circuit.name circuit);
+      Printf.printf "qubits:        %d\n" (Circuit.qubit_count circuit);
+      Printf.printf "instructions:  %d\n" (Circuit.length circuit);
+      Printf.printf "gates:         %d\n" (Circuit.gate_count circuit);
+      Printf.printf "two-qubit:     %d\n" (Circuit.two_qubit_gate_count circuit);
+      Printf.printf "depth:         %d\n" (Circuit.depth circuit);
+      Printf.printf "qubits used:   %s\n"
+        (String.concat ", " (List.map string_of_int (Circuit.qubits_used circuit)));
+      0
+
+let info_term = Term.(const info_command $ file_arg)
+let info_cmd = Cmd.v (Cmd.info "info" ~doc:"Print circuit statistics.") info_term
+
+let () =
+  let doc = "full-stack quantum accelerator toolchain (cQASM/eQASM/QX)" in
+  let main =
+    Cmd.group (Cmd.info "qxc" ~version:"1.0" ~doc)
+      [ run_cmd; compile_cmd; exec_cmd; qisa_cmd; info_cmd ]
+  in
+  exit (Cmd.eval' main)

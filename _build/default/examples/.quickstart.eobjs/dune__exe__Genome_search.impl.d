@@ -1,0 +1,1 @@
+examples/genome_search.ml: List Printf Qca_genome Qca_util

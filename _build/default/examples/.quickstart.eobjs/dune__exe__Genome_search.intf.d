@@ -1,0 +1,1 @@
+examples/genome_search.mli:

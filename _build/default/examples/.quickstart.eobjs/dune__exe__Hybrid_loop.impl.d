@@ -1,0 +1,1 @@
+examples/hybrid_loop.ml: Array Lazy List Printf Qca Qca_anneal Qca_qaoa Qca_qx Qca_util String

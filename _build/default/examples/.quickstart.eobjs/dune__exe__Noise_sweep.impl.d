@@ -1,0 +1,1 @@
+examples/noise_sweep.ml: Array List Printf Qca_circuit Qca_qec Qca_qx Qca_util

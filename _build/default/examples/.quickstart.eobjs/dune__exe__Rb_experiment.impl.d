@@ -1,0 +1,1 @@
+examples/rb_experiment.ml: List Printf Qca Qca_circuit Qca_compiler Qca_microarch Qca_qx Qca_util

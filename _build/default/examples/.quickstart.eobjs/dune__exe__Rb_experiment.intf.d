@@ -1,0 +1,1 @@
+examples/rb_experiment.mli:

@@ -1,0 +1,1 @@
+examples/shor_factor.ml: List Printf Qca Qca_util

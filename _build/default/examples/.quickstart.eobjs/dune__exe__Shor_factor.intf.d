@@ -1,0 +1,1 @@
+examples/shor_factor.mli:

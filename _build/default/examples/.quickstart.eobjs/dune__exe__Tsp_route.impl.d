@@ -1,0 +1,1 @@
+examples/tsp_route.ml: Array List Printf Qca_anneal Qca_qaoa Qca_tsp Qca_util String

@@ -1,0 +1,1 @@
+examples/tsp_route.mli:

@@ -1,0 +1,80 @@
+(* Figure 8's hybrid quantum-classical execution model, made concrete: the
+   classical Host CPU owns the optimisation loop and repeatedly offloads
+   short QAOA circuits to the quantum accelerator, which returns measured
+   expectations; the classical logic suggests the next parameters.
+
+     dune exec examples/hybrid_loop.exe *)
+
+module Ising = Qca_anneal.Ising
+module Problems = Qca_anneal.Problems
+module Qubo = Qca_anneal.Qubo
+module Qaoa = Qca_qaoa.Qaoa
+module Accelerator = Qca.Accelerator
+module Host = Qca.Host
+module Optimize = Qca_util.Optimize
+module Rng = Qca_util.Rng
+
+let () =
+  (* The problem: max-cut on a small ring-with-chords graph. *)
+  let rng = Rng.create 88 in
+  let graph = Problems.random_max_cut_instance (Rng.create 31) ~vertices:8 ~edge_probability:0.45 in
+  let qubo = Problems.max_cut graph in
+  let model, offset = Ising.of_qubo qubo in
+  let _, exact = Qubo.brute_force qubo in
+  ignore offset;
+  Printf.printf "max-cut instance: 8 vertices, %d edges; exact optimum cut = %.0f\n"
+    (List.length (Qca_util.Graph.edges graph))
+    (-.exact);
+
+  (* The quantum accelerator: its payload evaluates one QAOA circuit. *)
+  let evaluations = ref 0 in
+  let energies = lazy (Array.init (1 lsl model.Ising.n) (Qaoa.spin_energy_of_basis model)) in
+  ignore (Lazy.force energies);
+  let quantum_payload arg =
+    incr evaluations;
+    (* arg encodes "gamma,beta"; returns the measured <H>. *)
+    match String.split_on_char ',' arg with
+    | [ g; b ] ->
+        let params =
+          { Qaoa.gammas = [| float_of_string g |]; betas = [| float_of_string b |] }
+        in
+        Printf.sprintf "%.6f" (Qaoa.expectation model params)
+    | _ -> invalid_arg "payload: expected gamma,beta"
+  in
+  let qpu =
+    Accelerator.make ~payload:quantum_payload ~name:"qpu0" ~kind:Accelerator.Quantum_gate
+      ~speed_factor:1000.0 ~offload_overhead:1.0 ()
+  in
+
+  (* The classical optimiser in the Host CPU: every objective evaluation is
+     an explicit offload through the heterogeneous runtime. *)
+  let objective v =
+    let arg = Printf.sprintf "%f,%f" v.(0) v.(1) in
+    let exec = Host.run ~accelerators:[ qpu ] [ Host.Offload ("qpu0", "qaoa", 5.0, arg) ] in
+    match exec.Host.outputs with
+    | [ (_, output) ] -> float_of_string output
+    | _ -> assert false
+  in
+  let best, value =
+    Optimize.nelder_mead ~max_iter:120 objective [| Rng.float rng 1.0; Rng.float rng 1.0 |]
+  in
+  Printf.printf "hybrid loop converged: gamma=%.4f beta=%.4f, <H> = %.4f after %d offloads\n"
+    best.(0) best.(1) value !evaluations;
+
+  (* Sample the optimised circuit and read out the cut. *)
+  let params = { Qaoa.gammas = [| best.(0) |]; betas = [| best.(1) |] } in
+  let state = Qaoa.evolve model params in
+  let best_bits = ref [||] and best_cut = ref neg_infinity in
+  for _ = 1 to 512 do
+    let basis = Qca_qx.State.sample_index state rng in
+    let bits = Array.init model.Ising.n (fun q -> (basis lsr q) land 1) in
+    let cut = Problems.cut_value graph bits in
+    if cut > !best_cut then begin
+      best_cut := cut;
+      best_bits := bits
+    end
+  done;
+  Printf.printf "best sampled cut: %.0f (exact maximum %.0f)\n" !best_cut (-.exact);
+  Printf.printf "partition: %s\n"
+    (String.concat ""
+       (List.map string_of_int (Array.to_list !best_bits)))

@@ -1,0 +1,1 @@
+lib/anneal/chimera.ml: Qca_util

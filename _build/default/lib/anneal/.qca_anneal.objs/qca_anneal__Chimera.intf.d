@@ -1,0 +1,1 @@
+lib/anneal/chimera.mli: Qca_util

@@ -1,0 +1,1 @@
+lib/anneal/digital_annealer.ml: Array Float Ising List Qca_util Qubo

@@ -1,0 +1,1 @@
+lib/anneal/digital_annealer.mli: Qca_util Qubo

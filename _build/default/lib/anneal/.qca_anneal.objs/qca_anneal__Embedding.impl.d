@@ -1,0 +1,1 @@
+lib/anneal/embedding.ml: Array Chimera Float Fun Hashtbl List Printf Qca_util Qubo Queue Sys

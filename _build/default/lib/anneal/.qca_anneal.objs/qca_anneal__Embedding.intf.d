@@ -1,0 +1,1 @@
+lib/anneal/embedding.mli: Qca_util Qubo

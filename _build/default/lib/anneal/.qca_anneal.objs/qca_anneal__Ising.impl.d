@@ -1,0 +1,1 @@
+lib/anneal/ising.ml: Array List Qca_util Qubo

@@ -1,0 +1,1 @@
+lib/anneal/ising.mli: Qca_util Qubo

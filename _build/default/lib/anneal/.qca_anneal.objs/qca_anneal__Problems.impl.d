@@ -1,0 +1,1 @@
+lib/anneal/problems.ml: Array Float Fun List Qca_util Qubo

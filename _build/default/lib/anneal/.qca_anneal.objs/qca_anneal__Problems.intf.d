@@ -1,0 +1,1 @@
+lib/anneal/problems.mli: Qca_util Qubo

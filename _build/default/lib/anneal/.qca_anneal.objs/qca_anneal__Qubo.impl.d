@@ -1,0 +1,1 @@
+lib/anneal/qubo.ml: Array Float Hashtbl List Option Qca_util

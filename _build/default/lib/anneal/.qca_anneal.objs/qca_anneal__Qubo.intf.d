@@ -1,0 +1,1 @@
+lib/anneal/qubo.mli: Qca_util

@@ -1,0 +1,1 @@
+lib/anneal/sa.ml: Array Ising Qca_util

@@ -1,0 +1,1 @@
+lib/anneal/sa.mli: Ising Qca_util Qubo

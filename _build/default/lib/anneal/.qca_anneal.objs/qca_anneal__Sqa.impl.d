@@ -1,0 +1,1 @@
+lib/anneal/sqa.ml: Array Ising Qca_util

@@ -1,0 +1,1 @@
+lib/anneal/sqa.mli: Ising Qca_util Qubo

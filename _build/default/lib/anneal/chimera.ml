@@ -1,0 +1,40 @@
+module Graph = Qca_util.Graph
+
+let qubit_count m = 8 * m * m
+
+let index ~m ~row ~col ~k =
+  assert (row >= 0 && row < m && col >= 0 && col < m && k >= 0 && k < 8);
+  (8 * ((row * m) + col)) + k
+
+let graph m =
+  assert (m >= 1);
+  let g = Graph.create (qubit_count m) in
+  for row = 0 to m - 1 do
+    for col = 0 to m - 1 do
+      (* intra-cell K4,4 *)
+      for kv = 0 to 3 do
+        for kh = 4 to 7 do
+          Graph.add_edge g (index ~m ~row ~col ~k:kv) (index ~m ~row ~col ~k:kh) 1.0
+        done
+      done;
+      (* vertical inter-cell couplers *)
+      if row + 1 < m then
+        for kv = 0 to 3 do
+          Graph.add_edge g (index ~m ~row ~col ~k:kv)
+            (index ~m ~row:(row + 1) ~col ~k:kv)
+            1.0
+        done;
+      (* horizontal inter-cell couplers *)
+      if col + 1 < m then
+        for kh = 4 to 7 do
+          Graph.add_edge g (index ~m ~row ~col ~k:kh)
+            (index ~m ~row ~col:(col + 1) ~k:kh)
+            1.0
+        done
+    done
+  done;
+  g
+
+let c16 () = graph 16
+
+let max_clique_minor m = (4 * m) + 1

@@ -1,0 +1,22 @@
+(** D-Wave Chimera topology: an m x m grid of K4,4 unit cells.
+
+    The D-Wave 2000Q of section 3.3 is Chimera C16 (2048 qubits). Cell
+    (r, c) holds 8 qubits; the 4 "vertical" qubits couple to the same index
+    in the cells north/south, the 4 "horizontal" ones east/west, and every
+    vertical qubit couples to every horizontal qubit within the cell. *)
+
+val qubit_count : int -> int
+(** [qubit_count m] = 8 m^2. *)
+
+val graph : int -> Qca_util.Graph.t
+(** [graph m] is C_m. *)
+
+val c16 : unit -> Qca_util.Graph.t
+(** The 2000Q working graph (ideal, no dead qubits). *)
+
+val index : m:int -> row:int -> col:int -> k:int -> int
+(** Qubit index of position k (0-3 vertical, 4-7 horizontal) in cell (row, col). *)
+
+val max_clique_minor : int -> int
+(** Largest complete graph known to embed in C_m with the standard triangular
+    clique embedding: K_{4m+1}. *)

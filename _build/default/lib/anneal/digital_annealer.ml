@@ -1,0 +1,49 @@
+module Rng = Qca_util.Rng
+
+let node_count = 8192
+
+let fits q = Qubo.size q <= node_count
+
+type result = { bits : int array; energy : float; steps : int; offset_escapes : int }
+
+let minimize ?(steps = 2000) ?(beta = 3.0) ?(offset_increment = 0.1) ~rng q =
+  if not (fits q) then invalid_arg "Digital_annealer.minimize: exceeds 8192 nodes";
+  let model, offset = Ising.of_qubo q in
+  let n = model.Ising.n in
+  let neighbour_index = Ising.build_neighbour_index model in
+  let s = Ising.random_spins rng n in
+  let current = ref (Ising.energy model s) in
+  let best = ref !current and best_s = ref (Array.copy s) in
+  let dynamic_offset = ref 0.0 in
+  let escapes = ref 0 in
+  for _ = 1 to steps do
+    (* Parallel trial: evaluate every flip, collect the admissible ones. *)
+    let admissible = ref [] in
+    for i = 0 to n - 1 do
+      let d = Ising.delta_energy model ~neighbour_index s i -. !dynamic_offset in
+      if d <= 0.0 || Rng.float rng 1.0 < exp (-.beta *. d) then admissible := i :: !admissible
+    done;
+    match !admissible with
+    | [] ->
+        (* Stuck: raise the dynamic offset to admit uphill moves next step. *)
+        dynamic_offset := !dynamic_offset +. offset_increment
+    | choices ->
+        if !dynamic_offset > 0.0 then incr escapes;
+        dynamic_offset := 0.0;
+        let pick = List.nth choices (Rng.int rng (List.length choices)) in
+        let d = Ising.delta_energy model ~neighbour_index s pick in
+        s.(pick) <- -s.(pick);
+        current := !current +. d;
+        if !current < !best then begin
+          best := !current;
+          best_s := Array.copy s
+        end
+  done;
+  {
+    bits = Ising.bits_of_spins !best_s;
+    energy = !best +. offset;
+    steps;
+    offset_escapes = !escapes;
+  }
+
+let max_tsp_cities () = int_of_float (Float.sqrt (float_of_int node_count))

@@ -1,0 +1,28 @@
+(** Fujitsu-style Digital Annealer model (section 4.2): a fully-connected
+    quantum-inspired CMOS annealer with 8192 nodes — no embedding needed.
+
+    The algorithm follows the published DA scheme: each step evaluates ALL
+    single-bit flips in parallel, accepts one of the admissible flips
+    uniformly at random, and applies a growing dynamic offset when stuck to
+    escape local minima. *)
+
+val node_count : int
+(** 8192 (the capacity quoted in the paper). *)
+
+val fits : Qubo.t -> bool
+(** Does the problem fit without embedding? *)
+
+type result = {
+  bits : int array;
+  energy : float;
+  steps : int;
+  offset_escapes : int;  (** Times the dynamic offset unlocked an uphill move. *)
+}
+
+val minimize :
+  ?steps:int -> ?beta:float -> ?offset_increment:float -> rng:Qca_util.Rng.t -> Qubo.t -> result
+(** Raises [Invalid_argument] when the QUBO exceeds {!node_count}. *)
+
+val max_tsp_cities : unit -> int
+(** Largest TSP (n^2 encoding) solvable without embedding: floor(sqrt 8192) = 90,
+    the paper's headline capacity comparison. *)

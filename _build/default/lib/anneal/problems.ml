@@ -1,0 +1,71 @@
+module Graph = Qca_util.Graph
+module Rng = Qca_util.Rng
+
+(* cut(x) = sum_{(i,j) in E} w_ij (x_i + x_j - 2 x_i x_j); minimise -cut. *)
+let max_cut g =
+  let q = Qubo.create (Graph.size g) in
+  List.iter
+    (fun (i, j, w) ->
+      Qubo.add q i i (-.w);
+      Qubo.add q j j (-.w);
+      Qubo.add q i j (2.0 *. w))
+    (Graph.edges g);
+  q
+
+let cut_value g bits =
+  List.fold_left
+    (fun acc (i, j, w) -> if bits.(i) <> bits.(j) then acc +. w else acc)
+    0.0 (Graph.edges g)
+
+(* (sum_i a_i s_i)^2 with s = 2x - 1: expanding in x gives the QUBO below
+   (constant sum_i a_i^2 + (sum a)^2 terms dropped). *)
+let number_partition numbers =
+  let n = Array.length numbers in
+  if n < 2 then invalid_arg "Problems.number_partition: need at least two numbers";
+  let total = Array.fold_left ( +. ) 0.0 numbers in
+  let q = Qubo.create n in
+  Array.iteri
+    (fun i ai ->
+      Qubo.add q i i (4.0 *. ai *. (ai -. total));
+      for j = i + 1 to n - 1 do
+        Qubo.add q i j (8.0 *. ai *. numbers.(j))
+      done)
+    numbers;
+  q
+
+let partition_difference numbers bits =
+  let s1 = ref 0.0 and s0 = ref 0.0 in
+  Array.iteri (fun i a -> if bits.(i) = 1 then s1 := !s1 +. a else s0 := !s0 +. a) numbers;
+  Float.abs (!s1 -. !s0)
+
+let vertex_cover ?penalty g =
+  let n = Graph.size g in
+  let max_degree = List.fold_left (fun acc v -> max acc (Graph.degree g v)) 1 (List.init n Fun.id) in
+  let a = match penalty with Some p -> p | None -> 2.0 *. float_of_int max_degree in
+  let q = Qubo.create n in
+  (* minimise cover size + A * sum_{(i,j)} (1 - x_i)(1 - x_j) *)
+  for v = 0 to n - 1 do
+    Qubo.add q v v 1.0
+  done;
+  List.iter
+    (fun (i, j, _) ->
+      (* (1 - x_i)(1 - x_j) = 1 - x_i - x_j + x_i x_j; constant dropped *)
+      Qubo.add q i i (-.a);
+      Qubo.add q j j (-.a);
+      Qubo.add q i j a)
+    (Graph.edges g);
+  q
+
+let is_vertex_cover g bits =
+  List.for_all (fun (i, j, _) -> bits.(i) = 1 || bits.(j) = 1) (Graph.edges g)
+
+let cover_size bits = Array.fold_left ( + ) 0 bits
+
+let random_max_cut_instance rng ~vertices ~edge_probability =
+  let g = Graph.create vertices in
+  for i = 0 to vertices - 1 do
+    for j = i + 1 to vertices - 1 do
+      if Rng.bernoulli rng edge_probability then Graph.add_edge g i j 1.0
+    done
+  done;
+  g

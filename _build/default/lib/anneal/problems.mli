@@ -1,0 +1,28 @@
+(** Standard optimisation problems as QUBO models — the "optimisation
+    problems pervasive in operations research" of section 3.3 beyond the
+    TSP use-case (the paper lists planning, scheduling, logistics, packing,
+    network protocols...). Each encoder comes with a decoder/checker so the
+    annealers and QAOA can be validated end to end. *)
+
+val max_cut : Qca_util.Graph.t -> Qubo.t
+(** Minimising the QUBO maximises the cut: energy = -(cut weight). *)
+
+val cut_value : Qca_util.Graph.t -> int array -> float
+(** Total weight of edges crossing the bipartition given by the bits. *)
+
+val number_partition : float array -> Qubo.t
+(** Partition numbers into two sets with equal sums; the QUBO minimum is
+    (difference)^2 up to constant offset. *)
+
+val partition_difference : float array -> int array -> float
+(** |sum(set 1) - sum(set 0)| for a bit assignment. *)
+
+val vertex_cover : ?penalty:float -> Qca_util.Graph.t -> Qubo.t
+(** Minimum vertex cover: x_i = 1 keeps vertex i in the cover; [penalty]
+    (default 2x max degree) enforces edge coverage. *)
+
+val is_vertex_cover : Qca_util.Graph.t -> int array -> bool
+val cover_size : int array -> int
+
+val random_max_cut_instance : Qca_util.Rng.t -> vertices:int -> edge_probability:float -> Qca_util.Graph.t
+(** Erdos-Renyi instance with unit weights for benchmarking. *)

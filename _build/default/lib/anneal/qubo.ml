@@ -1,0 +1,64 @@
+module Rng = Qca_util.Rng
+module Graph = Qca_util.Graph
+
+type t = { n : int; weights : (int * int, float) Hashtbl.t }
+
+let create n =
+  assert (n > 0);
+  { n; weights = Hashtbl.create 64 }
+
+let size q = q.n
+
+let key i j = if i <= j then (i, j) else (j, i)
+
+let add q i j w =
+  assert (i >= 0 && i < q.n && j >= 0 && j < q.n);
+  let k = key i j in
+  let current = Option.value ~default:0.0 (Hashtbl.find_opt q.weights k) in
+  let updated = current +. w in
+  if Float.abs updated < 1e-15 then Hashtbl.remove q.weights k
+  else Hashtbl.replace q.weights k updated
+
+let get q i j = Option.value ~default:0.0 (Hashtbl.find_opt q.weights (key i j))
+
+let energy q x =
+  assert (Array.length x = q.n);
+  Hashtbl.fold
+    (fun (i, j) w acc ->
+      assert (x.(i) = 0 || x.(i) = 1);
+      acc +. (w *. float_of_int (x.(i) * x.(j))))
+    q.weights 0.0
+
+let variables_interacting q =
+  Hashtbl.fold (fun (i, j) _ acc -> if i <> j then (i, j) :: acc else acc) q.weights []
+  |> List.sort compare
+
+let interaction_graph q =
+  let g = Graph.create q.n in
+  List.iter
+    (fun (i, j) -> Graph.add_edge g i j (Float.abs (get q i j)))
+    (variables_interacting q);
+  g
+
+let brute_force q =
+  if q.n > 24 then invalid_arg "Qubo.brute_force: too many variables";
+  let best_x = ref (Array.make q.n 0) and best_e = ref infinity in
+  let x = Array.make q.n 0 in
+  for assignment = 0 to (1 lsl q.n) - 1 do
+    for i = 0 to q.n - 1 do
+      x.(i) <- (assignment lsr i) land 1
+    done;
+    let e = energy q x in
+    if e < !best_e then begin
+      best_e := e;
+      best_x := Array.copy x
+    end
+  done;
+  (!best_x, !best_e)
+
+let random_assignment rng q = Array.init q.n (fun _ -> if Rng.bool rng then 1 else 0)
+
+let density q =
+  let pairs = q.n * (q.n - 1) / 2 in
+  if pairs = 0 then 0.0
+  else float_of_int (List.length (variables_interacting q)) /. float_of_int pairs

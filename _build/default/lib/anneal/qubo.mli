@@ -1,0 +1,31 @@
+(** Quadratic Unconstrained Binary Optimisation models (section 3.3):
+    minimise y = x^T Q x over binary x, with Q upper-triangular. *)
+
+type t
+
+val create : int -> t
+(** Zero model on n variables. *)
+
+val size : t -> int
+
+val add : t -> int -> int -> float -> unit
+(** [add q i j w] accumulates weight onto entry (min i j, max i j); [i = j]
+    addresses the linear (diagonal) term. *)
+
+val get : t -> int -> int -> float
+
+val energy : t -> int array -> float
+(** [energy q x] with [x.(i)] in {0, 1}. *)
+
+val variables_interacting : t -> (int * int) list
+(** Off-diagonal pairs with nonzero weight (the QUBO interaction graph). *)
+
+val interaction_graph : t -> Qca_util.Graph.t
+
+val brute_force : t -> int array * float
+(** Exact minimiser by enumeration; requires [size <= 24]. *)
+
+val random_assignment : Qca_util.Rng.t -> t -> int array
+
+val density : t -> float
+(** Fraction of possible off-diagonal pairs with nonzero weight. *)

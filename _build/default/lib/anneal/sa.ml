@@ -1,0 +1,58 @@
+module Rng = Qca_util.Rng
+
+type schedule = Linear of float * float | Geometric of float * float
+
+type params = { sweeps : int; schedule : schedule; restarts : int }
+
+let default_params = { sweeps = 1000; schedule = Linear (0.1, 5.0); restarts = 4 }
+
+type result = { spins : int array; energy : float; energy_trace : float array }
+
+let beta_at schedule sweeps k =
+  match schedule with
+  | Linear (b0, b1) ->
+      if sweeps <= 1 then b1
+      else b0 +. ((b1 -. b0) *. float_of_int k /. float_of_int (sweeps - 1))
+  | Geometric (b0, ratio) -> b0 *. (ratio ** float_of_int k)
+
+let run_once params rng model =
+  let n = model.Ising.n in
+  let neighbour_index = Ising.build_neighbour_index model in
+  let s = Ising.random_spins rng n in
+  let current = ref (Ising.energy model s) in
+  let best = ref !current and best_s = ref (Array.copy s) in
+  let trace = Array.make params.sweeps 0.0 in
+  for sweep = 0 to params.sweeps - 1 do
+    let beta = beta_at params.schedule params.sweeps sweep in
+    for _ = 1 to n do
+      let i = Rng.int rng n in
+      let d = Ising.delta_energy model ~neighbour_index s i in
+      if d <= 0.0 || Rng.float rng 1.0 < exp (-.beta *. d) then begin
+        s.(i) <- -s.(i);
+        current := !current +. d;
+        if !current < !best then begin
+          best := !current;
+          best_s := Array.copy s
+        end
+      end
+    done;
+    trace.(sweep) <- !best
+  done;
+  { spins = !best_s; energy = !best; energy_trace = trace }
+
+let minimize ?(params = default_params) ~rng model =
+  assert (params.restarts >= 1 && params.sweeps >= 1);
+  let rec go k acc =
+    if k = 0 then acc
+    else
+      let candidate = run_once params rng model in
+      let acc = if candidate.energy < acc.energy then candidate else acc in
+      go (k - 1) acc
+  in
+  let first = run_once params rng model in
+  go (params.restarts - 1) first
+
+let minimize_qubo ?params ~rng q =
+  let model, offset = Ising.of_qubo q in
+  let result = minimize ?params ~rng model in
+  (Ising.bits_of_spins result.spins, result.energy +. offset)

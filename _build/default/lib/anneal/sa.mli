@@ -1,0 +1,27 @@
+(** Classical simulated annealing over Ising models — the baseline heuristic
+    the paper contrasts with quantum annealing, and the engine inside the
+    digital-annealer model. *)
+
+type schedule =
+  | Linear of float * float  (** Inverse temperature swept linearly beta_0 -> beta_1. *)
+  | Geometric of float * float  (** beta multiplied by a fixed ratio each sweep. *)
+
+type params = {
+  sweeps : int;  (** Full single-spin-flip passes. *)
+  schedule : schedule;
+  restarts : int;  (** Independent runs; best result kept. *)
+}
+
+val default_params : params
+(** 1000 sweeps, Linear (0.1, 5.0), 4 restarts. *)
+
+type result = {
+  spins : int array;
+  energy : float;
+  energy_trace : float array;  (** Best-so-far energy after each sweep (last restart). *)
+}
+
+val minimize : ?params:params -> rng:Qca_util.Rng.t -> Ising.t -> result
+
+val minimize_qubo : ?params:params -> rng:Qca_util.Rng.t -> Qubo.t -> int array * float
+(** Convenience: anneal the Ising image of a QUBO and return bits + QUBO energy. *)

@@ -1,0 +1,87 @@
+module Rng = Qca_util.Rng
+
+type params = {
+  trotter_slices : int;
+  temperature : float;
+  gamma_start : float;
+  gamma_end : float;
+  sweeps : int;
+  restarts : int;
+}
+
+let default_params =
+  {
+    trotter_slices = 16;
+    temperature = 0.05;
+    gamma_start = 3.0;
+    gamma_end = 0.01;
+    sweeps = 600;
+    restarts = 2;
+  }
+
+type result = { spins : int array; energy : float; tunnelling_events : int }
+
+let run_once params rng model =
+  let n = model.Ising.n in
+  let p = params.trotter_slices in
+  let t = params.temperature in
+  let neighbour_index = Ising.build_neighbour_index model in
+  (* replicas.(k).(i): spin i in Trotter slice k *)
+  let replicas = Array.init p (fun _ -> Ising.random_spins rng n) in
+  let tunnelling = ref 0 in
+  let classical_delta k i = Ising.delta_energy model ~neighbour_index replicas.(k) i in
+  let slice_coupling_delta j_perp k i =
+    let up = replicas.((k + 1) mod p).(i) and down = replicas.((k + p - 1) mod p).(i) in
+    let si = float_of_int replicas.(k).(i) in
+    (* Ferromagnetic coupling -J_perp s_k (s_{k-1} + s_{k+1}); flipping s_k
+       changes it by +2 J_perp s_k (s_{k-1} + s_{k+1}). *)
+    2.0 *. j_perp *. si *. float_of_int (up + down)
+  in
+  for sweep = 0 to params.sweeps - 1 do
+    let progress = float_of_int sweep /. float_of_int (max 1 (params.sweeps - 1)) in
+    let gamma =
+      params.gamma_start *. ((params.gamma_end /. params.gamma_start) ** progress)
+    in
+    let j_perp =
+      let x = gamma /. (float_of_int p *. t) in
+      -.(t /. 2.0) *. log (tanh x)
+    in
+    for k = 0 to p - 1 do
+      for _ = 1 to n do
+        let i = Rng.int rng n in
+        (* The classical part is divided by P in the Trotter decomposition. *)
+        let d = (classical_delta k i /. float_of_int p) +. slice_coupling_delta j_perp k i in
+        if d <= 0.0 || Rng.float rng 1.0 < exp (-.d /. t) then begin
+          let up = replicas.((k + 1) mod p).(i) in
+          let down = replicas.((k + p - 1) mod p).(i) in
+          if replicas.(k).(i) = up || replicas.(k).(i) = down then incr tunnelling;
+          replicas.(k).(i) <- -replicas.(k).(i)
+        end
+      done
+    done
+  done;
+  (* Pick the best slice. *)
+  let best = ref (Ising.energy model replicas.(0)) and best_k = ref 0 in
+  for k = 1 to p - 1 do
+    let e = Ising.energy model replicas.(k) in
+    if e < !best then begin
+      best := e;
+      best_k := k
+    end
+  done;
+  { spins = Array.copy replicas.(!best_k); energy = !best; tunnelling_events = !tunnelling }
+
+let minimize ?(params = default_params) ~rng model =
+  let rec go k acc =
+    if k = 0 then acc
+    else
+      let candidate = run_once params rng model in
+      go (k - 1) (if candidate.energy < acc.energy then candidate else acc)
+  in
+  let first = run_once params rng model in
+  go (params.restarts - 1) first
+
+let minimize_qubo ?params ~rng q =
+  let model, offset = Ising.of_qubo q in
+  let result = minimize ?params ~rng model in
+  (Ising.bits_of_spins result.spins, result.energy +. offset)

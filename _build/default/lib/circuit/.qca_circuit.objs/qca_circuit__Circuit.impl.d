@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Array Gate List Printf Qca_util String

@@ -1,0 +1,1 @@
+lib/circuit/cqasm.ml: Array Buffer Circuit Gate List Printf String

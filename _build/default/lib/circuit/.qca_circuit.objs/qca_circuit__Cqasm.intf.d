@@ -1,0 +1,1 @@
+lib/circuit/cqasm.mli: Circuit

@@ -1,0 +1,1 @@
+lib/circuit/gate.ml: Array Float List Printf Qca_util String

@@ -1,0 +1,1 @@
+lib/circuit/gate.mli: Qca_util

@@ -1,0 +1,1 @@
+lib/circuit/library.ml: Array Circuit Fun Gate List Qca_util

@@ -1,0 +1,1 @@
+lib/circuit/library.mli: Circuit Gate Qca_util

@@ -1,0 +1,156 @@
+module Matrix = Qca_util.Matrix
+module Cplx = Qca_util.Cplx
+module Bits = Qca_util.Bits
+
+type t = { name : string; qubit_count : int; rev_instructions : Gate.t list; length : int }
+
+let validate_instruction qubit_count instr =
+  let operands = Gate.qubits instr in
+  Array.iter
+    (fun q ->
+      if q < 0 || q >= qubit_count then
+        invalid_arg
+          (Printf.sprintf "Circuit: qubit %d out of range [0, %d) in '%s'" q qubit_count
+             (Gate.to_string instr)))
+    operands;
+  let sorted = Array.copy operands in
+  Array.sort compare sorted;
+  for i = 0 to Array.length sorted - 2 do
+    if sorted.(i) = sorted.(i + 1) then
+      invalid_arg
+        (Printf.sprintf "Circuit: duplicated operand q[%d] in '%s'" sorted.(i)
+           (Gate.to_string instr))
+  done;
+  match instr with
+  | Gate.Unitary (u, ops) | Gate.Conditional (_, u, ops) ->
+      if Array.length ops <> Gate.arity u then
+        invalid_arg
+          (Printf.sprintf "Circuit: gate '%s' expects %d operands, got %d" (Gate.name u)
+             (Gate.arity u) (Array.length ops))
+  | Gate.Prep _ | Gate.Measure _ | Gate.Barrier _ -> ()
+
+let create ?(name = "circuit") qubit_count =
+  if qubit_count <= 0 then invalid_arg "Circuit.create: qubit_count must be positive";
+  { name; qubit_count; rev_instructions = []; length = 0 }
+
+let add c instr =
+  validate_instruction c.qubit_count instr;
+  { c with rev_instructions = instr :: c.rev_instructions; length = c.length + 1 }
+
+let of_list ?name qubit_count instrs =
+  List.fold_left add (create ?name qubit_count) instrs
+
+let name c = c.name
+let qubit_count c = c.qubit_count
+let instructions c = List.rev c.rev_instructions
+let length c = c.length
+
+let append a b =
+  if a.qubit_count <> b.qubit_count then
+    invalid_arg "Circuit.append: mismatched qubit counts";
+  {
+    a with
+    rev_instructions = b.rev_instructions @ a.rev_instructions;
+    length = a.length + b.length;
+  }
+
+let repeat k c =
+  if k < 0 then invalid_arg "Circuit.repeat: negative count";
+  let rec go acc k = if k = 0 then acc else go (append acc c) (k - 1) in
+  go { c with rev_instructions = []; length = 0 } k
+
+let map_qubits f c =
+  let mapped = List.rev_map (Gate.map_qubits f) c.rev_instructions in
+  List.fold_left add (create ~name:c.name c.qubit_count) mapped
+
+let inverse c =
+  let invert = function
+    | Gate.Unitary (u, ops) -> Gate.Unitary (Gate.adjoint u, ops)
+    | Gate.Barrier qs -> Gate.Barrier qs
+    | Gate.Conditional _ | Gate.Prep _ | Gate.Measure _ ->
+        invalid_arg "Circuit.inverse: circuit contains non-unitary instructions"
+  in
+  (* rev_instructions is already reversed order, which is what inversion needs. *)
+  List.fold_left
+    (fun acc instr -> add acc (invert instr))
+    (create ~name:(c.name ^ "_inv") c.qubit_count)
+    c.rev_instructions
+
+let gate_count c =
+  List.fold_left
+    (fun acc instr ->
+      match instr with
+      | Gate.Unitary _ | Gate.Conditional _ -> acc + 1
+      | Gate.Prep _ | Gate.Measure _ | Gate.Barrier _ -> acc)
+    0 c.rev_instructions
+
+let two_qubit_gate_count c =
+  List.fold_left
+    (fun acc instr ->
+      match instr with
+      | Gate.Unitary (u, _) | Gate.Conditional (_, u, _) when Gate.arity u >= 2 -> acc + 1
+      | Gate.Unitary _ | Gate.Conditional _ | Gate.Prep _ | Gate.Measure _
+      | Gate.Barrier _ ->
+          acc)
+    0 c.rev_instructions
+
+let depth c =
+  let ready = Array.make c.qubit_count 0 in
+  let finish instr =
+    let operands = Gate.qubits instr in
+    let start = Array.fold_left (fun acc q -> max acc ready.(q)) 0 operands in
+    Array.iter (fun q -> ready.(q) <- start + 1) operands;
+    start + 1
+  in
+  List.fold_left (fun acc instr -> max acc (finish instr)) 0 (instructions c)
+
+let qubits_used c =
+  let used = Array.make c.qubit_count false in
+  List.iter (fun instr -> Array.iter (fun q -> used.(q) <- true) (Gate.qubits instr))
+    c.rev_instructions;
+  let acc = ref [] in
+  for q = c.qubit_count - 1 downto 0 do
+    if used.(q) then acc := q :: !acc
+  done;
+  !acc
+
+(* Expand a k-qubit unitary into the full 2^n space. Operand order in
+   [ops] is most-significant-first to match Gate.matrix conventions. *)
+let embed qubit_count u ops =
+  let small = Gate.matrix u in
+  let k = Array.length ops in
+  let dim = 1 lsl qubit_count in
+  let index_of_basis basis =
+    (* Map global basis state to the small matrix's row index. *)
+    let rec go i acc =
+      if i = k then acc
+      else go (i + 1) ((acc lsl 1) lor if Bits.test basis ops.(i) then 1 else 0)
+    in
+    go 0 0
+  in
+  Matrix.make dim dim (fun row col ->
+      (* Nonzero only when row and col agree outside the operand qubits. *)
+      let mask = Array.fold_left (fun m q -> m lor (1 lsl q)) 0 ops in
+      if row land lnot mask <> col land lnot mask then Cplx.zero
+      else Matrix.get small (index_of_basis row) (index_of_basis col))
+
+let unitary_matrix c =
+  if c.qubit_count > 10 then invalid_arg "Circuit.unitary_matrix: too many qubits";
+  let dim = 1 lsl c.qubit_count in
+  let accumulate acc instr =
+    match instr with
+    | Gate.Unitary (u, ops) -> Matrix.mul (embed c.qubit_count u ops) acc
+    | Gate.Barrier _ -> acc
+    | Gate.Conditional _ | Gate.Prep _ | Gate.Measure _ ->
+        invalid_arg "Circuit.unitary_matrix: non-unitary instruction"
+  in
+  List.fold_left accumulate (Matrix.identity dim) (instructions c)
+
+let equal a b =
+  a.qubit_count = b.qubit_count
+  && a.length = b.length
+  && List.for_all2 Gate.equal a.rev_instructions b.rev_instructions
+
+let to_string c =
+  let body = instructions c |> List.map Gate.to_string |> String.concat "\n" in
+  Printf.sprintf "# %s (%d qubits)\n%s" c.name c.qubit_count body

@@ -1,0 +1,40 @@
+(** cQASM 1.0 (common QASM) emitter and parser.
+
+    cQASM is the paper's common quantum assembly language: the contract
+    between the OpenQL compiler and the QX simulator. This module supports a
+    pragmatic subset: the version header, [qubits n], named subcircuits with
+    repetition counts ([.body(3)]), the shared gate set of {!Gate.unitary},
+    [prep_z], [measure], [measure_all], [display] and [#] comments. *)
+
+type program = {
+  qubit_count : int;
+  error_model : (string * float) option;
+      (** QX-style error-model directive, e.g.
+          [error_model depolarizing_channel, 0.001]. *)
+  subcircuits : (string * int * Circuit.t) list;
+      (** Ordered (name, iteration count, body) triples. *)
+}
+
+val emit_circuit : Circuit.t -> string
+(** Render one circuit as a complete cQASM file with a single default
+    subcircuit. *)
+
+val emit : program -> string
+(** Render a program with its subcircuit structure. *)
+
+val flatten : program -> Circuit.t
+(** Expand subcircuit repetitions into one flat circuit. *)
+
+val of_circuit : Circuit.t -> program
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse : string -> program
+(** Parse cQASM source. Raises {!Parse_error} on malformed input. *)
+
+val parse_circuit : string -> Circuit.t
+(** [flatten (parse source)]. *)
+
+val roundtrip_equal : Circuit.t -> bool
+(** Debug helper: emit then parse and compare (used by tests). *)

@@ -1,0 +1,197 @@
+module Rng = Qca_util.Rng
+
+let bell () =
+  Circuit.of_list ~name:"bell" 2
+    [ Gate.Unitary (Gate.H, [| 0 |]); Gate.Unitary (Gate.Cnot, [| 0; 1 |]) ]
+
+let ghz n =
+  assert (n >= 2);
+  let c = Circuit.add (Circuit.create ~name:"ghz" n) (Gate.Unitary (Gate.H, [| 0 |])) in
+  let rec chain c q =
+    if q = n then c else chain (Circuit.add c (Gate.Unitary (Gate.Cnot, [| q - 1; q |]))) (q + 1)
+  in
+  chain c 1
+
+(* Little-endian QFT: |x> -> sum_y exp(2 pi i x y / 2^n) |y> / sqrt(2^n).
+   Qubit n-1 is processed first; final swaps reverse qubit order. *)
+let qft n =
+  assert (n >= 1);
+  let c = ref (Circuit.create ~name:"qft" n) in
+  for q = n - 1 downto 0 do
+    c := Circuit.add !c (Gate.Unitary (Gate.H, [| q |]));
+    for j = q - 1 downto 0 do
+      let k = q - j + 1 in
+      c := Circuit.add !c (Gate.Unitary (Gate.Crk k, [| j; q |]))
+    done
+  done;
+  for q = 0 to (n / 2) - 1 do
+    c := Circuit.add !c (Gate.Unitary (Gate.Swap, [| q; n - 1 - q |]))
+  done;
+  !c
+
+let qft_inverse n = Circuit.inverse (qft n)
+
+let multi_controlled_x ~controls ~ancillas ~target n =
+  let k = List.length controls in
+  let c = Circuit.create ~name:"mcx" n in
+  match controls with
+  | [] -> Circuit.add c (Gate.Unitary (Gate.X, [| target |]))
+  | [ ctl ] -> Circuit.add c (Gate.Unitary (Gate.Cnot, [| ctl; target |]))
+  | [ c1; c2 ] -> Circuit.add c (Gate.Unitary (Gate.Toffoli, [| c1; c2; target |]))
+  | c1 :: c2 :: rest ->
+      if List.length ancillas < k - 2 then
+        invalid_arg "Library.multi_controlled_x: not enough ancillas";
+      let ancillas = Array.of_list ancillas in
+      (* Compute ladder: a.(i) accumulates the AND of the first i+2 controls. *)
+      let forward = ref [ Gate.Unitary (Gate.Toffoli, [| c1; c2; ancillas.(0) |]) ] in
+      List.iteri
+        (fun i ctl ->
+          if i < List.length rest - 1 then
+            forward :=
+              Gate.Unitary (Gate.Toffoli, [| ctl; ancillas.(i); ancillas.(i + 1) |])
+              :: !forward)
+        rest;
+      let last_control = List.nth rest (List.length rest - 1) in
+      let compute = List.rev !forward in
+      let apex =
+        Gate.Unitary (Gate.Toffoli, [| last_control; ancillas.(k - 3); target |])
+      in
+      let uncompute = !forward in
+      Circuit.of_list ~name:"mcx" n (compute @ [ apex ] @ uncompute)
+
+let multi_controlled_z ~controls ~ancillas ~target n =
+  let h = Circuit.of_list n [ Gate.Unitary (Gate.H, [| target |]) ] in
+  Circuit.append (Circuit.append h (multi_controlled_x ~controls ~ancillas ~target n)) h
+
+let phase_flip_on ~pattern ~qubits ~ancillas n =
+  assert (Array.length pattern = List.length qubits);
+  let flips =
+    List.filteri (fun i _ -> not pattern.(i)) qubits
+    |> List.map (fun q -> Gate.Unitary (Gate.X, [| q |]))
+  in
+  let conjugate = Circuit.of_list ~name:"oracle" n flips in
+  match List.rev qubits with
+  | [] -> invalid_arg "Library.phase_flip_on: empty register"
+  | target :: rev_controls ->
+      let controls = List.rev rev_controls in
+      let mcz = multi_controlled_z ~controls ~ancillas ~target n in
+      Circuit.append (Circuit.append conjugate mcz) conjugate
+
+let grover_diffusion ~qubits ~ancillas n =
+  let hs = List.map (fun q -> Gate.Unitary (Gate.H, [| q |])) qubits in
+  let walls = Circuit.of_list ~name:"diffusion" n hs in
+  let zero_flip =
+    phase_flip_on ~pattern:(Array.make (List.length qubits) false) ~qubits ~ancillas n
+  in
+  Circuit.append (Circuit.append walls zero_flip) walls
+
+(* Cuccaro ripple-carry adder using MAJ / UMA three-gate blocks. *)
+let cuccaro_adder k =
+  assert (k >= 1);
+  let n = (2 * k) + 2 in
+  let a i = i and b i = k + i in
+  let carry_in = 2 * k and carry_out = (2 * k) + 1 in
+  let maj x y z =
+    [
+      Gate.Unitary (Gate.Cnot, [| z; y |]);
+      Gate.Unitary (Gate.Cnot, [| z; x |]);
+      Gate.Unitary (Gate.Toffoli, [| x; y; z |]);
+    ]
+  in
+  let uma x y z =
+    [
+      Gate.Unitary (Gate.Toffoli, [| x; y; z |]);
+      Gate.Unitary (Gate.Cnot, [| z; x |]);
+      Gate.Unitary (Gate.Cnot, [| x; y |]);
+    ]
+  in
+  let rec majs i acc =
+    if i = k then acc
+    else
+      let prev = if i = 0 then carry_in else a (i - 1) in
+      majs (i + 1) (acc @ maj prev (b i) (a i))
+  in
+  let rec umas i acc =
+    if i < 0 then acc
+    else
+      let prev = if i = 0 then carry_in else a (i - 1) in
+      umas (i - 1) (acc @ uma prev (b i) (a i))
+  in
+  let middle = [ Gate.Unitary (Gate.Cnot, [| a (k - 1); carry_out |]) ] in
+  Circuit.of_list ~name:"cuccaro_adder" n (majs 0 [] @ middle @ umas (k - 1) [])
+
+(* Oracle for f(x) = parity(x land mask) as CNOTs into the ancilla. *)
+let parity_oracle n mask ancilla =
+  List.filter_map
+    (fun q -> if mask land (1 lsl q) <> 0 then Some (Gate.Unitary (Gate.Cnot, [| q; ancilla |])) else None)
+    (List.init n Fun.id)
+
+let bernstein_vazirani ~secret n =
+  assert (n >= 1 && secret >= 0 && secret < 1 lsl n);
+  let ancilla = n in
+  let walls = List.init n (fun q -> Gate.Unitary (Gate.H, [| q |])) in
+  let instrs =
+    (* ancilla in |-> *)
+    [ Gate.Unitary (Gate.X, [| ancilla |]); Gate.Unitary (Gate.H, [| ancilla |]) ]
+    @ walls
+    @ parity_oracle n secret ancilla
+    @ walls
+    @ List.init n (fun q -> Gate.Measure q)
+  in
+  Circuit.of_list ~name:"bernstein-vazirani" (n + 1) instrs
+
+let deutsch_jozsa ~balanced n =
+  assert (n >= 1);
+  let ancilla = n in
+  let oracle =
+    match balanced with
+    | Some mask ->
+        if mask = 0 || mask >= 1 lsl n then
+          invalid_arg "Library.deutsch_jozsa: balanced mask must be nonzero and in range";
+        parity_oracle n mask ancilla
+    | None -> [] (* constant f = 0: the oracle does nothing *)
+  in
+  let walls = List.init n (fun q -> Gate.Unitary (Gate.H, [| q |])) in
+  let instrs =
+    [ Gate.Unitary (Gate.X, [| ancilla |]); Gate.Unitary (Gate.H, [| ancilla |]) ]
+    @ walls @ oracle @ walls
+    @ List.init n (fun q -> Gate.Measure q)
+  in
+  Circuit.of_list ~name:"deutsch-jozsa" (n + 1) instrs
+
+let teleport ?(prepare = Gate.Ry 1.047) () =
+  Circuit.of_list ~name:"teleport" 3
+    [
+      (* payload on q0 *)
+      Gate.Unitary (prepare, [| 0 |]);
+      (* Bell pair between q1 (Alice) and q2 (Bob) *)
+      Gate.Unitary (Gate.H, [| 1 |]);
+      Gate.Unitary (Gate.Cnot, [| 1; 2 |]);
+      (* Bell measurement on q0, q1 *)
+      Gate.Unitary (Gate.Cnot, [| 0; 1 |]);
+      Gate.Unitary (Gate.H, [| 0 |]);
+      Gate.Measure 0;
+      Gate.Measure 1;
+      (* classically controlled corrections on Bob's qubit *)
+      Gate.Conditional (1, Gate.X, [| 2 |]);
+      Gate.Conditional (0, Gate.Z, [| 2 |]);
+    ]
+
+let random_circuit rng ~qubits ~gates =
+  assert (qubits >= 2);
+  let singles = [| Gate.X; Gate.Y; Gate.Z; Gate.H; Gate.S; Gate.T |] in
+  let rec build c remaining =
+    if remaining = 0 then c
+    else if Rng.bernoulli rng 0.4 then begin
+      let q1 = Rng.int rng qubits in
+      let q2 = (q1 + 1 + Rng.int rng (qubits - 1)) mod qubits in
+      let u = if Rng.bool rng then Gate.Cnot else Gate.Cz in
+      build (Circuit.add c (Gate.Unitary (u, [| q1; q2 |]))) (remaining - 1)
+    end
+    else begin
+      let u = Rng.pick rng singles in
+      let q = Rng.int rng qubits in
+      build (Circuit.add c (Gate.Unitary (u, [| q |]))) (remaining - 1)
+    end
+  in
+  build (Circuit.create ~name:"random" qubits) gates

@@ -1,0 +1,1 @@
+lib/compiler/compiler.ml: Buffer Decompose Eqasm List Mapping Optimize Platform Printf Qca_circuit Qca_qx Schedule

@@ -1,0 +1,1 @@
+lib/compiler/compiler.mli: Eqasm Mapping Platform Qca_circuit Qca_util Schedule

@@ -1,0 +1,1 @@
+lib/compiler/decompose.ml: Float List Platform Printf Qca_circuit Qca_util

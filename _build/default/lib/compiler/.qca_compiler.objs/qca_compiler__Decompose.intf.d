@@ -1,0 +1,1 @@
+lib/compiler/decompose.mli: Platform Qca_circuit

@@ -1,0 +1,1 @@
+lib/compiler/eqasm.ml: Array Buffer Hashtbl List Option Platform Printf Qca_circuit Schedule String

@@ -1,0 +1,1 @@
+lib/compiler/eqasm.mli: Platform Schedule

@@ -1,0 +1,1 @@
+lib/compiler/mapping.ml: Array Fun List Platform Qca_circuit Qca_util Queue Schedule

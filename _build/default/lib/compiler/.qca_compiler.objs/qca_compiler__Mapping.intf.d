@@ -1,0 +1,1 @@
+lib/compiler/mapping.mli: Platform Qca_circuit

@@ -1,0 +1,1 @@
+lib/compiler/openql.ml: Array Compiler List Qca_circuit Qca_qx

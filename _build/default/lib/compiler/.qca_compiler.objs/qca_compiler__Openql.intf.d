@@ -1,0 +1,1 @@
+lib/compiler/openql.mli: Compiler Mapping Platform Qca_circuit Qca_qx Qca_util

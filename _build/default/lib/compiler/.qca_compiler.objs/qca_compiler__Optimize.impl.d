@@ -1,0 +1,1 @@
+lib/compiler/optimize.ml: Array Float Qca_circuit

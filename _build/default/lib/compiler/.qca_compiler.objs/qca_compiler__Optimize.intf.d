@@ -1,0 +1,1 @@
+lib/compiler/optimize.mli: Qca_circuit

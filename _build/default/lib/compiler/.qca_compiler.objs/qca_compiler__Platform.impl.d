@@ -1,0 +1,1 @@
+lib/compiler/platform.ml: List Printf Qca_circuit Qca_qx Qca_util

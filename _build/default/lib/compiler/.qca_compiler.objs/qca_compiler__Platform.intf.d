@@ -1,0 +1,1 @@
+lib/compiler/platform.mli: Qca_circuit Qca_qx Qca_util

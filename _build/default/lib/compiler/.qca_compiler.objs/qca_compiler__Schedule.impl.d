@@ -1,0 +1,1 @@
+lib/compiler/schedule.ml: Array List Platform Printf Qca_circuit String

@@ -1,0 +1,1 @@
+lib/compiler/schedule.mli: Platform Qca_circuit

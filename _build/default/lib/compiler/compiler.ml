@@ -1,0 +1,149 @@
+module Circuit = Qca_circuit.Circuit
+module Cqasm = Qca_circuit.Cqasm
+
+type mode = Perfect | Realistic | Real
+
+type pass_stat = {
+  pass_name : string;
+  gates : int;
+  two_qubit_gates : int;
+  depth : int;
+  note : string;
+}
+
+type output = {
+  platform : Platform.t;
+  mode : mode;
+  logical : Circuit.t;
+  physical : Circuit.t;
+  schedule : Schedule.t;
+  eqasm : Eqasm.program option;
+  cqasm : string;
+  mapping : Mapping.result option;
+  passes : pass_stat list;
+}
+
+let mode_to_string = function
+  | Perfect -> "perfect"
+  | Realistic -> "realistic"
+  | Real -> "real"
+
+let stat_of ?(note = "") pass_name circuit =
+  {
+    pass_name;
+    gates = Circuit.gate_count circuit;
+    two_qubit_gates = Circuit.two_qubit_gate_count circuit;
+    depth = Circuit.depth circuit;
+    note;
+  }
+
+let widen platform circuit =
+  if Circuit.qubit_count circuit = platform.Platform.qubit_count then circuit
+  else if Circuit.qubit_count circuit > platform.Platform.qubit_count then
+    invalid_arg "Compiler.compile: circuit larger than platform"
+  else
+    Circuit.of_list ~name:(Circuit.name circuit) platform.Platform.qubit_count
+      (Circuit.instructions circuit)
+
+let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
+    ?(schedule_policy = Schedule.Asap) platform mode logical =
+  let passes = ref [ stat_of "input" logical ] in
+  let record ?note name circuit = passes := stat_of ?note name circuit :: !passes in
+  match mode with
+  | Perfect ->
+      let optimized, ostats = Optimize.run logical in
+      record
+        ~note:
+          (Printf.sprintf "cancelled=%d merged=%d dropped=%d" ostats.Optimize.removed_pairs
+             ostats.Optimize.merged_rotations ostats.Optimize.dropped_identities)
+        "optimize" optimized;
+      let schedule = Schedule.run ~policy:schedule_policy platform optimized in
+      {
+        platform;
+        mode;
+        logical;
+        physical = optimized;
+        schedule;
+        eqasm = None;
+        cqasm = Cqasm.emit_circuit optimized;
+        mapping = None;
+        passes = List.rev !passes;
+      }
+  | Realistic | Real ->
+      let widened = widen platform logical in
+      (* 1. decompose to primitives (+ swap for routing support) *)
+      let swap_capable =
+        {
+          platform with
+          Platform.primitives = "swap" :: platform.Platform.primitives;
+        }
+      in
+      let lowered = Decompose.run swap_capable widened in
+      record "decompose" lowered;
+      (* 2. place & route *)
+      let mapping = Mapping.run ~strategy ~placement platform lowered in
+      record
+        ~note:(Printf.sprintf "swaps=%d" mapping.Mapping.swaps_added)
+        "map/route" mapping.Mapping.circuit;
+      (* 3. expand routing swaps into primitives *)
+      let expanded = Decompose.run platform mapping.Mapping.circuit in
+      record "expand-swaps" expanded;
+      (* 4. optimise *)
+      let optimized, ostats = Optimize.run expanded in
+      record
+        ~note:
+          (Printf.sprintf "cancelled=%d merged=%d dropped=%d" ostats.Optimize.removed_pairs
+             ostats.Optimize.merged_rotations ostats.Optimize.dropped_identities)
+        "optimize" optimized;
+      (* 5. schedule with platform timing *)
+      let schedule = Schedule.run ~policy:schedule_policy platform optimized in
+      (* 6. lower to eQASM *)
+      let eqasm = Eqasm.of_schedule platform schedule in
+      {
+        platform;
+        mode;
+        logical;
+        physical = optimized;
+        schedule;
+        eqasm = Some eqasm;
+        cqasm = Cqasm.emit_circuit optimized;
+        mapping = Some mapping;
+        passes = List.rev !passes;
+      }
+
+let execute ?(shots = 1024) ?rng output =
+  let noise =
+    match output.mode with
+    | Perfect -> Qca_qx.Noise.ideal
+    | Realistic | Real -> output.platform.Platform.noise
+  in
+  Qca_qx.Sim.histogram ~noise ?rng ~shots output.physical
+
+let report output =
+  let buffer = Buffer.create 512 in
+  Buffer.add_string buffer
+    (Printf.sprintf "compile %s on %s (%s mode)\n" (Circuit.name output.logical)
+       output.platform.Platform.name
+       (mode_to_string output.mode));
+  Buffer.add_string buffer
+    (Printf.sprintf "%-14s %8s %8s %8s  %s\n" "pass" "gates" "2q" "depth" "notes");
+  List.iter
+    (fun s ->
+      Buffer.add_string buffer
+        (Printf.sprintf "%-14s %8d %8d %8d  %s\n" s.pass_name s.gates s.two_qubit_gates
+           s.depth s.note))
+    output.passes;
+  Buffer.add_string buffer
+    (Printf.sprintf "schedule: makespan=%d cycles, parallelism=%.2f, peak=%d\n"
+       output.schedule.Schedule.makespan
+       (Schedule.parallelism output.schedule)
+       (Schedule.max_concurrency output.schedule));
+  (match output.eqasm with
+  | Some program ->
+      let s = Eqasm.stats program in
+      Buffer.add_string buffer
+        (Printf.sprintf "eqasm: %d bundles, %d mask regs, %d ops, %d ns\n"
+           s.Eqasm.bundle_count s.Eqasm.mask_registers_used s.Eqasm.total_quantum_ops
+           s.Eqasm.duration_ns)
+  | None -> ());
+  Buffer.contents buffer

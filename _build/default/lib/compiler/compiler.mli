@@ -1,0 +1,55 @@
+(** OpenQL-style pass manager (Figure 4).
+
+    Compiles a logical circuit for one of the paper's three qubit models:
+
+    - {b Perfect}: no decomposition to hardware primitives, no connectivity
+      constraint; optimisation + unit-time scheduling only. The output runs
+      on QX with ideal qubits (Figure 2b).
+    - {b Realistic}: full pipeline — decompose, place & route, optimise,
+      schedule with platform timing, lower to eQASM — executed on QX with
+      the platform's error model.
+    - {b Real}: same pipeline as Realistic; the eQASM output is what would
+      be shipped to the physical device's micro-architecture (here the
+      cycle-accurate model in [qca_microarch]). *)
+
+type mode = Perfect | Realistic | Real
+
+type pass_stat = {
+  pass_name : string;
+  gates : int;
+  two_qubit_gates : int;
+  depth : int;
+  note : string;
+}
+
+type output = {
+  platform : Platform.t;
+  mode : mode;
+  logical : Qca_circuit.Circuit.t;  (** Input circuit. *)
+  physical : Qca_circuit.Circuit.t;  (** After all circuit-level passes. *)
+  schedule : Schedule.t;
+  eqasm : Eqasm.program option;  (** [None] in Perfect mode. *)
+  cqasm : string;  (** cQASM of the physical circuit. *)
+  mapping : Mapping.result option;
+  passes : pass_stat list;  (** One row per pass, in order. *)
+}
+
+val mode_to_string : mode -> string
+
+val compile :
+  ?strategy:Mapping.strategy ->
+  ?placement:Mapping.placement ->
+  ?schedule_policy:Schedule.policy ->
+  Platform.t ->
+  mode ->
+  Qca_circuit.Circuit.t ->
+  output
+
+val execute :
+  ?shots:int -> ?rng:Qca_util.Rng.t -> output -> (string * int) list
+(** Run the compiled circuit on the QX simulator: ideal qubits in Perfect
+    mode, the platform noise model otherwise. Returns the measured-bitstring
+    histogram. *)
+
+val report : output -> string
+(** Human-readable pass-by-pass compilation report (the E3 table rows). *)

@@ -1,0 +1,15 @@
+(** Gate decomposition pass: rewrite every gate into the platform's native
+    primitive set (section 2.4's "quantum gate decomposition"). *)
+
+val expand : Qca_circuit.Gate.unitary -> int array -> Qca_circuit.Gate.t list
+(** One rewrite step toward the {x90, mx90, y90, my90, rz, cz} basis; the
+    result may still need further expansion. *)
+
+val run : Platform.t -> Qca_circuit.Circuit.t -> Qca_circuit.Circuit.t
+(** Recursively rewrite until every unitary is a platform primitive. Raises
+    [Failure] if a gate cannot be expressed (should not happen for the
+    supported set). *)
+
+val check_equivalent : Qca_circuit.Circuit.t -> Qca_circuit.Circuit.t -> bool
+(** Compare full unitaries up to global phase (small circuits only; used by
+    tests). Circuits must be measurement-free. *)

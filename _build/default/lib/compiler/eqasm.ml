@@ -1,0 +1,174 @@
+module Gate = Qca_circuit.Gate
+
+type quantum_op = {
+  mnemonic : string;
+  angle : float option;
+  mask : int;
+  two_qubit : bool;
+  condition : int option;
+}
+
+type instruction =
+  | Smis of int * int list
+  | Smit of int * (int * int) list
+  | Qwait of int
+  | Bundle of int * quantum_op list
+
+type program = {
+  platform_name : string;
+  qubit_count : int;
+  cycle_ns : int;
+  instructions : instruction list;
+  makespan_cycles : int;
+}
+
+type stats = {
+  bundle_count : int;
+  mask_registers_used : int;
+  total_quantum_ops : int;
+  peak_parallelism : int;
+  duration_ns : int;
+}
+
+let register_limit = 32
+
+(* Mask register allocator with reuse by content. *)
+type 'a allocator = {
+  mutable table : ('a * int) list;
+  mutable next : int;
+  mutable emitted : instruction list;  (* reversed *)
+  make_instr : int -> 'a -> instruction;
+}
+
+let allocate alloc key =
+  match List.assoc_opt key alloc.table with
+  | Some reg -> reg
+  | None ->
+      if alloc.next >= register_limit then
+        invalid_arg "Eqasm: mask registers exhausted (32)";
+      let reg = alloc.next in
+      alloc.next <- reg + 1;
+      alloc.table <- (key, reg) :: alloc.table;
+      alloc.emitted <- alloc.make_instr reg key :: alloc.emitted;
+      reg
+
+let unitary_op single_alloc pair_alloc ?condition u (ops : int array) =
+  let base = Gate.name u in
+  let angle = match u with Gate.Rz t -> Some t | _ -> None in
+  if Gate.arity u = 1 then
+    let mask = allocate single_alloc [ ops.(0) ] in
+    Some { mnemonic = base; angle; mask; two_qubit = false; condition }
+  else if Gate.arity u = 2 then
+    let mask = allocate pair_alloc [ (ops.(0), ops.(1)) ] in
+    Some { mnemonic = base; angle; mask; two_qubit = true; condition }
+  else invalid_arg "Eqasm: >2-qubit gate reached lowering (decompose first)"
+
+let op_of_instr single_alloc pair_alloc instr =
+  match instr with
+  | Gate.Unitary (u, ops) -> unitary_op single_alloc pair_alloc u ops
+  | Gate.Conditional (bit, u, ops) ->
+      unitary_op single_alloc pair_alloc ~condition:bit u ops
+  | Gate.Prep q ->
+      let mask = allocate single_alloc [ q ] in
+      Some { mnemonic = "prepz"; angle = None; mask; two_qubit = false; condition = None }
+  | Gate.Measure q ->
+      let mask = allocate single_alloc [ q ] in
+      Some { mnemonic = "measz"; angle = None; mask; two_qubit = false; condition = None }
+  | Gate.Barrier _ -> None
+
+let of_schedule platform (schedule : Schedule.t) =
+  let single_alloc =
+    { table = []; next = 0; emitted = []; make_instr = (fun r qs -> Smis (r, qs)) }
+  in
+  let pair_alloc =
+    { table = []; next = 0; emitted = []; make_instr = (fun r ps -> Smit (r, ps)) }
+  in
+  (* Group entries by start cycle. *)
+  let by_cycle = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Schedule.entry) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_cycle e.Schedule.start_cycle) in
+      Hashtbl.replace by_cycle e.Schedule.start_cycle (e :: existing))
+    schedule.Schedule.entries;
+  let cycles = Hashtbl.fold (fun c _ acc -> c :: acc) by_cycle [] |> List.sort compare in
+  let bundles = ref [] in
+  let previous = ref 0 in
+  List.iter
+    (fun cycle ->
+      let entries = List.rev (Hashtbl.find by_cycle cycle) in
+      let ops =
+        List.filter_map (fun (e : Schedule.entry) -> op_of_instr single_alloc pair_alloc e.Schedule.instr) entries
+      in
+      if ops <> [] then begin
+        let pre_interval = cycle - !previous in
+        previous := cycle;
+        bundles := Bundle (pre_interval, ops) :: !bundles
+      end)
+    cycles;
+  let tail_wait = schedule.Schedule.makespan - !previous in
+  let bundles = if tail_wait > 0 then Qwait tail_wait :: !bundles else !bundles in
+  let mask_setup = List.rev_append single_alloc.emitted (List.rev pair_alloc.emitted) in
+  {
+    platform_name = platform.Platform.name;
+    qubit_count = platform.Platform.qubit_count;
+    cycle_ns = platform.Platform.cycle_ns;
+    instructions = mask_setup @ List.rev bundles;
+    makespan_cycles = schedule.Schedule.makespan;
+  }
+
+let stats program =
+  let bundle_count = ref 0 and ops = ref 0 and peak = ref 0 in
+  let single_regs = ref 0 and pair_regs = ref 0 in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Bundle (_, ops_list) ->
+          incr bundle_count;
+          ops := !ops + List.length ops_list;
+          peak := max !peak (List.length ops_list)
+      | Smis _ -> incr single_regs
+      | Smit _ -> incr pair_regs
+      | Qwait _ -> ())
+    program.instructions;
+  {
+    bundle_count = !bundle_count;
+    mask_registers_used = !single_regs + !pair_regs;
+    total_quantum_ops = !ops;
+    peak_parallelism = !peak;
+    duration_ns = program.makespan_cycles * program.cycle_ns;
+  }
+
+let op_to_string op =
+  let target = if op.two_qubit then Printf.sprintf "t%d" op.mask else Printf.sprintf "s%d" op.mask in
+  let prefix =
+    match op.condition with
+    | Some bit -> Printf.sprintf "[if r%d] " bit
+    | None -> ""
+  in
+  match op.angle with
+  | Some a -> Printf.sprintf "%s%s %s, %.6g" prefix op.mnemonic target a
+  | None -> Printf.sprintf "%s%s %s" prefix op.mnemonic target
+
+let to_string program =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer
+    (Printf.sprintf "# eQASM for %s (%d qubits, cycle %d ns)\n" program.platform_name
+       program.qubit_count program.cycle_ns);
+  List.iter
+    (fun instr ->
+      (match instr with
+      | Smis (r, qs) ->
+          Buffer.add_string buffer
+            (Printf.sprintf "SMIS s%d, {%s}" r
+               (String.concat ", " (List.map string_of_int qs)))
+      | Smit (r, ps) ->
+          Buffer.add_string buffer
+            (Printf.sprintf "SMIT t%d, {%s}" r
+               (String.concat ", " (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) ps)))
+      | Qwait n -> Buffer.add_string buffer (Printf.sprintf "QWAIT %d" n)
+      | Bundle (pre, ops) ->
+          Buffer.add_string buffer
+            (Printf.sprintf "%d: %s" pre (String.concat " | " (List.map op_to_string ops))));
+      Buffer.add_char buffer '\n')
+    program.instructions;
+  Buffer.contents buffer

@@ -1,0 +1,224 @@
+module Gate = Qca_circuit.Gate
+module Circuit = Qca_circuit.Circuit
+module Graph = Qca_util.Graph
+
+type strategy = Greedy | Lookahead of int
+type placement = Trivial | By_degree
+
+type result = {
+  circuit : Circuit.t;
+  initial_layout : int array;
+  final_layout : int array;
+  swaps_added : int;
+}
+
+(* Interaction count per logical qubit, for the placement heuristic. *)
+let interaction_degrees circuit =
+  let n = Circuit.qubit_count circuit in
+  let deg = Array.make n 0 in
+  List.iter
+    (fun instr ->
+      match instr with
+      | (Gate.Unitary (u, ops) | Gate.Conditional (_, u, ops)) when Gate.arity u >= 2 ->
+          Array.iter (fun q -> deg.(q) <- deg.(q) + 1) ops
+      | Gate.Unitary _ | Gate.Conditional _ | Gate.Prep _ | Gate.Measure _
+      | Gate.Barrier _ ->
+          ())
+    (Circuit.instructions circuit);
+  deg
+
+(* BFS order from the best-connected physical qubit. *)
+let physical_order coupling =
+  let n = Graph.size coupling in
+  let start = ref 0 in
+  for v = 1 to n - 1 do
+    if Graph.degree coupling v > Graph.degree coupling !start then start := v
+  done;
+  let seen = Array.make n false in
+  let order = ref [] in
+  let queue = Queue.create () in
+  Queue.add !start queue;
+  seen.(!start) <- true;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    List.iter
+      (fun (u, _) ->
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          Queue.add u queue
+        end)
+      (Graph.neighbours coupling v)
+  done;
+  (* Disconnected leftovers, if any. *)
+  for v = 0 to n - 1 do
+    if not seen.(v) then order := v :: !order
+  done;
+  List.rev !order
+
+let initial_layout placement coupling circuit physical_count =
+  let logical_count = Circuit.qubit_count circuit in
+  match placement with
+  | Trivial -> Array.init logical_count Fun.id
+  | By_degree ->
+      let deg = interaction_degrees circuit in
+      let logical_by_degree =
+        List.sort
+          (fun a b -> compare (deg.(b), a) (deg.(a), b))
+          (List.init logical_count Fun.id)
+      in
+      let phys = physical_order coupling in
+      let layout = Array.make logical_count (-1) in
+      List.iteri
+        (fun i l -> if i < physical_count then layout.(l) <- List.nth phys i)
+        logical_by_degree;
+      layout
+
+type state = {
+  mutable layout : int array;  (** logical -> physical *)
+  mutable occupant : int array;  (** physical -> logical, or -1 *)
+}
+
+let swap_physical st p1 p2 =
+  let l1 = st.occupant.(p1) and l2 = st.occupant.(p2) in
+  st.occupant.(p1) <- l2;
+  st.occupant.(p2) <- l1;
+  if l1 >= 0 then st.layout.(l1) <- p2;
+  if l2 >= 0 then st.layout.(l2) <- p1
+
+(* Remaining two-qubit interactions, used by the lookahead scorer. *)
+let upcoming_pairs instrs =
+  List.filter_map
+    (fun instr ->
+      match instr with
+      | (Gate.Unitary (u, ops) | Gate.Conditional (_, u, ops)) when Gate.arity u = 2 ->
+          Some (ops.(0), ops.(1))
+      | Gate.Unitary _ | Gate.Conditional _ | Gate.Prep _ | Gate.Measure _
+      | Gate.Barrier _ ->
+          None)
+    instrs
+
+let hop coupling a b =
+  match Graph.hop_distance coupling a b with
+  | Some d -> d
+  | None -> invalid_arg "Mapping: physical topology is disconnected"
+
+let rec take k = function
+  | [] -> []
+  | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+
+let lookahead_score coupling st pairs =
+  List.fold_left
+    (fun acc (l1, l2) -> acc + hop coupling st.layout.(l1) st.layout.(l2))
+    0 pairs
+
+let run ?(strategy = Greedy) ?(placement = Trivial) platform circuit =
+  let physical_count = platform.Platform.qubit_count in
+  if Circuit.qubit_count circuit > physical_count then
+    invalid_arg "Mapping.run: circuit larger than platform";
+  let coupling = Platform.connectivity platform in
+  let layout = initial_layout placement coupling circuit physical_count in
+  let st =
+    {
+      layout = Array.copy layout;
+      occupant =
+        (let occ = Array.make physical_count (-1) in
+         Array.iteri (fun l p -> occ.(p) <- l) layout;
+         occ);
+    }
+  in
+  let out = ref (Circuit.create ~name:(Circuit.name circuit ^ "_mapped") physical_count) in
+  (* Classical bits are indexed by the physical qubit that was measured, so
+     record where each logical qubit sat when it was last measured. *)
+  let measured_at = Array.make (Circuit.qubit_count circuit) (-1) in
+  let swaps = ref 0 in
+  let emit instr = out := Circuit.add !out instr in
+  let emit_swap p1 p2 =
+    emit (Gate.Unitary (Gate.Swap, [| p1; p2 |]));
+    swap_physical st p1 p2;
+    incr swaps
+  in
+  (* Route logical pair (l1, l2) until their physical homes are coupled. *)
+  let route future l1 l2 =
+    let rec step () =
+      let p1 = st.layout.(l1) and p2 = st.layout.(l2) in
+      if not (Platform.are_coupled platform p1 p2) then begin
+        match Graph.shortest_path coupling p1 p2 with
+        | None | Some ([] | [ _ ]) ->
+            invalid_arg "Mapping: no route between physical qubits"
+        | Some (_ :: next_from_p1 :: _ as path) ->
+            let move_from_p1 () = emit_swap p1 next_from_p1 in
+            let move_from_p2 () =
+              match List.rev path with
+              | _ :: next_from_p2 :: _ -> emit_swap p2 next_from_p2
+              | [] | [ _ ] -> assert false
+            in
+            begin
+              match strategy with
+              | Greedy -> move_from_p1 ()
+              | Lookahead k ->
+                  (* Try both endpoints; keep the swap that minimises the
+                     summed distance of the next k interactions. *)
+                  let pairs = take k (upcoming_pairs future) in
+                  move_from_p1 ();
+                  let score1 = lookahead_score coupling st pairs in
+                  (* undo and try the other end *)
+                  swap_physical st p1 next_from_p1;
+                  (match List.rev path with
+                  | _ :: next_from_p2 :: _ ->
+                      swap_physical st p2 next_from_p2;
+                      let score2 = lookahead_score coupling st pairs in
+                      swap_physical st p2 next_from_p2;
+                      (* Remove the provisional swap instruction we emitted. *)
+                      let instrs = Circuit.instructions !out in
+                      let without_last = List.filteri (fun i _ -> i < List.length instrs - 1) instrs in
+                      out := Circuit.of_list ~name:(Circuit.name !out) physical_count without_last;
+                      decr swaps;
+                      if score1 <= score2 then emit_swap p1 next_from_p1
+                      else move_from_p2 ()
+                  | [] | [ _ ] -> assert false)
+            end;
+            step ()
+      end
+    in
+    step ()
+  in
+  let rec process = function
+    | [] -> ()
+    | instr :: future ->
+        begin
+          match instr with
+          | (Gate.Unitary (u, ops) | Gate.Conditional (_, u, ops)) when Gate.arity u = 2 ->
+              route future ops.(0) ops.(1);
+              emit (Gate.map_qubits (fun l -> st.layout.(l)) instr)
+          | (Gate.Unitary (u, _) | Gate.Conditional (_, u, _)) when Gate.arity u > 2 ->
+              invalid_arg "Mapping.run: decompose >2-qubit gates before mapping"
+          | Gate.Conditional (bit, u, ops) ->
+              let physical_bit =
+                if measured_at.(bit) >= 0 then measured_at.(bit) else st.layout.(bit)
+              in
+              emit
+                (Gate.Conditional (physical_bit, u, Array.map (fun l -> st.layout.(l)) ops))
+          | Gate.Measure q ->
+              measured_at.(q) <- st.layout.(q);
+              emit (Gate.Measure st.layout.(q))
+          | Gate.Unitary _ | Gate.Prep _ | Gate.Barrier _ ->
+              emit (Gate.map_qubits (fun l -> st.layout.(l)) instr)
+        end;
+        process future
+  in
+  process (Circuit.instructions circuit);
+  { circuit = !out; initial_layout = layout; final_layout = Array.copy st.layout; swaps_added = !swaps }
+
+let overhead platform result ~original =
+  let routed_2q = Circuit.two_qubit_gate_count result.circuit in
+  let original_2q = max 1 (Circuit.two_qubit_gate_count original) in
+  let gate_overhead = float_of_int routed_2q /. float_of_int original_2q in
+  let widened =
+    Circuit.of_list ~name:(Circuit.name original) platform.Platform.qubit_count
+      (Circuit.instructions original)
+  in
+  let t_original = (Schedule.run platform widened).Schedule.makespan in
+  let t_routed = (Schedule.run platform result.circuit).Schedule.makespan in
+  let latency_overhead = float_of_int t_routed /. float_of_int (max 1 t_original) in
+  (gate_overhead, latency_overhead)

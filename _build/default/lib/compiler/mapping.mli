@@ -1,0 +1,39 @@
+(** Qubit placement and routing (section 2.6 "placement and routing").
+
+    Real and realistic qubits only couple to nearest neighbours, so two-qubit
+    gates on distant logical qubits require routing the qubit state across
+    the topology with SWAPs (the compiler-inserted MOVE operations of
+    sections 2.6 and 3.2). *)
+
+type strategy =
+  | Greedy  (** Walk one endpoint along the shortest path. *)
+  | Lookahead of int
+      (** Choose which endpoint to move by scoring the next [k] two-qubit
+          gates' total distance. *)
+
+type placement =
+  | Trivial  (** Logical qubit i starts on physical qubit i. *)
+  | By_degree
+      (** Most-interacting logical qubits on best-connected physical qubits. *)
+
+type result = {
+  circuit : Qca_circuit.Circuit.t;  (** Physical-operand circuit with SWAPs. *)
+  initial_layout : int array;  (** [initial_layout.(logical) = physical]. *)
+  final_layout : int array;
+  swaps_added : int;
+}
+
+val run :
+  ?strategy:strategy ->
+  ?placement:placement ->
+  Platform.t ->
+  Qca_circuit.Circuit.t ->
+  result
+(** Route a circuit onto the platform topology. The input circuit may use at
+    most [Platform.qubit_count] qubits; the result uses physical indices.
+    Raises [Invalid_argument] if the circuit needs more qubits than the
+    platform offers or contains >2-qubit unitaries (decompose first). *)
+
+val overhead : Platform.t -> result -> original:Qca_circuit.Circuit.t -> float * float
+(** [(gate_overhead, latency_overhead)]: ratios of routed/original two-qubit
+    gate count and of routed/original ASAP makespan. *)

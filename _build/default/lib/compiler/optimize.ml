@@ -1,0 +1,129 @@
+module Gate = Qca_circuit.Gate
+module Circuit = Qca_circuit.Circuit
+
+type stats = { removed_pairs : int; merged_rotations : int; dropped_identities : int }
+
+let two_pi = 2.0 *. Float.pi
+
+(* Normalise a rotation angle into (-pi, pi]. *)
+let normalize_angle theta =
+  let t = Float.rem theta two_pi in
+  let t = if t > Float.pi then t -. two_pi else t in
+  if t <= -.Float.pi then t +. two_pi else t
+
+let is_null_rotation theta = Float.abs (normalize_angle theta) < 1e-12
+
+let is_droppable = function
+  | Gate.Unitary (Gate.I, _) -> true
+  | Gate.Unitary (Gate.Rx theta, _) | Gate.Unitary (Gate.Ry theta, _)
+  | Gate.Unitary (Gate.Rz theta, _) | Gate.Unitary (Gate.Cphase theta, _) ->
+      is_null_rotation theta
+  | Gate.Unitary _ | Gate.Conditional _ | Gate.Prep _ | Gate.Measure _ | Gate.Barrier _ ->
+      false
+
+(* Merge two same-axis rotations into one; None when not mergeable. *)
+let merge a b =
+  match a, b with
+  | Gate.Unitary (Gate.Rx t1, ops), Gate.Unitary (Gate.Rx t2, ops') when ops = ops' ->
+      Some (Gate.Unitary (Gate.Rx (normalize_angle (t1 +. t2)), ops))
+  | Gate.Unitary (Gate.Ry t1, ops), Gate.Unitary (Gate.Ry t2, ops') when ops = ops' ->
+      Some (Gate.Unitary (Gate.Ry (normalize_angle (t1 +. t2)), ops))
+  | Gate.Unitary (Gate.Rz t1, ops), Gate.Unitary (Gate.Rz t2, ops') when ops = ops' ->
+      Some (Gate.Unitary (Gate.Rz (normalize_angle (t1 +. t2)), ops))
+  | Gate.Unitary (Gate.Cphase t1, ops), Gate.Unitary (Gate.Cphase t2, ops') when ops = ops'
+    ->
+      Some (Gate.Unitary (Gate.Cphase (normalize_angle (t1 +. t2)), ops))
+  | _, _ -> None
+
+let cancels a b =
+  match a, b with
+  | Gate.Unitary (u, ops), Gate.Unitary (v, ops') ->
+      ops = ops' && Gate.equal (Gate.Unitary (Gate.adjoint u, ops)) (Gate.Unitary (v, ops'))
+  | _, _ -> false
+
+let shares_qubit a b =
+  let qa = Gate.qubits a and qb = Gate.qubits b in
+  Array.exists (fun q -> Array.exists (( = ) q) qb) qa
+
+(* One sweep over the instruction array. For each instruction, find its
+   dependency successor (next instruction sharing a qubit); cancel or merge
+   when possible. Returns the new list and whether anything changed. *)
+let sweep instrs =
+  let arr = Array.of_list instrs in
+  let n = Array.length arr in
+  let removed = Array.make n false in
+  let removed_pairs = ref 0 and merged_rotations = ref 0 and dropped = ref 0 in
+  (* Drop identities first. *)
+  Array.iteri
+    (fun i instr ->
+      if is_droppable instr then begin
+        removed.(i) <- true;
+        incr dropped
+      end)
+    arr;
+  for i = 0 to n - 1 do
+    if not removed.(i) then begin
+      (* Find the next live instruction sharing a qubit with arr.(i). *)
+      let rec successor j =
+        if j >= n then None
+        else if (not removed.(j)) && shares_qubit arr.(i) arr.(j) then Some j
+        else successor (j + 1)
+      in
+      match successor (i + 1) with
+      | None -> ()
+      | Some j ->
+          if cancels arr.(i) arr.(j) then begin
+            removed.(i) <- true;
+            removed.(j) <- true;
+            incr removed_pairs
+          end
+          else begin
+            match merge arr.(i) arr.(j) with
+            | Some combined ->
+                removed.(i) <- true;
+                incr merged_rotations;
+                if is_droppable combined then begin
+                  removed.(j) <- true;
+                  incr dropped
+                end
+                else arr.(j) <- combined
+            | None -> ()
+          end
+    end
+  done;
+  let result = ref [] in
+  for i = n - 1 downto 0 do
+    if not removed.(i) then result := arr.(i) :: !result
+  done;
+  let stats =
+    {
+      removed_pairs = !removed_pairs;
+      merged_rotations = !merged_rotations;
+      dropped_identities = !dropped;
+    }
+  in
+  (!result, stats)
+
+let add_stats a b =
+  {
+    removed_pairs = a.removed_pairs + b.removed_pairs;
+    merged_rotations = a.merged_rotations + b.merged_rotations;
+    dropped_identities = a.dropped_identities + b.dropped_identities;
+  }
+
+let no_change s = s.removed_pairs = 0 && s.merged_rotations = 0 && s.dropped_identities = 0
+
+let run circuit =
+  let rec fixpoint instrs acc budget =
+    if budget = 0 then (instrs, acc)
+    else
+      let instrs', stats = sweep instrs in
+      if no_change stats then (instrs', acc)
+      else fixpoint instrs' (add_stats acc stats) (budget - 1)
+  in
+  let zero = { removed_pairs = 0; merged_rotations = 0; dropped_identities = 0 } in
+  let instrs, stats = fixpoint (Circuit.instructions circuit) zero 64 in
+  ( Circuit.of_list ~name:(Circuit.name circuit) (Circuit.qubit_count circuit) instrs,
+    stats )
+
+let run_circuit circuit = fst (run circuit)

@@ -1,0 +1,15 @@
+(** Peephole circuit optimisation: gate cancellation and rotation merging. *)
+
+type stats = {
+  removed_pairs : int;  (** Adjacent U, U-dagger pairs cancelled. *)
+  merged_rotations : int;  (** Same-axis rotation pairs folded into one. *)
+  dropped_identities : int;  (** I gates and ~0-angle rotations removed. *)
+}
+
+val run : Qca_circuit.Circuit.t -> Qca_circuit.Circuit.t * stats
+(** Iterate cancellation, merging and identity removal to a fixed point.
+    Cancellation only fires when two gates are adjacent in the dependency
+    order (no intervening instruction shares a qubit with them). *)
+
+val run_circuit : Qca_circuit.Circuit.t -> Qca_circuit.Circuit.t
+(** [run] without the statistics. *)

@@ -1,0 +1,1 @@
+lib/core/accelerator.mli:

@@ -1,0 +1,1 @@
+lib/core/characterize.ml: Array List Printf Qca_circuit Qca_qx Qca_util Rb

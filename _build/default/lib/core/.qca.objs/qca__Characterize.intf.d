@@ -1,0 +1,1 @@
+lib/core/characterize.mli: Qca_qx Qca_util

@@ -1,0 +1,1 @@
+lib/core/error_budget.ml: Array Float List Printf Qca_circuit Qca_compiler Qca_qx

@@ -1,0 +1,1 @@
+lib/core/error_budget.mli: Qca_circuit Qca_compiler

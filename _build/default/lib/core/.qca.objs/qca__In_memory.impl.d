@@ -1,0 +1,1 @@
+lib/core/in_memory.ml: List Qca_circuit Qca_compiler

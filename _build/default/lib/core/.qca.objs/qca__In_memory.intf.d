@@ -1,0 +1,1 @@
+lib/core/in_memory.mli: Qca_circuit Qca_compiler

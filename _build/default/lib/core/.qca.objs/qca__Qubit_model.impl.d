@@ -1,0 +1,1 @@
+lib/core/qubit_model.ml: Qca_compiler Qca_qx

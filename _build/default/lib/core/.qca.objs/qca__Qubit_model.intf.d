@@ -1,0 +1,1 @@
+lib/core/qubit_model.mli: Qca_compiler Qca_qx

@@ -1,0 +1,1 @@
+lib/core/rb.ml: Array Float Lazy List Printf Qca_circuit Qca_qx Qca_util

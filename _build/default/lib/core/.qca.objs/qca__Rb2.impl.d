@@ -1,0 +1,1 @@
+lib/core/rb2.ml: Array Buffer Float Hashtbl Lazy List Printf Qca_circuit Qca_qx Qca_util

@@ -1,0 +1,1 @@
+lib/core/rb2.mli: Qca_circuit Qca_qx Qca_util

@@ -1,0 +1,1 @@
+lib/core/shor.ml: List Qca_circuit Qca_qx Qca_util

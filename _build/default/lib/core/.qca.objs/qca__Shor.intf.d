@@ -1,0 +1,1 @@
+lib/core/shor.mli: Qca_util

@@ -1,0 +1,33 @@
+let check_fraction f = if f < 0.0 || f > 1.0 then invalid_arg "Amdahl: fraction in [0,1]"
+
+let speedup ~fraction ~factor =
+  check_fraction fraction;
+  if factor <= 0.0 then invalid_arg "Amdahl: factor must be positive";
+  1.0 /. (1.0 -. fraction +. (fraction /. factor))
+
+let speedup_with_overhead ~fraction ~factor ~overhead =
+  check_fraction fraction;
+  if overhead < 0.0 then invalid_arg "Amdahl: negative overhead";
+  1.0 /. (1.0 -. fraction +. (fraction /. factor) +. overhead)
+
+let multi_accelerator kernels =
+  let total_fraction = List.fold_left (fun acc (f, _) -> acc +. f) 0.0 kernels in
+  if total_fraction > 1.0 +. 1e-12 then invalid_arg "Amdahl: fractions exceed 1";
+  let accelerated =
+    List.fold_left
+      (fun acc (f, s) ->
+        check_fraction f;
+        if s <= 0.0 then invalid_arg "Amdahl: factor must be positive";
+        acc +. (f /. s))
+      0.0 kernels
+  in
+  1.0 /. (1.0 -. total_fraction +. accelerated)
+
+let limit ~fraction =
+  check_fraction fraction;
+  if fraction >= 1.0 then infinity else 1.0 /. (1.0 -. fraction)
+
+let break_even_factor ~fraction ~overhead =
+  check_fraction fraction;
+  (* speedup > 1 iff f/s + overhead < f iff s > f / (f - overhead) *)
+  if overhead >= fraction then infinity else fraction /. (fraction -. overhead)

@@ -1,0 +1,24 @@
+(** Amdahl's-law accelerator model (section 1): the formal justification for
+    offloading computational kernels to co-processors, quantum ones
+    included. *)
+
+val speedup : fraction:float -> factor:float -> float
+(** Classic Amdahl: overall speedup when [fraction] of the work accelerates
+    by [factor]. *)
+
+val speedup_with_overhead :
+  fraction:float -> factor:float -> overhead:float -> float
+(** Offload is never free: [overhead] is extra time (as a fraction of the
+    original total) spent shipping data to the accelerator. *)
+
+val multi_accelerator : (float * float) list -> float
+(** [multi_accelerator [(f1, s1); (f2, s2); ...]] generalises to disjoint
+    kernel fractions each with its own accelerator (fractions must sum to
+    at most 1). *)
+
+val limit : fraction:float -> float
+(** Asymptotic speedup for an infinitely fast accelerator: 1 / (1 - f). *)
+
+val break_even_factor : fraction:float -> overhead:float -> float
+(** Minimum accelerator factor for which offloading wins at all (speedup > 1);
+    [infinity] when the overhead already exceeds the accelerable work. *)

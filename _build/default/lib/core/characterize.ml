@@ -1,0 +1,56 @@
+module Gate = Qca_circuit.Gate
+module Circuit = Qca_circuit.Circuit
+module Sim = Qca_qx.Sim
+module Noise = Qca_qx.Noise
+module Rng = Qca_util.Rng
+
+type calibration = {
+  readout_error : float;
+  gate_error : float;
+  error_per_clifford : float;
+  shots_used : int;
+  model : Noise.model;
+}
+
+(* Prepare |0> (resp. |1>) and measure; the mismatch rates estimate readout
+   error (the |1> branch also absorbs the X gate's error, so average). *)
+let estimate_readout ~device ~rng ~shots =
+  let measure_zero = Circuit.of_list 1 [ Gate.Prep 0; Gate.Measure 0 ] in
+  let measure_one =
+    Circuit.of_list 1 [ Gate.Prep 0; Gate.Unitary (Gate.X, [| 0 |]); Gate.Measure 0 ]
+  in
+  let mismatch circuit expected =
+    let bad = ref 0 in
+    for _ = 1 to shots do
+      let result = Sim.run ~noise:device ~rng circuit in
+      if result.Sim.classical.(0) <> expected then incr bad
+    done;
+    float_of_int !bad /. float_of_int shots
+  in
+  (mismatch measure_zero 0 +. mismatch measure_one 1) /. 2.0
+
+let run ?(rb_lengths = [ 1; 2; 4; 8; 16; 32 ]) ?(sequences = 6) ?(shots = 128) ~device
+    ~rng () =
+  let readout_error = estimate_readout ~device ~rng ~shots in
+  let decay = Rb.run ~lengths:rb_lengths ~sequences ~shots ~noise:device ~rng () in
+  let per_gate = decay.Rb.error_per_clifford /. Rb.average_gate_count () in
+  let rb_shots = sequences * shots * List.length rb_lengths in
+  {
+    readout_error;
+    gate_error = per_gate;
+    error_per_clifford = decay.Rb.error_per_clifford;
+    shots_used = (2 * shots) + rb_shots;
+    model =
+      {
+        Noise.ideal with
+        Noise.single_qubit_error = per_gate;
+        two_qubit_error = 5.0 *. per_gate;
+        readout_error;
+        prep_error = readout_error /. 2.0;
+      };
+  }
+
+let to_string c =
+  Printf.sprintf
+    "readout %.4f, gate %.5f (per Clifford %.5f), from %d shots" c.readout_error
+    c.gate_error c.error_per_clifford c.shots_used

@@ -1,0 +1,32 @@
+(** Device characterisation: estimate an error model from experiments alone.
+
+    The paper's stack descriptions (and the Qiskit Ignis layer it surveys in
+    section 4.3) include a characterisation step: run known experiments on
+    the device, extract error parameters, and feed them back into the
+    compiler's platform configuration. This module closes that loop against
+    the QX "device": readout errors from prepare-and-measure statistics,
+    gate errors from randomised benchmarking — without ever reading the true
+    model, which the test suite then compares against. *)
+
+type calibration = {
+  readout_error : float;  (** From |0>/|1> prepare-measure asymmetry. *)
+  gate_error : float;  (** Per {H, S} generator, from the RB decay. *)
+  error_per_clifford : float;
+  shots_used : int;
+  model : Qca_qx.Noise.model;
+      (** A depolarising model built from the estimates, usable as a
+          platform error model. *)
+}
+
+val run :
+  ?rb_lengths:int list ->
+  ?sequences:int ->
+  ?shots:int ->
+  device:Qca_qx.Noise.model ->
+  rng:Qca_util.Rng.t ->
+  unit ->
+  calibration
+(** Characterise a (simulated) device. Defaults: RB lengths
+    [1; 2; 4; 8; 16; 32], 6 sequences, 128 shots per point. *)
+
+val to_string : calibration -> string

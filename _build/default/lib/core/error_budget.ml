@@ -1,0 +1,81 @@
+module Gate = Qca_circuit.Gate
+module Circuit = Qca_circuit.Circuit
+module Platform = Qca_compiler.Platform
+module Compiler = Qca_compiler.Compiler
+module Schedule = Qca_compiler.Schedule
+module Noise = Qca_qx.Noise
+
+type estimate = {
+  gate_survival : float;
+  decoherence_survival : float;
+  readout_survival : float;
+  total : float;
+  dominant : string;
+  makespan_ns : int;
+  gate_count : int;
+  measurement_count : int;
+}
+
+let of_schedule platform (schedule : Schedule.t) circuit =
+  let noise = platform.Platform.noise in
+  let gate_survival = ref 1.0 in
+  let measurement_count = ref 0 in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Gate.Unitary (u, ops) | Gate.Conditional (_, u, ops) ->
+          let p =
+            if Gate.arity u >= 2 then noise.Noise.two_qubit_error
+            else noise.Noise.single_qubit_error
+          in
+          gate_survival := !gate_survival *. ((1.0 -. p) ** float_of_int (Array.length ops))
+      | Gate.Measure _ -> incr measurement_count
+      | Gate.Prep _ -> gate_survival := !gate_survival *. (1.0 -. noise.Noise.prep_error)
+      | Gate.Barrier _ -> ())
+    (Circuit.instructions circuit);
+  let makespan_ns = schedule.Schedule.makespan * platform.Platform.cycle_ns in
+  let qubits_used = List.length (Circuit.qubits_used circuit) in
+  let decoherence_survival =
+    if noise.Noise.t1_ns = infinity && noise.Noise.t2_ns = infinity then 1.0
+    else begin
+      let t1_rate = if noise.Noise.t1_ns = infinity then 0.0 else 1.0 /. noise.Noise.t1_ns in
+      let t2_rate = if noise.Noise.t2_ns = infinity then 0.0 else 1.0 /. noise.Noise.t2_ns in
+      let phi_rate = Float.max 0.0 (t2_rate -. (t1_rate /. 2.0)) in
+      let per_qubit = exp (-.float_of_int makespan_ns *. (t1_rate +. phi_rate)) in
+      per_qubit ** float_of_int qubits_used
+    end
+  in
+  let readout_survival =
+    (1.0 -. noise.Noise.readout_error) ** float_of_int !measurement_count
+  in
+  let total = !gate_survival *. decoherence_survival *. readout_survival in
+  let dominant =
+    let worst = Float.min !gate_survival (Float.min decoherence_survival readout_survival) in
+    if worst = !gate_survival then "gate errors"
+    else if worst = decoherence_survival then "decoherence"
+    else "readout"
+  in
+  {
+    gate_survival = !gate_survival;
+    decoherence_survival;
+    readout_survival;
+    total;
+    dominant;
+    makespan_ns;
+    gate_count = Circuit.gate_count circuit;
+    measurement_count = !measurement_count;
+  }
+
+let of_output (output : Compiler.output) =
+  of_schedule output.Compiler.platform output.Compiler.schedule output.Compiler.physical
+
+let of_circuit ~platform circuit =
+  let schedule = Schedule.run platform circuit in
+  of_schedule platform schedule circuit
+
+let to_string e =
+  Printf.sprintf
+    "gates %.4f x decoherence %.4f x readout %.4f = %.4f  (dominant: %s; %d gates, %d \
+     measurements, %d ns)"
+    e.gate_survival e.decoherence_survival e.readout_survival e.total e.dominant
+    e.gate_count e.measurement_count e.makespan_ns

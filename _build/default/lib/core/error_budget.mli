@@ -1,0 +1,31 @@
+(** Analytic error budgeting for compiled circuits.
+
+    Sections 2.5-2.7 repeatedly ask which error source dominates a given
+    design (gate errors vs decoherence vs readout, and how routing makes all
+    three worse). This module produces the architect's first-order estimate
+    from a compiled circuit and its platform error model — validated against
+    full QX simulation in the test suite. *)
+
+type estimate = {
+  gate_survival : float;
+      (** Product of per-operand depolarising survival over all gates. *)
+  decoherence_survival : float;
+      (** exp(-T (1/T1 + 1/Tphi)) accumulated over each used qubit's
+          makespan exposure. *)
+  readout_survival : float;  (** (1 - p_readout)^measurements. *)
+  total : float;  (** Product of the three. *)
+  dominant : string;  (** Which factor costs the most fidelity. *)
+  makespan_ns : int;
+  gate_count : int;
+  measurement_count : int;
+}
+
+val of_output : Qca_compiler.Compiler.output -> estimate
+(** Estimate for a compiled circuit, using the platform noise model and the
+    schedule's makespan. *)
+
+val of_circuit :
+  platform:Qca_compiler.Platform.t -> Qca_circuit.Circuit.t -> estimate
+(** Convenience: schedule with platform timing, then estimate. *)
+
+val to_string : estimate -> string

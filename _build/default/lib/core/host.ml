@@ -1,0 +1,91 @@
+type task =
+  | Classical of string * float
+  | Offload of string * string * float * string
+
+type event = {
+  task_name : string;
+  resource : string;
+  start_time : float;
+  finish_time : float;
+  output : string option;
+}
+
+type execution = {
+  timeline : event list;
+  total_time : float;
+  host_only_time : float;
+  speedup : float;
+  outputs : (string * string) list;
+}
+
+let find_accelerator accelerators name =
+  match List.find_opt (fun a -> a.Accelerator.name = name) accelerators with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Host.run: unknown accelerator '%s'" name)
+
+let task_work = function Classical (_, w) | Offload (_, _, w, _) -> w
+
+let run ~accelerators tasks =
+  let clock = ref 0.0 in
+  let timeline = ref [] in
+  let outputs = ref [] in
+  List.iter
+    (fun task ->
+      match task with
+      | Classical (name, work) ->
+          if work < 0.0 then invalid_arg "Host.run: negative work";
+          let start = !clock in
+          clock := !clock +. work;
+          timeline :=
+            { task_name = name; resource = "host"; start_time = start; finish_time = !clock; output = None }
+            :: !timeline
+      | Offload (accel_name, kernel, work, arg) ->
+          if work < 0.0 then invalid_arg "Host.run: negative work";
+          let accel = find_accelerator accelerators accel_name in
+          let start = !clock in
+          let duration = accel.Accelerator.offload_overhead +. (work /. accel.Accelerator.speed_factor) in
+          clock := !clock +. duration;
+          let output = Accelerator.run_payload accel arg in
+          outputs := (kernel, output) :: !outputs;
+          timeline :=
+            {
+              task_name = kernel;
+              resource = accel_name;
+              start_time = start;
+              finish_time = !clock;
+              output = Some output;
+            }
+            :: !timeline)
+    tasks;
+  let host_only_time = List.fold_left (fun acc t -> acc +. task_work t) 0.0 tasks in
+  {
+    timeline = List.rev !timeline;
+    total_time = !clock;
+    host_only_time;
+    speedup = (if !clock > 0.0 then host_only_time /. !clock else 1.0);
+    outputs = List.rev !outputs;
+  }
+
+let amdahl_prediction ~accelerators tasks =
+  let total = List.fold_left (fun acc t -> acc +. task_work t) 0.0 tasks in
+  if total <= 0.0 then 1.0
+  else begin
+    (* Group offloaded fractions per accelerator, folding fixed overheads in
+       as extra time relative to the original total. *)
+    let classical =
+      List.fold_left
+        (fun acc t -> match t with Classical (_, w) -> acc +. w | Offload _ -> acc)
+        0.0 tasks
+    in
+    let accelerated_time =
+      List.fold_left
+        (fun acc t ->
+          match t with
+          | Classical _ -> acc
+          | Offload (name, _, w, _) ->
+              let a = find_accelerator accelerators name in
+              acc +. a.Accelerator.offload_overhead +. (w /. a.Accelerator.speed_factor))
+        0.0 tasks
+    in
+    total /. (classical +. accelerated_time)
+  end

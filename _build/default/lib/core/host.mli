@@ -1,0 +1,33 @@
+(** The classical host processor that "keeps control over the total system
+    and delegates the execution of certain parts to the available
+    accelerators" (section 1). *)
+
+type task =
+  | Classical of string * float  (** (name, work units) run on the host. *)
+  | Offload of string * string * float * string
+      (** (accelerator name, kernel name, work units, kernel argument). *)
+
+type event = {
+  task_name : string;
+  resource : string;  (** "host" or the accelerator name. *)
+  start_time : float;
+  finish_time : float;
+  output : string option;  (** Payload output for offloaded kernels. *)
+}
+
+type execution = {
+  timeline : event list;  (** In execution order. *)
+  total_time : float;
+  host_only_time : float;  (** Same workload with no accelerators. *)
+  speedup : float;
+  outputs : (string * string) list;  (** (kernel name, payload output). *)
+}
+
+val run : accelerators:Accelerator.t list -> task list -> execution
+(** Sequential offload model (matching Amdahl's assumptions): the host
+    blocks while an accelerator runs. Raises [Invalid_argument] for offloads
+    to unknown accelerators. *)
+
+val amdahl_prediction : accelerators:Accelerator.t list -> task list -> float
+(** The analytic speedup for the same workload via {!Amdahl.multi_accelerator}
+    (overheads folded in); tests check [run] against this. *)

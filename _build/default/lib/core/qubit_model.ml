@@ -1,0 +1,31 @@
+type t = Perfect | Realistic | Real
+
+let to_string = function
+  | Perfect -> "perfect"
+  | Realistic -> "realistic"
+  | Real -> "real"
+
+let description = function
+  | Perfect ->
+      "ideal qubits: no decoherence, no gate errors; algorithm logic can be \
+       verified functionally on the QX simulator"
+  | Realistic ->
+      "simulated qubits with configurable error models, coherence times and \
+       topology; used to study QEC, routing and error budgets"
+  | Real ->
+      "experimentally calibrated qubits executed through the \
+       micro-architecture with nanosecond timing"
+
+let compiler_mode = function
+  | Perfect -> Qca_compiler.Compiler.Perfect
+  | Realistic -> Qca_compiler.Compiler.Realistic
+  | Real -> Qca_compiler.Compiler.Real
+
+let noise model platform =
+  match model with
+  | Perfect -> Qca_qx.Noise.ideal
+  | Realistic | Real -> platform.Qca_compiler.Platform.noise
+
+let respects_connectivity = function Perfect -> false | Realistic | Real -> true
+
+let all = [ Perfect; Realistic; Real ]

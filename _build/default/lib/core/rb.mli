@@ -1,0 +1,67 @@
+(** Single-qubit randomised benchmarking (section 3.1): the experimental
+    workload the superconducting full stack was demonstrated on.
+
+    Random Clifford sequences of increasing length are closed with the
+    recovery Clifford and measured; the survival probability decays as
+    0.5 + A p^m, and the error per Clifford is (1 - p) / 2. *)
+
+type clifford
+(** One of the 24 single-qubit Clifford group elements. *)
+
+val group : unit -> clifford array
+(** The full group, built by closing {H, S} products and deduplicating
+    matrices up to global phase. *)
+
+val gates : clifford -> Qca_circuit.Gate.unitary list
+(** A gate realisation of the element. *)
+
+val inverse : clifford -> clifford
+(** Group inverse (table lookup). *)
+
+val average_gate_count : unit -> float
+(** Mean {H, S} generator count per group element in this presentation —
+    converts error-per-Clifford into error-per-gate. *)
+
+val sequence_circuit : Qca_util.Rng.t -> qubit:int -> total_qubits:int -> length:int -> Qca_circuit.Circuit.t
+(** [length] random Cliffords followed by the recovery element and a
+    measurement on [qubit]. *)
+
+type point = { sequence_length : int; survival : float; sequences : int; shots_each : int }
+
+type decay = {
+  points : point list;
+  amplitude : float;  (** Fitted A. *)
+  p : float;  (** Depolarising parameter per Clifford. *)
+  error_per_clifford : float;  (** (1 - p) / 2. *)
+}
+
+val run :
+  ?lengths:int list ->
+  ?sequences:int ->
+  ?shots:int ->
+  noise:Qca_qx.Noise.model ->
+  rng:Qca_util.Rng.t ->
+  unit ->
+  decay
+(** Full RB experiment on one qubit under the given error model.
+    Defaults: lengths [1; 2; 4; 8; 16; 32], 8 sequences, 64 shots. *)
+
+type interleaved = {
+  reference : decay;  (** Plain RB. *)
+  interleaved : decay;  (** Sequences with the target gate after each Clifford. *)
+  gate_error : float;  (** (1 - p_int / p_ref) / 2: the target gate's error. *)
+}
+
+val run_interleaved :
+  ?lengths:int list ->
+  ?sequences:int ->
+  ?shots:int ->
+  gate:Qca_circuit.Gate.unitary ->
+  noise:Qca_qx.Noise.model ->
+  rng:Qca_util.Rng.t ->
+  unit ->
+  interleaved
+(** Interleaved randomised benchmarking: isolates the error of one specific
+    Clifford gate by comparing the decay of interleaved sequences against
+    the reference decay. Raises [Invalid_argument] for non-Clifford gates
+    (the recovery element would not exist in the group). *)

@@ -1,0 +1,174 @@
+module State = Qca_qx.State
+module Gate = Qca_circuit.Gate
+module Rng = Qca_util.Rng
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let mod_pow a k n =
+  assert (k >= 0 && n > 0);
+  let rec go base k acc =
+    if k = 0 then acc
+    else
+      let acc = if k land 1 = 1 then acc * base mod n else acc in
+      go (base * base mod n) (k lsr 1) acc
+  in
+  go (a mod n) k 1
+
+let continued_fraction_denominator ~numerator ~denominator ~limit =
+  (* Convergent denominators q_k of numerator/denominator. *)
+  let rec expand num den acc =
+    if den = 0 then List.rev acc
+    else expand den (num mod den) ((num / den) :: acc)
+  in
+  let coefficients = expand numerator denominator [] in
+  (* q_0 = 1 (the integer part a_0 has denominator 1); thereafter
+     q_k = a_k q_{k-1} + q_{k-2}. *)
+  let rec convergents coeffs q_prev q_prev2 acc =
+    match coeffs with
+    | [] -> List.rev acc
+    | a :: rest ->
+        let q = (a * q_prev) + q_prev2 in
+        if q > limit then List.rev acc else convergents rest q q_prev (q :: acc)
+  in
+  match coefficients with
+  | [] -> []
+  | _a0 :: rest -> convergents rest 1 0 [ 1 ]
+
+let classical_order a n =
+  if gcd a n <> 1 then invalid_arg "Shor.classical_order: gcd(a, n) <> 1";
+  let rec go r value = if value = 1 then r else go (r + 1) (value * a mod n) in
+  go 1 (a mod n)
+
+type order_result = {
+  order : int option;
+  measured_phase : int;
+  counting_qubits : int;
+  work_qubits : int;
+  attempts : int;
+}
+
+let bits_needed n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  go 1
+
+(* One phase-estimation run; returns the measured counting value. *)
+let phase_estimation rng ~a ~modulus ~counting ~work =
+  let total = counting + work in
+  let state = State.create total in
+  (* counting register: qubits 0 .. counting-1; work: counting .. total-1 *)
+  for q = 0 to counting - 1 do
+    State.apply state Gate.H [| q |]
+  done;
+  (* work register starts in |1> *)
+  State.apply state Gate.X [| counting |];
+  let work_mask = ((1 lsl work) - 1) lsl counting in
+  let multiply_by m basis =
+    let w = (basis land work_mask) lsr counting in
+    if w >= modulus then basis (* values outside Z_N are fixed points *)
+    else begin
+      let w' = w * m mod modulus in
+      (basis land lnot work_mask) lor (w' lsl counting)
+    end
+  in
+  for k = 0 to counting - 1 do
+    let m = mod_pow a (1 lsl k) modulus in
+    State.apply_controlled_permutation state ~control:k (multiply_by m)
+  done;
+  (* inverse QFT on the counting register (little-endian convention of
+     Library.qft, restricted to the first [counting] qubits) *)
+  let iqft = Qca_circuit.Circuit.inverse (Qca_circuit.Library.qft counting) in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Gate.Unitary (u, ops) -> State.apply state u ops
+      | Gate.Conditional _ | Gate.Prep _ | Gate.Measure _ | Gate.Barrier _ -> ())
+    (Qca_circuit.Circuit.instructions iqft);
+  (* measure the counting register *)
+  let result = ref 0 in
+  for q = 0 to counting - 1 do
+    if State.measure state rng q = 1 then result := !result lor (1 lsl q)
+  done;
+  !result
+
+let find_order ?(max_attempts = 10) ~rng ~a ~modulus () =
+  if modulus < 3 then invalid_arg "Shor.find_order: modulus too small";
+  if gcd a modulus <> 1 then invalid_arg "Shor.find_order: gcd(a, modulus) <> 1";
+  let work = bits_needed modulus in
+  let counting = 2 * work in
+  if counting + work > 22 then invalid_arg "Shor.find_order: register too large to simulate";
+  let dim = 1 lsl counting in
+  let rec attempt k last_phase =
+    if k > max_attempts then
+      {
+        order = None;
+        measured_phase = last_phase;
+        counting_qubits = counting;
+        work_qubits = work;
+        attempts = k - 1;
+      }
+    else begin
+      let phase = phase_estimation rng ~a ~modulus ~counting ~work in
+      if phase = 0 then attempt (k + 1) phase
+      else begin
+        let candidates =
+          continued_fraction_denominator ~numerator:phase ~denominator:dim ~limit:modulus
+        in
+        (* accept the first candidate (or small multiple) that is a real order *)
+        let verified =
+          List.find_map
+            (fun r ->
+              List.find_map
+                (fun mult ->
+                  let candidate = r * mult in
+                  if candidate > 0 && candidate < modulus && mod_pow a candidate modulus = 1
+                  then Some candidate
+                  else None)
+                [ 1; 2; 3; 4 ])
+            candidates
+        in
+        match verified with
+        | Some r ->
+            {
+              order = Some r;
+              measured_phase = phase;
+              counting_qubits = counting;
+              work_qubits = work;
+              attempts = k;
+            }
+        | None -> attempt (k + 1) phase
+      end
+    end
+  in
+  attempt 1 0
+
+type factor_result = { factors : (int * int) option; a_used : int; order_runs : int }
+
+let factor ?(max_rounds = 8) ~rng n =
+  if n < 4 then invalid_arg "Shor.factor: n too small";
+  if n mod 2 = 0 then invalid_arg "Shor.factor: n must be odd (trivial factor 2)";
+  let total_runs = ref 0 in
+  let rec round k =
+    if k > max_rounds then { factors = None; a_used = 0; order_runs = !total_runs }
+    else begin
+      let a = 2 + Rng.int rng (n - 3) in
+      let g = gcd a n in
+      if g > 1 then { factors = Some (g, n / g); a_used = a; order_runs = !total_runs }
+      else begin
+        let result = find_order ~rng ~a ~modulus:n () in
+        total_runs := !total_runs + result.attempts;
+        match result.order with
+        | Some r when r mod 2 = 0 ->
+            let half = mod_pow a (r / 2) n in
+            if half <> n - 1 then begin
+              let f1 = gcd (half + 1) n and f2 = gcd (half - 1) n in
+              let candidate = if f1 > 1 && f1 < n then Some f1 else if f2 > 1 && f2 < n then Some f2 else None in
+              match candidate with
+              | Some f -> { factors = Some (f, n / f); a_used = a; order_runs = !total_runs }
+              | None -> round (k + 1)
+            end
+            else round (k + 1)
+        | Some _ | None -> round (k + 1)
+      end
+    end
+  in
+  round 1

@@ -1,0 +1,47 @@
+(** Shor's algorithm: order finding by quantum phase estimation and integer
+    factoring — the cryptography application of section 2.3 ("a quantum
+    computer can break any RSA-based encryption").
+
+    The modular-exponentiation unitary is executed as a basis permutation
+    (a classical reversible circuit from the simulator's viewpoint), with
+    the counting register processed by an inverse QFT. Sizes up to N ~ 32
+    simulate comfortably (2 log2 N counting + log2 N work qubits). *)
+
+val gcd : int -> int -> int
+val mod_pow : int -> int -> int -> int
+(** [mod_pow a k n] = a^k mod n (k >= 0). *)
+
+val continued_fraction_denominator : numerator:int -> denominator:int -> limit:int -> int list
+(** Convergent denominators of numerator/denominator up to [limit] — the
+    classical post-processing of the measured phase. *)
+
+val classical_order : int -> int -> int
+(** [classical_order a n]: smallest r > 0 with a^r = 1 (mod n); requires
+    gcd(a, n) = 1. The reference the quantum result is checked against. *)
+
+type order_result = {
+  order : int option;  (** Verified multiplicative order, when recovered. *)
+  measured_phase : int;  (** Raw counting-register measurement. *)
+  counting_qubits : int;
+  work_qubits : int;
+  attempts : int;  (** Phase-estimation runs used. *)
+}
+
+val find_order :
+  ?max_attempts:int -> rng:Qca_util.Rng.t -> a:int -> modulus:int -> unit -> order_result
+(** Quantum order finding: 2 log2 N counting qubits, phase estimation over
+    controlled multiply-by-a permutations, inverse QFT, continued
+    fractions; retries until a verified order emerges (default 10 attempts).
+    Raises [Invalid_argument] when gcd(a, modulus) <> 1 or the register
+    would exceed the simulator's range. *)
+
+type factor_result = {
+  factors : (int * int) option;
+  a_used : int;
+  order_runs : int;  (** Total phase-estimation invocations. *)
+}
+
+val factor : ?max_rounds:int -> rng:Qca_util.Rng.t -> int -> factor_result
+(** Full Shor: random base, quantum order finding, even-order + square-root
+    extraction. [None] when every round failed (rare for small semiprimes).
+    Raises on even, prime-power-free trivial inputs (n < 4 or even n). *)

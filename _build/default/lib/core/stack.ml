@@ -1,0 +1,116 @@
+module Platform = Qca_compiler.Platform
+module Compiler = Qca_compiler.Compiler
+module Controller = Qca_microarch.Controller
+module Circuit = Qca_circuit.Circuit
+module Rng = Qca_util.Rng
+module Sim = Qca_qx.Sim
+
+type t = {
+  stack_name : string;
+  platform : Platform.t;
+  model : Qubit_model.t;
+  technology : Controller.technology option;
+}
+
+let superconducting () =
+  {
+    stack_name = "superconducting-full-stack";
+    platform = Platform.superconducting_17;
+    model = Qubit_model.Real;
+    technology = Some Controller.superconducting;
+  }
+
+let semiconducting () =
+  {
+    stack_name = "semiconducting-full-stack";
+    platform = Platform.semiconducting_4;
+    model = Qubit_model.Real;
+    technology = Some Controller.semiconducting;
+  }
+
+let genome ?(qubits = 12) () =
+  {
+    stack_name = "genome-sequencing-accelerator";
+    platform = Platform.perfect qubits;
+    model = Qubit_model.Perfect;
+    technology = None;
+  }
+
+let optimisation ?(qubits = 16) () =
+  {
+    stack_name = "hybrid-optimisation-accelerator";
+    platform = Platform.perfect qubits;
+    model = Qubit_model.Perfect;
+    technology = None;
+  }
+
+let realistic_of stack =
+  (* A perfect platform carries an ideal error model; realistic execution
+     needs a real one, so fall back to the transmon defaults. *)
+  let platform =
+    if Qca_qx.Noise.is_ideal stack.platform.Platform.noise then
+      { stack.platform with Platform.noise = Qca_qx.Noise.superconducting }
+    else stack.platform
+  in
+  {
+    stack with
+    platform;
+    model = Qubit_model.Realistic;
+    stack_name = stack.stack_name ^ "-realistic";
+  }
+
+type run = {
+  compiled : Compiler.output;
+  histogram : (string * int) list;
+  microarch_stats : Controller.run_stats option;
+}
+
+let bitstring classical =
+  let n = Array.length classical in
+  String.init n (fun i ->
+      match classical.(n - 1 - i) with
+      | -1 -> '-'
+      | 0 -> '0'
+      | 1 -> '1'
+      | _ -> assert false)
+
+let execute ?(shots = 512) ?rng stack circuit =
+  let rng = match rng with Some r -> r | None -> Rng.create 0xACCE1 in
+  let mode = Qubit_model.compiler_mode stack.model in
+  let compiled = Compiler.compile stack.platform mode circuit in
+  let noise = Qubit_model.noise stack.model stack.platform in
+  match stack.technology, compiled.Compiler.eqasm with
+  | Some technology, Some program ->
+      (* Execute every shot through the micro-architecture. *)
+      let table = Hashtbl.create 32 in
+      let last_stats = ref None in
+      for _ = 1 to shots do
+        let result = Controller.run ~noise ~rng technology program in
+        last_stats := Some result.Controller.stats;
+        let key = bitstring result.Controller.outcome.Sim.classical in
+        Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+      done;
+      let histogram =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+        |> List.sort (fun (_, a) (_, b) -> compare b a)
+      in
+      { compiled; histogram; microarch_stats = !last_stats }
+  | None, _ | _, None ->
+      let histogram = Compiler.execute ~shots ~rng compiled in
+      { compiled; histogram; microarch_stats = None }
+
+let success_probability run ~accept =
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 run.histogram in
+  let hits =
+    List.fold_left (fun acc (key, c) -> if accept key then acc + c else acc) 0 run.histogram
+  in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+let describe stack =
+  Printf.sprintf "%s: platform=%s qubits=%s model=%s microarch=%s" stack.stack_name
+    stack.platform.Platform.name
+    (string_of_int stack.platform.Platform.qubit_count)
+    (Qubit_model.to_string stack.model)
+    (match stack.technology with
+    | Some t -> t.Controller.tech_name
+    | None -> "direct-qx")

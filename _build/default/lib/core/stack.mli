@@ -1,0 +1,46 @@
+(** The three full-stack accelerator instances of section 3, with one
+    uniform execution path: OpenQL-style compile, cQASM, then either direct
+    QX execution (perfect qubits) or eQASM through the cycle-accurate
+    micro-architecture driving QX (real/realistic qubits). *)
+
+type t = {
+  stack_name : string;
+  platform : Qca_compiler.Platform.t;
+  model : Qubit_model.t;
+  technology : Qca_microarch.Controller.technology option;
+      (** Micro-architecture configuration; required for Real stacks. *)
+}
+
+val superconducting : unit -> t
+(** Section 3.1: real superconducting qubits on the 17-qubit platform,
+    executed through the micro-architecture. *)
+
+val semiconducting : unit -> t
+(** Section 3.1's retargeting partner: the same micro-architecture with the
+    semiconducting configuration file and micro-code table. *)
+
+val genome : ?qubits:int -> unit -> t
+(** Section 3.2: quantum genome sequencing on perfect qubits (default 12). *)
+
+val optimisation : ?qubits:int -> unit -> t
+(** Section 3.3: hybrid optimisation on perfect qubits (default 16 — the
+    four-city TSP QUBO). *)
+
+val realistic_of : t -> t
+(** The same stack with realistic (simulated, noisy) qubits — Figure 2's
+    third dimension. *)
+
+type run = {
+  compiled : Qca_compiler.Compiler.output;
+  histogram : (string * int) list;
+  microarch_stats : Qca_microarch.Controller.run_stats option;
+}
+
+val execute :
+  ?shots:int -> ?rng:Qca_util.Rng.t -> t -> Qca_circuit.Circuit.t -> run
+(** Push a circuit through the whole stack. Default 512 shots. *)
+
+val success_probability : run -> accept:(string -> bool) -> float
+(** Fraction of histogram mass on accepted bitstrings. *)
+
+val describe : t -> string

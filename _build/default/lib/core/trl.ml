@@ -1,0 +1,47 @@
+type track = Accelerator_logic | Quantum_chip
+
+(* Logistic curves calibrated to the paper's qualitative picture (published
+   2019): accelerator logic maturing on simulators roughly a decade before
+   manufactured chips, both starting from lab-level TRL ~2-3 around 2019 and
+   the paper's "research still needed for at least a decade". *)
+let parameters = function
+  | Accelerator_logic -> (2026.0, 0.45) (* midpoint year, steepness *)
+  | Quantum_chip -> (2033.0, 0.35)
+
+let trl track ~year =
+  let midpoint, steepness = parameters track in
+  let raw = 1.0 +. (8.0 /. (1.0 +. exp (-.steepness *. (year -. midpoint)))) in
+  Float.max 1.0 (Float.min 9.0 raw)
+
+let adoption_threshold = 8.0
+
+let year_reaching track ~level =
+  if level <= 1.0 || level >= 9.0 then invalid_arg "Trl.year_reaching: level in (1, 9)";
+  let midpoint, steepness = parameters track in
+  (* level = 1 + 8 / (1 + e^{-s (y - m)}) *)
+  midpoint -. (log ((8.0 /. (level -. 1.0)) -. 1.0) /. steepness)
+
+type phase = Reflection | Prototyping | Implementation | Converged
+
+let phase_of ~year =
+  let a = trl Accelerator_logic ~year in
+  let c = trl Quantum_chip ~year in
+  if c >= adoption_threshold then Converged
+  else if a >= adoption_threshold then Implementation
+  else if a >= 4.0 then Prototyping
+  else Reflection
+
+let phase_to_string = function
+  | Reflection -> "I: reflection on the concrete need"
+  | Prototyping -> "II: logic in OpenQL, prototyping on QX"
+  | Implementation -> "III: accelerator implementation"
+  | Converged -> "converged: experimental and simulated stacks merge"
+
+let table ~first_year ~last_year =
+  assert (last_year >= first_year);
+  List.init
+    (last_year - first_year + 1)
+    (fun k ->
+      let year = first_year + k in
+      let y = float_of_int year in
+      (year, trl Accelerator_logic ~year:y, trl Quantum_chip ~year:y, phase_of ~year:y))

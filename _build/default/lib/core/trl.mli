@@ -1,0 +1,31 @@
+(** Figure 10's development-time-frame projection: Technology Readiness
+    Level trajectories for the two tracks (quantum-accelerator logic on
+    simulators vs. quantum-chip manufacturing), with the phase boundaries
+    I-III the paper draws as vertical lines. *)
+
+type track =
+  | Accelerator_logic  (** Top curve: applications on perfect qubits / QX. *)
+  | Quantum_chip  (** Bottom curve: experimental hardware. *)
+
+val trl : track -> year:float -> float
+(** Logistic TRL trajectory clamped to [1, 9]. The accelerator track crosses
+    TRL 8 (the paper's adoption threshold) years before the chip track. *)
+
+val adoption_threshold : float
+(** TRL 8, "high enough for commercial interest". *)
+
+val year_reaching : track -> level:float -> float
+(** Inverse of {!trl} (level strictly between 1 and 9). *)
+
+type phase =
+  | Reflection  (** Phase I: identify the concrete need. *)
+  | Prototyping  (** Phase II: express logic in OpenQL, run on QX. *)
+  | Implementation  (** Phase III: build and execute the accelerator. *)
+  | Converged  (** Both tracks mature; stacks merge (Figure 10b). *)
+
+val phase_of : year:float -> phase
+val phase_to_string : phase -> string
+
+val table : first_year:int -> last_year:int -> (int * float * float * phase) list
+(** (year, accelerator TRL, chip TRL, phase) rows — the data behind both
+    panels of Figure 10. *)

@@ -1,0 +1,1 @@
+lib/genome/align.ml: Classical_align Dna Float Grover List Qca_util Reference_db

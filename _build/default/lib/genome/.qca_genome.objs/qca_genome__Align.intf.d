@@ -1,0 +1,1 @@
+lib/genome/align.mli: Classical_align Dna Grover Qca_util Reference_db

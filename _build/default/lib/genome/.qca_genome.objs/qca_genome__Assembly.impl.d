@@ -1,0 +1,1 @@
+lib/genome/assembly.ml: Array Buffer Dna Float Fun List Printf Qca_anneal Qca_tsp Qca_util String

@@ -1,0 +1,1 @@
+lib/genome/assembly.mli: Dna Qca_anneal Qca_util

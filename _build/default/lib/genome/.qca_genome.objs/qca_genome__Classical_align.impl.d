@@ -1,0 +1,1 @@
+lib/genome/classical_align.ml: Dna Reference_db

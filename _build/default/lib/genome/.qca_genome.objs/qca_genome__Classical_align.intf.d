@@ -1,0 +1,1 @@
+lib/genome/classical_align.mli: Dna Reference_db

@@ -1,0 +1,1 @@
+lib/genome/dna.ml: Array Hashtbl List Option Printf Qca_util String

@@ -1,0 +1,1 @@
+lib/genome/dna.mli: Qca_util

@@ -1,0 +1,1 @@
+lib/genome/grover.ml: Array Float Fun List Qca_circuit Qca_qx Qca_util

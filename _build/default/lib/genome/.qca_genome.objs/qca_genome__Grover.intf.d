@@ -1,0 +1,1 @@
+lib/genome/grover.mli: Qca_circuit Qca_util

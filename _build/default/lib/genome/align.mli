@@ -1,0 +1,45 @@
+(** The quantum read-alignment pipeline of section 3.2 / Figure 7.
+
+    Combines the sliced reference database (quantum associative memory view)
+    with Grover amplification: the oracle marks database indices whose entry
+    approximately matches the read, and measuring the amplified index
+    register returns the alignment position. Read errors are handled by
+    widening the Hamming tolerance until the oracle marks something
+    ("approximate optimal matching"). *)
+
+type report = {
+  position : int;  (** Aligned offset in the reference. *)
+  distance : int;  (** Hamming distance at that offset. *)
+  tolerance_used : int;  (** Final Hamming tolerance of the oracle. *)
+  grover : Grover.outcome;
+  classical : Classical_align.stats;  (** Baseline scan on the same input. *)
+  speedup_queries : float;
+      (** Expected classical comparisons over Grover oracle queries. *)
+}
+
+val align :
+  ?max_tolerance:int ->
+  rng:Qca_util.Rng.t ->
+  Reference_db.t ->
+  Dna.t ->
+  report
+(** Align one read. Raises [Invalid_argument] when the read width differs
+    from the database width. *)
+
+val align_many :
+  ?max_tolerance:int ->
+  rng:Qca_util.Rng.t ->
+  Reference_db.t ->
+  Dna.t list ->
+  report list * float
+(** Batch alignment; also returns the fraction of reads whose measured
+    position is a true best match. *)
+
+val qubit_budget : Reference_db.t -> int
+(** Index + content qubits for the associative-memory encoding — the
+    resource the paper's ~150-logical-qubit estimate is about. *)
+
+val human_genome_logical_qubit_estimate : unit -> int
+(** The paper's own estimate (~150 logical qubits) recomputed from the human
+    genome size (3.1 Gbp): index qubits for 2 * 3.1e9 positions + 2 bits per
+    base for a 50 bp short read. *)

@@ -1,0 +1,173 @@
+module Rng = Qca_util.Rng
+
+let overlap a b =
+  let la = Dna.length a and lb = Dna.length b in
+  let max_k = min la lb in
+  (* longest k such that a's suffix of length k equals b's prefix *)
+  let matches k =
+    let rec go i = i = k || (a.(la - k + i) = b.(i) && go (i + 1)) in
+    go 0
+  in
+  let rec search k = if k = 0 then 0 else if matches k then k else search (k - 1) in
+  search max_k
+
+let overlap_matrix reads =
+  let n = Array.length reads in
+  Array.init n (fun i ->
+      Array.init n (fun j -> if i = j then 0 else overlap reads.(i) reads.(j)))
+
+let superstring reads order =
+  let n = Array.length order in
+  assert (n > 0);
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (Dna.to_string reads.(order.(0)));
+  for k = 1 to n - 1 do
+    let prev = reads.(order.(k - 1)) and next = reads.(order.(k)) in
+    let o = overlap prev next in
+    let s = Dna.to_string next in
+    Buffer.add_string buffer (String.sub s o (String.length s - o))
+  done;
+  Dna.of_string (Buffer.contents buffer)
+
+type result = { order : int array; assembled : Dna.t; total_overlap : int }
+
+let path_overlap m order =
+  let acc = ref 0 in
+  for k = 1 to Array.length order - 1 do
+    acc := !acc + m.(order.(k - 1)).(order.(k))
+  done;
+  !acc
+
+let result_of_order reads m order =
+  { order; assembled = superstring reads order; total_overlap = path_overlap m order }
+
+let greedy reads =
+  let n = Array.length reads in
+  if n = 0 then invalid_arg "Assembly.greedy: no reads";
+  let m = overlap_matrix reads in
+  (* chains: each read starts as its own chain; repeatedly join the pair of
+     chain-ends with the biggest overlap. *)
+  let next = Array.make n (-1) and prev = Array.make n (-1) in
+  let chain_of = Array.init n Fun.id in
+  (* chain_of.(i) = representative (head) of i's chain *)
+  let rec head i = if chain_of.(i) = i then i else head chain_of.(i) in
+  let joined = ref 0 in
+  while !joined < n - 1 do
+    (* best (tail i, head j) with distinct chains *)
+    let best = ref None in
+    for i = 0 to n - 1 do
+      if next.(i) = -1 then
+        for j = 0 to n - 1 do
+          if prev.(j) = -1 && i <> j && head i <> head j then begin
+            match !best with
+            | Some (_, _, o) when o >= m.(i).(j) -> ()
+            | Some _ | None -> best := Some (i, j, m.(i).(j))
+          end
+        done
+    done;
+    match !best with
+    | None -> joined := n - 1 (* disconnected; stop *)
+    | Some (i, j, _) ->
+        next.(i) <- j;
+        prev.(j) <- i;
+        chain_of.(head j) <- head i;
+        incr joined
+  done;
+  (* collect the chain(s) head-first; concatenate leftover chains in order *)
+  let order = ref [] in
+  for start = n - 1 downto 0 do
+    if prev.(start) = -1 then begin
+      let rec walk i acc = if i = -1 then acc else walk next.(i) (i :: acc) in
+      order := List.rev (walk start []) @ !order
+    end
+  done;
+  result_of_order reads m (Array.of_list !order)
+
+(* Held-Karp for max-overlap Hamiltonian path. *)
+let exact reads =
+  let n = Array.length reads in
+  if n = 0 then invalid_arg "Assembly.exact: no reads";
+  if n > 15 then invalid_arg "Assembly.exact: too many reads";
+  let m = overlap_matrix reads in
+  let full = 1 lsl n in
+  let dp = Array.make_matrix full n min_int in
+  let parent = Array.make_matrix full n (-1) in
+  for s = 0 to n - 1 do
+    dp.(1 lsl s).(s) <- 0
+  done;
+  for mask = 1 to full - 1 do
+    for last = 0 to n - 1 do
+      if mask land (1 lsl last) <> 0 && dp.(mask).(last) > min_int then
+        for nxt = 0 to n - 1 do
+          if mask land (1 lsl nxt) = 0 then begin
+            let mask' = mask lor (1 lsl nxt) in
+            let value = dp.(mask).(last) + m.(last).(nxt) in
+            if value > dp.(mask').(nxt) then begin
+              dp.(mask').(nxt) <- value;
+              parent.(mask').(nxt) <- last
+            end
+          end
+        done
+    done
+  done;
+  let all = full - 1 in
+  let best_last = ref 0 in
+  for last = 1 to n - 1 do
+    if dp.(all).(last) > dp.(all).(!best_last) then best_last := last
+  done;
+  let order = Array.make n 0 in
+  let rec walk mask last k =
+    order.(k) <- last;
+    if k > 0 then walk (mask lxor (1 lsl last)) parent.(mask).(last) (k - 1)
+  in
+  walk all !best_last (n - 1);
+  result_of_order reads m order
+
+let qubits_needed n = (n + 1) * (n + 1)
+
+(* Encode max-overlap Hamiltonian path as a TSP over reads plus a zero-cost
+   depot: cost(i, j) = max_overlap - overlap(i, j) makes short superstrings
+   cheap tours; depot edges cost 0 so the cycle constraint does not distort
+   the path. *)
+let anneal ?params ~rng reads =
+  let n = Array.length reads in
+  if n < 2 then invalid_arg "Assembly.anneal: need at least two reads";
+  let m = overlap_matrix reads in
+  let max_o =
+    Array.fold_left (fun acc row -> Array.fold_left max acc row) 1 m
+  in
+  let cities = Array.init (n + 1) (fun i -> if i = n then "depot" else Printf.sprintf "r%d" i) in
+  let distance =
+    Array.init (n + 1) (fun i ->
+        Array.init (n + 1) (fun j ->
+            if i = j then 0.0
+            else if i = n || j = n then 0.0
+            else
+              (* symmetrise: our Tsp type is symmetric, so use the better of
+                 the two directions (the decoder re-orients greedily) *)
+              float_of_int (max_o - max m.(i).(j) m.(j).(i))))
+  in
+  let tsp = Qca_tsp.Tsp.make ~name:"assembly" ~cities ~distance in
+  let q = Qca_tsp.Encode.to_qubo tsp in
+  let bits, _ = Qca_anneal.Sa.minimize_qubo ?params ~rng q in
+  let tour = Qca_tsp.Encode.decode_with_repair tsp bits in
+  (* cut the cycle at the depot to recover the path *)
+  let depot_pos =
+    let rec find i = if tour.(i) = n then i else find (i + 1) in
+    find 0
+  in
+  let path = Array.init n (fun k -> tour.((depot_pos + 1 + k) mod (n + 1))) in
+  (* orient the path by total overlap *)
+  let reversed = Array.init n (fun k -> path.(n - 1 - k)) in
+  let choose = if path_overlap m path >= path_overlap m reversed then path else reversed in
+  result_of_order reads m choose
+
+let shotgun rng ~reference ~read_length ~coverage =
+  let ref_len = Dna.length reference in
+  if read_length > ref_len then invalid_arg "Assembly.shotgun: reads longer than reference";
+  let count =
+    max 2 (int_of_float (Float.round (coverage *. float_of_int ref_len /. float_of_int read_length)))
+  in
+  Array.init count (fun _ ->
+      let pos = Rng.int rng (ref_len - read_length + 1) in
+      Dna.subsequence reference ~pos ~len:read_length)

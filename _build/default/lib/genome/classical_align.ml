@@ -1,0 +1,27 @@
+type stats = { index : int; distance : int; comparisons : int }
+
+let linear_scan db read =
+  let best_i = ref 0 and best_d = ref max_int in
+  let n = Reference_db.size db in
+  for i = 0 to n - 1 do
+    let d = Dna.hamming (Reference_db.entry db i) read in
+    if d < !best_d then begin
+      best_d := d;
+      best_i := i
+    end
+  done;
+  { index = !best_i; distance = !best_d; comparisons = n }
+
+let early_exit_scan ?(max_distance = 0) db read =
+  let n = Reference_db.size db in
+  let rec scan i best_i best_d =
+    if i = n then { index = best_i; distance = best_d; comparisons = n }
+    else
+      let d = Dna.hamming (Reference_db.entry db i) read in
+      if d <= max_distance then { index = i; distance = d; comparisons = i + 1 }
+      else if d < best_d then scan (i + 1) i d
+      else scan (i + 1) best_i best_d
+  in
+  scan 0 0 max_int
+
+let expected_queries_classical n = float_of_int (n + 1) /. 2.0

@@ -1,0 +1,20 @@
+(** Classical read-alignment baselines: what the GPU/FPGA/Hadoop pipelines
+    of section 2.3 fundamentally do per read — scan the reference. *)
+
+type stats = {
+  index : int;  (** Best-match offset. *)
+  distance : int;
+  comparisons : int;  (** Window comparisons performed (the query-count
+                          currency for the Grover speedup comparison). *)
+}
+
+val linear_scan : Reference_db.t -> Dna.t -> stats
+(** Full scan, tracking the best match. *)
+
+val early_exit_scan : ?max_distance:int -> Reference_db.t -> Dna.t -> stats
+(** Stop at the first window within [max_distance] (default 0); falls back
+    to the full-scan best when nothing qualifies. *)
+
+val expected_queries_classical : int -> float
+(** Average comparisons for unstructured search with a single match:
+    (N + 1) / 2. *)

@@ -1,0 +1,105 @@
+module Rng = Qca_util.Rng
+
+type base = A | C | G | T
+
+let base_of_char = function
+  | 'A' | 'a' -> A
+  | 'C' | 'c' -> C
+  | 'G' | 'g' -> G
+  | 'T' | 't' -> T
+  | c -> invalid_arg (Printf.sprintf "Dna.base_of_char: '%c'" c)
+
+let char_of_base = function A -> 'A' | C -> 'C' | G -> 'G' | T -> 'T'
+
+let base_to_bits = function A -> 0 | C -> 1 | G -> 2 | T -> 3
+
+let base_of_bits = function
+  | 0 -> A
+  | 1 -> C
+  | 2 -> G
+  | 3 -> T
+  | b -> invalid_arg (Printf.sprintf "Dna.base_of_bits: %d" b)
+
+type t = base array
+
+let of_string s = Array.init (String.length s) (fun i -> base_of_char s.[i])
+let to_string seq = String.init (Array.length seq) (fun i -> char_of_base seq.(i))
+let length = Array.length
+
+let all_bases = [| A; C; G; T |]
+
+let random rng n = Array.init n (fun _ -> all_bases.(Rng.int rng 4))
+
+(* Row = current base, column = next base, order A C G T. The profile gives
+   ~41% GC and a depleted C->G (CpG) transition, as in mammalian genomes. *)
+let transition = function
+  | A -> [| 0.33; 0.19; 0.27; 0.21 |]
+  | C -> [| 0.31; 0.29; 0.06; 0.34 |]
+  | G -> [| 0.27; 0.23; 0.27; 0.23 |]
+  | T -> [| 0.22; 0.20; 0.28; 0.30 |]
+
+let markov rng n =
+  assert (n >= 1);
+  let seq = Array.make n A in
+  seq.(0) <- all_bases.(Rng.int rng 4);
+  for i = 1 to n - 1 do
+    let row = transition seq.(i - 1) in
+    seq.(i) <- all_bases.(Rng.choose_weighted rng row)
+  done;
+  seq
+
+let subsequence seq ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length seq then
+    invalid_arg "Dna.subsequence: out of range";
+  Array.sub seq pos len
+
+let mutate rng ~rate seq =
+  Array.map
+    (fun b ->
+      if Rng.bernoulli rng rate then begin
+        (* substitute with one of the three other bases *)
+        let others = Array.of_list (List.filter (fun x -> x <> b) (Array.to_list all_bases)) in
+        Rng.pick rng others
+      end
+      else b)
+    seq
+
+let hamming a b =
+  if Array.length a <> Array.length b then invalid_arg "Dna.hamming: length mismatch";
+  let d = ref 0 in
+  Array.iteri (fun i x -> if x <> b.(i) then incr d) a;
+  !d
+
+let gc_content seq =
+  let gc = Array.fold_left (fun acc b -> match b with G | C -> acc + 1 | A | T -> acc) 0 seq in
+  float_of_int gc /. float_of_int (max 1 (Array.length seq))
+
+let shannon_entropy ~k seq =
+  assert (k >= 1 && k <= 10);
+  let n = Array.length seq in
+  if n < k then 0.0
+  else begin
+    let counts = Hashtbl.create 64 in
+    for i = 0 to n - k do
+      let kmer = to_string (Array.sub seq i k) in
+      Hashtbl.replace counts kmer (1 + Option.value ~default:0 (Hashtbl.find_opt counts kmer))
+    done;
+    let total = float_of_int (n - k + 1) in
+    Hashtbl.fold
+      (fun _ c acc ->
+        let p = float_of_int c /. total in
+        acc -. (p *. (log p /. log 2.0)))
+      counts 0.0
+  end
+
+let encode_bits seq =
+  let n = Array.length seq in
+  if n > 31 then invalid_arg "Dna.encode_bits: sequence too long";
+  let acc = ref 0 in
+  for i = n - 1 downto 0 do
+    acc := (!acc lsl 2) lor base_to_bits seq.(i)
+  done;
+  !acc
+
+let decode_bits ~len bits =
+  Array.init len (fun i -> base_of_bits ((bits lsr (2 * i)) land 3))

@@ -1,0 +1,132 @@
+module State = Qca_qx.State
+module Gate = Qca_circuit.Gate
+module Circuit = Qca_circuit.Circuit
+module Library = Qca_circuit.Library
+module Sim = Qca_qx.Sim
+module Rng = Qca_util.Rng
+
+let optimal_iterations ~matches ~size =
+  assert (matches >= 1 && matches <= size);
+  let angle = asin (sqrt (float_of_int matches /. float_of_int size)) in
+  max 1 (int_of_float (Float.round ((Float.pi /. (4.0 *. angle)) -. 0.5)))
+
+type outcome = {
+  measured : int;
+  success_probability : float;
+  iterations : int;
+  oracle_queries : int;
+}
+
+let hadamard_wall state n =
+  for q = 0 to n - 1 do
+    State.apply state Gate.H [| q |]
+  done
+
+let grover_iteration state n oracle =
+  (* Oracle: phase flip on marked indices. *)
+  State.apply_diagonal_phase state (fun k -> if oracle k then Float.pi else 0.0);
+  (* Diffusion: H^n, flip |0>, H^n. *)
+  hadamard_wall state n;
+  State.apply_diagonal_phase state (fun k -> if k = 0 then Float.pi else 0.0);
+  hadamard_wall state n
+
+let marked_mass state oracle =
+  let dim = State.dimension state in
+  let acc = ref 0.0 in
+  for k = 0 to dim - 1 do
+    if oracle k then acc := !acc +. State.probability_of state k
+  done;
+  !acc
+
+let count_matches n_qubits oracle =
+  let count = ref 0 in
+  for k = 0 to (1 lsl n_qubits) - 1 do
+    if oracle k then incr count
+  done;
+  !count
+
+let search ?iterations ~rng ~n_qubits ~oracle () =
+  let size = 1 lsl n_qubits in
+  let iterations =
+    match iterations with
+    | Some k -> k
+    | None ->
+        let matches = count_matches n_qubits oracle in
+        if matches = 0 then invalid_arg "Grover.search: oracle marks nothing"
+        else optimal_iterations ~matches ~size
+  in
+  let state = State.create n_qubits in
+  hadamard_wall state n_qubits;
+  for _ = 1 to iterations do
+    grover_iteration state n_qubits oracle
+  done;
+  let success_probability = marked_mass state oracle in
+  let measured = State.sample_index state rng in
+  { measured; success_probability; iterations; oracle_queries = iterations }
+
+let success_after ~n_qubits ~oracle k =
+  let state = State.create n_qubits in
+  hadamard_wall state n_qubits;
+  for _ = 1 to k do
+    grover_iteration state n_qubits oracle
+  done;
+  marked_mass state oracle
+
+let search_unknown ?max_queries ~rng ~n_qubits ~oracle () =
+  let size = 1 lsl n_qubits in
+  let sqrt_n = sqrt (float_of_int size) in
+  let max_queries =
+    match max_queries with Some q -> q | None -> int_of_float (9.0 *. sqrt_n) + 3
+  in
+  let lambda = 6.0 /. 5.0 in
+  let rec round m spent total_iterations =
+    if spent >= max_queries then None
+    else begin
+      let j = Rng.int rng (max 1 (int_of_float m)) in
+      let state = State.create n_qubits in
+      hadamard_wall state n_qubits;
+      for _ = 1 to j do
+        grover_iteration state n_qubits oracle
+      done;
+      let measured = State.sample_index state rng in
+      if oracle measured then
+        Some
+          {
+            measured;
+            success_probability = marked_mass state oracle;
+            iterations = total_iterations + j;
+            oracle_queries = spent + j + 1;
+          }
+      else round (Float.min (lambda *. m) sqrt_n) (spent + j + 1) (total_iterations + j)
+    end
+  in
+  round 1.0 0 0
+
+let circuit ~n_qubits ~pattern =
+  assert (n_qubits >= 2);
+  assert (pattern >= 0 && pattern < 1 lsl n_qubits);
+  let ancilla_count = max 0 (n_qubits - 3) in
+  let total = n_qubits + ancilla_count in
+  let index_qubits = List.init n_qubits Fun.id in
+  let ancillas = List.init ancilla_count (fun i -> n_qubits + i) in
+  let bits = Array.init n_qubits (fun q -> pattern land (1 lsl q) <> 0) in
+  let walls =
+    Circuit.of_list ~name:"grover" total
+      (List.map (fun q -> Gate.Unitary (Gate.H, [| q |])) index_qubits)
+  in
+  let oracle = Library.phase_flip_on ~pattern:bits ~qubits:index_qubits ~ancillas total in
+  let diffusion = Library.grover_diffusion ~qubits:index_qubits ~ancillas total in
+  let iteration = Circuit.append oracle diffusion in
+  let k = optimal_iterations ~matches:1 ~size:(1 lsl n_qubits) in
+  Circuit.append walls (Circuit.repeat k iteration)
+
+let circuit_success_probability ~n_qubits ~pattern =
+  let c = circuit ~n_qubits ~pattern in
+  let result = Sim.run c in
+  (* Marginal probability that the index register reads [pattern]. *)
+  let mask = (1 lsl n_qubits) - 1 in
+  let acc = ref 0.0 in
+  for k = 0 to State.dimension result.Sim.state - 1 do
+    if k land mask = pattern then acc := !acc +. State.probability_of result.Sim.state k
+  done;
+  !acc

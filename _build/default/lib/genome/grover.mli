@@ -1,0 +1,60 @@
+(** Grover's unstructured search (reference 28): the provably optimal
+    quantum search primitive behind the alignment accelerator.
+
+    Two implementations are provided:
+    - {!search}: the index-register simulation used for realistic database
+      sizes — the oracle is a classical predicate applied as a phase flip,
+      exactly how QX executes a compiled oracle, without materialising its
+      gate decomposition;
+    - {!circuit}: a full gate-level construction (X-conjugated
+      multi-controlled Z oracle + diffusion) for small registers, executable
+      through the compiler and micro-architecture stack. *)
+
+val optimal_iterations : matches:int -> size:int -> int
+(** round(pi/4 sqrt(N/M)), at least 1. *)
+
+type outcome = {
+  measured : int;  (** Index measured at the end. *)
+  success_probability : float;  (** Exact probability mass on marked states. *)
+  iterations : int;
+  oracle_queries : int;  (** = iterations (one oracle call each). *)
+}
+
+val search :
+  ?iterations:int ->
+  rng:Qca_util.Rng.t ->
+  n_qubits:int ->
+  oracle:(int -> bool) ->
+  unit ->
+  outcome
+(** Run Grover on [2^n_qubits] indices. [iterations] defaults to the optimal
+    count for the oracle's actual match count (counted classically — the
+    simulation stand-in for quantum counting). *)
+
+val success_after : n_qubits:int -> oracle:(int -> bool) -> int -> float
+(** Exact success probability after k iterations (no measurement). *)
+
+val search_unknown :
+  ?max_queries:int ->
+  rng:Qca_util.Rng.t ->
+  n_qubits:int ->
+  oracle:(int -> bool) ->
+  unit ->
+  outcome option
+(** Boyer-Brassard-Hoyer-Tapp exponential search for an {e unknown} number
+    of matches: repeatedly run Grover with a uniformly random iteration
+    count below a growing bound until a measurement satisfies the oracle.
+    Expected O(sqrt(N/M)) total oracle queries; [None] when [max_queries]
+    (default 9 sqrt N) is exhausted — the heralded "no match" answer.
+    This removes the classical match-count the fixed-iteration interface
+    needs, as required for genuinely unknown read alignments. *)
+
+val circuit : n_qubits:int -> pattern:int -> Qca_circuit.Circuit.t
+(** Gate-level Grover marking the single basis state [pattern]: uses
+    [n_qubits] index qubits plus [max 0 (n_qubits - 3)] ancillas for the
+    Toffoli ladders; runs the optimal iteration count. Index register is
+    qubits 0..n_qubits-1. *)
+
+val circuit_success_probability : n_qubits:int -> pattern:int -> float
+(** Simulate {!circuit} and return the probability of measuring [pattern]
+    on the index register. *)

@@ -1,0 +1,37 @@
+type t = { width : int; entries : Dna.t array }
+
+let build reference ~width =
+  let n = Dna.length reference in
+  if width < 1 || width > n then invalid_arg "Reference_db.build: bad width";
+  let count = n - width + 1 in
+  { width; entries = Array.init count (fun i -> Dna.subsequence reference ~pos:i ~len:width) }
+
+let size db = Array.length db.entries
+
+let index_qubits db =
+  let n = size db in
+  let rec bits k acc = if 1 lsl acc >= k then acc else bits k (acc + 1) in
+  max 1 (bits n 0)
+
+let entry db i = db.entries.(i)
+
+let matches_within db read distance =
+  let acc = ref [] in
+  for i = size db - 1 downto 0 do
+    if Dna.hamming db.entries.(i) read <= distance then acc := i :: !acc
+  done;
+  !acc
+
+let best_match db read =
+  let best_i = ref 0 and best_d = ref max_int in
+  Array.iteri
+    (fun i e ->
+      let d = Dna.hamming e read in
+      if d < !best_d then begin
+        best_d := d;
+        best_i := i
+      end)
+    db.entries;
+  (!best_i, !best_d)
+
+let content_qubits db = 2 * db.width

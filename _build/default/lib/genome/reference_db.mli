@@ -1,0 +1,31 @@
+(** The sliced, indexed reference database of section 3.2: "the reference DNA
+    is sliced and stored as indexed entries in a superposed quantum database".
+
+    Classically this is the array of all width-w windows of the reference;
+    the quantum view holds index and content entangled in superposition, so
+    amplifying a content match amplifies its index. *)
+
+type t = {
+  width : int;
+  entries : Dna.t array;  (** [entries.(i)] = reference window at offset i. *)
+}
+
+val build : Dna.t -> width:int -> t
+(** All overlapping windows (stride 1). *)
+
+val size : t -> int
+
+val index_qubits : t -> int
+(** Qubits needed for the index register: ceil(log2 size). *)
+
+val entry : t -> int -> Dna.t
+
+val matches_within : t -> Dna.t -> int -> int list
+(** Indices whose entry is within the given Hamming distance of the read. *)
+
+val best_match : t -> Dna.t -> int * int
+(** (index, distance) of the closest entry (smallest index on ties). *)
+
+val content_qubits : t -> int
+(** Qubits to store one entry at 2 bits per base — the paper's exponential
+    capacity argument counts [index_qubits + content_qubits]. *)

@@ -1,0 +1,1 @@
+lib/microarch/adi.ml: Array Float List Map String

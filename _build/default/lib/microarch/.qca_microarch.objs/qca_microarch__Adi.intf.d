@@ -1,0 +1,1 @@
+lib/microarch/adi.mli:

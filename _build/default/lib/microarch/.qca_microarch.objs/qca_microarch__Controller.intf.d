@@ -1,0 +1,1 @@
+lib/microarch/controller.mli: Adi Microcode Qca_compiler Qca_qx Qca_util

@@ -1,0 +1,1 @@
+lib/microarch/microcode.ml: List Map Printf String

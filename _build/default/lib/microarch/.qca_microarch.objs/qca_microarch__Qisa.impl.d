@@ -1,0 +1,1 @@
+lib/microarch/qisa.ml: Array Controller Hashtbl List Option Printf Qca_compiler String

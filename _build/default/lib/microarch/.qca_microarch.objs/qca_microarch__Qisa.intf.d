@@ -1,0 +1,1 @@
+lib/microarch/qisa.mli: Controller Qca_compiler Qca_qx Qca_util

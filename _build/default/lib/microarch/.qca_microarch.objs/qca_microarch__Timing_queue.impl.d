@@ -1,0 +1,1 @@
+lib/microarch/timing_queue.ml: Array List Microcode

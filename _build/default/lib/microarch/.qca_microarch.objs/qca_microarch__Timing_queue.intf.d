@@ -1,0 +1,1 @@
+lib/microarch/timing_queue.mli: Microcode

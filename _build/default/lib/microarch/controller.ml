@@ -1,0 +1,273 @@
+module Eqasm = Qca_compiler.Eqasm
+module Gate = Qca_circuit.Gate
+module State = Qca_qx.State
+module Noise = Qca_qx.Noise
+module Rng = Qca_util.Rng
+
+type technology = {
+  tech_name : string;
+  microcode : Microcode.table;
+  pulses : Adi.library;
+}
+
+let superconducting =
+  {
+    tech_name = "superconducting";
+    microcode = Microcode.superconducting_table;
+    pulses = Adi.superconducting_library ();
+  }
+
+let semiconducting =
+  {
+    tech_name = "semiconducting";
+    microcode = Microcode.semiconducting_table;
+    pulses = Adi.semiconducting_library ();
+  }
+
+type trace_event = {
+  time_ns : int;
+  qubit : int;
+  opcode : int;
+  pulse_name : string;
+  duration_ns : int;
+}
+
+type run_stats = {
+  total_ns : int;
+  bundles_issued : int;
+  micro_ops : int;
+  peak_queue_depth : int;
+  timing_violations : int;
+  software_phase_updates : int;
+}
+
+type result = {
+  outcome : Qca_qx.Sim.outcome;
+  trace : trace_event list;
+  stats : run_stats;
+}
+
+(* Resolve an eQASM mnemonic to the simulator action. *)
+type action =
+  | Apply of Gate.unitary
+  | Apply_rz  (** angle carried by the op *)
+  | Do_measure
+  | Do_prep
+  | No_op
+
+let action_of_mnemonic = function
+  | "i" -> No_op
+  | "x90" -> Apply Gate.X90
+  | "mx90" -> Apply Gate.Xm90
+  | "y90" -> Apply Gate.Y90
+  | "my90" -> Apply Gate.Ym90
+  | "rz" -> Apply_rz
+  | "cz" -> Apply Gate.Cz
+  | "x" -> Apply Gate.X
+  | "y" -> Apply Gate.Y
+  | "z" -> Apply Gate.Z
+  | "h" -> Apply Gate.H
+  | "s" -> Apply Gate.S
+  | "sdag" -> Apply Gate.Sdag
+  | "t" -> Apply Gate.T
+  | "tdag" -> Apply Gate.Tdag
+  | "cnot" -> Apply Gate.Cnot
+  | "swap" -> Apply Gate.Swap
+  | "measz" -> Do_measure
+  | "prepz" -> Do_prep
+  | other -> failwith (Printf.sprintf "Controller: unknown mnemonic '%s'" other)
+
+type session = {
+  technology : technology;
+  noise : Noise.model;
+  rng : Rng.t;
+  cycle_ns : int;
+  state : State.t;
+  classical : int array;
+  ideal : bool;
+  single_masks : int list array;
+  pair_masks : (int * int) list array;
+  pool : Timing_queue.pool;
+  mutable trace : trace_event list;  (* reversed *)
+  mutable time_cycles : int;
+  mutable bundles : int;
+  mutable micro_ops : int;
+  mutable phase_updates : int;
+  mutable end_ns : int;
+}
+
+let start ?(noise = Noise.ideal) ?rng technology ~qubit_count ~cycle_ns =
+  let rng = match rng with Some r -> r | None -> Rng.create 0xC0DE in
+  {
+    technology;
+    noise;
+    rng;
+    cycle_ns;
+    state = State.create qubit_count;
+    classical = Array.make qubit_count (-1);
+    ideal = Noise.is_ideal noise;
+    single_masks = Array.make 32 [];
+    pair_masks = Array.make 32 [];
+    pool = Timing_queue.create_pool ~channels:qubit_count;
+    trace = [];
+    time_cycles = 0;
+    bundles = 0;
+    micro_ops = 0;
+    phase_updates = 0;
+    end_ns = 0;
+  }
+
+let classical_bit session q = session.classical.(q)
+let elapsed_cycles session = session.time_cycles
+
+let pulse_duration session name =
+  if name = "idle" then 0
+  else
+    match Adi.find session.technology.pulses name with
+    | Some p -> p.Adi.duration_ns
+    | None -> failwith (Printf.sprintf "Controller: ADI has no pulse '%s'" name)
+
+let simulate_op session mnemonic angle qubits =
+  let state = session.state and rng = session.rng and noise = session.noise in
+  let ideal = session.ideal in
+  match action_of_mnemonic mnemonic, qubits with
+  | Apply u, _ when Gate.arity u = 1 ->
+      List.iter
+        (fun q ->
+          State.apply state u [| q |];
+          if not ideal then Noise.after_gate noise state rng u [| q |])
+        qubits
+  | Apply u, [ q1; q2 ] ->
+      State.apply state u [| q1; q2 |];
+      if not ideal then Noise.after_gate noise state rng u [| q1; q2 |]
+  | Apply u, _ ->
+      failwith
+        (Printf.sprintf "Controller: gate %s got %d operands" (Gate.name u)
+           (List.length qubits))
+  | Apply_rz, _ ->
+      let theta = Option.value ~default:0.0 angle in
+      List.iter (fun q -> State.apply state (Gate.Rz theta) [| q |]) qubits
+  | Do_measure, _ ->
+      List.iter
+        (fun q ->
+          let m = State.measure state rng q in
+          session.classical.(q) <-
+            (if ideal then m else Noise.flip_readout noise rng m))
+        qubits
+  | Do_prep, _ ->
+      List.iter
+        (fun q ->
+          let m = State.measure state rng q in
+          if m = 1 then State.apply state Gate.X [| q |];
+          if (not ideal) && Rng.bernoulli rng noise.Noise.prep_error then
+            State.apply state Gate.X [| q |])
+        qubits
+  | No_op, _ -> ()
+
+let issue_op session (op : Eqasm.quantum_op) =
+  let enabled =
+    match op.Eqasm.condition with
+    | None -> true
+    | Some bit -> session.classical.(bit) = 1
+  in
+  let qubits =
+    if op.Eqasm.two_qubit then
+      List.concat_map (fun (a, b) -> [ a; b ]) session.pair_masks.(op.Eqasm.mask)
+    else session.single_masks.(op.Eqasm.mask)
+  in
+  let time_ns = session.time_cycles * session.cycle_ns in
+  (* Micro-code translation, then timing queues, then the ADI. *)
+  let mops =
+    Microcode.translate session.technology.microcode ~time_ns ~mnemonic:op.Eqasm.mnemonic
+      ~angle:op.Eqasm.angle ~qubits
+  in
+  List.iter
+    (fun (mop : Microcode.micro_op) ->
+      Timing_queue.push_pool session.pool mop;
+      session.micro_ops <- session.micro_ops + 1;
+      if mop.Microcode.codeword.Microcode.software_phase <> 0.0 then
+        session.phase_updates <- session.phase_updates + 1
+      else begin
+        let duration = pulse_duration session mop.Microcode.codeword.Microcode.pulse_name in
+        session.end_ns <- max session.end_ns (time_ns + duration);
+        session.trace <-
+          {
+            time_ns;
+            qubit = mop.Microcode.qubit;
+            opcode = mop.Microcode.codeword.Microcode.opcode;
+            pulse_name = mop.Microcode.codeword.Microcode.pulse_name;
+            duration_ns = duration;
+          }
+          :: session.trace
+      end)
+    mops;
+  (* Drive the quantum chip. Two-qubit ops act on pairs from the t-mask.
+     Conditional ops check the measurement-result register file first. *)
+  if enabled then
+    if op.Eqasm.two_qubit then
+      List.iter
+        (fun (a, b) -> simulate_op session op.Eqasm.mnemonic op.Eqasm.angle [ a; b ])
+        session.pair_masks.(op.Eqasm.mask)
+    else simulate_op session op.Eqasm.mnemonic op.Eqasm.angle session.single_masks.(op.Eqasm.mask)
+
+let advance session cycles =
+  session.time_cycles <- session.time_cycles + cycles;
+  (* The queues fire everything due on the new timing grid position. *)
+  ignore
+    (Timing_queue.drain_pool_until session.pool (session.time_cycles * session.cycle_ns))
+
+let step session instr =
+  match instr with
+  | Eqasm.Smis (r, qs) -> session.single_masks.(r) <- qs
+  | Eqasm.Smit (r, ps) -> session.pair_masks.(r) <- ps
+  | Eqasm.Qwait cycles -> advance session cycles
+  | Eqasm.Bundle (pre_interval, ops) ->
+      advance session pre_interval;
+      session.bundles <- session.bundles + 1;
+      List.iter (issue_op session) ops
+
+let finish session =
+  let total_pushed, peak, violations = Timing_queue.pool_stats session.pool in
+  ignore total_pushed;
+  {
+    outcome = { Qca_qx.Sim.state = session.state; classical = session.classical };
+    trace = List.rev session.trace;
+    stats =
+      {
+        total_ns = max session.end_ns (session.time_cycles * session.cycle_ns);
+        bundles_issued = session.bundles;
+        micro_ops = session.micro_ops;
+        peak_queue_depth = peak;
+        timing_violations = violations;
+        software_phase_updates = session.phase_updates;
+      };
+  }
+
+let run ?noise ?rng technology (program : Eqasm.program) =
+  let session =
+    start ?noise ?rng technology ~qubit_count:program.Eqasm.qubit_count
+      ~cycle_ns:program.Eqasm.cycle_ns
+  in
+  List.iter (step session) program.Eqasm.instructions;
+  let result = finish session in
+  {
+    result with
+    stats =
+      {
+        result.stats with
+        total_ns =
+          max result.stats.total_ns
+            (program.Eqasm.makespan_cycles * program.Eqasm.cycle_ns);
+      };
+  }
+
+let trace_to_string (result : result) =
+  let buffer = Buffer.create 512 in
+  Buffer.add_string buffer "  time_ns  q   opcode  pulse      dur_ns\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buffer
+        (Printf.sprintf "%9d  %-3d 0x%02x    %-10s %6d\n" e.time_ns e.qubit e.opcode
+           e.pulse_name e.duration_ns))
+    result.trace;
+  Buffer.contents buffer

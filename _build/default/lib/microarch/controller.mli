@@ -1,0 +1,80 @@
+(** Cycle-accurate micro-architecture controller (Figure 6).
+
+    Executes an eQASM program: maintains the timing grid, resolves mask
+    registers, runs every quantum operation through the micro-code unit into
+    per-channel timing queues, and drives the QX simulator as the "quantum
+    chip" at the end of the pipeline (the pink block of Figure 7). *)
+
+type technology = {
+  tech_name : string;
+  microcode : Microcode.table;
+  pulses : Adi.library;
+}
+
+val superconducting : technology
+val semiconducting : technology
+
+type trace_event = {
+  time_ns : int;
+  qubit : int;
+  opcode : int;
+  pulse_name : string;
+  duration_ns : int;
+}
+
+type run_stats = {
+  total_ns : int;  (** Wall-clock length of the pulse schedule. *)
+  bundles_issued : int;
+  micro_ops : int;
+  peak_queue_depth : int;
+  timing_violations : int;
+  software_phase_updates : int;  (** rz frame updates (no pulse emitted). *)
+}
+
+type result = {
+  outcome : Qca_qx.Sim.outcome;  (** QX execution result. *)
+  trace : trace_event list;  (** Pulse-level timeline, time-ordered. *)
+  stats : run_stats;
+}
+
+val run :
+  ?noise:Qca_qx.Noise.model ->
+  ?rng:Qca_util.Rng.t ->
+  technology ->
+  Qca_compiler.Eqasm.program ->
+  result
+(** Execute. Raises [Failure] on mnemonics missing from the micro-code
+    table or pulses missing from the ADI library. [noise] defaults to ideal
+    qubits so that functional behaviour can be checked separately from error
+    modelling. *)
+
+(** {2 Stepwise execution}
+
+    The QISA interpreter (Figure 5) interleaves classical instructions with
+    quantum ones, so it needs to feed the controller one instruction at a
+    time and read measurement results back (FMR). *)
+
+type session
+
+val start :
+  ?noise:Qca_qx.Noise.model ->
+  ?rng:Qca_util.Rng.t ->
+  technology ->
+  qubit_count:int ->
+  cycle_ns:int ->
+  session
+
+val step : session -> Qca_compiler.Eqasm.instruction -> unit
+(** Execute one eQASM instruction in the session. *)
+
+val classical_bit : session -> int -> int
+(** Latest measurement result of a qubit (-1 when never measured): the FMR
+    (fetch measurement result) path. *)
+
+val elapsed_cycles : session -> int
+
+val finish : session -> result
+(** Close the session and collect trace + statistics. *)
+
+val trace_to_string : result -> string
+(** Tabular pulse timeline (one line per micro-op). *)

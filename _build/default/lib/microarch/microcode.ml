@@ -1,0 +1,48 @@
+type codeword = { opcode : int; pulse_name : string; software_phase : float }
+
+module String_map = Map.Make (String)
+
+type table = codeword String_map.t
+
+let make entries =
+  List.fold_left (fun acc (m, cw) -> String_map.add m cw acc) String_map.empty entries
+
+let lookup table mnemonic = String_map.find_opt mnemonic table
+let mnemonics table = List.map fst (String_map.bindings table)
+
+let superconducting_table =
+  make
+    [
+      ("i", { opcode = 0x00; pulse_name = "idle"; software_phase = 0.0 });
+      ("x90", { opcode = 0x01; pulse_name = "x90"; software_phase = 0.0 });
+      ("mx90", { opcode = 0x02; pulse_name = "mx90"; software_phase = 0.0 });
+      ("y90", { opcode = 0x03; pulse_name = "y90"; software_phase = 0.0 });
+      ("my90", { opcode = 0x04; pulse_name = "my90"; software_phase = 0.0 });
+      (* rz is a software frame update on transmons: no pulse at all. *)
+      ("rz", { opcode = 0x05; pulse_name = "idle"; software_phase = 1.0 });
+      ("cz", { opcode = 0x10; pulse_name = "cz"; software_phase = 0.0 });
+      ("measz", { opcode = 0x20; pulse_name = "measz"; software_phase = 0.0 });
+      ("prepz", { opcode = 0x21; pulse_name = "prepz"; software_phase = 0.0 });
+    ]
+
+let semiconducting_table =
+  make
+    [
+      ("i", { opcode = 0x40; pulse_name = "idle"; software_phase = 0.0 });
+      ("x90", { opcode = 0x41; pulse_name = "x90"; software_phase = 0.0 });
+      ("mx90", { opcode = 0x42; pulse_name = "mx90"; software_phase = 0.0 });
+      ("y90", { opcode = 0x43; pulse_name = "y90"; software_phase = 0.0 });
+      ("my90", { opcode = 0x44; pulse_name = "my90"; software_phase = 0.0 });
+      ("rz", { opcode = 0x45; pulse_name = "idle"; software_phase = 1.0 });
+      ("cz", { opcode = 0x50; pulse_name = "cz"; software_phase = 0.0 });
+      ("measz", { opcode = 0x60; pulse_name = "measz"; software_phase = 0.0 });
+      ("prepz", { opcode = 0x61; pulse_name = "prepz"; software_phase = 0.0 });
+    ]
+
+type micro_op = { time_ns : int; qubit : int; codeword : codeword; angle : float option }
+
+let translate table ~time_ns ~mnemonic ~angle ~qubits =
+  match lookup table mnemonic with
+  | None -> failwith (Printf.sprintf "Microcode.translate: no codeword for '%s'" mnemonic)
+  | Some codeword ->
+      List.map (fun qubit -> { time_ns; qubit; codeword; angle }) qubits

@@ -1,0 +1,1 @@
+lib/qaoa/qaoa.mli: Qca_anneal Qca_circuit Qca_qx Qca_util

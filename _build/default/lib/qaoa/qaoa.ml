@@ -1,0 +1,148 @@
+module Ising = Qca_anneal.Ising
+module Qubo = Qca_anneal.Qubo
+module State = Qca_qx.State
+module Gate = Qca_circuit.Gate
+module Circuit = Qca_circuit.Circuit
+module Rng = Qca_util.Rng
+module Optimize = Qca_util.Optimize
+
+type params = { gammas : float array; betas : float array }
+
+let layers p =
+  assert (Array.length p.gammas = Array.length p.betas);
+  Array.length p.gammas
+
+let spin_of_bit basis q = if basis land (1 lsl q) <> 0 then 1 else -1
+
+let spin_energy_of_basis model basis =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i hi -> acc := !acc +. (hi *. float_of_int (spin_of_bit basis i)))
+    model.Ising.h;
+  List.iter
+    (fun (i, j, w) ->
+      acc := !acc +. (w *. float_of_int (spin_of_bit basis i * spin_of_bit basis j)))
+    model.Ising.couplings;
+  !acc
+
+let energy_table model = Array.init (1 lsl model.Ising.n) (spin_energy_of_basis model)
+
+let evolve_with energies model p =
+  let n = model.Ising.n in
+  let state = State.create n in
+  for q = 0 to n - 1 do
+    State.apply state Gate.H [| q |]
+  done;
+  for layer = 0 to layers p - 1 do
+    let gamma = p.gammas.(layer) and beta = p.betas.(layer) in
+    State.apply_diagonal_phase state (fun k -> -.gamma *. energies.(k));
+    for q = 0 to n - 1 do
+      State.apply state (Gate.Rx (2.0 *. beta)) [| q |]
+    done
+  done;
+  state
+
+let evolve model p = evolve_with (energy_table model) model p
+
+let expectation_with energies model p =
+  let state = evolve_with energies model p in
+  State.expectation_diag state (fun k -> energies.(k))
+
+let expectation model p = expectation_with (energy_table model) model p
+
+(* Bit b encodes spin s = 2b - 1, so Pauli Z (eigenvalue +1 on |0>) equals
+   -s. The energy is E = -sum h_i Z_i + sum w_ij Z_i Z_j, hence fields need
+   exp(+i gamma h Z) = Rz(-2 gamma h) and couplings
+   exp(-i gamma w ZZ) = CNOT . Rz(2 gamma w) . CNOT. *)
+let cost_circuit model gamma =
+  let n = model.Ising.n in
+  let c = ref (Circuit.create ~name:"qaoa-cost" n) in
+  Array.iteri
+    (fun i hi ->
+      if hi <> 0.0 then
+        c := Circuit.add !c (Gate.Unitary (Gate.Rz (-2.0 *. gamma *. hi), [| i |])))
+    model.Ising.h;
+  List.iter
+    (fun (i, j, w) ->
+      if w <> 0.0 then begin
+        c := Circuit.add !c (Gate.Unitary (Gate.Cnot, [| i; j |]));
+        c := Circuit.add !c (Gate.Unitary (Gate.Rz (2.0 *. gamma *. w), [| j |]));
+        c := Circuit.add !c (Gate.Unitary (Gate.Cnot, [| i; j |]))
+      end)
+    model.Ising.couplings;
+  !c
+
+let mixer_circuit n beta =
+  Circuit.of_list ~name:"qaoa-mixer" n
+    (List.init n (fun q -> Gate.Unitary (Gate.Rx (2.0 *. beta), [| q |])))
+
+let full_circuit model p =
+  let n = model.Ising.n in
+  let walls = Circuit.of_list ~name:"qaoa" n (List.init n (fun q -> Gate.Unitary (Gate.H, [| q |]))) in
+  let rec add_layers c layer =
+    if layer = layers p then c
+    else
+      let c = Circuit.append c (cost_circuit model p.gammas.(layer)) in
+      let c = Circuit.append c (mixer_circuit n p.betas.(layer)) in
+      add_layers c (layer + 1)
+  in
+  add_layers walls 0
+
+type result = {
+  params : params;
+  expectation_value : float;
+  best_bits : int array;
+  best_energy : float;
+  evaluations : int;
+}
+
+let params_of_vector v =
+  let p = Array.length v / 2 in
+  { gammas = Array.sub v 0 p; betas = Array.sub v p p }
+
+let optimize ?(layers = 1) ?(restarts = 3) ?(shots = 256) ~rng model =
+  assert (layers >= 1 && restarts >= 1);
+  let energies = energy_table model in
+  let evaluations = ref 0 in
+  let objective v =
+    incr evaluations;
+    expectation_with energies model (params_of_vector v)
+  in
+  let best_v = ref None in
+  for _ = 1 to restarts do
+    let v0 =
+      Array.init (2 * layers) (fun i ->
+          if i < layers then Rng.float rng Float.pi else Rng.float rng (Float.pi /. 2.0))
+    in
+    let v, fv = Optimize.nelder_mead ~max_iter:400 ~tolerance:1e-7 objective v0 in
+    match !best_v with
+    | Some (_, f) when f <= fv -> ()
+    | Some _ | None -> best_v := Some (v, fv)
+  done;
+  let v, fv =
+    match !best_v with Some r -> r | None -> assert false
+  in
+  let p = params_of_vector v in
+  let state = evolve_with energies model p in
+  let n = model.Ising.n in
+  let best_bits = ref (Array.make n 0) and best_energy = ref infinity in
+  for _ = 1 to shots do
+    let basis = State.sample_index state rng in
+    let e = spin_energy_of_basis model basis in
+    if e < !best_energy then begin
+      best_energy := e;
+      best_bits := Array.init n (fun q -> (basis lsr q) land 1)
+    end
+  done;
+  {
+    params = p;
+    expectation_value = fv;
+    best_bits = !best_bits;
+    best_energy = !best_energy;
+    evaluations = !evaluations;
+  }
+
+let solve_qubo ?layers ?restarts ?shots ~rng q =
+  let model, offset = Ising.of_qubo q in
+  let result = optimize ?layers ?restarts ?shots ~rng model in
+  (result.best_bits, result.best_energy +. offset)

@@ -1,0 +1,1 @@
+lib/qec/code.ml: Array Fun List Pauli Printf Qca_circuit Qca_util

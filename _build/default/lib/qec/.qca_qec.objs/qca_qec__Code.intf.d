@@ -1,0 +1,1 @@
+lib/qec/code.mli: Pauli Qca_circuit

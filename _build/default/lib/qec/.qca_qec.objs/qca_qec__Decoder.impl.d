@@ -1,0 +1,1 @@
+lib/qec/decoder.ml: Array Code Hashtbl List Option Pauli Qca_util

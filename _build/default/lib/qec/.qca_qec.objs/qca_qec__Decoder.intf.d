@@ -1,0 +1,1 @@
+lib/qec/decoder.mli: Code Pauli Qca_util

@@ -1,0 +1,1 @@
+lib/qec/pauli.ml: Array List Printf Qca_util String

@@ -1,0 +1,1 @@
+lib/qec/pauli.mli: Qca_util

@@ -1,0 +1,1 @@
+lib/qec/pauli_frame.ml: Array Code Decoder List Option Pauli Qca_util

@@ -1,0 +1,1 @@
+lib/qec/pauli_frame.mli: Code Decoder Qca_util

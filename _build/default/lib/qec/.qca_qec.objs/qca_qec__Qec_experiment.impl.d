@@ -1,0 +1,1 @@
+lib/qec/qec_experiment.ml: Array Code List Pauli Qca_circuit Qca_util Tableau

@@ -1,0 +1,1 @@
+lib/qec/qec_experiment.mli: Code Pauli Qca_util Tableau

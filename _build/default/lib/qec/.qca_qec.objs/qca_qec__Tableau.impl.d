@@ -1,0 +1,1 @@
+lib/qec/tableau.ml: Array List Pauli Qca_circuit Qca_util String

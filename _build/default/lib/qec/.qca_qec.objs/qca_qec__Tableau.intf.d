@@ -1,0 +1,1 @@
+lib/qec/tableau.mli: Pauli Qca_circuit Qca_util

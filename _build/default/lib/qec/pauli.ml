@@ -1,0 +1,67 @@
+module Bits = Qca_util.Bits
+module Rng = Qca_util.Rng
+
+type t = { x : int; z : int }
+
+let identity = { x = 0; z = 0 }
+
+let single q = function
+  | 'X' -> { x = 1 lsl q; z = 0 }
+  | 'Y' -> { x = 1 lsl q; z = 1 lsl q }
+  | 'Z' -> { x = 0; z = 1 lsl q }
+  | c -> invalid_arg (Printf.sprintf "Pauli.single: unknown Pauli '%c'" c)
+
+let of_string s =
+  let acc = ref identity in
+  String.iteri
+    (fun q c ->
+      match c with
+      | 'I' -> ()
+      | 'X' | 'Y' | 'Z' -> acc := { x = !acc.x lor (single q c).x; z = !acc.z lor (single q c).z }
+      | _ -> invalid_arg (Printf.sprintf "Pauli.of_string: unknown Pauli '%c'" c))
+    s;
+  !acc
+
+let to_string ~width p =
+  String.init width (fun q ->
+      match Bits.test p.x q, Bits.test p.z q with
+      | false, false -> 'I'
+      | true, false -> 'X'
+      | true, true -> 'Y'
+      | false, true -> 'Z')
+
+let mul a b = { x = a.x lxor b.x; z = a.z lxor b.z }
+
+let weight p = Bits.popcount (p.x lor p.z)
+
+let commutes a b = Bits.parity ((a.x land b.z) lxor (a.z land b.x)) = 0
+
+let is_identity p = p.x = 0 && p.z = 0
+let equal a b = a.x = b.x && a.z = b.z
+
+let support p =
+  let mask = p.x lor p.z in
+  let rec go q acc =
+    if 1 lsl q > mask then List.rev acc
+    else if Bits.test mask q then go (q + 1) (q :: acc)
+    else go (q + 1) acc
+  in
+  go 0 []
+
+let depolarizing_error rng n p =
+  let acc = ref identity in
+  for q = 0 to n - 1 do
+    if Rng.bernoulli rng p then begin
+      let which = [| 'X'; 'Y'; 'Z' |].(Rng.int rng 3) in
+      acc := mul !acc (single q which)
+    end
+  done;
+  !acc
+
+let xz_error rng n ~px ~pz =
+  let acc = ref identity in
+  for q = 0 to n - 1 do
+    if Rng.bernoulli rng px then acc := mul !acc (single q 'X');
+    if Rng.bernoulli rng pz then acc := mul !acc (single q 'Z')
+  done;
+  !acc

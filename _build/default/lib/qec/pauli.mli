@@ -1,0 +1,38 @@
+(** n-qubit Pauli operators in symplectic (X-bits, Z-bits) representation,
+    ignoring global phase. Supports up to 62 qubits. *)
+
+type t = { x : int; z : int }
+(** Qubit [q] carries X iff bit [q] of [x] is set, Z iff bit [q] of [z]; both
+    set means Y. *)
+
+val identity : t
+
+val single : int -> char -> t
+(** [single q 'X'|'Y'|'Z'] is the weight-one Pauli on qubit [q]. *)
+
+val of_string : string -> t
+(** ["XIZY"] reads left-to-right as qubits 0, 1, 2, 3. *)
+
+val to_string : width:int -> t -> string
+
+val mul : t -> t -> t
+(** Product, phase discarded. *)
+
+val weight : t -> int
+(** Number of qubits acted on non-trivially. *)
+
+val commutes : t -> t -> bool
+(** Symplectic form: true iff the operators commute. *)
+
+val is_identity : t -> bool
+val equal : t -> t -> bool
+
+val support : t -> int list
+(** Sorted list of touched qubits. *)
+
+val depolarizing_error : Qca_util.Rng.t -> int -> float -> t
+(** [depolarizing_error rng n p]: iid error; each of the [n] qubits suffers
+    X, Y or Z with probability [p/3] each. *)
+
+val xz_error : Qca_util.Rng.t -> int -> px:float -> pz:float -> t
+(** Independent X and Z flips per qubit. *)

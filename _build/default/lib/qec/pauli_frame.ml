@@ -1,0 +1,105 @@
+module Rng = Qca_util.Rng
+module Bits = Qca_util.Bits
+
+type frame = { mutable x : int; mutable z : int }
+
+let propagate_cnot f control target =
+  if Bits.test f.x control then f.x <- Bits.flip f.x target;
+  if Bits.test f.z target then f.z <- Bits.flip f.z control
+
+let propagate_h f q =
+  let had_x = Bits.test f.x q and had_z = Bits.test f.z q in
+  if had_x <> had_z then begin
+    f.x <- Bits.flip f.x q;
+    f.z <- Bits.flip f.z q
+  end
+
+let inject_1q rng f p q =
+  if Rng.bernoulli rng p then begin
+    match Rng.int rng 3 with
+    | 0 -> f.x <- Bits.flip f.x q
+    | 1 ->
+        f.x <- Bits.flip f.x q;
+        f.z <- Bits.flip f.z q
+    | _ -> f.z <- Bits.flip f.z q
+  end
+
+let inject_2q rng f p a b =
+  if Rng.bernoulli rng p then begin
+    (* pick one of the 15 non-identity two-qubit Paulis: encode each
+       single-qubit part as 0=I 1=X 2=Y 3=Z, skipping (0, 0) *)
+    let k = 1 + Rng.int rng 15 in
+    let part q code =
+      match code with
+      | 0 -> ()
+      | 1 -> f.x <- Bits.flip f.x q
+      | 2 ->
+          f.x <- Bits.flip f.x q;
+          f.z <- Bits.flip f.z q
+      | _ -> f.z <- Bits.flip f.z q
+    in
+    part a (k / 4);
+    part b (k mod 4)
+  end
+
+type round_result = { syndrome : int; frame : frame }
+
+let noisy_round ~rng ~gate_error ~measurement_error code f =
+  let n = code.Code.n in
+  let syndrome = ref 0 in
+  Array.iteri
+    (fun i stab ->
+      let ancilla = n + i in
+      (* fresh ancilla (prep fault = X error) *)
+      f.x <- Bits.clear f.x ancilla;
+      f.z <- Bits.clear f.z ancilla;
+      inject_1q rng f gate_error ancilla;
+      let support = Pauli.support stab in
+      let is_x = stab.Pauli.x <> 0 in
+      if is_x then begin
+        propagate_h f ancilla;
+        inject_1q rng f gate_error ancilla;
+        List.iter
+          (fun q ->
+            propagate_cnot f ancilla q;
+            inject_2q rng f gate_error ancilla q)
+          support;
+        propagate_h f ancilla;
+        inject_1q rng f gate_error ancilla
+      end
+      else
+        List.iter
+          (fun q ->
+            propagate_cnot f q ancilla;
+            inject_2q rng f gate_error ancilla q)
+          support;
+      (* Z-basis measurement reads the ancilla's X-frame bit *)
+      let raw = if Bits.test f.x ancilla then 1 else 0 in
+      let observed = if Rng.bernoulli rng measurement_error then 1 - raw else raw in
+      if observed = 1 then syndrome := Bits.set !syndrome i)
+    code.Code.stabilizers;
+  { syndrome = !syndrome; frame = f }
+
+let data_error_of_frame code f =
+  let mask = (1 lsl code.Code.n) - 1 in
+  { Pauli.x = f.x land mask; z = f.z land mask }
+
+let logical_error_rate ?rounds ?(trials = 2000) ~rng code decoder ~gate_error
+    ~measurement_error =
+  let rounds = Option.value ~default:code.Code.distance rounds in
+  let failures = ref 0 in
+  for _ = 1 to trials do
+    let f = { x = 0; z = 0 } in
+    for _ = 1 to rounds do
+      ignore (noisy_round ~rng ~gate_error ~measurement_error code f)
+    done;
+    (* final perfect extraction: the true syndrome of the data frame *)
+    let error = data_error_of_frame code f in
+    let syndrome = Code.syndrome code error in
+    let fix = Decoder.correction decoder syndrome in
+    let residual = Pauli.mul error fix in
+    (match Code.logical_effect code residual with
+    | `None -> if Code.syndrome code residual <> 0 then incr failures
+    | `X | `Z | `Y -> incr failures)
+  done;
+  float_of_int !failures /. float_of_int trials

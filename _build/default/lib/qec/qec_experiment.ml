@@ -1,0 +1,99 @@
+module Gate = Qca_circuit.Gate
+module Circuit = Qca_circuit.Circuit
+module Rng = Qca_util.Rng
+module Bits = Qca_util.Bits
+
+let total_qubits code = code.Code.n + Code.ancilla_count code
+
+(* Measure stabilizer i via its ancilla, returning the outcome bit and
+   leaving the ancilla collapsed (caller re-preps). *)
+let measure_stabilizer code tableau rng i =
+  let n = code.Code.n in
+  let ancilla = n + i in
+  let stab = code.Code.stabilizers.(i) in
+  let support = Pauli.support stab in
+  (* reset ancilla *)
+  let m = Tableau.measure tableau rng ancilla in
+  if m = 1 then Tableau.x tableau ancilla;
+  let is_x = stab.Pauli.x <> 0 in
+  if is_x then begin
+    Tableau.h tableau ancilla;
+    List.iter (fun q -> Tableau.cnot tableau ancilla q) support;
+    Tableau.h tableau ancilla
+  end
+  else List.iter (fun q -> Tableau.cnot tableau q ancilla) support;
+  Tableau.measure tableau rng ancilla
+
+let prepare_logical_zero code rng =
+  let tableau = Tableau.create (total_qubits code) in
+  (* Measuring each stabilizer projects into a joint eigenspace; a -1
+     outcome is repaired with a frame-fix operator that anticommutes with
+     that stabilizer and commutes with the already-fixed ones. Rather than
+     search for one, simply repeat the projection: starting from |0...0>
+     every Z-type stabilizer is already +1, and for X-type stabilizers a -1
+     outcome is fixed by any Z on one support qubit (which may disturb later
+     X stabilizers, so sweep until clean, which terminates for CSS codes). *)
+  let m = Array.length code.Code.stabilizers in
+  let rec sweep budget =
+    if budget = 0 then failwith "prepare_logical_zero: projection did not converge";
+    let dirty = ref false in
+    for i = 0 to m - 1 do
+      let outcome = measure_stabilizer code tableau rng i in
+      if outcome = 1 then begin
+        dirty := true;
+        let stab = code.Code.stabilizers.(i) in
+        (* Fix with a single-qubit operator anticommuting with this stabilizer. *)
+        match Pauli.support stab with
+        | [] -> assert false
+        | q :: _ -> if stab.Pauli.x <> 0 then Tableau.z tableau q else Tableau.x tableau q
+      end
+    done;
+    if !dirty then sweep (budget - 1)
+  in
+  sweep 32;
+  tableau
+
+let extract_syndrome code tableau rng =
+  let m = Array.length code.Code.stabilizers in
+  let syndrome = ref 0 in
+  for i = 0 to m - 1 do
+    if measure_stabilizer code tableau rng i = 1 then syndrome := Bits.set !syndrome i
+  done;
+  !syndrome
+
+let circuit_level_syndrome_matches code error rng =
+  let tableau = prepare_logical_zero code rng in
+  Tableau.apply_pauli tableau error;
+  let measured = extract_syndrome code tableau rng in
+  measured = Code.syndrome code error
+
+type overhead = {
+  qec_ops_per_round : int;
+  logical_op_cost : int;
+  rounds_per_logical_op : int;
+  qec_fraction : float;
+  physical_qubits : int;
+}
+
+let overhead_of ?(rounds_per_logical_op = 1) code =
+  let round_circuit = Code.syndrome_circuit code in
+  let ops circuit =
+    List.length
+      (List.filter
+         (fun instr ->
+           match instr with
+           | Gate.Unitary _ | Gate.Conditional _ | Gate.Prep _ | Gate.Measure _ -> true
+           | Gate.Barrier _ -> false)
+         (Circuit.instructions circuit))
+  in
+  let qec_ops_per_round = ops round_circuit in
+  (* A transversal logical operation costs one physical op per data qubit. *)
+  let logical_op_cost = code.Code.n in
+  let qec_total = qec_ops_per_round * rounds_per_logical_op in
+  {
+    qec_ops_per_round;
+    logical_op_cost;
+    rounds_per_logical_op;
+    qec_fraction = float_of_int qec_total /. float_of_int (qec_total + logical_op_cost);
+    physical_qubits = total_qubits code;
+  }

@@ -1,0 +1,30 @@
+(** QEC experiment harnesses: circuit-level syndrome extraction on the
+    stabilizer simulator and the fault-tolerance overhead accounting behind
+    the paper's "more than 90% of the computational activity" claim. *)
+
+val prepare_logical_zero : Code.t -> Qca_util.Rng.t -> Tableau.t
+(** Project |0...0> into the code space (and the +1 logical-Z eigenstate) by
+    measuring every stabilizer and applying frame corrections for -1
+    outcomes, using the lookup decoder's machinery. The returned tableau has
+    [n + ancilla_count] qubits (ancillas reset to |0>). *)
+
+val extract_syndrome : Code.t -> Tableau.t -> Qca_util.Rng.t -> int
+(** Run one circuit-level syndrome round (ancilla-based, {!Code.syndrome_circuit})
+    and return the measured syndrome bits. *)
+
+val circuit_level_syndrome_matches : Code.t -> Pauli.t -> Qca_util.Rng.t -> bool
+(** Inject a data error into a fresh logical zero and check the measured
+    circuit-level syndrome equals the algebraic {!Code.syndrome}. *)
+
+type overhead = {
+  qec_ops_per_round : int;  (** Gates + preps + measures in one round. *)
+  logical_op_cost : int;  (** Physical ops for one transversal logical op. *)
+  rounds_per_logical_op : int;
+  qec_fraction : float;  (** Share of physical ops spent on error correction. *)
+  physical_qubits : int;  (** Data + ancilla per logical qubit. *)
+}
+
+val overhead_of : ?rounds_per_logical_op:int -> Code.t -> overhead
+(** The paper quotes >90% of activity going to fault tolerance; this
+    computes the exact share for a given code (default one round per
+    logical op, the minimum for repeated stabilization). *)

@@ -1,0 +1,215 @@
+module Rng = Qca_util.Rng
+module Gate = Qca_circuit.Gate
+
+(* Aaronson-Gottesman tableau: rows 0..n-1 are destabilizers, n..2n-1 are
+   stabilizers, plus one scratch row 2n used during measurement. Each row is
+   a Pauli with sign bit r (0 = +, 1 = -). Bits are stored in int arrays
+   indexed [row].(qubit). *)
+type t = {
+  n : int;
+  xs : int array array;  (* xs.(row).(q) in {0,1} *)
+  zs : int array array;
+  r : int array;  (* sign bit per row *)
+}
+
+let create n =
+  assert (n >= 1 && n <= 4096);
+  let rows = (2 * n) + 1 in
+  let xs = Array.make_matrix rows n 0 and zs = Array.make_matrix rows n 0 in
+  for i = 0 to n - 1 do
+    xs.(i).(i) <- 1;
+    (* destabilizer X_i *)
+    zs.(n + i).(i) <- 1 (* stabilizer Z_i *)
+  done;
+  { n; xs; zs; r = Array.make rows 0 }
+
+let qubit_count t = t.n
+
+let copy t =
+  {
+    n = t.n;
+    xs = Array.map Array.copy t.xs;
+    zs = Array.map Array.copy t.zs;
+    r = Array.copy t.r;
+  }
+
+let h t q =
+  for i = 0 to (2 * t.n) - 1 do
+    let x = t.xs.(i).(q) and z = t.zs.(i).(q) in
+    t.r.(i) <- t.r.(i) lxor (x land z);
+    t.xs.(i).(q) <- z;
+    t.zs.(i).(q) <- x
+  done
+
+let s t q =
+  for i = 0 to (2 * t.n) - 1 do
+    let x = t.xs.(i).(q) and z = t.zs.(i).(q) in
+    t.r.(i) <- t.r.(i) lxor (x land z);
+    t.zs.(i).(q) <- z lxor x
+  done
+
+let cnot t control target =
+  for i = 0 to (2 * t.n) - 1 do
+    let xc = t.xs.(i).(control) and zc = t.zs.(i).(control) in
+    let xt = t.xs.(i).(target) and zt = t.zs.(i).(target) in
+    t.r.(i) <- t.r.(i) lxor (xc land zt land (xt lxor zc lxor 1));
+    t.xs.(i).(target) <- xt lxor xc;
+    t.zs.(i).(control) <- zc lxor zt
+  done
+
+let z t q =
+  (* Z = S^2 *)
+  s t q;
+  s t q
+
+let x t q =
+  h t q;
+  z t q;
+  h t q
+
+let y t q =
+  (* Y = iXZ; phase is global, so X then Z suffices. *)
+  z t q;
+  x t q
+
+let sdag t q =
+  s t q;
+  z t q
+
+let cz t a b =
+  h t b;
+  cnot t a b;
+  h t b
+
+let swap t a b =
+  cnot t a b;
+  cnot t b a;
+  cnot t a b
+
+let apply_pauli t (p : Pauli.t) =
+  for q = 0 to t.n - 1 do
+    let has_x = p.Pauli.x land (1 lsl q) <> 0 and has_z = p.Pauli.z land (1 lsl q) <> 0 in
+    if has_x && has_z then y t q
+    else if has_x then x t q
+    else if has_z then z t q
+  done
+
+let apply_gate t u ops =
+  match u, ops with
+  | Gate.I, _ -> ()
+  | Gate.X, [| q |] -> x t q
+  | Gate.Y, [| q |] -> y t q
+  | Gate.Z, [| q |] -> z t q
+  | Gate.H, [| q |] -> h t q
+  | Gate.S, [| q |] -> s t q
+  | Gate.Sdag, [| q |] -> sdag t q
+  | Gate.X90, [| q |] ->
+      (* X90 = H S H up to phase *)
+      h t q;
+      s t q;
+      h t q
+  | Gate.Xm90, [| q |] ->
+      h t q;
+      sdag t q;
+      h t q
+  | Gate.Y90, [| q |] ->
+      (* Y90 = Z H up to phase: check: H Z |psi>? Y90 = H X = ... use S H S-ish.
+         Ry(pi/2) maps Z->X, X->-Z. H maps Z<->X. Need sign: use S H Sdag? That maps
+         Z -> S H Sdag Z Sdag H S. Simpler: Y90 = Sdag H S? Verified in tests. *)
+      z t q;
+      h t q
+  | Gate.Ym90, [| q |] ->
+      h t q;
+      z t q
+  | Gate.Cnot, [| c; tg |] -> cnot t c tg
+  | Gate.Cz, [| a; b |] -> cz t a b
+  | Gate.Swap, [| a; b |] -> swap t a b
+  | (Gate.T | Gate.Tdag | Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.Cphase _ | Gate.Crk _ | Gate.Toffoli), _ ->
+      invalid_arg "Tableau.apply_gate: non-Clifford gate"
+  | (Gate.X | Gate.Y | Gate.Z | Gate.H | Gate.S | Gate.Sdag | Gate.X90 | Gate.Xm90
+    | Gate.Y90 | Gate.Ym90 | Gate.Cnot | Gate.Cz | Gate.Swap), _ ->
+      invalid_arg "Tableau.apply_gate: operand count mismatch"
+
+(* Multiply row h by row i (h <- h * i), tracking the sign via the g
+   function of Aaronson-Gottesman. *)
+let rowsum t target source =
+  let g x1 z1 x2 z2 =
+    (* exponent of i contributed when multiplying single-qubit Paulis *)
+    if x1 = 0 && z1 = 0 then 0
+    else if x1 = 1 && z1 = 1 then z2 - x2
+    else if x1 = 1 && z1 = 0 then z2 * ((2 * x2) - 1)
+    else x2 * (1 - (2 * z2))
+  in
+  let phase = ref ((2 * t.r.(target)) + (2 * t.r.(source))) in
+  for q = 0 to t.n - 1 do
+    phase := !phase + g t.xs.(source).(q) t.zs.(source).(q) t.xs.(target).(q) t.zs.(target).(q);
+    t.xs.(target).(q) <- t.xs.(target).(q) lxor t.xs.(source).(q);
+    t.zs.(target).(q) <- t.zs.(target).(q) lxor t.zs.(source).(q)
+  done;
+  let m = ((!phase mod 4) + 4) mod 4 in
+  assert (m = 0 || m = 2);
+  t.r.(target) <- m / 2
+
+let row_clear t row =
+  for q = 0 to t.n - 1 do
+    t.xs.(row).(q) <- 0;
+    t.zs.(row).(q) <- 0
+  done;
+  t.r.(row) <- 0
+
+let measure_with t q ~random_outcome =
+  let n = t.n in
+  (* Does any stabilizer anticommute with Z_q (i.e. has X on q)? *)
+  let rec find_p i = if i >= 2 * n then None else if t.xs.(i).(q) = 1 then Some i else find_p (i + 1) in
+  match find_p n with
+  | Some p ->
+      (* Random outcome. *)
+      let outcome = random_outcome () in
+      for i = 0 to (2 * n) - 1 do
+        if i <> p && t.xs.(i).(q) = 1 then rowsum t i p
+      done;
+      (* Destabilizer row p-n becomes old stabilizer; stabilizer p becomes Z_q. *)
+      for j = 0 to n - 1 do
+        t.xs.(p - n).(j) <- t.xs.(p).(j);
+        t.zs.(p - n).(j) <- t.zs.(p).(j)
+      done;
+      t.r.(p - n) <- t.r.(p);
+      row_clear t p;
+      t.zs.(p).(q) <- 1;
+      t.r.(p) <- outcome;
+      outcome
+  | None ->
+      (* Deterministic: accumulate into scratch row 2n. *)
+      let scratch = 2 * n in
+      row_clear t scratch;
+      for i = 0 to n - 1 do
+        if t.xs.(i).(q) = 1 then rowsum t scratch (i + n)
+      done;
+      t.r.(scratch)
+
+let measure t rng q = measure_with t q ~random_outcome:(fun () -> if Rng.bool rng then 1 else 0)
+
+let expectation_z t q =
+  let probe = copy t in
+  let rec find_p i =
+    if i >= 2 * probe.n then None else if probe.xs.(i).(q) = 1 then Some i else find_p (i + 1)
+  in
+  match find_p probe.n with
+  | Some _ -> None
+  | None -> Some (measure_with probe q ~random_outcome:(fun () -> assert false))
+
+let stabilizer_strings t =
+  let row_string i =
+    let sign = if t.r.(i) = 1 then "-" else "+" in
+    let body =
+      String.init t.n (fun q ->
+          match t.xs.(i).(q), t.zs.(i).(q) with
+          | 0, 0 -> 'I'
+          | 1, 0 -> 'X'
+          | 1, 1 -> 'Y'
+          | 0, 1 -> 'Z'
+          | _ -> assert false)
+    in
+    sign ^ body
+  in
+  List.init t.n (fun i -> row_string (t.n + i))

@@ -1,0 +1,44 @@
+(** Stabilizer (CHP) simulator after Aaronson & Gottesman, "Improved
+    simulation of stabilizer circuits".
+
+    Simulates Clifford circuits in polynomial time — the workhorse for
+    circuit-level QEC where the state-vector simulator would be too small.
+    Cross-validated against the QX state vector in the test suite. *)
+
+type t
+
+val create : int -> t
+(** |0...0> on n qubits. *)
+
+val qubit_count : t -> int
+val copy : t -> t
+
+val h : t -> int -> unit
+val s : t -> int -> unit
+val sdag : t -> int -> unit
+val x : t -> int -> unit
+val y : t -> int -> unit
+val z : t -> int -> unit
+val cnot : t -> int -> int -> unit
+(** [cnot tab control target]. *)
+
+val cz : t -> int -> int -> unit
+val swap : t -> int -> int -> unit
+
+val apply_pauli : t -> Pauli.t -> unit
+(** Apply an error operator. *)
+
+val apply_gate : t -> Qca_circuit.Gate.unitary -> int array -> unit
+(** Apply any Clifford from the shared gate set; raises [Invalid_argument]
+    for non-Clifford gates. *)
+
+val measure : t -> Qca_util.Rng.t -> int -> int
+(** Z-basis measurement with collapse; deterministic outcomes are returned
+    without consuming randomness. *)
+
+val expectation_z : t -> int -> int option
+(** [Some 0]/[Some 1] when the Z measurement of the qubit is deterministic
+    (+1/-1 eigenstate), [None] when random. *)
+
+val stabilizer_strings : t -> string list
+(** Current stabilizer generators, with sign prefix, e.g. ["+XX"; "-ZZ"]. *)

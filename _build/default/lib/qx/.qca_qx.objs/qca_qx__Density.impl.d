@@ -1,0 +1,1 @@
+lib/qx/density.ml: Array Float List Noise Qca_circuit Qca_util State

@@ -1,0 +1,1 @@
+lib/qx/density.mli: Noise Qca_circuit Qca_util State

@@ -1,0 +1,1 @@
+lib/qx/noise.ml: Array Float List Qca_circuit Qca_util State

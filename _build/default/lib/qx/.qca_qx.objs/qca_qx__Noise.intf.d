@@ -1,0 +1,1 @@
+lib/qx/noise.mli: Qca_circuit Qca_util State

@@ -1,0 +1,1 @@
+lib/qx/state.ml: Array Float List Printf Qca_circuit Qca_util

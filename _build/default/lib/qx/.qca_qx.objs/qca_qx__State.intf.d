@@ -1,0 +1,1 @@
+lib/qx/state.mli: Qca_circuit Qca_util

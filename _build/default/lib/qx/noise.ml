@@ -1,0 +1,123 @@
+module Gate = Qca_circuit.Gate
+module Rng = Qca_util.Rng
+module Matrix = Qca_util.Matrix
+module Cplx = Qca_util.Cplx
+
+type channel =
+  | Depolarizing of float
+  | Bit_flip of float
+  | Phase_flip of float
+  | Bit_phase_flip of float
+  | Amplitude_damping of float
+  | Phase_damping of float
+
+let apply_pauli state which q =
+  match which with
+  | 0 -> State.apply state Gate.X [| q |]
+  | 1 -> State.apply state Gate.Y [| q |]
+  | 2 -> State.apply state Gate.Z [| q |]
+  | _ -> assert false
+
+let kraus_damping gamma =
+  let k0 =
+    Matrix.of_arrays
+      [| [| Cplx.one; Cplx.zero |]; [| Cplx.zero; Cplx.make (sqrt (1.0 -. gamma)) 0.0 |] |]
+  in
+  let k1 =
+    Matrix.of_arrays
+      [| [| Cplx.zero; Cplx.make (sqrt gamma) 0.0 |]; [| Cplx.zero; Cplx.zero |] |]
+  in
+  (k0, k1)
+
+(* Trajectory step for amplitude damping: branch probabilities depend on the
+   current state (p_decay = gamma * P[q = 1]). *)
+let apply_amplitude_damping state rng gamma q =
+  let p_decay = gamma *. State.prob_one state q in
+  let k0, k1 = kraus_damping gamma in
+  let chosen = if Rng.float rng 1.0 < p_decay then k1 else k0 in
+  State.apply_matrix1 state chosen q;
+  State.normalize state
+
+let apply channel state rng q =
+  match channel with
+  | Depolarizing p ->
+      if Rng.bernoulli rng p then apply_pauli state (Rng.int rng 3) q
+  | Bit_flip p -> if Rng.bernoulli rng p then apply_pauli state 0 q
+  | Phase_flip p -> if Rng.bernoulli rng p then apply_pauli state 2 q
+  | Bit_phase_flip p -> if Rng.bernoulli rng p then apply_pauli state 1 q
+  | Amplitude_damping gamma -> if gamma > 0.0 then apply_amplitude_damping state rng gamma q
+  | Phase_damping lambda ->
+      (* Phase damping is equivalent to a phase flip with p = (1-sqrt(1-l))/2. *)
+      let p = (1.0 -. sqrt (1.0 -. lambda)) /. 2.0 in
+      if Rng.bernoulli rng p then apply_pauli state 2 q
+
+type model = {
+  single_qubit_error : float;
+  two_qubit_error : float;
+  readout_error : float;
+  prep_error : float;
+  t1_ns : float;
+  t2_ns : float;
+  cycle_ns : float;
+}
+
+let ideal =
+  {
+    single_qubit_error = 0.0;
+    two_qubit_error = 0.0;
+    readout_error = 0.0;
+    prep_error = 0.0;
+    t1_ns = infinity;
+    t2_ns = infinity;
+    cycle_ns = 20.0;
+  }
+
+let depolarizing p =
+  {
+    ideal with
+    single_qubit_error = p;
+    two_qubit_error = p;
+    readout_error = p;
+    prep_error = p;
+  }
+
+let superconducting =
+  {
+    single_qubit_error = 0.001;
+    two_qubit_error = 0.005;
+    readout_error = 0.01;
+    prep_error = 0.002;
+    t1_ns = 30_000.0;
+    t2_ns = 20_000.0;
+    cycle_ns = 20.0;
+  }
+
+let is_ideal m =
+  m.single_qubit_error = 0.0 && m.two_qubit_error = 0.0 && m.readout_error = 0.0
+  && m.prep_error = 0.0 && m.t1_ns = infinity && m.t2_ns = infinity
+
+let decay_channels m =
+  if m.t1_ns = infinity && m.t2_ns = infinity then []
+  else begin
+    let gamma = if m.t1_ns = infinity then 0.0 else 1.0 -. exp (-.m.cycle_ns /. m.t1_ns) in
+    (* Pure dephasing rate: 1/Tphi = 1/T2 - 1/(2 T1). *)
+    let t1_rate = if m.t1_ns = infinity then 0.0 else 1.0 /. (2.0 *. m.t1_ns) in
+    let t2_rate = if m.t2_ns = infinity then 0.0 else 1.0 /. m.t2_ns in
+    let phi_rate = Float.max 0.0 (t2_rate -. t1_rate) in
+    let lambda = 1.0 -. exp (-2.0 *. m.cycle_ns *. phi_rate) in
+    [ Amplitude_damping gamma; Phase_damping lambda ]
+  end
+
+let idle_decay m state rng q =
+  List.iter (fun ch -> apply ch state rng q) (decay_channels m)
+
+let after_gate m state rng u ops =
+  let p = if Gate.arity u >= 2 then m.two_qubit_error else m.single_qubit_error in
+  Array.iter
+    (fun q ->
+      apply (Depolarizing p) state rng q;
+      idle_decay m state rng q)
+    ops
+
+let flip_readout m rng outcome =
+  if Rng.bernoulli rng m.readout_error then 1 - outcome else outcome

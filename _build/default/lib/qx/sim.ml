@@ -1,0 +1,97 @@
+module Circuit = Qca_circuit.Circuit
+module Gate = Qca_circuit.Gate
+module Cqasm = Qca_circuit.Cqasm
+module Rng = Qca_util.Rng
+
+type outcome = { state : State.t; classical : int array }
+
+let default_rng () = Rng.create 0x5EED
+
+let run ?(noise = Noise.ideal) ?rng circuit =
+  let rng = match rng with Some r -> r | None -> default_rng () in
+  let n = Circuit.qubit_count circuit in
+  let state = State.create n in
+  let classical = Array.make n (-1) in
+  let ideal = Noise.is_ideal noise in
+  let execute instr =
+    match instr with
+    | Gate.Unitary (u, ops) ->
+        State.apply state u ops;
+        if not ideal then Noise.after_gate noise state rng u ops
+    | Gate.Conditional (bit, u, ops) ->
+        if classical.(bit) = 1 then begin
+          State.apply state u ops;
+          if not ideal then Noise.after_gate noise state rng u ops
+        end
+    | Gate.Prep q ->
+        let current = State.measure state rng q in
+        if current = 1 then State.apply state Gate.X [| q |];
+        if (not ideal) && Rng.bernoulli rng noise.Noise.prep_error then
+          State.apply state Gate.X [| q |]
+    | Gate.Measure q ->
+        let outcome = State.measure state rng q in
+        classical.(q) <- (if ideal then outcome else Noise.flip_readout noise rng outcome)
+    | Gate.Barrier _ -> ()
+  in
+  List.iter execute (Circuit.instructions circuit);
+  { state; classical }
+
+let noise_of_error_model = function
+  | None -> None
+  | Some (model, rate) -> begin
+      match model with
+      | "depolarizing_channel" -> Some (Noise.depolarizing rate)
+      | other -> invalid_arg (Printf.sprintf "Sim: unknown error model '%s'" other)
+    end
+
+let run_cqasm ?noise ?rng source =
+  let program = Cqasm.parse source in
+  let noise =
+    match noise with
+    | Some n -> Some n
+    | None -> noise_of_error_model program.Cqasm.error_model
+  in
+  run ?noise ?rng (Cqasm.flatten program)
+
+let bitstring classical =
+  let n = Array.length classical in
+  String.init n (fun i ->
+      match classical.(n - 1 - i) with
+      | -1 -> '-'
+      | 0 -> '0'
+      | 1 -> '1'
+      | _ -> assert false)
+
+let histogram ?(noise = Noise.ideal) ?rng ~shots circuit =
+  let rng = match rng with Some r -> r | None -> default_rng () in
+  let table = Hashtbl.create 64 in
+  for _ = 1 to shots do
+    let result = run ~noise ~rng circuit in
+    let key = bitstring result.classical in
+    Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+  done;
+  Hashtbl.fold (fun key count acc -> (key, count) :: acc) table []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let success_probability ?(noise = Noise.ideal) ?rng ~shots ~accept circuit =
+  let rng = match rng with Some r -> r | None -> default_rng () in
+  let hits = ref 0 in
+  for _ = 1 to shots do
+    let result = run ~noise ~rng circuit in
+    if accept result.classical then incr hits
+  done;
+  float_of_int !hits /. float_of_int shots
+
+let expectation_z ?(noise = Noise.ideal) ?rng circuit q =
+  let result = run ~noise ?rng circuit in
+  let mask = 1 lsl q in
+  State.expectation_diag result.state (fun k -> if k land mask = 0 then 1.0 else -1.0)
+
+let state_fidelity_vs_ideal ~noise ~rng ~shots circuit =
+  let reference = (run ~noise:Noise.ideal circuit).state in
+  let acc = ref 0.0 in
+  for _ = 1 to shots do
+    let noisy = (run ~noise ~rng circuit).state in
+    acc := !acc +. State.fidelity reference noisy
+  done;
+  !acc /. float_of_int shots

@@ -1,0 +1,49 @@
+(** QX simulator front end: execute circuits on perfect or realistic qubits.
+
+    The paper's QX engine executes cQASM, measures, and returns results to
+    the micro-architecture; this module is that execution engine. *)
+
+type outcome = {
+  state : State.t;  (** Final state vector. *)
+  classical : int array;
+      (** One classical bit per qubit, holding the latest measurement of that
+          qubit (-1 when never measured). *)
+}
+
+val run :
+  ?noise:Noise.model -> ?rng:Qca_util.Rng.t -> Qca_circuit.Circuit.t -> outcome
+(** Execute a circuit once. [noise] defaults to {!Noise.ideal} (perfect
+    qubits); [rng] defaults to a fixed-seed generator. *)
+
+val run_cqasm : ?noise:Noise.model -> ?rng:Qca_util.Rng.t -> string -> outcome
+(** Parse cQASM source and run it. When the source carries an
+    [error_model depolarizing_channel, p] directive (the QX convention) and
+    no [noise] is passed, that model is used. *)
+
+val histogram :
+  ?noise:Noise.model ->
+  ?rng:Qca_util.Rng.t ->
+  shots:int ->
+  Qca_circuit.Circuit.t ->
+  (string * int) list
+(** Re-execute [shots] times and count measured bitstrings (qubit 0 is the
+    rightmost character; unmeasured qubits render as '-'). Sorted by
+    decreasing count. *)
+
+val success_probability :
+  ?noise:Noise.model ->
+  ?rng:Qca_util.Rng.t ->
+  shots:int ->
+  accept:(int array -> bool) ->
+  Qca_circuit.Circuit.t ->
+  float
+(** Fraction of shots whose classical record satisfies [accept]. *)
+
+val expectation_z :
+  ?noise:Noise.model -> ?rng:Qca_util.Rng.t -> Qca_circuit.Circuit.t -> int -> float
+(** <Z> on one qubit of the final state of a single (noisy) run. *)
+
+val state_fidelity_vs_ideal :
+  noise:Noise.model -> rng:Qca_util.Rng.t -> shots:int -> Qca_circuit.Circuit.t -> float
+(** Average over trajectories of |<psi_noisy|psi_ideal>|^2 for a
+    measurement-free circuit. *)

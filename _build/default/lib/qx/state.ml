@@ -1,0 +1,368 @@
+module Gate = Qca_circuit.Gate
+module Matrix = Qca_util.Matrix
+module Cplx = Qca_util.Cplx
+module Rng = Qca_util.Rng
+
+type t = { qubit_count : int; re : float array; im : float array }
+
+let create n =
+  if n < 1 || n > 30 then invalid_arg "State.create: qubit count out of range [1, 30]";
+  let dim = 1 lsl n in
+  let re = Array.make dim 0.0 and im = Array.make dim 0.0 in
+  re.(0) <- 1.0;
+  { qubit_count = n; re; im }
+
+let qubit_count s = s.qubit_count
+let dimension s = Array.length s.re
+
+let copy s = { s with re = Array.copy s.re; im = Array.copy s.im }
+
+let norm s =
+  let acc = ref 0.0 in
+  for k = 0 to dimension s - 1 do
+    acc := !acc +. (s.re.(k) *. s.re.(k)) +. (s.im.(k) *. s.im.(k))
+  done;
+  sqrt !acc
+
+let normalize s =
+  let n = norm s in
+  if n <= 0.0 then invalid_arg "State.normalize: zero vector";
+  let inv = 1.0 /. n in
+  for k = 0 to dimension s - 1 do
+    s.re.(k) <- s.re.(k) *. inv;
+    s.im.(k) <- s.im.(k) *. inv
+  done
+
+let of_amplitudes amplitudes =
+  let dim = Array.length amplitudes in
+  let n =
+    let rec log2 d acc = if d = 1 then acc else log2 (d / 2) (acc + 1) in
+    if dim < 2 || dim land (dim - 1) <> 0 then
+      invalid_arg "State.of_amplitudes: length must be a power of two >= 2"
+    else log2 dim 0
+  in
+  let s =
+    {
+      qubit_count = n;
+      re = Array.map Cplx.re amplitudes;
+      im = Array.map Cplx.im amplitudes;
+    }
+  in
+  normalize s;
+  s
+
+let amplitude s k = Cplx.make s.re.(k) s.im.(k)
+
+let probabilities s =
+  Array.init (dimension s) (fun k -> (s.re.(k) *. s.re.(k)) +. (s.im.(k) *. s.im.(k)))
+
+let probability_of s k = (s.re.(k) *. s.re.(k)) +. (s.im.(k) *. s.im.(k))
+
+(* --- single-qubit kernels --------------------------------------------- *)
+
+(* Iterate over all (i0, i1) amplitude pairs differing only in bit q. *)
+let iter_pairs s q f =
+  let step = 1 lsl q in
+  let dim = dimension s in
+  let block = ref 0 in
+  while !block < dim do
+    for offset = !block to !block + step - 1 do
+      f offset (offset + step)
+    done;
+    block := !block + (2 * step)
+  done
+
+let apply_matrix1 s m q =
+  assert (Matrix.rows m = 2 && Matrix.cols m = 2);
+  let a = Matrix.get m 0 0 and b = Matrix.get m 0 1 in
+  let c = Matrix.get m 1 0 and d = Matrix.get m 1 1 in
+  let ar = Cplx.re a and ai = Cplx.im a in
+  let br = Cplx.re b and bi = Cplx.im b in
+  let cr = Cplx.re c and ci = Cplx.im c in
+  let dr = Cplx.re d and di = Cplx.im d in
+  let re = s.re and im = s.im in
+  let rotate i0 i1 =
+    let x0r = re.(i0) and x0i = im.(i0) in
+    let x1r = re.(i1) and x1i = im.(i1) in
+    re.(i0) <- (ar *. x0r) -. (ai *. x0i) +. (br *. x1r) -. (bi *. x1i);
+    im.(i0) <- (ar *. x0i) +. (ai *. x0r) +. (br *. x1i) +. (bi *. x1r);
+    re.(i1) <- (cr *. x0r) -. (ci *. x0i) +. (dr *. x1r) -. (di *. x1i);
+    im.(i1) <- (cr *. x0i) +. (ci *. x0r) +. (dr *. x1i) +. (di *. x1r)
+  in
+  iter_pairs s q rotate
+
+let apply_x s q =
+  let swap i0 i1 =
+    let tr = s.re.(i0) and ti = s.im.(i0) in
+    s.re.(i0) <- s.re.(i1);
+    s.im.(i0) <- s.im.(i1);
+    s.re.(i1) <- tr;
+    s.im.(i1) <- ti
+  in
+  iter_pairs s q swap
+
+let apply_phase_if s predicate re_phase im_phase =
+  (* Multiply amplitude k by (re_phase + i im_phase) whenever predicate k. *)
+  let re = s.re and im = s.im in
+  for k = 0 to dimension s - 1 do
+    if predicate k then begin
+      let r = re.(k) and i = im.(k) in
+      re.(k) <- (r *. re_phase) -. (i *. im_phase);
+      im.(k) <- (r *. im_phase) +. (i *. re_phase)
+    end
+  done
+
+let apply_cnot s control target =
+  let cmask = 1 lsl control in
+  let swap i0 i1 =
+    if i0 land cmask <> 0 then begin
+      let tr = s.re.(i0) and ti = s.im.(i0) in
+      s.re.(i0) <- s.re.(i1);
+      s.im.(i0) <- s.im.(i1);
+      s.re.(i1) <- tr;
+      s.im.(i1) <- ti
+    end
+  in
+  iter_pairs s target swap
+
+let apply_swap s q1 q2 =
+  let m1 = 1 lsl q1 and m2 = 1 lsl q2 in
+  let dim = dimension s in
+  for k = 0 to dim - 1 do
+    (* swap amplitudes for 01 <-> 10 patterns, visiting each pair once *)
+    if k land m1 <> 0 && k land m2 = 0 then begin
+      let j = k lxor m1 lxor m2 in
+      let tr = s.re.(k) and ti = s.im.(k) in
+      s.re.(k) <- s.re.(j);
+      s.im.(k) <- s.im.(j);
+      s.re.(j) <- tr;
+      s.im.(j) <- ti
+    end
+  done
+
+let apply_toffoli s c1 c2 target =
+  let m1 = 1 lsl c1 and m2 = 1 lsl c2 in
+  let swap i0 i1 =
+    if i0 land m1 <> 0 && i0 land m2 <> 0 then begin
+      let tr = s.re.(i0) and ti = s.im.(i0) in
+      s.re.(i0) <- s.re.(i1);
+      s.im.(i0) <- s.im.(i1);
+      s.re.(i1) <- tr;
+      s.im.(i1) <- ti
+    end
+  in
+  iter_pairs s target swap
+
+(* Generic k-qubit dense application (fallback, k <= 3 in practice). *)
+let apply_generic s u ops =
+  let m = Gate.matrix u in
+  let k = Array.length ops in
+  let small_dim = 1 lsl k in
+  assert (Matrix.rows m = small_dim);
+  (* Enumerate assignments of the non-operand qubits, then mix the 2^k
+     amplitudes addressed by the operand qubits. Operand order is
+     most-significant-first in the small matrix. *)
+  let masks = Array.map (fun q -> 1 lsl q) ops in
+  let op_mask = Array.fold_left ( lor ) 0 masks in
+  let dim = dimension s in
+  let scratch_re = Array.make small_dim 0.0 and scratch_im = Array.make small_dim 0.0 in
+  let index_for base sub =
+    (* sub's bit (k-1-i) corresponds to ops.(i) because ops are MSB-first. *)
+    let idx = ref base in
+    for i = 0 to k - 1 do
+      if sub land (1 lsl (k - 1 - i)) <> 0 then idx := !idx lor masks.(i)
+    done;
+    !idx
+  in
+  let base = ref 0 in
+  while !base < dim do
+    if !base land op_mask = 0 then begin
+      for sub = 0 to small_dim - 1 do
+        let idx = index_for !base sub in
+        scratch_re.(sub) <- s.re.(idx);
+        scratch_im.(sub) <- s.im.(idx)
+      done;
+      for row = 0 to small_dim - 1 do
+        let acc_r = ref 0.0 and acc_i = ref 0.0 in
+        for col = 0 to small_dim - 1 do
+          let e = Matrix.get m row col in
+          let er = Cplx.re e and ei = Cplx.im e in
+          if er <> 0.0 || ei <> 0.0 then begin
+            acc_r := !acc_r +. (er *. scratch_re.(col)) -. (ei *. scratch_im.(col));
+            acc_i := !acc_i +. (er *. scratch_im.(col)) +. (ei *. scratch_re.(col))
+          end
+        done;
+        let idx = index_for !base row in
+        s.re.(idx) <- !acc_r;
+        s.im.(idx) <- !acc_i
+      done
+    end;
+    incr base
+  done
+
+let apply s u ops =
+  Array.iter
+    (fun q ->
+      if q < 0 || q >= s.qubit_count then invalid_arg "State.apply: qubit out of range")
+    ops;
+  match u, ops with
+  | Gate.I, _ -> ()
+  | Gate.X, [| q |] -> apply_x s q
+  | Gate.Z, [| q |] ->
+      let mask = 1 lsl q in
+      apply_phase_if s (fun k -> k land mask <> 0) (-1.0) 0.0
+  | Gate.S, [| q |] ->
+      let mask = 1 lsl q in
+      apply_phase_if s (fun k -> k land mask <> 0) 0.0 1.0
+  | Gate.Sdag, [| q |] ->
+      let mask = 1 lsl q in
+      apply_phase_if s (fun k -> k land mask <> 0) 0.0 (-1.0)
+  | Gate.T, [| q |] ->
+      let mask = 1 lsl q in
+      let c = cos (Float.pi /. 4.0) and si = sin (Float.pi /. 4.0) in
+      apply_phase_if s (fun k -> k land mask <> 0) c si
+  | Gate.Tdag, [| q |] ->
+      let mask = 1 lsl q in
+      let c = cos (Float.pi /. 4.0) and si = sin (Float.pi /. 4.0) in
+      apply_phase_if s (fun k -> k land mask <> 0) c (-.si)
+  | Gate.Rz theta, [| q |] ->
+      (* Diagonal: e^{-i t/2} on |0>, e^{+i t/2} on |1>. *)
+      let mask = 1 lsl q in
+      let h = theta /. 2.0 in
+      apply_phase_if s (fun k -> k land mask <> 0) (cos h) (sin h);
+      apply_phase_if s (fun k -> k land mask = 0) (cos h) (-.sin h)
+  | (Gate.Y | Gate.H | Gate.X90 | Gate.Xm90 | Gate.Y90 | Gate.Ym90 | Gate.Rx _ | Gate.Ry _), [| q |]
+    ->
+      apply_matrix1 s (Gate.matrix u) q
+  | Gate.Cnot, [| control; target |] -> apply_cnot s control target
+  | Gate.Cz, [| q1; q2 |] ->
+      let m1 = 1 lsl q1 and m2 = 1 lsl q2 in
+      apply_phase_if s (fun k -> k land m1 <> 0 && k land m2 <> 0) (-1.0) 0.0
+  | Gate.Swap, [| q1; q2 |] -> apply_swap s q1 q2
+  | Gate.Cphase phi, [| q1; q2 |] ->
+      let m1 = 1 lsl q1 and m2 = 1 lsl q2 in
+      apply_phase_if s (fun k -> k land m1 <> 0 && k land m2 <> 0) (cos phi) (sin phi)
+  | Gate.Crk k, [| q1; q2 |] ->
+      let phi = 2.0 *. Float.pi /. float_of_int (1 lsl k) in
+      let m1 = 1 lsl q1 and m2 = 1 lsl q2 in
+      apply_phase_if s (fun idx -> idx land m1 <> 0 && idx land m2 <> 0) (cos phi) (sin phi)
+  | Gate.Toffoli, [| c1; c2; target |] -> apply_toffoli s c1 c2 target
+  | _, _ -> apply_generic s u ops
+
+(* --- measurement ------------------------------------------------------ *)
+
+let prob_one s q =
+  let mask = 1 lsl q in
+  let acc = ref 0.0 in
+  for k = 0 to dimension s - 1 do
+    if k land mask <> 0 then acc := !acc +. (s.re.(k) *. s.re.(k)) +. (s.im.(k) *. s.im.(k))
+  done;
+  !acc
+
+let collapse s q outcome =
+  assert (outcome = 0 || outcome = 1);
+  let mask = 1 lsl q in
+  let keep k = if outcome = 1 then k land mask <> 0 else k land mask = 0 in
+  for k = 0 to dimension s - 1 do
+    if not (keep k) then begin
+      s.re.(k) <- 0.0;
+      s.im.(k) <- 0.0
+    end
+  done;
+  normalize s
+
+let measure s rng q =
+  let p1 = prob_one s q in
+  let outcome = if Rng.float rng 1.0 < p1 then 1 else 0 in
+  collapse s q outcome;
+  outcome
+
+let sample_index s rng =
+  let target = Rng.float rng 1.0 in
+  let dim = dimension s in
+  let rec scan k acc =
+    if k = dim - 1 then k
+    else
+      let acc = acc +. probability_of s k in
+      if target < acc then k else scan (k + 1) acc
+  in
+  scan 0 0.0
+
+let overlap a b =
+  assert (dimension a = dimension b);
+  let acc_r = ref 0.0 and acc_i = ref 0.0 in
+  for k = 0 to dimension a - 1 do
+    (* conj(a_k) * b_k *)
+    acc_r := !acc_r +. (a.re.(k) *. b.re.(k)) +. (a.im.(k) *. b.im.(k));
+    acc_i := !acc_i +. (a.re.(k) *. b.im.(k)) -. (a.im.(k) *. b.re.(k))
+  done;
+  Cplx.make !acc_r !acc_i
+
+let fidelity a b = Cplx.norm2 (overlap a b)
+
+let expectation_diag s f =
+  let acc = ref 0.0 in
+  for k = 0 to dimension s - 1 do
+    acc := !acc +. (f k *. probability_of s k)
+  done;
+  !acc
+
+let apply_diagonal_phase s f =
+  for k = 0 to dimension s - 1 do
+    let phi = f k in
+    let c = cos phi and si = sin phi in
+    let r = s.re.(k) and i = s.im.(k) in
+    s.re.(k) <- (r *. c) -. (i *. si);
+    s.im.(k) <- (r *. si) +. (i *. c)
+  done
+
+let expectation_pauli s terms =
+  let qubits = List.map fst terms in
+  let sorted = List.sort_uniq compare qubits in
+  if List.length sorted <> List.length qubits then
+    invalid_arg "State.expectation_pauli: repeated qubit";
+  let probe = copy s in
+  (* Rotate each qubit's basis so the operator becomes diagonal (Z). *)
+  List.iter
+    (fun (q, letter) ->
+      match letter with
+      | 'Z' -> ()
+      | 'X' -> apply probe Gate.H [| q |]
+      | 'Y' ->
+          apply probe Gate.Sdag [| q |];
+          apply probe Gate.H [| q |]
+      | c -> invalid_arg (Printf.sprintf "State.expectation_pauli: '%c'" c))
+    terms;
+  let mask = List.fold_left (fun m q -> m lor (1 lsl q)) 0 qubits in
+  expectation_diag probe (fun k ->
+      if Qca_util.Bits.parity (k land mask) = 0 then 1.0 else -1.0)
+
+let apply_permutation s f =
+  let dim = dimension s in
+  let re = Array.make dim 0.0 and im = Array.make dim 0.0 in
+  let hit = Array.make dim false in
+  for k = 0 to dim - 1 do
+    let j = f k in
+    if j < 0 || j >= dim || hit.(j) then
+      invalid_arg "State.apply_permutation: not a bijection";
+    hit.(j) <- true;
+    re.(j) <- s.re.(k);
+    im.(j) <- s.im.(k)
+  done;
+  Array.blit re 0 s.re 0 dim;
+  Array.blit im 0 s.im 0 dim
+
+let apply_controlled_permutation s ~control f =
+  let mask = 1 lsl control in
+  let guarded k =
+    if k land mask = 0 then k
+    else begin
+      let j = f k in
+      if j land mask = 0 then
+        invalid_arg "State.apply_controlled_permutation: permutation clears the control";
+      j
+    end
+  in
+  apply_permutation s guarded
+
+let memory_bytes n = 2 * 8 * (1 lsl n)

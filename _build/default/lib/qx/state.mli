@@ -1,0 +1,80 @@
+(** State-vector backend of the QX simulator.
+
+    Amplitudes are stored little-endian: qubit 0 is the least-significant bit
+    of the basis index, matching {!Qca_circuit.Circuit.unitary_matrix}. *)
+
+type t
+
+val create : int -> t
+(** [create n] is |0...0> on [n] qubits. Raises for n < 1 or n > 30. *)
+
+val qubit_count : t -> int
+val dimension : t -> int
+
+val copy : t -> t
+
+val of_amplitudes : Qca_util.Cplx.t array -> t
+(** Length must be a power of two; the vector is normalised on entry. *)
+
+val amplitude : t -> int -> Qca_util.Cplx.t
+
+val probabilities : t -> float array
+(** Full measurement distribution (length [dimension]). *)
+
+val probability_of : t -> int -> float
+(** Probability of one basis state. *)
+
+val norm : t -> float
+(** 2-norm (1.0 for a valid state). *)
+
+val normalize : t -> unit
+
+val apply : t -> Qca_circuit.Gate.unitary -> int array -> unit
+(** Apply a gate in place; operands as in {!Qca_circuit.Gate.t}. *)
+
+val apply_matrix1 : t -> Qca_util.Matrix.t -> int -> unit
+(** Apply an arbitrary 2x2 matrix (not necessarily unitary — used for Kraus
+    operators; renormalisation is the caller's concern). *)
+
+val prob_one : t -> int -> float
+(** Probability that measuring qubit [q] yields 1. *)
+
+val collapse : t -> int -> int -> unit
+(** [collapse s q outcome] projects qubit [q] onto [outcome] (0 or 1) and
+    renormalises. The projected branch must have nonzero probability. *)
+
+val measure : t -> Qca_util.Rng.t -> int -> int
+(** Sample and collapse one qubit; returns the outcome. *)
+
+val sample_index : t -> Qca_util.Rng.t -> int
+(** Sample a basis index from the current distribution without collapsing. *)
+
+val overlap : t -> t -> Qca_util.Cplx.t
+(** Inner product <a|b>. *)
+
+val fidelity : t -> t -> float
+(** |<a|b>|^2. *)
+
+val expectation_diag : t -> (int -> float) -> float
+(** Expectation of a computational-basis-diagonal observable. *)
+
+val expectation_pauli : t -> (int * char) list -> float
+(** Expectation of a Pauli string, e.g. [[(0, 'X'); (2, 'Z')]] for X0 Z2.
+    Letters X, Y, Z; qubits must be distinct. Leaves the state untouched
+    (works on a rotated copy). *)
+
+val apply_diagonal_phase : t -> (int -> float) -> unit
+(** Multiply each amplitude k by exp(i * f k) — the efficient path for
+    diagonal cost Hamiltonians (QAOA phase separation). *)
+
+val apply_permutation : t -> (int -> int) -> unit
+(** Classical reversible function as a basis permutation: amplitude of |x>
+    moves to |f x|. [f] must be a bijection on the basis range (checked). *)
+
+val apply_controlled_permutation : t -> control:int -> (int -> int) -> unit
+(** Apply the permutation only on basis states whose [control] bit is 1;
+    [f] must fix the control bit and be a bijection on that subspace —
+    the controlled-U_a^2^k building block of order finding. *)
+
+val memory_bytes : int -> int
+(** Bytes required by a state on [n] qubits (used by the E5 scaling table). *)

@@ -1,0 +1,1 @@
+lib/tsp/encode.ml: Array Float Qca_anneal Tsp

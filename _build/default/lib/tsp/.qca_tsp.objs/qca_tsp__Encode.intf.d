@@ -1,0 +1,1 @@
+lib/tsp/encode.mli: Qca_anneal Tsp

@@ -1,0 +1,1 @@
+lib/tsp/exact.ml: Array Float Fun Tsp

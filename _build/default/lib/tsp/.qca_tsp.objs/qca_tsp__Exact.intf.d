@@ -1,0 +1,1 @@
+lib/tsp/exact.mli: Tsp

@@ -1,0 +1,1 @@
+lib/tsp/heuristic.ml: Array Exact Fun Qca_util Tsp

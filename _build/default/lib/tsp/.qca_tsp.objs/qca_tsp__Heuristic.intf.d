@@ -1,0 +1,1 @@
+lib/tsp/heuristic.mli: Qca_util Tsp

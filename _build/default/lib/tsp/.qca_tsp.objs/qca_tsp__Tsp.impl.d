@@ -1,0 +1,1 @@
+lib/tsp/tsp.ml: Array Float Fun Printf Qca_util

@@ -1,0 +1,1 @@
+lib/tsp/tsp.mli: Qca_util

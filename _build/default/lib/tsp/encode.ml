@@ -1,0 +1,103 @@
+module Qubo = Qca_anneal.Qubo
+
+let qubits_needed n = n * n
+
+let variable ~n ~city ~time =
+  assert (city >= 0 && city < n && time >= 0 && time < n);
+  (city * n) + time
+
+let max_distance t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left Float.max acc row)
+    0.0 t.Tsp.distance
+
+let to_qubo ?penalty t =
+  let n = Tsp.size t in
+  let a = match penalty with Some p -> p | None -> 4.0 *. max_distance t in
+  let q = Qubo.create (qubits_needed n) in
+  let v ~city ~time = variable ~n ~city ~time in
+  (* (i)+(ii): each city in exactly one slot: A (1 - sum_t x_ct)^2.
+     Expanding with x^2 = x gives -A on each diagonal and +2A on pairs. *)
+  for city = 0 to n - 1 do
+    for time = 0 to n - 1 do
+      Qubo.add q (v ~city ~time) (v ~city ~time) (-.a);
+      for time' = time + 1 to n - 1 do
+        Qubo.add q (v ~city ~time) (v ~city ~time:time') (2.0 *. a)
+      done
+    done
+  done;
+  (* (iii): each slot hosts exactly one city. *)
+  for time = 0 to n - 1 do
+    for city = 0 to n - 1 do
+      Qubo.add q (v ~city ~time) (v ~city ~time) (-.a);
+      for city' = city + 1 to n - 1 do
+        Qubo.add q (v ~city ~time) (v ~city:city' ~time) (2.0 *. a)
+      done
+    done
+  done;
+  (* (iv): travel cost between consecutive slots (cyclically). *)
+  for time = 0 to n - 1 do
+    let time' = (time + 1) mod n in
+    for city = 0 to n - 1 do
+      for city' = 0 to n - 1 do
+        if city <> city' then
+          Qubo.add q (v ~city ~time) (v ~city:city' ~time:time')
+            t.Tsp.distance.(city).(city')
+      done
+    done
+  done;
+  q
+
+let decode t bits =
+  let n = Tsp.size t in
+  assert (Array.length bits = n * n);
+  let tour = Array.make n (-1) in
+  let used = Array.make n false in
+  let ok = ref true in
+  for time = 0 to n - 1 do
+    let assigned = ref [] in
+    for city = 0 to n - 1 do
+      if bits.(variable ~n ~city ~time) = 1 then assigned := city :: !assigned
+    done;
+    match !assigned with
+    | [ city ] when not used.(city) ->
+        tour.(time) <- city;
+        used.(city) <- true
+    | _ -> ok := false
+  done;
+  if !ok then Some tour else None
+
+let decode_with_repair t bits =
+  let n = Tsp.size t in
+  let tour = Array.make n (-1) in
+  let used = Array.make n false in
+  (* First pass: honour unambiguous, unused assignments. *)
+  for time = 0 to n - 1 do
+    for city = 0 to n - 1 do
+      if
+        tour.(time) = -1
+        && (not used.(city))
+        && bits.(variable ~n ~city ~time) = 1
+      then begin
+        tour.(time) <- city;
+        used.(city) <- true
+      end
+    done
+  done;
+  (* Fill the gaps with unused cities in order. *)
+  let next_unused = ref 0 in
+  for time = 0 to n - 1 do
+    if tour.(time) = -1 then begin
+      while used.(!next_unused) do
+        incr next_unused
+      done;
+      tour.(time) <- !next_unused;
+      used.(!next_unused) <- true
+    end
+  done;
+  tour
+
+let tour_bits ~n tour =
+  let bits = Array.make (n * n) 0 in
+  Array.iteri (fun time city -> bits.(variable ~n ~city ~time) <- 1) tour;
+  bits

@@ -1,0 +1,112 @@
+let enumerate t =
+  let n = Tsp.size t in
+  if n > 10 then invalid_arg "Exact.enumerate: too many cities";
+  let best_cost = ref infinity and best_tour = ref (Array.init n Fun.id) in
+  let tour = Array.init n Fun.id in
+  let rec permute k =
+    if k = n then begin
+      let c = Tsp.tour_cost t tour in
+      if c < !best_cost then begin
+        best_cost := c;
+        best_tour := Array.copy tour
+      end
+    end
+    else
+      for i = k to n - 1 do
+        let tmp = tour.(k) in
+        tour.(k) <- tour.(i);
+        tour.(i) <- tmp;
+        permute (k + 1);
+        let tmp = tour.(k) in
+        tour.(k) <- tour.(i);
+        tour.(i) <- tmp
+      done
+  in
+  permute 1;
+  (!best_tour, !best_cost)
+
+(* Held-Karp: dp.(mask).(last) = cheapest path visiting exactly the cities
+   in mask (always containing 0), starting at 0 and ending at last. *)
+let held_karp t =
+  let n = Tsp.size t in
+  if n > 18 then invalid_arg "Exact.held_karp: too many cities";
+  let full = 1 lsl n in
+  let dp = Array.make_matrix full n infinity in
+  let parent = Array.make_matrix full n (-1) in
+  dp.(1).(0) <- 0.0;
+  for mask = 1 to full - 1 do
+    if mask land 1 = 1 then
+      for last = 0 to n - 1 do
+        if mask land (1 lsl last) <> 0 && dp.(mask).(last) < infinity then
+          for next = 1 to n - 1 do
+            if mask land (1 lsl next) = 0 then begin
+              let mask' = mask lor (1 lsl next) in
+              let cost = dp.(mask).(last) +. t.Tsp.distance.(last).(next) in
+              if cost < dp.(mask').(next) then begin
+                dp.(mask').(next) <- cost;
+                parent.(mask').(next) <- last
+              end
+            end
+          done
+      done
+  done;
+  let all = full - 1 in
+  let best_last = ref 1 and best_cost = ref infinity in
+  for last = 1 to n - 1 do
+    let cost = dp.(all).(last) +. t.Tsp.distance.(last).(0) in
+    if cost < !best_cost then begin
+      best_cost := cost;
+      best_last := last
+    end
+  done;
+  (* Reconstruct. *)
+  let tour = Array.make n 0 in
+  let rec walk mask last k =
+    tour.(k) <- last;
+    if k > 0 then begin
+      let prev = parent.(mask).(last) in
+      walk (mask lxor (1 lsl last)) prev (k - 1)
+    end
+  in
+  walk all !best_last (n - 1);
+  (tour, !best_cost)
+
+let branch_and_bound t =
+  let n = Tsp.size t in
+  (* Lower bound helper: cheapest edge leaving each unvisited city. *)
+  let cheapest_out = Array.make n infinity in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then cheapest_out.(i) <- Float.min cheapest_out.(i) t.Tsp.distance.(i).(j)
+    done
+  done;
+  let best_cost = ref infinity and best_tour = ref (Array.init n Fun.id) in
+  let tour = Array.make n 0 in
+  let visited = Array.make n false in
+  visited.(0) <- true;
+  let rec search depth cost bound_rest =
+    if cost +. bound_rest >= !best_cost then ()
+    else if depth = n then begin
+      let total = cost +. t.Tsp.distance.(tour.(n - 1)).(0) in
+      if total < !best_cost then begin
+        best_cost := total;
+        best_tour := Array.copy tour
+      end
+    end
+    else
+      for next = 1 to n - 1 do
+        if not visited.(next) then begin
+          visited.(next) <- true;
+          tour.(depth) <- next;
+          let edge = t.Tsp.distance.(tour.(depth - 1)).(next) in
+          search (depth + 1) (cost +. edge) (bound_rest -. cheapest_out.(next));
+          visited.(next) <- false
+        end
+      done
+  in
+  let initial_bound = Array.fold_left ( +. ) 0.0 cheapest_out -. cheapest_out.(0) in
+  search 1 0.0 initial_bound;
+  (!best_tour, !best_cost)
+
+let solvers =
+  [ ("enumerate", enumerate); ("held-karp", held_karp); ("branch-and-bound", branch_and_bound) ]

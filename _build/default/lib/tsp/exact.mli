@@ -1,0 +1,14 @@
+(** Exact TSP solvers: the classical baselines of section 3.3 (the paper
+    cites branch and bound as the exact-record method). *)
+
+val enumerate : Tsp.t -> int array * float
+(** Full enumeration with city 0 fixed; feasible to ~10 cities. *)
+
+val held_karp : Tsp.t -> int array * float
+(** Dynamic programming in O(n^2 2^n); feasible to ~18 cities. *)
+
+val branch_and_bound : Tsp.t -> int array * float
+(** Depth-first search pruned by a cheapest-outgoing-edge bound. *)
+
+val solvers : (string * (Tsp.t -> int array * float)) list
+(** Named list of all exact solvers (for cross-checking). *)

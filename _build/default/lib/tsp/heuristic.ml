@@ -1,0 +1,75 @@
+module Rng = Qca_util.Rng
+
+let nearest_neighbour ?(start = 0) t =
+  let n = Tsp.size t in
+  let visited = Array.make n false in
+  let tour = Array.make n start in
+  visited.(start) <- true;
+  for k = 1 to n - 1 do
+    let from = tour.(k - 1) in
+    let best = ref (-1) and best_d = ref infinity in
+    for c = 0 to n - 1 do
+      if (not visited.(c)) && t.Tsp.distance.(from).(c) < !best_d then begin
+        best := c;
+        best_d := t.Tsp.distance.(from).(c)
+      end
+    done;
+    tour.(k) <- !best;
+    visited.(!best) <- true
+  done;
+  (tour, Tsp.tour_cost t tour)
+
+let two_opt t tour0 =
+  let n = Tsp.size t in
+  let tour = Array.copy tour0 in
+  let d i j = t.Tsp.distance.(i).(j) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for i = 0 to n - 2 do
+      for j = i + 1 to n - 1 do
+        (* Reverse segment tour[i+1..j]: replaces edges (i, i+1) and
+           (j, j+1) with (i, j) and (i+1, j+1). *)
+        let a = tour.(i) and b = tour.((i + 1) mod n) in
+        let c = tour.(j) and e = tour.((j + 1) mod n) in
+        if a <> c && b <> e then begin
+          let delta = d a c +. d b e -. d a b -. d c e in
+          if delta < -1e-12 then begin
+            let lo = ref (i + 1) and hi = ref j in
+            while !lo < !hi do
+              let tmp = tour.(!lo) in
+              tour.(!lo) <- tour.(!hi);
+              tour.(!hi) <- tmp;
+              incr lo;
+              decr hi
+            done;
+            improved := true
+          end
+        end
+      done
+    done
+  done;
+  (tour, Tsp.tour_cost t tour)
+
+let nearest_neighbour_two_opt t =
+  let tour, _ = nearest_neighbour t in
+  two_opt t tour
+
+let monte_carlo ?(samples = 1000) ~rng t =
+  let n = Tsp.size t in
+  let best_tour = ref (Array.init n Fun.id) in
+  let best_cost = ref (Tsp.tour_cost t !best_tour) in
+  let candidate = Array.init n Fun.id in
+  for _ = 1 to samples do
+    Rng.shuffle rng candidate;
+    let c = Tsp.tour_cost t candidate in
+    if c < !best_cost then begin
+      best_cost := c;
+      best_tour := Array.copy candidate
+    end
+  done;
+  (!best_tour, !best_cost)
+
+let approximation_ratio t (_, cost) =
+  let _, optimal = Exact.held_karp t in
+  cost /. optimal

@@ -1,0 +1,18 @@
+(** Heuristic TSP solvers — the "much lesser complexity" methods section 3.3
+    notes are used when exact solutions are out of reach (Monte Carlo is the
+    method the paper names for large inputs). *)
+
+val nearest_neighbour : ?start:int -> Tsp.t -> int array * float
+
+val two_opt : Tsp.t -> int array -> int array * float
+(** Local improvement of an existing tour until no 2-opt move helps. *)
+
+val nearest_neighbour_two_opt : Tsp.t -> int array * float
+(** The standard construct-then-improve pipeline. *)
+
+val monte_carlo : ?samples:int -> rng:Qca_util.Rng.t -> Tsp.t -> int array * float
+(** Best of random permutations. *)
+
+val approximation_ratio : Tsp.t -> (int array * float) -> float
+(** Heuristic cost over exact optimum (Held-Karp; instance must be small
+    enough for it). *)

@@ -1,0 +1,115 @@
+module Rng = Qca_util.Rng
+
+type t = { name : string; cities : string array; distance : float array array }
+
+let size t = Array.length t.cities
+
+let make ~name ~cities ~distance =
+  let n = Array.length cities in
+  if n < 2 then invalid_arg "Tsp.make: need at least two cities";
+  if Array.length distance <> n then invalid_arg "Tsp.make: distance matrix size";
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n then invalid_arg "Tsp.make: distance matrix not square";
+      if Float.abs row.(i) > 1e-12 then invalid_arg "Tsp.make: nonzero diagonal";
+      Array.iteri
+        (fun j d ->
+          if Float.abs (d -. distance.(j).(i)) > 1e-9 then
+            invalid_arg "Tsp.make: asymmetric distances";
+          if d < 0.0 then invalid_arg "Tsp.make: negative distance")
+        row)
+    distance;
+  { name; cities; distance }
+
+let euclidean ~name ?(scale = 1.0) points =
+  let n = Array.length points in
+  let cities = Array.map (fun (c, _, _) -> c) points in
+  let distance =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            let _, xi, yi = points.(i) and _, xj, yj = points.(j) in
+            scale *. Float.hypot (xi -. xj) (yi -. yj)))
+  in
+  make ~name ~cities ~distance
+
+let tour_cost t tour =
+  let n = size t in
+  assert (Array.length tour = n);
+  let acc = ref 0.0 in
+  for k = 0 to n - 1 do
+    acc := !acc +. t.distance.(tour.(k)).(tour.((k + 1) mod n))
+  done;
+  !acc
+
+let is_valid_tour t tour =
+  let n = size t in
+  Array.length tour = n
+  &&
+  let seen = Array.make n false in
+  Array.for_all
+    (fun c ->
+      if c < 0 || c >= n || seen.(c) then false
+      else begin
+        seen.(c) <- true;
+        true
+      end)
+    tour
+
+(* Optimal tour by enumeration, used only to calibrate the Figure-9 scale. *)
+let enumerate_optimal t =
+  let n = size t in
+  assert (n <= 8);
+  let best = ref infinity in
+  let tour = Array.init n Fun.id in
+  let rec permute k =
+    if k = n then best := Float.min !best (tour_cost t tour)
+    else
+      for i = k to n - 1 do
+        let tmp = tour.(k) in
+        tour.(k) <- tour.(i);
+        tour.(i) <- tmp;
+        permute (k + 1);
+        let tmp = tour.(k) in
+        tour.(k) <- tour.(i);
+        tour.(i) <- tmp
+      done
+  in
+  permute 1;
+  !best
+
+(* Map coordinates (longitude, latitude) of the four cities in Figure 9's
+   route-planning example. The paper reports an optimal TSP cost of 1.42 on
+   "scaled Euclidean distance"; we fix the scale so the optimum is exactly
+   that, which is what "scaled" means operationally. *)
+let netherlands () =
+  let points =
+    [|
+      ("Amsterdam", 4.9041, 52.3676);
+      ("Den Haag", 4.3007, 52.0705);
+      ("Utrecht", 5.1214, 52.0907);
+      ("Eindhoven", 5.4697, 51.4416);
+    |]
+  in
+  let raw = euclidean ~name:"netherlands" points in
+  let optimal_raw = enumerate_optimal raw in
+  euclidean ~name:"netherlands" ~scale:(1.42 /. optimal_raw) points
+
+let random rng n =
+  let points =
+    Array.init n (fun i ->
+        (Printf.sprintf "c%d" i, Rng.float rng 1.0, Rng.float rng 1.0))
+  in
+  euclidean ~name:(Printf.sprintf "random-%d" n) points
+
+let canonical tour =
+  let n = Array.length tour in
+  let start =
+    let rec find i = if tour.(i) = 0 then i else find (i + 1) in
+    find 0
+  in
+  let rotated = Array.init n (fun k -> tour.((start + k) mod n)) in
+  if n >= 3 && rotated.(1) > rotated.(n - 1) then begin
+    (* reverse orientation, keeping city 0 first *)
+    Array.init n (fun k -> if k = 0 then rotated.(0) else rotated.(n - k))
+  end
+  else rotated

@@ -1,0 +1,34 @@
+(** Travelling Salesman Problem instances (section 3.3, Figure 9). *)
+
+type t = {
+  name : string;
+  cities : string array;
+  distance : float array array;  (** Symmetric, zero diagonal. *)
+}
+
+val size : t -> int
+
+val make : name:string -> cities:string array -> distance:float array array -> t
+(** Validates symmetry and the zero diagonal. *)
+
+val euclidean :
+  name:string -> ?scale:float -> (string * float * float) array -> t
+(** Instance from planar coordinates; distances scaled by [scale] (default 1). *)
+
+val netherlands : unit -> t
+(** Figure 9's four-city Dutch instance (Amsterdam, Den Haag, Utrecht,
+    Eindhoven) built from scaled Euclidean map distances; the scale is chosen
+    so the optimal tour costs exactly 1.42, matching the paper. *)
+
+val random : Qca_util.Rng.t -> int -> t
+(** Uniform random points in the unit square. *)
+
+val tour_cost : t -> int array -> float
+(** Cost of the closed tour visiting cities in the given order. *)
+
+val is_valid_tour : t -> int array -> bool
+(** A permutation of all cities. *)
+
+val canonical : int array -> int array
+(** Normalise a cyclic tour: rotate to start at city 0 and orient so the
+    second city has the smaller index — for comparing tours. *)

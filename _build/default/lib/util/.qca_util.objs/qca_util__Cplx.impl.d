@@ -1,0 +1,1 @@
+lib/util/cplx.ml: Complex Float Printf

@@ -1,0 +1,1 @@
+lib/util/graph.ml: Array Int Map Queue Set

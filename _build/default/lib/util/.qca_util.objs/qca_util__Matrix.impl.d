@@ -1,0 +1,1 @@
+lib/util/matrix.ml: Array Buffer Complex Cplx Float

@@ -1,0 +1,1 @@
+lib/util/optimize.ml: Array Float

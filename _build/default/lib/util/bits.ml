@@ -1,0 +1,22 @@
+let test x i = x land (1 lsl i) <> 0
+let set x i = x lor (1 lsl i)
+let clear x i = x land lnot (1 lsl i)
+let flip x i = x lxor (1 lsl i)
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let parity x = popcount x land 1
+
+let insert_zero x i =
+  let low_mask = (1 lsl i) - 1 in
+  let low = x land low_mask in
+  let high = (x land lnot low_mask) lsl 1 in
+  high lor low
+
+let to_string ~width x =
+  String.init width (fun i -> if test x (width - 1 - i) then '1' else '0')
+
+let of_string s =
+  String.fold_left (fun acc c -> (acc lsl 1) lor (if c = '1' then 1 else 0)) 0 s

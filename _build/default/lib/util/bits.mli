@@ -1,0 +1,29 @@
+(** Bit-level helpers used by the state-vector simulator and QEC codes. *)
+
+val test : int -> int -> bool
+(** [test x i] is the [i]-th bit of [x]. *)
+
+val set : int -> int -> int
+(** [set x i] sets bit [i]. *)
+
+val clear : int -> int -> int
+(** [clear x i] clears bit [i]. *)
+
+val flip : int -> int -> int
+(** [flip x i] toggles bit [i]. *)
+
+val popcount : int -> int
+(** Number of set bits. *)
+
+val parity : int -> int
+(** Parity (0 or 1) of the set-bit count. *)
+
+val insert_zero : int -> int -> int
+(** [insert_zero x i] inserts a zero bit at position [i], shifting higher
+    bits left: used to enumerate amplitude pairs for single-qubit gates. *)
+
+val to_string : width:int -> int -> string
+(** Binary rendering, most-significant bit first, padded to [width]. *)
+
+val of_string : string -> int
+(** Inverse of [to_string] (ignores width). *)

@@ -1,0 +1,151 @@
+module Int_map = Map.Make (Int)
+
+type t = { size : int; mutable adjacency : float Int_map.t array }
+
+let create size =
+  assert (size >= 0);
+  { size; adjacency = Array.make size Int_map.empty }
+
+let size g = g.size
+
+let check g v = assert (v >= 0 && v < g.size)
+
+let add_edge g u v w =
+  check g u;
+  check g v;
+  assert (u <> v);
+  g.adjacency.(u) <- Int_map.add v w g.adjacency.(u);
+  g.adjacency.(v) <- Int_map.add u w g.adjacency.(v)
+
+let has_edge g u v =
+  check g u;
+  check g v;
+  Int_map.mem v g.adjacency.(u)
+
+let weight g u v =
+  check g u;
+  check g v;
+  Int_map.find_opt v g.adjacency.(u)
+
+let neighbours g v =
+  check g v;
+  Int_map.bindings g.adjacency.(v)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.size - 1 downto 0 do
+    Int_map.iter (fun v w -> if u < v then acc := (u, v, w) :: !acc) g.adjacency.(u)
+  done;
+  !acc
+
+let degree g v =
+  check g v;
+  Int_map.cardinal g.adjacency.(v)
+
+let complete n w =
+  let g = create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      add_edge g u v (w u v)
+    done
+  done;
+  g
+
+let grid_2d rows cols =
+  let g = create (rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let v = (r * cols) + c in
+      if c + 1 < cols then add_edge g v (v + 1) 1.0;
+      if r + 1 < rows then add_edge g v (v + cols) 1.0
+    done
+  done;
+  g
+
+(* Dijkstra with a simple module-level priority queue on (distance, vertex). *)
+module Pq = Set.Make (struct
+  type t = float * int
+
+  let compare = compare
+end)
+
+let dijkstra g source =
+  let dist = Array.make g.size infinity in
+  let prev = Array.make g.size (-1) in
+  dist.(source) <- 0.0;
+  let queue = ref (Pq.singleton (0.0, source)) in
+  while not (Pq.is_empty !queue) do
+    let ((d, u) as entry) = Pq.min_elt !queue in
+    queue := Pq.remove entry !queue;
+    if d <= dist.(u) then
+      Int_map.iter
+        (fun v w ->
+          let candidate = d +. w in
+          if candidate < dist.(v) then begin
+            dist.(v) <- candidate;
+            prev.(v) <- u;
+            queue := Pq.add (candidate, v) !queue
+          end)
+        g.adjacency.(u)
+  done;
+  (dist, prev)
+
+let distances_from g source =
+  check g source;
+  fst (dijkstra g source)
+
+let shortest_path g source target =
+  check g source;
+  check g target;
+  let dist, prev = dijkstra g source in
+  if dist.(target) = infinity then None
+  else
+    let rec build v acc = if v = source then source :: acc else build prev.(v) (v :: acc) in
+    Some (build target [])
+
+let hop_distance g source target =
+  check g source;
+  check g target;
+  let dist = Array.make g.size (-1) in
+  dist.(source) <- 0;
+  let queue = Queue.create () in
+  Queue.add source queue;
+  let rec loop () =
+    if Queue.is_empty queue then None
+    else
+      let u = Queue.pop queue in
+      if u = target then Some dist.(u)
+      else begin
+        Int_map.iter
+          (fun v _ ->
+            if dist.(v) < 0 then begin
+              dist.(v) <- dist.(u) + 1;
+              Queue.add v queue
+            end)
+          g.adjacency.(u);
+        loop ()
+      end
+  in
+  if source = target then Some 0 else loop ()
+
+let is_connected g =
+  if g.size = 0 then true
+  else begin
+    let seen = Array.make g.size false in
+    let queue = Queue.create () in
+    seen.(0) <- true;
+    Queue.add 0 queue;
+    let count = ref 1 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Int_map.iter
+        (fun v _ ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            incr count;
+            Queue.add v queue
+          end)
+        g.adjacency.(u)
+    done;
+    !count = g.size
+  end

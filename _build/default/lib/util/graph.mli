@@ -1,0 +1,42 @@
+(** Weighted undirected graphs: qubit topologies and TSP instances. *)
+
+type t
+(** Graph over vertices [0 .. size - 1] with float edge weights. *)
+
+val create : int -> t
+(** [create n] is the empty graph on [n] vertices. *)
+
+val size : t -> int
+
+val add_edge : t -> int -> int -> float -> unit
+(** [add_edge g u v w] adds (or overwrites) an undirected edge. *)
+
+val has_edge : t -> int -> int -> bool
+
+val weight : t -> int -> int -> float option
+
+val neighbours : t -> int -> (int * float) list
+(** Sorted by vertex id. *)
+
+val edges : t -> (int * int * float) list
+(** Each undirected edge once, with [u < v]. *)
+
+val degree : t -> int -> int
+
+val complete : int -> (int -> int -> float) -> t
+(** [complete n w] is the complete graph with weights [w u v]. *)
+
+val grid_2d : int -> int -> t
+(** [grid_2d rows cols] is the unit-weight nearest-neighbour lattice; vertex
+    [(r, c)] has index [r * cols + c]. *)
+
+val shortest_path : t -> int -> int -> int list option
+(** Dijkstra path (inclusive of both endpoints), [None] if unreachable. *)
+
+val distances_from : t -> int -> float array
+(** Single-source Dijkstra distances; [infinity] when unreachable. *)
+
+val hop_distance : t -> int -> int -> int option
+(** Unweighted BFS distance. *)
+
+val is_connected : t -> bool

@@ -1,0 +1,110 @@
+let nelder_mead ?(max_iter = 500) ?(tolerance = 1e-8) ?(step = 0.5) f x0 =
+  let n = Array.length x0 in
+  assert (n > 0);
+  (* Simplex of n+1 vertices, each paired with its function value. *)
+  let vertex i =
+    if i = 0 then Array.copy x0
+    else begin
+      let v = Array.copy x0 in
+      v.(i - 1) <- v.(i - 1) +. step;
+      v
+    end
+  in
+  let simplex = Array.init (n + 1) (fun i -> let v = vertex i in (v, f v)) in
+  let alpha = 1.0 and gamma = 2.0 and rho = 0.5 and sigma = 0.5 in
+  let sort () = Array.sort (fun (_, a) (_, b) -> compare a b) simplex in
+  let centroid () =
+    let c = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      (* exclude the worst vertex (last after sorting) *)
+      let v, _ = simplex.(i) in
+      Array.iteri (fun j x -> c.(j) <- c.(j) +. x) v
+    done;
+    Array.map (fun x -> x /. float_of_int n) c
+  in
+  let combine c v coef = Array.init n (fun j -> c.(j) +. (coef *. (c.(j) -. v.(j)))) in
+  let iter = ref 0 in
+  let spread () =
+    let _, best = simplex.(0) and _, worst = simplex.(n) in
+    Float.abs (worst -. best)
+  in
+  sort ();
+  while !iter < max_iter && spread () > tolerance do
+    incr iter;
+    let c = centroid () in
+    let worst_v, worst_f = simplex.(n) in
+    let _, best_f = simplex.(0) in
+    let reflected = combine c worst_v alpha in
+    let fr = f reflected in
+    if fr < best_f then begin
+      let expanded = combine c worst_v gamma in
+      let fe = f expanded in
+      if fe < fr then simplex.(n) <- (expanded, fe) else simplex.(n) <- (reflected, fr)
+    end
+    else if fr < snd simplex.(n - 1) then simplex.(n) <- (reflected, fr)
+    else begin
+      let contracted = combine c worst_v (-.rho) in
+      let fc = f contracted in
+      if fc < worst_f then simplex.(n) <- (contracted, fc)
+      else begin
+        (* Shrink toward the best vertex. *)
+        let best_v, _ = simplex.(0) in
+        for i = 1 to n do
+          let v, _ = simplex.(i) in
+          let shrunk = Array.init n (fun j -> best_v.(j) +. (sigma *. (v.(j) -. best_v.(j)))) in
+          simplex.(i) <- (shrunk, f shrunk)
+        done
+      end
+    end;
+    sort ()
+  done;
+  simplex.(0)
+
+let grid_search ~lo ~hi ~steps f =
+  let n = Array.length lo in
+  assert (Array.length hi = n && steps >= 2);
+  let best_x = ref (Array.copy lo) and best_f = ref infinity in
+  let point = Array.make n 0.0 in
+  let value d k =
+    lo.(d) +. (float_of_int k *. (hi.(d) -. lo.(d)) /. float_of_int (steps - 1))
+  in
+  let rec enumerate d =
+    if d = n then begin
+      let fx = f point in
+      if fx < !best_f then begin
+        best_f := fx;
+        best_x := Array.copy point
+      end
+    end
+    else
+      for k = 0 to steps - 1 do
+        point.(d) <- value d k;
+        enumerate (d + 1)
+      done
+  in
+  enumerate 0;
+  (!best_x, !best_f)
+
+let coordinate_descent ?(rounds = 3) ?(steps = 25) ~lo ~hi f x0 =
+  let n = Array.length x0 in
+  let x = Array.copy x0 in
+  let best = ref (f x) in
+  for _ = 1 to rounds do
+    for d = 0 to n - 1 do
+      let saved = x.(d) in
+      let best_here = ref saved in
+      for k = 0 to steps - 1 do
+        let candidate =
+          lo.(d) +. (float_of_int k *. (hi.(d) -. lo.(d)) /. float_of_int (steps - 1))
+        in
+        x.(d) <- candidate;
+        let fx = f x in
+        if fx < !best then begin
+          best := fx;
+          best_here := candidate
+        end
+      done;
+      x.(d) <- !best_here
+    done
+  done;
+  (x, !best)

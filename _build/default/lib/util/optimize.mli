@@ -1,0 +1,30 @@
+(** Derivative-free optimisers for variational quantum algorithms. *)
+
+val nelder_mead :
+  ?max_iter:int ->
+  ?tolerance:float ->
+  ?step:float ->
+  (float array -> float) ->
+  float array ->
+  float array * float
+(** [nelder_mead f x0] minimises [f] from the initial point [x0] using the
+    Nelder-Mead simplex method. Returns the best point and its value. *)
+
+val grid_search :
+  lo:float array ->
+  hi:float array ->
+  steps:int ->
+  (float array -> float) ->
+  float array * float
+(** Exhaustive search over a regular grid of [steps] points per dimension
+    (inclusive of both bounds). Intended for low dimensions (p <= 2). *)
+
+val coordinate_descent :
+  ?rounds:int ->
+  ?steps:int ->
+  lo:float array ->
+  hi:float array ->
+  (float array -> float) ->
+  float array ->
+  float array * float
+(** Cyclic one-dimensional grid refinement around the current point. *)

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the library takes an explicit [Rng.t] so
+    that experiments and tests are reproducible bit-for-bit. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from a 63-bit seed. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound); requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is true with probability [p]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box-Muller). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choose_weighted : t -> float array -> int
+(** [choose_weighted t w] draws index [i] with probability proportional to
+    [w.(i)]; weights must be non-negative with a positive sum. *)

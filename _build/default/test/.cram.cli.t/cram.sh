@@ -1,0 +1,39 @@
+  $ cat > bell.qasm <<'QASM'
+  > version 1.0
+  > qubits 2
+  > 
+  > .entangle
+  >   h q[0]
+  >   cnot q[0], q[1]
+  > 
+  > .readout
+  >   measure q[0]
+  >   measure q[1]
+  > QASM
+  $ qxc info bell.qasm
+  $ qxc run bell.qasm --shots 1000 --seed 7
+  $ qxc run bell.qasm --shots 1000 --seed 7 --noise 0.05 | tail -n +2 | wc -l | tr -d ' '
+  $ qxc compile bell.qasm --platform superconducting | head -8
+  $ qxc compile bell.qasm --platform superconducting --eqasm | grep -c 'SMIS\|SMIT'
+  $ qxc exec bell.qasm --shots 50 --seed 3 | head -1
+  $ cat > rus.qisa <<'QISA'
+  > LDI r0, 0
+  > LDI r1, 1
+  > SMIS s0, {0}
+  > try:
+  > ADD r0, r0, r1
+  > 1: prepz s0
+  > 1: y90 s0
+  > 1: measz s0
+  > FMR r2, q0
+  > CMP r2, r1
+  > BR.ne try
+  > HALT
+  > QISA
+  $ qxc qisa rus.qisa --qubits 1 --shots 20 --seed 5 | head -2
+  $ cat > bad.qasm <<'QASM'
+  > version 1.0
+  > qubits 2
+  > frobnicate q[0]
+  > QASM
+  $ qxc run bad.qasm

@@ -1,0 +1,1 @@
+test/test_anneal.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Qca_anneal Qca_util

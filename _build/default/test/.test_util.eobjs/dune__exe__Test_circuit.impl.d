@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Float List Printf QCheck QCheck_alcotest Qca_circuit Qca_util String

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Qca_circuit Qca_compiler Qca_qx Qca_util String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float List Printf Qca Qca_circuit Qca_compiler Qca_qx Qca_util String

@@ -1,0 +1,1 @@
+test/test_genome.ml: Alcotest Array List Printf Qca_anneal Qca_genome Qca_util

@@ -1,0 +1,1 @@
+test/test_microarch.ml: Alcotest Array Float List Printf Qca_circuit Qca_compiler Qca_microarch Qca_qx Qca_util String

@@ -1,0 +1,1 @@
+test/test_qaoa.ml: Alcotest Array Float List Qca_anneal Qca_circuit Qca_compiler Qca_qaoa Qca_qx Qca_util String

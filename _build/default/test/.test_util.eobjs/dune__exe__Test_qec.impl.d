@@ -1,0 +1,1 @@
+test/test_qec.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Qca_circuit Qca_qec Qca_qx Qca_util

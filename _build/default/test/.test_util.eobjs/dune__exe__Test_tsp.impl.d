@@ -1,0 +1,1 @@
+test/test_tsp.ml: Alcotest Array Float Fun List Printf QCheck QCheck_alcotest Qca_anneal Qca_tsp Qca_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Gen List QCheck QCheck_alcotest Qca_util

@@ -1,0 +1,387 @@
+(* Tests for QUBO/Ising models, annealers, Chimera topology and embedding. *)
+
+module Qubo = Qca_anneal.Qubo
+module Ising = Qca_anneal.Ising
+module Sa = Qca_anneal.Sa
+module Sqa = Qca_anneal.Sqa
+module Chimera = Qca_anneal.Chimera
+module Embedding = Qca_anneal.Embedding
+module Digital_annealer = Qca_anneal.Digital_annealer
+module Graph = Qca_util.Graph
+module Rng = Qca_util.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- QUBO --- *)
+
+let test_qubo_energy () =
+  let q = Qubo.create 3 in
+  Qubo.add q 0 0 (-1.0);
+  Qubo.add q 0 1 2.0;
+  Qubo.add q 1 2 (-3.0);
+  check_float "000" 0.0 (Qubo.energy q [| 0; 0; 0 |]);
+  check_float "100" (-1.0) (Qubo.energy q [| 1; 0; 0 |]);
+  check_float "110" 1.0 (Qubo.energy q [| 1; 1; 0 |]);
+  check_float "011" (-3.0) (Qubo.energy q [| 0; 1; 1 |])
+
+let test_qubo_symmetric_key () =
+  let q = Qubo.create 2 in
+  Qubo.add q 1 0 1.5;
+  check_float "same entry" 1.5 (Qubo.get q 0 1);
+  Qubo.add q 0 1 0.5;
+  check_float "accumulated" 2.0 (Qubo.get q 1 0)
+
+let test_qubo_brute_force () =
+  let q = Qubo.create 4 in
+  (* minimum at x = 1010: reward those bits, punish pairs *)
+  Qubo.add q 0 0 (-2.0);
+  Qubo.add q 2 2 (-2.0);
+  Qubo.add q 1 1 1.0;
+  Qubo.add q 3 3 1.0;
+  let x, e = Qubo.brute_force q in
+  Alcotest.(check (array int)) "argmin" [| 1; 0; 1; 0 |] x;
+  check_float "min" (-4.0) e
+
+let test_qubo_interaction_graph () =
+  let q = Qubo.create 3 in
+  Qubo.add q 0 1 1.0;
+  Qubo.add q 1 1 5.0;
+  let g = Qubo.interaction_graph q in
+  Alcotest.(check bool) "edge 0-1" true (Graph.has_edge g 0 1);
+  Alcotest.(check bool) "no self edge" false (Graph.has_edge g 1 2);
+  Alcotest.(check (float 1e-9)) "density" (1.0 /. 3.0) (Qubo.density q)
+
+(* --- Ising / QUBO isomorphism --- *)
+
+let random_qubo rng n density =
+  let q = Qubo.create n in
+  for i = 0 to n - 1 do
+    Qubo.add q i i (Rng.gaussian rng);
+    for j = i + 1 to n - 1 do
+      if Rng.bernoulli rng density then Qubo.add q i j (Rng.gaussian rng)
+    done
+  done;
+  q
+
+let prop_qubo_ising_isomorphism =
+  QCheck.Test.make ~name:"qubo/ising energies agree" ~count:100
+    (QCheck.make
+       ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n)
+       QCheck.Gen.(pair (int_range 0 99999) (int_range 1 8)))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let q = random_qubo rng n 0.6 in
+      let model, offset = Ising.of_qubo q in
+      let x = Qubo.random_assignment rng q in
+      let s = Ising.spins_of_bits x in
+      Float.abs (Qubo.energy q x -. (Ising.energy model s +. offset)) < 1e-9)
+
+let prop_ising_roundtrip =
+  QCheck.Test.make ~name:"ising -> qubo -> energy roundtrip" ~count:100
+    (QCheck.make
+       ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n)
+       QCheck.Gen.(pair (int_range 0 99999) (int_range 1 8)))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let q0 = random_qubo rng n 0.5 in
+      let model, _ = Ising.of_qubo q0 in
+      let q1, off2 = Ising.to_qubo model in
+      let s = Ising.random_spins rng n in
+      let x = Ising.bits_of_spins s in
+      Float.abs (Qubo.energy q1 x +. off2 -. Ising.energy model s) < 1e-9)
+
+let test_delta_energy_matches () =
+  let rng = Rng.create 42 in
+  let q = random_qubo rng 6 0.7 in
+  let model, _ = Ising.of_qubo q in
+  let neighbour_index = Ising.build_neighbour_index model in
+  let s = Ising.random_spins rng 6 in
+  for i = 0 to 5 do
+    let before = Ising.energy model s in
+    let predicted = Ising.delta_energy model ~neighbour_index s i in
+    s.(i) <- -s.(i);
+    let after = Ising.energy model s in
+    s.(i) <- -s.(i);
+    check_float (Printf.sprintf "flip %d" i) (after -. before) predicted
+  done
+
+(* --- annealers --- *)
+
+let frustrated_triangle () =
+  (* h = 0, all J = +1: ground energy -1 (any single unsatisfied edge). *)
+  { Ising.n = 3; h = [| 0.0; 0.0; 0.0 |]; couplings = [ (0, 1, 1.0); (1, 2, 1.0); (0, 2, 1.0) ] }
+
+let test_sa_frustrated_triangle () =
+  let rng = Rng.create 7 in
+  let result = Sa.minimize ~rng (frustrated_triangle ()) in
+  check_float "ground state" (-1.0) result.Sa.energy
+
+let test_sa_finds_brute_force_optimum () =
+  let rng = Rng.create 11 in
+  for seed = 0 to 4 do
+    let q = random_qubo (Rng.create seed) 10 0.5 in
+    let _, exact = Qubo.brute_force q in
+    let _, found = Sa.minimize_qubo ~rng q in
+    Alcotest.(check (float 1e-6)) (Printf.sprintf "seed %d" seed) exact found
+  done
+
+let test_sa_trace_monotone () =
+  let rng = Rng.create 13 in
+  let q = random_qubo (Rng.create 99) 8 0.5 in
+  let model, _ = Ising.of_qubo q in
+  let result = Sa.minimize ~params:{ Sa.default_params with Sa.restarts = 1 } ~rng model in
+  let trace = result.Sa.energy_trace in
+  for i = 1 to Array.length trace - 1 do
+    Alcotest.(check bool) "best-so-far decreases" true (trace.(i) <= trace.(i - 1) +. 1e-12)
+  done
+
+let test_sa_geometric_schedule () =
+  let rng = Rng.create 17 in
+  let params = { Sa.sweeps = 500; schedule = Sa.Geometric (0.05, 1.01); restarts = 2 } in
+  let result = Sa.minimize ~params ~rng (frustrated_triangle ()) in
+  check_float "geometric also solves" (-1.0) result.Sa.energy
+
+let test_sqa_solves_small () =
+  let rng = Rng.create 19 in
+  for seed = 0 to 2 do
+    let q = random_qubo (Rng.create (100 + seed)) 8 0.5 in
+    let _, exact = Qubo.brute_force q in
+    let _, found = Sqa.minimize_qubo ~rng q in
+    Alcotest.(check (float 1e-6)) (Printf.sprintf "sqa seed %d" seed) exact found
+  done
+
+let test_digital_annealer_solves () =
+  let rng = Rng.create 23 in
+  let q = random_qubo (Rng.create 55) 10 0.6 in
+  let _, exact = Qubo.brute_force q in
+  let result = Digital_annealer.minimize ~rng q in
+  Alcotest.(check (float 1e-6)) "da finds optimum" exact result.Digital_annealer.energy
+
+let test_digital_annealer_capacity () =
+  Alcotest.(check int) "8192 nodes" 8192 Digital_annealer.node_count;
+  Alcotest.(check int) "90 cities" 90 (Digital_annealer.max_tsp_cities ());
+  let big = Qubo.create 9000 in
+  Alcotest.(check bool) "too big" false (Digital_annealer.fits big)
+
+(* --- Chimera --- *)
+
+let test_chimera_structure () =
+  let g = Chimera.graph 2 in
+  Alcotest.(check int) "32 qubits" 32 (Graph.size g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  (* intra-cell degree: vertical qubit in a corner cell of C2: 4 intra + 1 vertical *)
+  let v = Chimera.index ~m:2 ~row:0 ~col:0 ~k:0 in
+  Alcotest.(check int) "corner vertical degree" 5 (Graph.degree g v)
+
+let test_chimera_c16_size () =
+  Alcotest.(check int) "2048 qubits" 2048 (Chimera.qubit_count 16);
+  let g = Chimera.c16 () in
+  Alcotest.(check int) "graph size" 2048 (Graph.size g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_chimera_bipartite_cell () =
+  let g = Chimera.graph 1 in
+  (* no vertical-vertical or horizontal-horizontal edges inside a cell *)
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      if a <> b then begin
+        Alcotest.(check bool) "no v-v" false (Graph.has_edge g a b);
+        Alcotest.(check bool) "no h-h" false (Graph.has_edge g (4 + a) (4 + b))
+      end
+    done
+  done
+
+let test_clique_minor_bound () =
+  Alcotest.(check int) "C16 clique" 65 (Chimera.max_clique_minor 16)
+
+(* --- embedding --- *)
+
+let test_embed_triangle_in_chimera () =
+  let rng = Rng.create 29 in
+  let logical = Graph.complete 3 (fun _ _ -> 1.0) in
+  let physical = Chimera.graph 2 in
+  match Embedding.embed ~rng ~logical physical with
+  | None -> Alcotest.fail "triangle must embed in C2"
+  | Some e ->
+      Alcotest.(check bool) "valid" true (Embedding.is_valid ~logical ~physical e);
+      Alcotest.(check bool) "uses >= 3 qubits" true (e.Embedding.physical_used >= 3)
+
+let test_embed_k5_heuristic_in_c4 () =
+  let rng = Rng.create 31 in
+  let logical = Graph.complete 5 (fun _ _ -> 1.0) in
+  let physical = Chimera.graph 4 in
+  match Embedding.embed ~tries:32 ~rng ~logical physical with
+  | None -> Alcotest.fail "K5 should embed heuristically in C4"
+  | Some e -> Alcotest.(check bool) "valid" true (Embedding.is_valid ~logical ~physical e)
+
+let test_clique_embedding_valid () =
+  (* Deterministic triangular clique embedding: K_n in C_m for n = 4m. *)
+  List.iter
+    (fun m ->
+      let n = 4 * m in
+      let logical = Graph.complete n (fun _ _ -> 1.0) in
+      let physical = Chimera.graph m in
+      let e = Embedding.chimera_clique ~m ~n in
+      Alcotest.(check bool)
+        (Printf.sprintf "K%d in C%d" n m)
+        true
+        (Embedding.is_valid ~logical ~physical e);
+      Alcotest.(check int) "chain length 2m" (2 * m) e.Embedding.max_chain_length)
+    [ 2; 3; 4 ]
+
+let test_clique_embedding_rejects_too_large () =
+  match Embedding.chimera_clique ~m:2 ~n:9 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n > 4m accepted"
+
+let test_max_clique_cities () =
+  (* C16: K64 guaranteed -> 8 cities via the clique route. *)
+  Alcotest.(check int) "C16 cities" 8 (Embedding.max_clique_cities ~m:16)
+
+let test_embed_fails_when_too_small () =
+  let rng = Rng.create 37 in
+  let logical = Graph.complete 12 (fun _ _ -> 1.0) in
+  let physical = Chimera.graph 1 in
+  (* C1 has only 8 qubits: 12 chains cannot fit *)
+  Alcotest.(check bool) "must fail" true
+    (Embedding.embed ~tries:4 ~rng ~logical physical = None)
+
+let test_embed_identity_on_matching_graph () =
+  let rng = Rng.create 41 in
+  let logical = Graph.grid_2d 2 2 in
+  let physical = Graph.grid_2d 4 4 in
+  match Embedding.embed ~rng ~logical physical with
+  | None -> Alcotest.fail "grid in grid must embed"
+  | Some e ->
+      Alcotest.(check bool) "valid" true (Embedding.is_valid ~logical ~physical e)
+
+(* --- problem encoders --- *)
+
+module Problems = Qca_anneal.Problems
+
+let test_max_cut_square () =
+  (* 4-cycle: max cut = 4 (alternating bipartition). *)
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1 1.0;
+  Graph.add_edge g 1 2 1.0;
+  Graph.add_edge g 2 3 1.0;
+  Graph.add_edge g 3 0 1.0;
+  let q = Problems.max_cut g in
+  let bits, energy = Qubo.brute_force q in
+  check_float "energy = -cut" (-4.0) energy;
+  check_float "cut value" 4.0 (Problems.cut_value g bits)
+
+let test_max_cut_energy_identity () =
+  let rng = Rng.create 71 in
+  let g = Problems.random_max_cut_instance rng ~vertices:8 ~edge_probability:0.5 in
+  let q = Problems.max_cut g in
+  for _ = 1 to 20 do
+    let bits = Qubo.random_assignment rng q in
+    check_float "energy = -cut for all assignments" (-.Problems.cut_value g bits)
+      (Qubo.energy q bits)
+  done
+
+let test_max_cut_sa_solves () =
+  let rng = Rng.create 73 in
+  let g = Problems.random_max_cut_instance (Rng.create 5) ~vertices:10 ~edge_probability:0.4 in
+  let q = Problems.max_cut g in
+  let _, exact = Qubo.brute_force q in
+  let bits, _ = Sa.minimize_qubo ~rng q in
+  check_float "sa reaches max cut" exact (-.Problems.cut_value g bits)
+
+let test_number_partition () =
+  let numbers = [| 3.0; 1.0; 1.0; 2.0; 2.0; 1.0 |] in
+  (* total 10: perfect partition exists (5/5) *)
+  let q = Problems.number_partition numbers in
+  let bits, energy = Qubo.brute_force q in
+  check_float "difference zero" 0.0 (Problems.partition_difference numbers bits);
+  (* energy = diff^2 - total^2 *)
+  check_float "energy offset" (-100.0) energy
+
+let test_number_partition_energy_identity () =
+  let rng = Rng.create 79 in
+  let numbers = Array.init 7 (fun _ -> Rng.float rng 10.0) in
+  let q = Problems.number_partition numbers in
+  let total = Array.fold_left ( +. ) 0.0 numbers in
+  for _ = 1 to 20 do
+    let bits = Qubo.random_assignment rng q in
+    let diff = Problems.partition_difference numbers bits in
+    Alcotest.(check (float 1e-6)) "energy = diff^2 - total^2"
+      ((diff *. diff) -. (total *. total))
+      (Qubo.energy q bits)
+  done
+
+let test_vertex_cover_path () =
+  (* path 0-1-2: minimum cover = {1} *)
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 1.0;
+  Graph.add_edge g 1 2 1.0;
+  let q = Problems.vertex_cover g in
+  let bits, _ = Qubo.brute_force q in
+  Alcotest.(check bool) "is a cover" true (Problems.is_vertex_cover g bits);
+  Alcotest.(check int) "size 1" 1 (Problems.cover_size bits)
+
+let test_vertex_cover_random_valid () =
+  let rng = Rng.create 83 in
+  let g = Problems.random_max_cut_instance (Rng.create 7) ~vertices:9 ~edge_probability:0.3 in
+  let q = Problems.vertex_cover g in
+  let bits, _ = Qubo.brute_force q in
+  Alcotest.(check bool) "brute-force optimum is a valid cover" true
+    (Problems.is_vertex_cover g bits);
+  ignore rng
+
+let () =
+  let qtest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qca_anneal"
+    [
+      ( "qubo",
+        [
+          Alcotest.test_case "energy" `Quick test_qubo_energy;
+          Alcotest.test_case "symmetric key" `Quick test_qubo_symmetric_key;
+          Alcotest.test_case "brute force" `Quick test_qubo_brute_force;
+          Alcotest.test_case "interaction graph" `Quick test_qubo_interaction_graph;
+        ] );
+      ( "ising",
+        [
+          qtest prop_qubo_ising_isomorphism;
+          qtest prop_ising_roundtrip;
+          Alcotest.test_case "delta energy" `Quick test_delta_energy_matches;
+        ] );
+      ( "annealers",
+        [
+          Alcotest.test_case "sa frustrated triangle" `Quick test_sa_frustrated_triangle;
+          Alcotest.test_case "sa vs brute force" `Quick test_sa_finds_brute_force_optimum;
+          Alcotest.test_case "sa trace monotone" `Quick test_sa_trace_monotone;
+          Alcotest.test_case "sa geometric" `Quick test_sa_geometric_schedule;
+          Alcotest.test_case "sqa solves" `Quick test_sqa_solves_small;
+          Alcotest.test_case "digital annealer solves" `Quick test_digital_annealer_solves;
+          Alcotest.test_case "digital annealer capacity" `Quick test_digital_annealer_capacity;
+        ] );
+      ( "chimera",
+        [
+          Alcotest.test_case "structure" `Quick test_chimera_structure;
+          Alcotest.test_case "c16 size" `Quick test_chimera_c16_size;
+          Alcotest.test_case "bipartite cell" `Quick test_chimera_bipartite_cell;
+          Alcotest.test_case "clique bound" `Quick test_clique_minor_bound;
+        ] );
+      ( "problems",
+        [
+          Alcotest.test_case "max cut square" `Quick test_max_cut_square;
+          Alcotest.test_case "max cut identity" `Quick test_max_cut_energy_identity;
+          Alcotest.test_case "max cut sa" `Quick test_max_cut_sa_solves;
+          Alcotest.test_case "number partition" `Quick test_number_partition;
+          Alcotest.test_case "partition identity" `Quick test_number_partition_energy_identity;
+          Alcotest.test_case "vertex cover path" `Quick test_vertex_cover_path;
+          Alcotest.test_case "vertex cover random" `Quick test_vertex_cover_random_valid;
+        ] );
+      ( "embedding",
+        [
+          Alcotest.test_case "triangle in C2" `Quick test_embed_triangle_in_chimera;
+          Alcotest.test_case "K5 heuristic in C4" `Quick test_embed_k5_heuristic_in_c4;
+          Alcotest.test_case "clique embedding" `Quick test_clique_embedding_valid;
+          Alcotest.test_case "clique too large" `Quick test_clique_embedding_rejects_too_large;
+          Alcotest.test_case "max clique cities" `Quick test_max_clique_cities;
+          Alcotest.test_case "fails when too small" `Quick test_embed_fails_when_too_small;
+          Alcotest.test_case "grid in grid" `Quick test_embed_identity_on_matching_graph;
+        ] );
+    ]

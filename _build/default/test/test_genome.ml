@@ -1,0 +1,381 @@
+(* Tests for the genome-sequencing accelerator: DNA, reference DB, Grover
+   search (functional and gate-level), and the alignment pipeline. *)
+
+module Dna = Qca_genome.Dna
+module Reference_db = Qca_genome.Reference_db
+module Classical_align = Qca_genome.Classical_align
+module Grover = Qca_genome.Grover
+module Align = Qca_genome.Align
+module Rng = Qca_util.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- DNA --- *)
+
+let test_dna_string_roundtrip () =
+  let s = "ACGTACGT" in
+  Alcotest.(check string) "roundtrip" s (Dna.to_string (Dna.of_string s))
+
+let test_dna_bits_roundtrip () =
+  let seq = Dna.of_string "TGCA" in
+  let bits = Dna.encode_bits seq in
+  Alcotest.(check string) "bits roundtrip" "TGCA" (Dna.to_string (Dna.decode_bits ~len:4 bits))
+
+let test_dna_hamming () =
+  let a = Dna.of_string "ACGT" and b = Dna.of_string "ACCA" in
+  Alcotest.(check int) "distance 2" 2 (Dna.hamming a b);
+  Alcotest.(check int) "self 0" 0 (Dna.hamming a a)
+
+let test_mutate_rate () =
+  let rng = Rng.create 1 in
+  let seq = Dna.random rng 2000 in
+  let mutated = Dna.mutate rng ~rate:0.1 seq in
+  let d = float_of_int (Dna.hamming seq mutated) /. 2000.0 in
+  Alcotest.(check (float 0.03)) "mutation rate" 0.1 d
+
+let test_markov_statistics () =
+  let rng = Rng.create 2 in
+  let seq = Dna.markov rng 20000 in
+  (* GC content near the profile's ~41% stationary value *)
+  let gc = Dna.gc_content seq in
+  Alcotest.(check bool) "gc in [0.35, 0.50]" true (gc > 0.35 && gc < 0.50);
+  (* CpG depletion: C->G transitions rarer than C->C *)
+  let cg = ref 0 and cc = ref 0 in
+  for i = 0 to Dna.length seq - 2 do
+    match seq.(i), seq.(i + 1) with
+    | Dna.C, Dna.G -> incr cg
+    | Dna.C, Dna.C -> incr cc
+    | _, _ -> ()
+  done;
+  Alcotest.(check bool) "CpG depleted" true (!cg < !cc)
+
+let test_entropy_preserved () =
+  (* The "entropic complexity" claim: the Markov genome's 1-mer entropy is
+     close to the iid genome's (both near 2 bits), and its 2-mer entropy is
+     below 2x 1-mer (structure exists) but not degenerate. *)
+  let rng = Rng.create 3 in
+  let markov = Dna.markov rng 10000 in
+  let e1 = Dna.shannon_entropy ~k:1 markov in
+  let e2 = Dna.shannon_entropy ~k:2 markov in
+  Alcotest.(check bool) "1-mer entropy ~2 bits" true (e1 > 1.9 && e1 <= 2.0);
+  Alcotest.(check bool) "2-mer structured" true (e2 > 3.5 && e2 < 2.0 *. e1 +. 1e-9)
+
+let test_subsequence_bounds () =
+  let seq = Dna.of_string "ACGTACGT" in
+  Alcotest.(check string) "mid" "GTAC" (Dna.to_string (Dna.subsequence seq ~pos:2 ~len:4));
+  match Dna.subsequence seq ~pos:6 ~len:4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of range accepted"
+
+(* --- reference DB --- *)
+
+let test_db_build () =
+  let reference = Dna.of_string "ACGTACGTAC" in
+  let db = Reference_db.build reference ~width:4 in
+  Alcotest.(check int) "entries" 7 (Reference_db.size db);
+  Alcotest.(check string) "entry 0" "ACGT" (Dna.to_string (Reference_db.entry db 0));
+  Alcotest.(check string) "entry 6" "GTAC" (Dna.to_string (Reference_db.entry db 6));
+  Alcotest.(check int) "index qubits" 3 (Reference_db.index_qubits db);
+  Alcotest.(check int) "content qubits" 8 (Reference_db.content_qubits db)
+
+let test_db_matches_within () =
+  let reference = Dna.of_string "AAAACCCCGGGG" in
+  let db = Reference_db.build reference ~width:4 in
+  let exact = Reference_db.matches_within db (Dna.of_string "CCCC") 0 in
+  Alcotest.(check (list int)) "exact match at 4" [ 4 ] exact;
+  let near = Reference_db.matches_within db (Dna.of_string "CCCA") 1 in
+  Alcotest.(check bool) "near matches include 4" true (List.mem 4 near)
+
+let test_db_best_match () =
+  let reference = Dna.of_string "ACGTTTTTACGG" in
+  let db = Reference_db.build reference ~width:4 in
+  let i, d = Reference_db.best_match db (Dna.of_string "ACGT") in
+  Alcotest.(check int) "position" 0 i;
+  Alcotest.(check int) "distance" 0 d
+
+(* --- classical baselines --- *)
+
+let test_linear_scan () =
+  let reference = Dna.of_string "TTTTACGTTTTT" in
+  let db = Reference_db.build reference ~width:4 in
+  let stats = Classical_align.linear_scan db (Dna.of_string "ACGT") in
+  Alcotest.(check int) "found" 4 stats.Classical_align.index;
+  Alcotest.(check int) "distance" 0 stats.Classical_align.distance;
+  Alcotest.(check int) "comparisons = N" (Reference_db.size db) stats.Classical_align.comparisons
+
+let test_early_exit_scan () =
+  let reference = Dna.of_string "TTTTACGTTTTT" in
+  let db = Reference_db.build reference ~width:4 in
+  let stats = Classical_align.early_exit_scan db (Dna.of_string "ACGT") in
+  Alcotest.(check int) "found" 4 stats.Classical_align.index;
+  Alcotest.(check int) "stopped early" 5 stats.Classical_align.comparisons
+
+let test_expected_queries () =
+  check_float "classical expectation" 50.5 (Classical_align.expected_queries_classical 100)
+
+(* --- Grover --- *)
+
+let test_optimal_iterations () =
+  Alcotest.(check int) "N=4 M=1" 1 (Grover.optimal_iterations ~matches:1 ~size:4);
+  Alcotest.(check int) "N=16 M=1" 3 (Grover.optimal_iterations ~matches:1 ~size:16);
+  Alcotest.(check int) "N=256 M=1" 12 (Grover.optimal_iterations ~matches:1 ~size:256);
+  Alcotest.(check int) "N=16 M=4" 1 (Grover.optimal_iterations ~matches:4 ~size:16)
+
+let test_grover_single_marked () =
+  let rng = Rng.create 5 in
+  let outcome = Grover.search ~rng ~n_qubits:6 ~oracle:(fun k -> k = 37) () in
+  Alcotest.(check bool) "high success" true (outcome.Grover.success_probability > 0.9);
+  Alcotest.(check int) "measured the target" 37 outcome.Grover.measured
+
+let test_grover_n4_exact () =
+  (* N=4, M=1: one iteration reaches success probability exactly 1. *)
+  let p = Grover.success_after ~n_qubits:2 ~oracle:(fun k -> k = 2) 1 in
+  check_float "certain" 1.0 p
+
+let test_grover_multiple_marked () =
+  let rng = Rng.create 7 in
+  let marked k = k = 3 || k = 12 || k = 40 in
+  let outcome = Grover.search ~rng ~n_qubits:6 ~oracle:marked () in
+  Alcotest.(check bool) "success > 0.85" true (outcome.Grover.success_probability > 0.85);
+  Alcotest.(check bool) "measured a marked item" true (marked outcome.Grover.measured)
+
+let test_grover_overrotation_hurts () =
+  let oracle k = k = 5 in
+  let optimal = Grover.optimal_iterations ~matches:1 ~size:64 in
+  let at_opt = Grover.success_after ~n_qubits:6 ~oracle optimal in
+  let over = Grover.success_after ~n_qubits:6 ~oracle (2 * optimal) in
+  Alcotest.(check bool) "overrotation drops success" true (over < at_opt)
+
+let test_grover_quadratic_scaling () =
+  (* iterations ~ pi/4 sqrt(N): doubling qubits (4x N) doubles iterations. *)
+  let i8 = Grover.optimal_iterations ~matches:1 ~size:256 in
+  let i10 = Grover.optimal_iterations ~matches:1 ~size:1024 in
+  Alcotest.(check bool) "doubles" true (abs (i10 - (2 * i8)) <= 1)
+
+let test_search_unknown_finds () =
+  let rng = Rng.create 1001 in
+  (* unknown match count: 5 marked items out of 256 *)
+  let marked = [ 7; 31; 100; 200; 255 ] in
+  let oracle k = List.mem k marked in
+  let successes = ref 0 and total_queries = ref 0 in
+  let trials = 25 in
+  for _ = 1 to trials do
+    match Grover.search_unknown ~rng ~n_qubits:8 ~oracle () with
+    | Some outcome ->
+        if oracle outcome.Grover.measured then incr successes;
+        total_queries := !total_queries + outcome.Grover.oracle_queries
+    | None -> ()
+  done;
+  Alcotest.(check int) "always finds a marked item" trials !successes;
+  (* expected queries ~ sqrt(256/5) ~ 7; allow generous slack but require
+     way below the classical N/M ~ 51 *)
+  let mean = float_of_int !total_queries /. float_of_int trials in
+  Alcotest.(check bool) (Printf.sprintf "sublinear queries (%.1f)" mean) true (mean < 30.0)
+
+let test_search_unknown_single_match () =
+  let rng = Rng.create 1003 in
+  for _ = 1 to 10 do
+    match Grover.search_unknown ~rng ~n_qubits:6 ~oracle:(fun k -> k = 42) () with
+    | Some outcome -> Alcotest.(check int) "found 42" 42 outcome.Grover.measured
+    | None -> Alcotest.fail "BBHT must find the single match"
+  done
+
+let test_search_unknown_no_match_heralds () =
+  let rng = Rng.create 1005 in
+  Alcotest.(check bool) "returns None" true
+    (Grover.search_unknown ~rng ~n_qubits:6 ~oracle:(fun _ -> false) () = None)
+
+let test_grover_circuit_matches_functional () =
+  (* Gate-level Grover (with ancillas) must match the functional oracle
+     version on small registers. *)
+  List.iter
+    (fun n_qubits ->
+      let pattern = (1 lsl n_qubits) - 2 in
+      let circuit_p = Grover.circuit_success_probability ~n_qubits ~pattern in
+      let k = Grover.optimal_iterations ~matches:1 ~size:(1 lsl n_qubits) in
+      let functional_p = Grover.success_after ~n_qubits ~oracle:(fun x -> x = pattern) k in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "n=%d" n_qubits)
+        functional_p circuit_p)
+    [ 2; 3; 4; 5 ]
+
+(* --- alignment pipeline --- *)
+
+let test_align_exact_read () =
+  let rng = Rng.create 11 in
+  let reference = Dna.markov (Rng.create 99) 128 in
+  let db = Reference_db.build reference ~width:8 in
+  let read = Reference_db.entry db 42 in
+  let report = Align.align ~rng db read in
+  Alcotest.(check int) "distance 0" 0 report.Align.distance;
+  Alcotest.(check int) "tolerance 0" 0 report.Align.tolerance_used;
+  Alcotest.(check bool) "quantum found a perfect site" true
+    (Dna.hamming (Reference_db.entry db report.Align.position) read = 0);
+  Alcotest.(check bool) "speedup > 1" true (report.Align.speedup_queries > 1.0)
+
+let test_align_noisy_read () =
+  let rng = Rng.create 13 in
+  let reference = Dna.markov (Rng.create 123) 128 in
+  let db = Reference_db.build reference ~width:10 in
+  let read = Dna.mutate rng ~rate:0.1 (Reference_db.entry db 17) in
+  let report = Align.align ~rng db read in
+  Alcotest.(check bool) "tolerance widened or exact" true (report.Align.tolerance_used >= 0);
+  Alcotest.(check bool) "aligned within tolerance" true
+    (report.Align.distance <= report.Align.tolerance_used
+    || report.Align.distance = report.Align.classical.Classical_align.distance)
+
+let test_align_rejects_wrong_width () =
+  let rng = Rng.create 17 in
+  let db = Reference_db.build (Dna.random (Rng.create 1) 64) ~width:8 in
+  match Align.align ~rng db (Dna.of_string "ACGT") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong width accepted"
+
+let test_align_many_accuracy () =
+  let rng = Rng.create 19 in
+  let reference = Dna.markov (Rng.create 7) 200 in
+  let db = Reference_db.build reference ~width:10 in
+  let reads =
+    List.init 10 (fun i -> Dna.mutate rng ~rate:0.05 (Reference_db.entry db (i * 17)))
+  in
+  let reports, accuracy = Align.align_many ~rng db reads in
+  Alcotest.(check int) "all aligned" 10 (List.length reports);
+  Alcotest.(check bool) "accuracy > 0.7" true (accuracy > 0.7)
+
+let test_qubit_budget () =
+  let db = Reference_db.build (Dna.random (Rng.create 1) 128) ~width:10 in
+  Alcotest.(check int) "index + content" (7 + 20) (Align.qubit_budget db)
+
+let test_human_genome_estimate () =
+  (* The paper estimates ~150 logical qubits for human genome search. *)
+  let estimate = Align.human_genome_logical_qubit_estimate () in
+  Alcotest.(check bool) "within [130, 170]" true (estimate >= 130 && estimate <= 170)
+
+(* --- de novo assembly --- *)
+
+module Assembly = Qca_genome.Assembly
+
+let test_overlap () =
+  Alcotest.(check int) "ACGT/GTAC" 2 (Assembly.overlap (Dna.of_string "ACGT") (Dna.of_string "GTAC"));
+  Alcotest.(check int) "no overlap" 0 (Assembly.overlap (Dna.of_string "AAAA") (Dna.of_string "CCCC"));
+  Alcotest.(check int) "full prefix" 3 (Assembly.overlap (Dna.of_string "TACG") (Dna.of_string "ACGT"))
+
+let test_superstring () =
+  let reads = [| Dna.of_string "ACGT"; Dna.of_string "GTAC" |] in
+  Alcotest.(check string) "merged" "ACGTAC" (Dna.to_string (Assembly.superstring reads [| 0; 1 |]))
+
+let test_greedy_reassembles () =
+  let reference = Dna.of_string "ACGTTGCAACGGT" in
+  (* overlapping reads covering the reference in order *)
+  let reads =
+    [| Dna.subsequence reference ~pos:0 ~len:6;
+       Dna.subsequence reference ~pos:4 ~len:6;
+       Dna.subsequence reference ~pos:8 ~len:5 |]
+  in
+  let r = Assembly.greedy reads in
+  Alcotest.(check string) "reference recovered" (Dna.to_string reference)
+    (Dna.to_string r.Assembly.assembled)
+
+let test_exact_beats_or_ties_greedy () =
+  let rng = Rng.create 5150 in
+  for seed = 0 to 4 do
+    let reference = Dna.markov (Rng.create (400 + seed)) 60 in
+    let reads = Assembly.shotgun rng ~reference ~read_length:15 ~coverage:2.0 in
+    if Array.length reads <= 12 then begin
+      let g = Assembly.greedy reads in
+      let e = Assembly.exact reads in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: exact (%d) >= greedy (%d)" seed e.Assembly.total_overlap
+           g.Assembly.total_overlap)
+        true
+        (e.Assembly.total_overlap >= g.Assembly.total_overlap)
+    end
+  done
+
+let test_anneal_assembles_small () =
+  let rng = Rng.create 6001 in
+  let reference = Dna.of_string "ACGTTGCAACG" in
+  let reads =
+    [| Dna.subsequence reference ~pos:0 ~len:5;
+       Dna.subsequence reference ~pos:3 ~len:5;
+       Dna.subsequence reference ~pos:6 ~len:5 |]
+  in
+  let e = Assembly.exact reads in
+  let a =
+    Assembly.anneal
+      ~params:{ Qca_anneal.Sa.default_params with Qca_anneal.Sa.restarts = 8 }
+      ~rng reads
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "annealer overlap %d vs exact %d" a.Assembly.total_overlap
+       e.Assembly.total_overlap)
+    true
+    (a.Assembly.total_overlap >= e.Assembly.total_overlap - 1);
+  Alcotest.(check int) "qubits for 3 reads" 16 (Assembly.qubits_needed 3)
+
+let test_shotgun_properties () =
+  let rng = Rng.create 6007 in
+  let reference = Dna.markov (Rng.create 9) 100 in
+  let reads = Assembly.shotgun rng ~reference ~read_length:20 ~coverage:3.0 in
+  Alcotest.(check int) "count = coverage * len / read_len" 15 (Array.length reads);
+  Array.iter
+    (fun read -> Alcotest.(check int) "read length" 20 (Dna.length read))
+    reads
+
+let () =
+  Alcotest.run "qca_genome"
+    [
+      ( "dna",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_dna_string_roundtrip;
+          Alcotest.test_case "bits roundtrip" `Quick test_dna_bits_roundtrip;
+          Alcotest.test_case "hamming" `Quick test_dna_hamming;
+          Alcotest.test_case "mutate rate" `Quick test_mutate_rate;
+          Alcotest.test_case "markov statistics" `Quick test_markov_statistics;
+          Alcotest.test_case "entropy preserved" `Quick test_entropy_preserved;
+          Alcotest.test_case "subsequence bounds" `Quick test_subsequence_bounds;
+        ] );
+      ( "reference-db",
+        [
+          Alcotest.test_case "build" `Quick test_db_build;
+          Alcotest.test_case "matches within" `Quick test_db_matches_within;
+          Alcotest.test_case "best match" `Quick test_db_best_match;
+        ] );
+      ( "classical",
+        [
+          Alcotest.test_case "linear scan" `Quick test_linear_scan;
+          Alcotest.test_case "early exit" `Quick test_early_exit_scan;
+          Alcotest.test_case "expected queries" `Quick test_expected_queries;
+        ] );
+      ( "grover",
+        [
+          Alcotest.test_case "optimal iterations" `Quick test_optimal_iterations;
+          Alcotest.test_case "single marked" `Quick test_grover_single_marked;
+          Alcotest.test_case "N=4 exact" `Quick test_grover_n4_exact;
+          Alcotest.test_case "multiple marked" `Quick test_grover_multiple_marked;
+          Alcotest.test_case "overrotation" `Quick test_grover_overrotation_hurts;
+          Alcotest.test_case "quadratic scaling" `Quick test_grover_quadratic_scaling;
+          Alcotest.test_case "unknown count finds" `Quick test_search_unknown_finds;
+          Alcotest.test_case "unknown single match" `Quick test_search_unknown_single_match;
+          Alcotest.test_case "unknown no match" `Quick test_search_unknown_no_match_heralds;
+          Alcotest.test_case "circuit matches functional" `Quick test_grover_circuit_matches_functional;
+        ] );
+      ( "assembly",
+        [
+          Alcotest.test_case "overlap" `Quick test_overlap;
+          Alcotest.test_case "superstring" `Quick test_superstring;
+          Alcotest.test_case "greedy reassembles" `Quick test_greedy_reassembles;
+          Alcotest.test_case "exact >= greedy" `Quick test_exact_beats_or_ties_greedy;
+          Alcotest.test_case "annealer assembles" `Quick test_anneal_assembles_small;
+          Alcotest.test_case "shotgun" `Quick test_shotgun_properties;
+        ] );
+      ( "alignment",
+        [
+          Alcotest.test_case "exact read" `Quick test_align_exact_read;
+          Alcotest.test_case "noisy read" `Quick test_align_noisy_read;
+          Alcotest.test_case "wrong width" `Quick test_align_rejects_wrong_width;
+          Alcotest.test_case "batch accuracy" `Quick test_align_many_accuracy;
+          Alcotest.test_case "qubit budget" `Quick test_qubit_budget;
+          Alcotest.test_case "human genome estimate" `Quick test_human_genome_estimate;
+        ] );
+    ]

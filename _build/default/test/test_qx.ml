@@ -1,0 +1,627 @@
+(* Tests for the QX simulator: state vector, noise channels, executor. *)
+
+module Gate = Qca_circuit.Gate
+module Circuit = Qca_circuit.Circuit
+module Library = Qca_circuit.Library
+module State = Qca_qx.State
+module Noise = Qca_qx.Noise
+module Sim = Qca_qx.Sim
+module Rng = Qca_util.Rng
+module Cplx = Qca_util.Cplx
+module Matrix = Qca_util.Matrix
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_loose = Alcotest.(check (float 0.03))
+
+(* --- state basics --- *)
+
+let test_initial_state () =
+  let s = State.create 3 in
+  check_float "amp 0" 1.0 (State.probability_of s 0);
+  check_float "norm" 1.0 (State.norm s);
+  Alcotest.(check int) "dim" 8 (State.dimension s)
+
+let test_x_flips () =
+  let s = State.create 2 in
+  State.apply s Gate.X [| 1 |];
+  check_float "now |10>" 1.0 (State.probability_of s 0b10)
+
+let test_h_superposition () =
+  let s = State.create 1 in
+  State.apply s Gate.H [| 0 |];
+  check_float "p0" 0.5 (State.probability_of s 0);
+  check_float "p1" 0.5 (State.probability_of s 1)
+
+let test_bell_state () =
+  let s = State.create 2 in
+  State.apply s Gate.H [| 0 |];
+  State.apply s Gate.Cnot [| 0; 1 |];
+  check_float "p00" 0.5 (State.probability_of s 0);
+  check_float "p11" 0.5 (State.probability_of s 3);
+  check_float "p01" 0.0 (State.probability_of s 1)
+
+let test_cnot_control_required () =
+  let s = State.create 2 in
+  State.apply s Gate.Cnot [| 0; 1 |];
+  check_float "|00> unchanged" 1.0 (State.probability_of s 0)
+
+let test_swap () =
+  let s = State.create 2 in
+  State.apply s Gate.X [| 0 |];
+  State.apply s Gate.Swap [| 0; 1 |];
+  check_float "now |10>" 1.0 (State.probability_of s 0b10)
+
+let test_toffoli () =
+  let s = State.create 3 in
+  State.apply s Gate.X [| 0 |];
+  State.apply s Gate.X [| 1 |];
+  State.apply s Gate.Toffoli [| 0; 1; 2 |];
+  check_float "target flipped" 1.0 (State.probability_of s 0b111)
+
+let test_cz_phase () =
+  let s = State.create 2 in
+  State.apply s Gate.X [| 0 |];
+  State.apply s Gate.X [| 1 |];
+  State.apply s Gate.Cz [| 0; 1 |];
+  Alcotest.(check bool) "phase -1" true
+    (Cplx.approx_equal (State.amplitude s 3) (Cplx.make (-1.0) 0.0))
+
+(* Each named gate must act exactly like its matrix (via apply_generic). *)
+let test_fast_paths_match_generic () =
+  let gates1 = [ Gate.X; Gate.Z; Gate.S; Gate.Sdag; Gate.T; Gate.Tdag; Gate.Rz 0.7 ] in
+  let rng = Rng.create 99 in
+  List.iter
+    (fun u ->
+      (* random 2-qubit state, compare fast path against dense embedding *)
+      let amps = Array.init 4 (fun _ -> Cplx.make (Rng.gaussian rng) (Rng.gaussian rng)) in
+      let s1 = State.of_amplitudes amps in
+      let s2 = State.copy s1 in
+      State.apply s1 u [| 1 |];
+      let c = Circuit.of_list 2 [ Gate.Unitary (u, [| 1 |]) ] in
+      let m = Circuit.unitary_matrix c in
+      let expected = Matrix.apply m (Array.init 4 (State.amplitude s2)) in
+      Array.iteri
+        (fun k e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s amp %d" (Gate.name u) k)
+            true
+            (Cplx.approx_equal ~eps:1e-9 e (State.amplitude s1 k)))
+        expected)
+    gates1
+
+let test_two_qubit_fast_paths_match () =
+  let gates = [ Gate.Cnot; Gate.Cz; Gate.Swap; Gate.Cphase 0.9; Gate.Crk 2 ] in
+  let rng = Rng.create 123 in
+  List.iter
+    (fun u ->
+      let amps = Array.init 8 (fun _ -> Cplx.make (Rng.gaussian rng) (Rng.gaussian rng)) in
+      let s1 = State.of_amplitudes amps in
+      let s2 = State.copy s1 in
+      State.apply s1 u [| 2; 0 |];
+      let c = Circuit.of_list 3 [ Gate.Unitary (u, [| 2; 0 |]) ] in
+      let m = Circuit.unitary_matrix c in
+      let expected = Matrix.apply m (Array.init 8 (State.amplitude s2)) in
+      Array.iteri
+        (fun k e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s amp %d" (Gate.name u) k)
+            true
+            (Cplx.approx_equal ~eps:1e-9 e (State.amplitude s1 k)))
+        expected)
+    gates
+
+let test_measure_deterministic () =
+  let s = State.create 2 in
+  State.apply s Gate.X [| 1 |];
+  let rng = Rng.create 1 in
+  Alcotest.(check int) "q1 is 1" 1 (State.measure s rng 1);
+  Alcotest.(check int) "q0 is 0" 0 (State.measure s rng 0)
+
+let test_measure_collapses_entanglement () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 20 do
+    let s = State.create 2 in
+    State.apply s Gate.H [| 0 |];
+    State.apply s Gate.Cnot [| 0; 1 |];
+    let m0 = State.measure s rng 0 in
+    let m1 = State.measure s rng 1 in
+    Alcotest.(check int) "correlated" m0 m1
+  done
+
+let test_measure_statistics () =
+  let rng = Rng.create 5 in
+  let shots = 5000 in
+  (* Ry(2*asin(sqrt(0.3))) gives P(1)=0.3. *)
+  let theta = 2.0 *. asin (sqrt 0.3) in
+  let hits = ref 0 in
+  for _ = 1 to shots do
+    let s = State.create 1 in
+    State.apply s (Gate.Ry theta) [| 0 |];
+    if State.measure s rng 0 = 1 then incr hits
+  done;
+  check_loose "P(1)=0.3" 0.3 (float_of_int !hits /. float_of_int shots)
+
+let test_sample_index_distribution () =
+  let s = State.create 2 in
+  State.apply s Gate.H [| 0 |];
+  let rng = Rng.create 6 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 4000 do
+    let k = State.sample_index s rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check_loose "p0" 0.5 (float_of_int counts.(0) /. 4000.0);
+  check_loose "p1" 0.5 (float_of_int counts.(1) /. 4000.0);
+  Alcotest.(check int) "p2 zero" 0 counts.(2)
+
+let test_overlap_fidelity () =
+  let a = State.create 1 in
+  let b = State.create 1 in
+  State.apply b Gate.H [| 0 |];
+  check_float "fidelity" 0.5 (State.fidelity a b);
+  check_float "self" 1.0 (State.fidelity a a)
+
+let test_expectation_diag () =
+  let s = State.create 1 in
+  State.apply s Gate.H [| 0 |];
+  let z = State.expectation_diag s (fun k -> if k = 0 then 1.0 else -1.0) in
+  check_float "<Z> = 0" 0.0 z
+
+let test_expectation_pauli () =
+  (* Bell state: <XX> = <ZZ> = 1, <XI> = <ZI> = 0, <YY> = -1 *)
+  let s = State.create 2 in
+  State.apply s Gate.H [| 0 |];
+  State.apply s Gate.Cnot [| 0; 1 |];
+  check_float "<ZZ>" 1.0 (State.expectation_pauli s [ (0, 'Z'); (1, 'Z') ]);
+  check_float "<XX>" 1.0 (State.expectation_pauli s [ (0, 'X'); (1, 'X') ]);
+  check_float "<YY>" (-1.0) (State.expectation_pauli s [ (0, 'Y'); (1, 'Y') ]);
+  check_float "<ZI>" 0.0 (State.expectation_pauli s [ (0, 'Z') ]);
+  (* probe must not disturb the state *)
+  check_float "state intact" 0.5 (State.probability_of s 0);
+  (* |+> single qubit: <X> = 1, <Y> = <Z> = 0 *)
+  let plus = State.create 1 in
+  State.apply plus Gate.H [| 0 |];
+  check_float "<X>" 1.0 (State.expectation_pauli plus [ (0, 'X') ]);
+  check_float "<Y>" 0.0 (State.expectation_pauli plus [ (0, 'Y') ]);
+  (* |+i> = S|+>: <Y> = 1 *)
+  State.apply plus Gate.S [| 0 |];
+  check_float "<Y> of +i" 1.0 (State.expectation_pauli plus [ (0, 'Y') ]);
+  match State.expectation_pauli plus [ (0, 'X'); (0, 'Z') ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "repeated qubit accepted"
+
+let test_memory_bytes () =
+  Alcotest.(check int) "20 qubits = 16 MiB" (16 * 1024 * 1024) (State.memory_bytes 20)
+
+(* --- ghz scaling sanity (the E5 experiment in miniature) --- *)
+
+let test_ghz_12 () =
+  let result = Sim.run (Library.ghz 12) in
+  check_float "p(0...0)" 0.5 (State.probability_of result.Sim.state 0);
+  check_float "p(1...1)" 0.5 (State.probability_of result.Sim.state ((1 lsl 12) - 1))
+
+(* --- noise --- *)
+
+let test_bit_flip_channel_rate () =
+  let rng = Rng.create 21 in
+  let flips = ref 0 in
+  let shots = 20_000 in
+  for _ = 1 to shots do
+    let s = State.create 1 in
+    Noise.apply (Noise.Bit_flip 0.25) s rng 0;
+    if State.prob_one s 0 > 0.5 then incr flips
+  done;
+  check_loose "flip rate" 0.25 (float_of_int !flips /. float_of_int shots)
+
+let test_amplitude_damping_decays () =
+  let rng = Rng.create 31 in
+  let shots = 20_000 in
+  let excited = ref 0 in
+  for _ = 1 to shots do
+    let s = State.create 1 in
+    State.apply s Gate.X [| 0 |];
+    Noise.apply (Noise.Amplitude_damping 0.4) s rng 0;
+    if State.prob_one s 0 > 0.5 then incr excited
+  done;
+  check_loose "survival 0.6" 0.6 (float_of_int !excited /. float_of_int shots)
+
+let test_amplitude_damping_preserves_ground () =
+  let rng = Rng.create 32 in
+  let s = State.create 1 in
+  Noise.apply (Noise.Amplitude_damping 0.9) s rng 0;
+  check_float "ground stays" 0.0 (State.prob_one s 0)
+
+let test_depolarizing_mixes () =
+  let rng = Rng.create 41 in
+  let shots = 30_000 in
+  let ones = ref 0 in
+  for _ = 1 to shots do
+    let s = State.create 1 in
+    Noise.apply (Noise.Depolarizing 0.3) s rng 0;
+    if State.measure s rng 0 = 1 then incr ones
+  done;
+  (* X or Y with prob 0.3 * 2/3 = 0.2 flips |0> to |1> *)
+  check_loose "P(1) = 0.2" 0.2 (float_of_int !ones /. float_of_int shots)
+
+let test_ideal_model_detected () =
+  Alcotest.(check bool) "ideal" true (Noise.is_ideal Noise.ideal);
+  Alcotest.(check bool) "depolarizing not ideal" false (Noise.is_ideal (Noise.depolarizing 0.01));
+  Alcotest.(check bool) "superconducting not ideal" false (Noise.is_ideal Noise.superconducting)
+
+let test_readout_flip () =
+  let rng = Rng.create 51 in
+  let m = Noise.depolarizing 0.5 in
+  let flips = ref 0 in
+  for _ = 1 to 10_000 do
+    if Noise.flip_readout m rng 0 = 1 then incr flips
+  done;
+  check_loose "half flipped" 0.5 (float_of_int !flips /. 10_000.0)
+
+(* --- executor --- *)
+
+let test_run_bell_histogram () =
+  let circuit =
+    Circuit.append (Library.bell ())
+      (Circuit.of_list 2 [ Gate.Measure 0; Gate.Measure 1 ])
+  in
+  let hist = Sim.histogram ~shots:2000 circuit in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 hist in
+  Alcotest.(check int) "all shots" 2000 total;
+  List.iter
+    (fun (key, count) ->
+      Alcotest.(check bool) ("only correlated keys: " ^ key) true (key = "00" || key = "11");
+      check_loose "balanced" 0.5 (float_of_int count /. 2000.0))
+    hist
+
+let test_run_prep_resets () =
+  let circuit =
+    Circuit.of_list 1
+      [ Gate.Unitary (Gate.X, [| 0 |]); Gate.Prep 0; Gate.Measure 0 ]
+  in
+  let result = Sim.run circuit in
+  Alcotest.(check int) "reset to 0" 0 result.Sim.classical.(0)
+
+let test_unmeasured_is_minus_one () =
+  let result = Sim.run (Library.bell ()) in
+  Alcotest.(check int) "no measurement" (-1) result.Sim.classical.(0)
+
+let test_run_cqasm_error_model () =
+  (* the embedded error model must be picked up: GHZ with heavy noise shows
+     uncorrelated outcomes sometimes *)
+  let src =
+    "version 1.0\nqubits 3\nerror_model depolarizing_channel, 0.2\nh q[0]\ncnot q[0], \
+     q[1]\ncnot q[1], q[2]\nmeasure_all\n"
+  in
+  let rng = Rng.create 2025 in
+  let mismatched = ref 0 in
+  for _ = 1 to 300 do
+    let result = Sim.run_cqasm ~rng src in
+    let c = result.Sim.classical in
+    if not (c.(0) = c.(1) && c.(1) = c.(2)) then incr mismatched
+  done;
+  Alcotest.(check bool) "noise applied from directive" true (!mismatched > 10)
+
+let test_run_cqasm () =
+  let src = "version 1.0\nqubits 2\nh q[0]\ncnot q[0], q[1]\nmeasure_all\n" in
+  let rng = Rng.create 77 in
+  let result = Sim.run_cqasm ~rng src in
+  Alcotest.(check int) "correlated" result.Sim.classical.(0) result.Sim.classical.(1)
+
+let test_success_probability_ghz () =
+  let circuit =
+    Circuit.append (Library.ghz 3)
+      (Circuit.of_list 3 [ Gate.Measure 0; Gate.Measure 1; Gate.Measure 2 ])
+  in
+  let accept bits = bits.(0) = bits.(1) && bits.(1) = bits.(2) in
+  let p = Sim.success_probability ~shots:500 ~accept circuit in
+  check_float "always correlated" 1.0 p
+
+let test_noisy_ghz_degrades () =
+  let circuit =
+    Circuit.append (Library.ghz 3)
+      (Circuit.of_list 3 [ Gate.Measure 0; Gate.Measure 1; Gate.Measure 2 ])
+  in
+  let accept bits = bits.(0) = bits.(1) && bits.(1) = bits.(2) in
+  let rng = Rng.create 88 in
+  let p = Sim.success_probability ~noise:(Noise.depolarizing 0.05) ~rng ~shots:800 ~accept circuit in
+  Alcotest.(check bool) "degraded below perfect" true (p < 1.0);
+  Alcotest.(check bool) "still better than chance" true (p > 0.5)
+
+let test_expectation_z_plus_state () =
+  let c = Circuit.of_list 1 [ Gate.Unitary (Gate.X, [| 0 |]) ] in
+  check_float "<Z>|1> = -1" (-1.0) (Sim.expectation_z c 0)
+
+let test_fidelity_decreases_with_noise () =
+  let circuit = Library.ghz 4 in
+  let rng = Rng.create 90 in
+  let f_low =
+    Sim.state_fidelity_vs_ideal ~noise:(Noise.depolarizing 0.001) ~rng ~shots:30 circuit
+  in
+  let f_high =
+    Sim.state_fidelity_vs_ideal ~noise:(Noise.depolarizing 0.2) ~rng ~shots:30 circuit
+  in
+  Alcotest.(check bool) "ordering" true (f_low > f_high)
+
+(* --- textbook oracle algorithms --- *)
+
+let test_bernstein_vazirani_recovers_secret () =
+  let rng = Rng.create 6 in
+  List.iter
+    (fun (n, secret) ->
+      let circuit = Library.bernstein_vazirani ~secret n in
+      let result = Sim.run ~rng circuit in
+      let recovered = ref 0 in
+      for q = 0 to n - 1 do
+        if result.Sim.classical.(q) = 1 then recovered := !recovered lor (1 lsl q)
+      done;
+      Alcotest.(check int) (Printf.sprintf "secret %d on %d qubits" secret n) secret !recovered)
+    [ (3, 0b101); (4, 0b1111); (5, 0b00000); (6, 0b101010) ]
+
+let test_deutsch_jozsa_decides () =
+  let rng = Rng.create 8 in
+  let all_zero result n =
+    let rec go q = q = n || (result.Sim.classical.(q) = 0 && go (q + 1)) in
+    go 0
+  in
+  let constant = Sim.run ~rng (Library.deutsch_jozsa ~balanced:None 4) in
+  Alcotest.(check bool) "constant reads all-zero" true (all_zero constant 4);
+  let balanced = Sim.run ~rng (Library.deutsch_jozsa ~balanced:(Some 0b0110) 4) in
+  Alcotest.(check bool) "balanced reads nonzero" false (all_zero balanced 4)
+
+(* --- density matrix --- *)
+
+module Density = Qca_qx.Density
+
+let test_density_initial () =
+  let d = Density.create 2 in
+  check_float "trace" 1.0 (Density.trace d);
+  check_float "purity" 1.0 (Density.purity d);
+  check_float "p00" 1.0 (Density.probabilities d).(0)
+
+let test_density_matches_statevector () =
+  let rng = Rng.create 313 in
+  for seed = 0 to 9 do
+    let circuit = Library.random_circuit (Rng.create seed) ~qubits:3 ~gates:15 in
+    let state = (Sim.run circuit).Sim.state in
+    let d = Density.run circuit in
+    Alcotest.(check (float 1e-9)) "pure evolution agrees" 1.0
+      (Density.fidelity_with_state d state);
+    check_float "purity 1" 1.0 (Density.purity d)
+  done;
+  ignore rng
+
+let test_density_of_state () =
+  let s = State.create 2 in
+  State.apply s Gate.H [| 0 |];
+  let d = Density.of_state s in
+  check_float "fidelity with itself" 1.0 (Density.fidelity_with_state d s)
+
+let test_depolarizing_exact () =
+  (* Full depolarising (p=1 leaves I/2 mixture on Paulis... p chosen so the
+     analytic single-qubit result is simple): after Depolarizing p on |0>,
+     P(1) = 2p/3. *)
+  let d = Density.create 1 in
+  Density.apply_channel d (Qca_qx.Noise.Depolarizing 0.3) 0;
+  check_float "P(1) = 0.2" 0.2 (Density.prob_one d 0);
+  check_float "trace preserved" 1.0 (Density.trace d);
+  Alcotest.(check bool) "mixed now" true (Density.purity d < 1.0)
+
+let test_amplitude_damping_exact () =
+  let d = Density.create 1 in
+  Density.apply_unitary d Gate.X [| 0 |];
+  Density.apply_channel d (Qca_qx.Noise.Amplitude_damping 0.4) 0;
+  check_float "survival" 0.6 (Density.prob_one d 0);
+  check_float "trace" 1.0 (Density.trace d)
+
+let test_phase_damping_kills_coherence () =
+  let d = Density.create 1 in
+  Density.apply_unitary d Gate.H [| 0 |];
+  let coherence_before = Qca_util.Cplx.abs (Density.get d 0 1) in
+  Density.apply_channel d (Qca_qx.Noise.Phase_damping 0.75) 0;
+  let coherence_after = Qca_util.Cplx.abs (Density.get d 0 1) in
+  Alcotest.(check bool) "off-diagonal decays" true (coherence_after < coherence_before);
+  (* populations untouched *)
+  check_float "P(1) still 0.5" 0.5 (Density.prob_one d 0)
+
+(* The key validation: Monte-Carlo trajectories must reproduce the exact
+   density-matrix marginals. *)
+let test_trajectories_match_density () =
+  let circuit = Library.ghz 3 in
+  let noise = Noise.depolarizing 0.05 in
+  let exact = Density.run ~noise circuit in
+  let rng = Rng.create 999 in
+  let shots = 3000 in
+  let ones = Array.make 3 0 in
+  for _ = 1 to shots do
+    let result = Sim.run ~noise ~rng circuit in
+    for q = 0 to 2 do
+      (* sample each qubit without collapsing correlations across qubits:
+         use probabilities of the final state *)
+      if Rng.bernoulli rng (State.prob_one result.Sim.state q) then
+        ones.(q) <- ones.(q) + 1
+    done
+  done;
+  for q = 0 to 2 do
+    let sampled = float_of_int ones.(q) /. float_of_int shots in
+    Alcotest.(check (float 0.04))
+      (Printf.sprintf "qubit %d marginal" q)
+      (Density.prob_one exact q) sampled
+  done
+
+let test_density_rejects_measurement () =
+  let c = Circuit.of_list 1 [ Gate.Measure 0 ] in
+  match Density.run c with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "measurement accepted"
+
+(* --- conditionals / teleportation --- *)
+
+let test_conditional_fires_on_one () =
+  let c =
+    Circuit.of_list 2
+      [
+        Gate.Unitary (Gate.X, [| 0 |]);
+        Gate.Measure 0;
+        Gate.Conditional (0, Gate.X, [| 1 |]);
+        Gate.Measure 1;
+      ]
+  in
+  let result = Sim.run c in
+  Alcotest.(check int) "conditional fired" 1 result.Sim.classical.(1)
+
+let test_conditional_skips_on_zero () =
+  let c =
+    Circuit.of_list 2
+      [ Gate.Measure 0; Gate.Conditional (0, Gate.X, [| 1 |]); Gate.Measure 1 ]
+  in
+  let result = Sim.run c in
+  Alcotest.(check int) "conditional skipped" 0 result.Sim.classical.(1)
+
+let test_teleportation_preserves_state () =
+  (* Teleport Ry(theta)|0>: P(q2 = 1) must be sin^2(theta/2) regardless of
+     the Bell-measurement outcomes. *)
+  let theta = 1.234 in
+  let expected = sin (theta /. 2.0) ** 2.0 in
+  let circuit =
+    Circuit.append
+      (Library.teleport ~prepare:(Gate.Ry theta) ())
+      (Circuit.of_list 3 [ Gate.Measure 2 ])
+  in
+  let rng = Rng.create 1717 in
+  let shots = 4000 in
+  let ones = ref 0 in
+  for _ = 1 to shots do
+    let result = Sim.run ~rng circuit in
+    if result.Sim.classical.(2) = 1 then incr ones
+  done;
+  check_loose "teleported amplitude" expected (float_of_int !ones /. float_of_int shots)
+
+let test_teleportation_exact_state () =
+  (* Without the final measurement, Bob's qubit must carry exactly the
+     payload state for every measurement branch. *)
+  let theta = 0.789 in
+  let rng = Rng.create 55 in
+  for _ = 1 to 20 do
+    let result = Sim.run ~rng (Library.teleport ~prepare:(Gate.Ry theta) ()) in
+    let p1 = State.prob_one result.Sim.state 2 in
+    Alcotest.(check (float 1e-9)) "P(1) exact" (sin (theta /. 2.0) ** 2.0) p1
+  done
+
+(* --- properties --- *)
+
+let arb_seeded_circuit =
+  QCheck.make
+    ~print:(fun (seed, qubits, gates) -> Printf.sprintf "seed=%d q=%d g=%d" seed qubits gates)
+    QCheck.Gen.(triple (int_range 0 9999) (int_range 2 6) (int_range 1 40))
+
+let prop_norm_preserved =
+  QCheck.Test.make ~name:"unitary evolution preserves norm" ~count:100 arb_seeded_circuit
+    (fun (seed, qubits, gates) ->
+      let circuit = Library.random_circuit (Rng.create seed) ~qubits ~gates in
+      let result = Sim.run circuit in
+      Float.abs (State.norm result.Sim.state -. 1.0) < 1e-9)
+
+let prop_matrix_agrees_with_simulation =
+  QCheck.Test.make ~name:"simulator agrees with dense unitary" ~count:50
+    arb_seeded_circuit (fun (seed, qubits, gates) ->
+      let circuit = Library.random_circuit (Rng.create seed) ~qubits ~gates in
+      let result = Sim.run circuit in
+      let m = Circuit.unitary_matrix circuit in
+      let dim = 1 lsl qubits in
+      let v0 = Array.init dim (fun k -> if k = 0 then Cplx.one else Cplx.zero) in
+      let expected = Qca_util.Matrix.apply m v0 in
+      let ok = ref true in
+      Array.iteri
+        (fun k e ->
+          if not (Cplx.approx_equal ~eps:1e-7 e (State.amplitude result.Sim.state k)) then
+            ok := false)
+        expected;
+      !ok)
+
+let prop_measurement_collapse_consistent =
+  QCheck.Test.make ~name:"measurement then remeasure is stable" ~count:50
+    arb_seeded_circuit (fun (seed, qubits, gates) ->
+      let rng = Rng.create (seed + 1) in
+      let circuit = Library.random_circuit (Rng.create seed) ~qubits ~gates in
+      let result = Sim.run ~rng circuit in
+      let q = seed mod qubits in
+      let first = State.measure result.Sim.state rng q in
+      let second = State.measure result.Sim.state rng q in
+      first = second)
+
+let () =
+  let qtest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qca_qx"
+    [
+      ( "state",
+        [
+          Alcotest.test_case "initial" `Quick test_initial_state;
+          Alcotest.test_case "x flips" `Quick test_x_flips;
+          Alcotest.test_case "h superposition" `Quick test_h_superposition;
+          Alcotest.test_case "bell" `Quick test_bell_state;
+          Alcotest.test_case "cnot control" `Quick test_cnot_control_required;
+          Alcotest.test_case "swap" `Quick test_swap;
+          Alcotest.test_case "toffoli" `Quick test_toffoli;
+          Alcotest.test_case "cz phase" `Quick test_cz_phase;
+          Alcotest.test_case "fast paths 1q" `Quick test_fast_paths_match_generic;
+          Alcotest.test_case "fast paths 2q" `Quick test_two_qubit_fast_paths_match;
+          Alcotest.test_case "ghz 12" `Quick test_ghz_12;
+          Alcotest.test_case "expectation pauli" `Quick test_expectation_pauli;
+          Alcotest.test_case "memory bytes" `Quick test_memory_bytes;
+        ] );
+      ( "measurement",
+        [
+          Alcotest.test_case "deterministic" `Quick test_measure_deterministic;
+          Alcotest.test_case "collapse entanglement" `Quick test_measure_collapses_entanglement;
+          Alcotest.test_case "statistics" `Quick test_measure_statistics;
+          Alcotest.test_case "sample distribution" `Quick test_sample_index_distribution;
+          Alcotest.test_case "overlap fidelity" `Quick test_overlap_fidelity;
+          Alcotest.test_case "expectation diag" `Quick test_expectation_diag;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "bit flip rate" `Quick test_bit_flip_channel_rate;
+          Alcotest.test_case "amplitude damping" `Quick test_amplitude_damping_decays;
+          Alcotest.test_case "damping ground" `Quick test_amplitude_damping_preserves_ground;
+          Alcotest.test_case "depolarizing" `Quick test_depolarizing_mixes;
+          Alcotest.test_case "ideal detection" `Quick test_ideal_model_detected;
+          Alcotest.test_case "readout flip" `Quick test_readout_flip;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "bell histogram" `Quick test_run_bell_histogram;
+          Alcotest.test_case "prep resets" `Quick test_run_prep_resets;
+          Alcotest.test_case "unmeasured -1" `Quick test_unmeasured_is_minus_one;
+          Alcotest.test_case "run cqasm" `Quick test_run_cqasm;
+          Alcotest.test_case "cqasm error_model" `Quick test_run_cqasm_error_model;
+          Alcotest.test_case "ghz success" `Quick test_success_probability_ghz;
+          Alcotest.test_case "noisy ghz degrades" `Quick test_noisy_ghz_degrades;
+          Alcotest.test_case "expectation z" `Quick test_expectation_z_plus_state;
+          Alcotest.test_case "fidelity ordering" `Quick test_fidelity_decreases_with_noise;
+        ] );
+      ( "oracle-algorithms",
+        [
+          Alcotest.test_case "bernstein-vazirani" `Quick test_bernstein_vazirani_recovers_secret;
+          Alcotest.test_case "deutsch-jozsa" `Quick test_deutsch_jozsa_decides;
+        ] );
+      ( "density",
+        [
+          Alcotest.test_case "initial" `Quick test_density_initial;
+          Alcotest.test_case "matches state vector" `Quick test_density_matches_statevector;
+          Alcotest.test_case "of_state" `Quick test_density_of_state;
+          Alcotest.test_case "depolarizing exact" `Quick test_depolarizing_exact;
+          Alcotest.test_case "amplitude damping exact" `Quick test_amplitude_damping_exact;
+          Alcotest.test_case "phase damping coherence" `Quick test_phase_damping_kills_coherence;
+          Alcotest.test_case "trajectories match density" `Quick test_trajectories_match_density;
+          Alcotest.test_case "rejects measurement" `Quick test_density_rejects_measurement;
+        ] );
+      ( "conditional",
+        [
+          Alcotest.test_case "fires on 1" `Quick test_conditional_fires_on_one;
+          Alcotest.test_case "skips on 0" `Quick test_conditional_skips_on_zero;
+          Alcotest.test_case "teleportation statistics" `Quick test_teleportation_preserves_state;
+          Alcotest.test_case "teleportation exact" `Quick test_teleportation_exact_state;
+        ] );
+      ( "properties",
+        [ qtest prop_norm_preserved; qtest prop_matrix_agrees_with_simulation; qtest prop_measurement_collapse_consistent ] );
+    ]

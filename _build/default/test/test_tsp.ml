@@ -1,0 +1,218 @@
+(* Tests for the TSP library: instances, exact solvers, heuristics, QUBO
+   encoding — including Figure 9's 1.42-cost Netherlands instance. *)
+
+module Tsp = Qca_tsp.Tsp
+module Exact = Qca_tsp.Exact
+module Heuristic = Qca_tsp.Heuristic
+module Encode = Qca_tsp.Encode
+module Qubo = Qca_anneal.Qubo
+module Sa = Qca_anneal.Sa
+module Rng = Qca_util.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_make_validation () =
+  let bad_distance = [| [| 0.0; 1.0 |]; [| 2.0; 0.0 |] |] in
+  match Tsp.make ~name:"bad" ~cities:[| "a"; "b" |] ~distance:bad_distance with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "asymmetric accepted"
+
+let test_tour_cost_square () =
+  let t =
+    Tsp.euclidean ~name:"square"
+      [| ("a", 0.0, 0.0); ("b", 1.0, 0.0); ("c", 1.0, 1.0); ("d", 0.0, 1.0) |]
+  in
+  check_float "perimeter" 4.0 (Tsp.tour_cost t [| 0; 1; 2; 3 |]);
+  check_float "crossing" (2.0 +. (2.0 *. sqrt 2.0)) (Tsp.tour_cost t [| 0; 2; 1; 3 |])
+
+let test_valid_tour () =
+  let t = Tsp.random (Rng.create 1) 5 in
+  Alcotest.(check bool) "valid" true (Tsp.is_valid_tour t [| 4; 2; 0; 1; 3 |]);
+  Alcotest.(check bool) "repeat invalid" false (Tsp.is_valid_tour t [| 0; 0; 1; 2; 3 |]);
+  Alcotest.(check bool) "short invalid" false (Tsp.is_valid_tour t [| 0; 1; 2 |])
+
+let test_canonical () =
+  let a = Tsp.canonical [| 2; 3; 0; 1 |] in
+  let b = Tsp.canonical [| 0; 1; 2; 3 |] in
+  Alcotest.(check (array int)) "rotation" b a;
+  let c = Tsp.canonical [| 0; 3; 2; 1 |] in
+  Alcotest.(check (array int)) "reflection" b c
+
+(* --- Figure 9 --- *)
+
+let test_netherlands_optimal_is_1_42 () =
+  let t = Tsp.netherlands () in
+  Alcotest.(check int) "four cities" 4 (Tsp.size t);
+  let _, cost = Exact.enumerate t in
+  Alcotest.(check (float 1e-9)) "paper's 1.42" 1.42 cost
+
+let test_netherlands_city_names () =
+  let t = Tsp.netherlands () in
+  Alcotest.(check bool) "Amsterdam present" true (Array.mem "Amsterdam" t.Tsp.cities);
+  Alcotest.(check bool) "Eindhoven present" true (Array.mem "Eindhoven" t.Tsp.cities)
+
+(* --- exact solvers agree --- *)
+
+let prop_exact_solvers_agree =
+  QCheck.Test.make ~name:"exact solvers agree" ~count:25
+    (QCheck.make
+       ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n)
+       QCheck.Gen.(pair (int_range 0 9999) (int_range 3 8)))
+    (fun (seed, n) ->
+      let t = Tsp.random (Rng.create seed) n in
+      let _, c1 = Exact.enumerate t in
+      let _, c2 = Exact.held_karp t in
+      let _, c3 = Exact.branch_and_bound t in
+      Float.abs (c1 -. c2) < 1e-9 && Float.abs (c1 -. c3) < 1e-9)
+
+let test_exact_tours_valid () =
+  let t = Tsp.random (Rng.create 77) 7 in
+  List.iter
+    (fun (name, solver) ->
+      let tour, cost = solver t in
+      Alcotest.(check bool) (name ^ " tour valid") true (Tsp.is_valid_tour t tour);
+      Alcotest.(check (float 1e-9)) (name ^ " cost consistent") cost (Tsp.tour_cost t tour))
+    Exact.solvers
+
+let test_held_karp_larger () =
+  let t = Tsp.random (Rng.create 3) 12 in
+  let _, bb = Exact.branch_and_bound t in
+  let _, hk = Exact.held_karp t in
+  Alcotest.(check (float 1e-9)) "agree at n=12" bb hk
+
+(* --- heuristics --- *)
+
+let test_nearest_neighbour_valid () =
+  let t = Tsp.random (Rng.create 5) 10 in
+  let tour, cost = Heuristic.nearest_neighbour t in
+  Alcotest.(check bool) "valid" true (Tsp.is_valid_tour t tour);
+  let _, optimal = Exact.held_karp t in
+  Alcotest.(check bool) "not better than optimal" true (cost >= optimal -. 1e-9)
+
+let test_two_opt_improves () =
+  let t = Tsp.random (Rng.create 9) 12 in
+  let tour0 = Array.init 12 Fun.id in
+  let cost0 = Tsp.tour_cost t tour0 in
+  let tour1, cost1 = Heuristic.two_opt t tour0 in
+  Alcotest.(check bool) "valid" true (Tsp.is_valid_tour t tour1);
+  Alcotest.(check bool) "no worse" true (cost1 <= cost0 +. 1e-9)
+
+let test_nn_two_opt_near_optimal () =
+  (* On random Euclidean instances NN+2opt is typically within 10%. *)
+  let worst = ref 0.0 in
+  for seed = 0 to 9 do
+    let t = Tsp.random (Rng.create (1000 + seed)) 10 in
+    let result = Heuristic.nearest_neighbour_two_opt t in
+    let ratio = Heuristic.approximation_ratio t result in
+    worst := Float.max !worst ratio
+  done;
+  Alcotest.(check bool) "within 15%" true (!worst < 1.15)
+
+let test_monte_carlo_valid () =
+  let t = Tsp.random (Rng.create 21) 8 in
+  let tour, cost = Heuristic.monte_carlo ~samples:500 ~rng:(Rng.create 22) t in
+  Alcotest.(check bool) "valid" true (Tsp.is_valid_tour t tour);
+  Alcotest.(check (float 1e-9)) "cost consistent" (Tsp.tour_cost t tour) cost
+
+(* --- QUBO encoding --- *)
+
+let test_qubits_needed_quadratic () =
+  Alcotest.(check int) "4 cities -> 16 qubits (paper)" 16 (Encode.qubits_needed 4);
+  Alcotest.(check int) "9 cities -> 81" 81 (Encode.qubits_needed 9);
+  Alcotest.(check int) "90 cities -> 8100" 8100 (Encode.qubits_needed 90)
+
+let test_tour_bits_roundtrip () =
+  let t = Tsp.random (Rng.create 31) 4 in
+  let tour = [| 2; 0; 3; 1 |] in
+  let bits = Encode.tour_bits ~n:4 tour in
+  match Encode.decode t bits with
+  | Some decoded -> Alcotest.(check (array int)) "roundtrip" tour decoded
+  | None -> Alcotest.fail "valid tour must decode"
+
+let test_decode_rejects_invalid () =
+  let t = Tsp.random (Rng.create 33) 3 in
+  Alcotest.(check bool) "all zeros invalid" true (Encode.decode t (Array.make 9 0) = None);
+  Alcotest.(check bool) "all ones invalid" true (Encode.decode t (Array.make 9 1) = None)
+
+let test_decode_with_repair_always_valid () =
+  let t = Tsp.random (Rng.create 35) 4 in
+  let rng = Rng.create 36 in
+  for _ = 1 to 50 do
+    let bits = Array.init 16 (fun _ -> Rng.int rng 2) in
+    let tour = Encode.decode_with_repair t bits in
+    Alcotest.(check bool) "repaired valid" true (Tsp.is_valid_tour t tour)
+  done
+
+(* The central correctness property: the QUBO ground state *is* the optimal
+   tour. Checked exactly by brute force for n = 3. *)
+let test_qubo_ground_state_is_optimal_tour () =
+  let t = Tsp.random (Rng.create 41) 3 in
+  let q = Encode.to_qubo t in
+  let bits, energy = Qubo.brute_force q in
+  match Encode.decode t bits with
+  | None -> Alcotest.fail "ground state must be a valid tour"
+  | Some tour ->
+      let _, optimal = Exact.enumerate t in
+      Alcotest.(check (float 1e-9)) "tour cost optimal" optimal (Tsp.tour_cost t tour);
+      (* QUBO energy = tour cost - 2 n A (both constraint blocks satisfied) *)
+      let a = 4.0 *. Array.fold_left (fun m row -> Array.fold_left Float.max m row) 0.0 t.Tsp.distance in
+      Alcotest.(check (float 1e-6)) "energy offset" (optimal -. (2.0 *. 3.0 *. a)) energy
+
+let test_qubo_energy_of_encoded_tour () =
+  let t = Tsp.netherlands () in
+  let q = Encode.to_qubo t in
+  let n = 4 in
+  let tour, optimal = Exact.enumerate t in
+  let bits = Encode.tour_bits ~n tour in
+  let a = 4.0 *. Array.fold_left (fun m row -> Array.fold_left Float.max m row) 0.0 t.Tsp.distance in
+  Alcotest.(check (float 1e-6)) "encoded optimal energy" (optimal -. (2.0 *. 4.0 *. a))
+    (Qubo.energy q bits)
+
+let test_sa_solves_netherlands_qubo () =
+  (* The paper's Figure 9 flow: encode the 4-city TSP as a 16-qubit QUBO and
+     solve it on an annealer; the optimum (1.42) must be recovered. *)
+  let t = Tsp.netherlands () in
+  let q = Encode.to_qubo t in
+  let rng = Rng.create 4242 in
+  let bits, _ = Sa.minimize_qubo ~params:{ Sa.default_params with Sa.restarts = 8 } ~rng q in
+  match Encode.decode t bits with
+  | None -> Alcotest.fail "annealer must return a valid tour"
+  | Some tour -> Alcotest.(check (float 1e-9)) "cost 1.42" 1.42 (Tsp.tour_cost t tour)
+
+let () =
+  let qtest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qca_tsp"
+    [
+      ( "instances",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "tour cost" `Quick test_tour_cost_square;
+          Alcotest.test_case "valid tours" `Quick test_valid_tour;
+          Alcotest.test_case "canonical" `Quick test_canonical;
+          Alcotest.test_case "netherlands 1.42" `Quick test_netherlands_optimal_is_1_42;
+          Alcotest.test_case "netherlands names" `Quick test_netherlands_city_names;
+        ] );
+      ( "exact",
+        [
+          qtest prop_exact_solvers_agree;
+          Alcotest.test_case "tours valid" `Quick test_exact_tours_valid;
+          Alcotest.test_case "held-karp n=12" `Quick test_held_karp_larger;
+        ] );
+      ( "heuristics",
+        [
+          Alcotest.test_case "nearest neighbour" `Quick test_nearest_neighbour_valid;
+          Alcotest.test_case "two-opt improves" `Quick test_two_opt_improves;
+          Alcotest.test_case "nn+2opt near optimal" `Quick test_nn_two_opt_near_optimal;
+          Alcotest.test_case "monte carlo" `Quick test_monte_carlo_valid;
+        ] );
+      ( "encoding",
+        [
+          Alcotest.test_case "qubits quadratic" `Quick test_qubits_needed_quadratic;
+          Alcotest.test_case "tour bits roundtrip" `Quick test_tour_bits_roundtrip;
+          Alcotest.test_case "decode rejects invalid" `Quick test_decode_rejects_invalid;
+          Alcotest.test_case "repair always valid" `Quick test_decode_with_repair_always_valid;
+          Alcotest.test_case "ground state = optimal tour" `Quick test_qubo_ground_state_is_optimal_tour;
+          Alcotest.test_case "encoded tour energy" `Quick test_qubo_energy_of_encoded_tour;
+          Alcotest.test_case "sa solves netherlands" `Quick test_sa_solves_netherlands_qubo;
+        ] );
+    ]

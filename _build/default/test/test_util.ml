@@ -1,0 +1,314 @@
+(* Unit and property tests for the qca_util substrate. *)
+
+module Rng = Qca_util.Rng
+module Bits = Qca_util.Bits
+module Cplx = Qca_util.Cplx
+module Matrix = Qca_util.Matrix
+module Graph = Qca_util.Graph
+module Stats = Qca_util.Stats
+module Optimize = Qca_util.Optimize
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-2))
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_float_range () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 1.0 in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_uniformity () =
+  let rng = Rng.create 3 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = Rng.int rng 10 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let freq = float_of_int c /. float_of_int n in
+      check_float_loose "roughly uniform" 0.1 freq)
+    counts
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 11 in
+  let xs = Array.init 50_000 (fun _ -> Rng.gaussian rng) in
+  Alcotest.(check (float 0.02)) "mean 0" 0.0 (Stats.mean xs);
+  check_float_loose "stddev 1" 1.0 (Stats.stddev xs)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  let a = Rng.bits64 parent and b = Rng.bits64 child in
+  Alcotest.(check bool) "different streams" true (a <> b)
+
+let test_rng_bernoulli () =
+  let rng = Rng.create 13 in
+  let hits = ref 0 in
+  for _ = 1 to 100_000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  check_float_loose "p=0.3" 0.3 (float_of_int !hits /. 100_000.0)
+
+let test_choose_weighted () =
+  let rng = Rng.create 17 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 60_000 do
+    let k = Rng.choose_weighted rng [| 1.0; 2.0; 3.0 |] in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check_float_loose "w0" (1.0 /. 6.0) (float_of_int counts.(0) /. 60_000.0);
+  check_float_loose "w2" 0.5 (float_of_int counts.(2) /. 60_000.0)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 23 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+(* --- Bits --- *)
+
+let test_bits_basics () =
+  Alcotest.(check bool) "test" true (Bits.test 0b1010 1);
+  Alcotest.(check bool) "test" false (Bits.test 0b1010 0);
+  Alcotest.(check int) "set" 0b1011 (Bits.set 0b1010 0);
+  Alcotest.(check int) "clear" 0b1000 (Bits.clear 0b1010 1);
+  Alcotest.(check int) "flip" 0b0010 (Bits.flip 0b1010 3);
+  Alcotest.(check int) "popcount" 2 (Bits.popcount 0b1010);
+  Alcotest.(check int) "parity" 0 (Bits.parity 0b1010);
+  Alcotest.(check int) "parity" 1 (Bits.parity 0b1011)
+
+let test_bits_strings () =
+  Alcotest.(check string) "to_string" "0101" (Bits.to_string ~width:4 5);
+  Alcotest.(check int) "of_string" 5 (Bits.of_string "0101")
+
+let prop_bits_roundtrip =
+  QCheck.Test.make ~name:"bits string roundtrip" ~count:200
+    QCheck.(int_bound 65535)
+    (fun x -> Bits.of_string (Bits.to_string ~width:16 x) = x)
+
+let test_insert_zero () =
+  (* inserting a zero at position 1 in 0b11 gives 0b101 *)
+  Alcotest.(check int) "insert" 0b101 (Bits.insert_zero 0b11 1)
+
+(* --- Matrix --- *)
+
+let c = Cplx.make
+
+let test_matrix_mul_identity () =
+  let m = Matrix.of_arrays [| [| c 1. 2.; c 3. 4. |]; [| c 5. 6.; c 7. 8. |] |] in
+  Alcotest.(check bool) "I*m = m" true (Matrix.approx_equal (Matrix.mul (Matrix.identity 2) m) m)
+
+let test_matrix_kron_dims () =
+  let a = Matrix.identity 2 and b = Matrix.identity 4 in
+  let k = Matrix.kron a b in
+  Alcotest.(check int) "rows" 8 (Matrix.rows k);
+  Alcotest.(check bool) "I kron I = I" true (Matrix.approx_equal k (Matrix.identity 8))
+
+let test_matrix_adjoint () =
+  let m = Matrix.of_arrays [| [| c 1. 2.; c 3. 4. |]; [| c 5. 6.; c 7. 8. |] |] in
+  let a = Matrix.adjoint m in
+  Alcotest.(check bool) "entry" true (Cplx.approx_equal (Matrix.get a 0 1) (c 5. (-6.)))
+
+let test_matrix_unitary_check () =
+  let h = 1.0 /. sqrt 2.0 in
+  let m = Matrix.of_arrays [| [| c h 0.; c h 0. |]; [| c h 0.; c (-.h) 0. |] |] in
+  Alcotest.(check bool) "H unitary" true (Matrix.is_unitary m);
+  let bad = Matrix.of_arrays [| [| c 1. 0.; c 1. 0. |]; [| c 0. 0.; c 1. 0. |] |] in
+  Alcotest.(check bool) "not unitary" false (Matrix.is_unitary bad)
+
+let test_matrix_phase_equal () =
+  let m = Matrix.identity 2 in
+  let phased = Matrix.scale (Cplx.cis 0.7) m in
+  Alcotest.(check bool) "equal up to phase" true (Matrix.equal_up_to_phase m phased);
+  Alcotest.(check bool) "not plain equal" false (Matrix.approx_equal m phased)
+
+let test_matrix_trace_apply () =
+  let m = Matrix.of_arrays [| [| c 1. 0.; c 2. 0. |]; [| c 3. 0.; c 4. 0. |] |] in
+  Alcotest.(check bool) "trace" true (Cplx.approx_equal (Matrix.trace m) (c 5. 0.));
+  let v = Matrix.apply m [| c 1. 0.; c 1. 0. |] in
+  Alcotest.(check bool) "apply" true (Cplx.approx_equal v.(0) (c 3. 0.) && Cplx.approx_equal v.(1) (c 7. 0.))
+
+(* --- Graph --- *)
+
+let test_graph_grid () =
+  let g = Graph.grid_2d 3 3 in
+  Alcotest.(check int) "size" 9 (Graph.size g);
+  Alcotest.(check int) "corner degree" 2 (Graph.degree g 0);
+  Alcotest.(check int) "center degree" 4 (Graph.degree g 4);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_graph_shortest_path () =
+  let g = Graph.grid_2d 3 3 in
+  match Graph.shortest_path g 0 8 with
+  | None -> Alcotest.fail "path expected"
+  | Some path ->
+      Alcotest.(check int) "path length" 5 (List.length path);
+      Alcotest.(check int) "starts" 0 (List.hd path)
+
+let test_graph_hop_distance () =
+  let g = Graph.grid_2d 3 3 in
+  Alcotest.(check (option int)) "corner to corner" (Some 4) (Graph.hop_distance g 0 8);
+  Alcotest.(check (option int)) "self" (Some 0) (Graph.hop_distance g 4 4)
+
+let test_graph_disconnected () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1 1.0;
+  Alcotest.(check bool) "disconnected" false (Graph.is_connected g);
+  Alcotest.(check (option int)) "no path" None (Graph.hop_distance g 0 3)
+
+let test_graph_weights () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 2.5;
+  Graph.add_edge g 1 2 1.5;
+  let d = Graph.distances_from g 0 in
+  check_float "dijkstra" 4.0 d.(2)
+
+let test_graph_complete () =
+  let g = Graph.complete 5 (fun u v -> float_of_int (u + v)) in
+  Alcotest.(check int) "degree" 4 (Graph.degree g 0);
+  Alcotest.(check (option (float 1e-9))) "weight" (Some 3.0) (Graph.weight g 1 2)
+
+(* --- Stats --- *)
+
+let test_stats_basics () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Stats.mean xs);
+  check_float "variance" (5.0 /. 3.0) (Stats.variance xs);
+  check_float "min" 1.0 (Stats.minimum xs);
+  check_float "max" 4.0 (Stats.maximum xs)
+
+let test_linear_fit () =
+  let points = Array.init 10 (fun i -> (float_of_int i, (2.0 *. float_of_int i) +. 1.0)) in
+  let slope, intercept = Stats.linear_fit points in
+  check_float "slope" 2.0 slope;
+  check_float "intercept" 1.0 intercept
+
+let test_exponential_fit () =
+  let a = 0.5 and p = 0.9 in
+  let points = Array.init 20 (fun i -> (float_of_int i, a *. (p ** float_of_int i))) in
+  let a', p' = Stats.exponential_decay_fit points in
+  check_float "a" a a';
+  check_float "p" p p'
+
+let test_histogram () =
+  let xs = [| 0.1; 0.2; 0.55; 0.9; 1.5; -0.5 |] in
+  let h = Stats.histogram ~bins:2 ~lo:0.0 ~hi:1.0 xs in
+  Alcotest.(check (array int)) "bins with clamping" [| 3; 3 |] h
+
+(* --- Optimize --- *)
+
+let rosenbrock v =
+  let x = v.(0) and y = v.(1) in
+  ((1.0 -. x) ** 2.0) +. (100.0 *. ((y -. (x *. x)) ** 2.0))
+
+let test_nelder_mead_quadratic () =
+  let f v = ((v.(0) -. 3.0) ** 2.0) +. ((v.(1) +. 1.0) ** 2.0) in
+  let x, fx = Optimize.nelder_mead ~max_iter:2000 f [| 0.0; 0.0 |] in
+  check_float_loose "x0" 3.0 x.(0);
+  check_float_loose "x1" (-1.0) x.(1);
+  Alcotest.(check bool) "near zero" true (fx < 1e-6)
+
+let test_nelder_mead_rosenbrock () =
+  let x, _ = Optimize.nelder_mead ~max_iter:5000 ~tolerance:1e-12 rosenbrock [| -1.0; 1.0 |] in
+  check_float_loose "x" 1.0 x.(0);
+  check_float_loose "y" 1.0 x.(1)
+
+let test_grid_search () =
+  let f v = Float.abs (v.(0) -. 0.5) in
+  let x, fx = Optimize.grid_search ~lo:[| 0.0 |] ~hi:[| 1.0 |] ~steps:21 f in
+  check_float "found" 0.5 x.(0);
+  check_float "value" 0.0 fx
+
+let test_coordinate_descent () =
+  let f v = ((v.(0) -. 2.0) ** 2.0) +. ((v.(1) -. 1.0) ** 2.0) in
+  let x, _ =
+    Optimize.coordinate_descent ~rounds:4 ~steps:41 ~lo:[| 0.0; 0.0 |] ~hi:[| 4.0; 4.0 |] f
+      [| 0.0; 0.0 |]
+  in
+  check_float_loose "x0" 2.0 x.(0);
+  check_float_loose "x1" 1.0 x.(1)
+
+let prop_mean_bounds =
+  QCheck.Test.make ~name:"mean within min/max" ~count:200
+    QCheck.(array_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let m = Stats.mean xs in
+      m >= Stats.minimum xs -. 1e-9 && m <= Stats.maximum xs +. 1e-9)
+
+let () =
+  let qtest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qca_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli;
+          Alcotest.test_case "choose_weighted" `Quick test_choose_weighted;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+        ] );
+      ( "bits",
+        [
+          Alcotest.test_case "basics" `Quick test_bits_basics;
+          Alcotest.test_case "strings" `Quick test_bits_strings;
+          Alcotest.test_case "insert_zero" `Quick test_insert_zero;
+          qtest prop_bits_roundtrip;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "mul identity" `Quick test_matrix_mul_identity;
+          Alcotest.test_case "kron dims" `Quick test_matrix_kron_dims;
+          Alcotest.test_case "adjoint" `Quick test_matrix_adjoint;
+          Alcotest.test_case "unitary check" `Quick test_matrix_unitary_check;
+          Alcotest.test_case "phase equality" `Quick test_matrix_phase_equal;
+          Alcotest.test_case "trace and apply" `Quick test_matrix_trace_apply;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "grid" `Quick test_graph_grid;
+          Alcotest.test_case "shortest path" `Quick test_graph_shortest_path;
+          Alcotest.test_case "hop distance" `Quick test_graph_hop_distance;
+          Alcotest.test_case "disconnected" `Quick test_graph_disconnected;
+          Alcotest.test_case "weighted dijkstra" `Quick test_graph_weights;
+          Alcotest.test_case "complete" `Quick test_graph_complete;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "linear fit" `Quick test_linear_fit;
+          Alcotest.test_case "exponential fit" `Quick test_exponential_fit;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          qtest prop_mean_bounds;
+        ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "nelder-mead quadratic" `Quick test_nelder_mead_quadratic;
+          Alcotest.test_case "nelder-mead rosenbrock" `Quick test_nelder_mead_rosenbrock;
+          Alcotest.test_case "grid search" `Quick test_grid_search;
+          Alcotest.test_case "coordinate descent" `Quick test_coordinate_descent;
+        ] );
+    ]
