@@ -1,0 +1,93 @@
+The qxc CLI end to end. Create a Bell program:
+
+  $ cat > bell.qasm <<'QASM'
+  > version 1.0
+  > qubits 2
+  > 
+  > .entangle
+  >   h q[0]
+  >   cnot q[0], q[1]
+  > 
+  > .readout
+  >   measure q[0]
+  >   measure q[1]
+  > QASM
+
+Inspect it:
+
+  $ qxc info bell.qasm
+  name:          circuit
+  qubits:        2
+  instructions:  4
+  gates:         2
+  two-qubit:     1
+  depth:         3
+  qubits used:   0, 1
+
+Run on perfect qubits (fixed seed, deterministic histogram):
+
+  $ qxc run bell.qasm --shots 1000 --seed 7
+  # 2 qubits, 4 instructions, 1000 shots
+  # plan: sampled (terminal unconditioned measurements)
+  00     525  0.5250
+  11     475  0.4750
+
+With depolarising noise, anticorrelated outcomes leak in:
+
+  $ qxc run bell.qasm --shots 1000 --seed 7 --noise 0.05 | tail -n +2 | wc -l | tr -d ' '
+  5
+
+Compile for the superconducting platform:
+
+  $ qxc compile bell.qasm --platform superconducting | head -8
+  compile circuit on superconducting-17 (realistic mode)
+  pass              gates       2q    depth  notes
+  input                 2        1        3  
+  decompose             7        1        6  
+  map/route             7        1        6  swaps=0
+  expand-swaps          7        1        6  
+  optimize              7        1        6  cancelled=0 merged=0 dropped=0
+  schedule: makespan=21 cycles, parallelism=1.81, peak=2
+
+Emit eQASM (mask registers get allocated):
+
+  $ qxc compile bell.qasm --platform superconducting --eqasm | grep -c 'SMIS\|SMIT'
+  3
+
+Execute through the cycle-accurate micro-architecture:
+
+  $ qxc exec bell.qasm --shots 50 --seed 3 | head -1
+  # microarch: 6 bundles, 10 micro-ops, 420 ns, peak queue 1, 0 violations
+
+A QISA program with run-time control (repeat until success):
+
+  $ cat > rus.qisa <<'QISA'
+  > LDI r0, 0
+  > LDI r1, 1
+  > SMIS s0, {0}
+  > try:
+  > ADD r0, r0, r1
+  > 1: prepz s0
+  > 1: y90 s0
+  > 1: measz s0
+  > FMR r2, q0
+  > CMP r2, r1
+  > BR.ne try
+  > HALT
+  > QISA
+
+  $ qxc qisa rus.qisa --qubits 1 --shots 20 --seed 5 | head -2
+  # 28 classical instructions retired (last run)
+  # register file r0..r7 -> count
+
+Parse errors carry line numbers:
+
+  $ cat > bad.qasm <<'QASM'
+  > version 1.0
+  > qubits 2
+  > frobnicate q[0]
+  > QASM
+
+  $ qxc run bad.qasm
+  bad.qasm:3: parse error: unknown mnemonic 'frobnicate'
+  [1]

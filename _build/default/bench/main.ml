@@ -3,7 +3,10 @@
    micro-benchmarks (one Test.make per experiment family).
 
    `dune exec bench/main.exe -- e9` runs a single experiment;
-   `dune exec bench/main.exe -- micro` runs only the micro-benchmarks. *)
+   `dune exec bench/main.exe -- micro` runs only the micro-benchmarks;
+   `dune exec bench/main.exe -- engine` compares the engine's sampled and
+   trajectory plans on 1000-shot GHZ histograms and writes
+   BENCH_engine.json. *)
 
 open Bechamel
 
@@ -164,6 +167,58 @@ let run_micro () =
       Printf.printf "%-40s %16s\n" name human)
     (List.sort compare !rows)
 
+(* --- engine shot-sampling benchmark (BENCH_engine.json) --- *)
+
+let run_engine () =
+  let module Engine = Qca_qx.Engine in
+  print_endline "=== Engine shot sampling: sampled vs trajectory plan (GHZ + measure) ===";
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Float.max 1e-9 (Sys.time () -. t0))
+  in
+  (* Trajectory shots shrink with n (each shot is a full state-vector
+     evolution); rates are per-shot, so the speedup column still compares
+     like with like. *)
+  let rows =
+    List.map
+      (fun (n, shots, traj_shots) ->
+        let circuit =
+          Circuit.append (Library.ghz n)
+            (Circuit.of_list n (List.init n (fun q -> Gate.Measure q)))
+        in
+        let result, sampled_s = time (fun () -> Qca_qx.Engine.run ~seed:42 ~shots circuit) in
+        let _, traj_s =
+          time (fun () ->
+              Qca_qx.Engine.run ~seed:42 ~plan:Engine.Trajectory ~shots:traj_shots circuit)
+        in
+        let sampled_rate = float_of_int shots /. sampled_s in
+        let traj_rate = float_of_int traj_shots /. traj_s in
+        let speedup = sampled_rate /. traj_rate in
+        Printf.printf
+          "n=%-3d plan=%-8s sampled %d shots in %.4fs (%.0f sh/s) | trajectory %d shots \
+           in %.4fs (%.0f sh/s) | speedup %.1fx\n"
+          n
+          (Engine.plan_to_string result.Engine.report.Engine.plan)
+          shots sampled_s sampled_rate traj_shots traj_s traj_rate speedup;
+        (n, shots, sampled_s, sampled_rate, traj_shots, traj_s, traj_rate, speedup))
+      [ (10, 1000, 200); (16, 1000, 50); (20, 1000, 10) ]
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc "{\"benchmark\":\"engine-shot-sampling\",\"circuit\":\"ghz+measure\",";
+  output_string oc "\"entries\":[";
+  List.iteri
+    (fun i (n, shots, sampled_s, sampled_rate, traj_shots, traj_s, traj_rate, speedup) ->
+      if i > 0 then output_char oc ',';
+      output_string oc
+        (Printf.sprintf
+           "{\"n\":%d,\"shots\":%d,\"sampled_s\":%.6f,\"sampled_shots_per_s\":%.1f,\"trajectory_shots\":%d,\"trajectory_s\":%.6f,\"trajectory_shots_per_s\":%.1f,\"speedup\":%.2f}"
+           n shots sampled_s sampled_rate traj_shots traj_s traj_rate speedup))
+    rows;
+  output_string oc "]}\n";
+  close_out oc;
+  print_endline "wrote BENCH_engine.json"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
@@ -171,12 +226,13 @@ let () =
       List.iter (fun e -> e ()) Experiments.all;
       run_micro ()
   | [ "micro" ] -> run_micro ()
+  | [ "engine" ] -> run_engine ()
   | ids ->
       List.iter
         (fun id ->
           match List.assoc_opt (String.lowercase_ascii id) Experiments.by_id with
           | Some e -> e ()
           | None ->
-              Printf.eprintf "unknown experiment '%s' (use e1..e13 or micro)\n" id;
+              Printf.eprintf "unknown experiment '%s' (use e1..e13, micro or engine)\n" id;
               exit 1)
         ids

@@ -3,7 +3,7 @@
 
 module Circuit = Qca_circuit.Circuit
 module Cqasm = Qca_circuit.Cqasm
-module Sim = Qca_qx.Sim
+module Engine = Qca_qx.Engine
 module Noise = Qca_qx.Noise
 module Platform = Qca_compiler.Platform
 module Compiler = Qca_compiler.Compiler
@@ -70,26 +70,71 @@ let mode_arg =
     & opt string "realistic"
     & info [ "mode" ] ~docv:"MODE" ~doc:"Qubit model: perfect, realistic or real.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write the per-run metrics report as JSON to $(docv) ('-' for stdout).")
+
+let write_metrics dest report =
+  match dest with
+  | None -> 0
+  | Some "-" ->
+      print_endline (Engine.report_to_json report);
+      0
+  | Some path -> (
+      try
+        let oc = open_out path in
+        output_string oc (Engine.report_to_json report);
+        output_char oc '\n';
+        close_out oc;
+        0
+      with Sys_error msg ->
+        Printf.eprintf "cannot write metrics: %s\n" msg;
+        1)
+
+let check_shots shots =
+  if shots <= 0 then (
+    Printf.eprintf "--shots must be positive (got %d)\n" shots;
+    false)
+  else true
+
 (* --- run --- *)
 
-let run_command file shots seed noise =
-  match load_circuit file with
-  | Error msg ->
-      prerr_endline msg;
-      1
-  | Ok circuit ->
+let run_command file shots seed noise trajectory metrics =
+  if not (check_shots shots) then 1
+  else
+    match load_circuit file with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok circuit ->
       let noise = match noise with Some p -> Noise.depolarizing p | None -> Noise.ideal in
-      let rng = Rng.create seed in
-      let histogram = Sim.histogram ~noise ~rng ~shots circuit in
+      let plan = if trajectory then Some Engine.Trajectory else None in
+      let result = Engine.run ~noise ~seed ?plan ~shots circuit in
+      let report = result.Engine.report in
       Printf.printf "# %d qubits, %d instructions, %d shots\n" (Circuit.qubit_count circuit)
         (Circuit.length circuit) shots;
+      Printf.printf "# plan: %s (%s)\n"
+        (Engine.plan_to_string report.Engine.plan)
+        report.Engine.plan_reason;
       List.iter
         (fun (key, count) ->
           Printf.printf "%s  %6d  %.4f\n" key count (float_of_int count /. float_of_int shots))
-        histogram;
-      0
+        result.Engine.histogram;
+      write_metrics metrics report
 
-let run_term = Term.(const run_command $ file_arg $ shots_arg $ seed_arg $ noise_arg)
+let trajectory_flag =
+  Arg.(
+    value & flag
+    & info [ "trajectory" ]
+        ~doc:"Force the per-shot trajectory plan even when single-pass sampling applies.")
+
+let run_term =
+  Term.(
+    const run_command $ file_arg $ shots_arg $ seed_arg $ noise_arg $ trajectory_flag
+    $ metrics_arg)
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a cQASM program on the QX simulator.") run_term
@@ -134,12 +179,14 @@ let compile_cmd =
 
 (* --- exec (through the micro-architecture) --- *)
 
-let exec_command file platform_name shots seed =
-  match load_circuit file with
-  | Error msg ->
-      prerr_endline msg;
-      1
-  | Ok circuit -> (
+let exec_command file platform_name shots seed metrics =
+  if not (check_shots shots) then 1
+  else
+    match load_circuit file with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok circuit -> (
       match platform_of_string platform_name (Circuit.qubit_count circuit) with
       | Error msg ->
           prerr_endline msg;
@@ -155,37 +202,23 @@ let exec_command file platform_name shots seed =
                 if platform_name = "semiconducting" then Controller.semiconducting
                 else Controller.superconducting
               in
-              let rng = Rng.create seed in
-              let table = Hashtbl.create 32 in
-              let stats = ref None in
-              for _ = 1 to shots do
-                let result =
-                  Controller.run ~noise:platform.Platform.noise ~rng technology program
-                in
-                stats := Some result.Controller.stats;
-                let key =
-                  String.concat ""
-                    (List.rev_map
-                       (fun b -> if b < 0 then "-" else string_of_int b)
-                       (Array.to_list result.Controller.outcome.Sim.classical))
-                in
-                Hashtbl.replace table key
-                  (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
-              done;
-              (match !stats with
-              | Some s ->
-                  Printf.printf
-                    "# microarch: %d bundles, %d micro-ops, %d ns, peak queue %d, %d \
-                     violations\n"
-                    s.Controller.bundles_issued s.Controller.micro_ops s.Controller.total_ns
-                    s.Controller.peak_queue_depth s.Controller.timing_violations
-              | None -> ());
-              Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
-              |> List.sort (fun (_, a) (_, b) -> compare b a)
-              |> List.iter (fun (key, count) -> Printf.printf "%s  %6d\n" key count);
-              0))
+              let r =
+                Controller.run_shots ~noise:platform.Platform.noise ~seed ~shots technology
+                  program
+              in
+              let s = r.Controller.last.Controller.stats in
+              Printf.printf
+                "# microarch: %d bundles, %d micro-ops, %d ns, peak queue %d, %d \
+                 violations\n"
+                s.Controller.bundles_issued s.Controller.micro_ops s.Controller.total_ns
+                s.Controller.peak_queue_depth s.Controller.timing_violations;
+              List.iter
+                (fun (key, count) -> Printf.printf "%s  %6d\n" key count)
+                r.Controller.histogram;
+              write_metrics metrics r.Controller.report))
 
-let exec_term = Term.(const exec_command $ file_arg $ platform_arg $ shots_arg $ seed_arg)
+let exec_term =
+  Term.(const exec_command $ file_arg $ platform_arg $ shots_arg $ seed_arg $ metrics_arg)
 
 let exec_cmd =
   Cmd.v

@@ -1,0 +1,1 @@
+examples/backend_swap.ml: List Printf Qca_circuit Qca_compiler Qca_microarch Qca_qx

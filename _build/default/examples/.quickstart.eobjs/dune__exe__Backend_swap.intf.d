@@ -1,0 +1,1 @@
+examples/backend_swap.mli:

@@ -1,1 +1,1 @@
-examples/quickstart.ml: List Printf Qca Qca_circuit Qca_compiler Qca_microarch Qca_util String
+examples/quickstart.ml: List Printf Qca Qca_circuit Qca_compiler Qca_microarch Qca_qx Qca_util String

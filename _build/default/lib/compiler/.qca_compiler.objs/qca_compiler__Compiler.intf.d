@@ -1,1 +1,1 @@
-lib/compiler/compiler.mli: Eqasm Mapping Platform Qca_circuit Qca_util Schedule
+lib/compiler/compiler.mli: Eqasm Mapping Platform Qca_circuit Qca_qx Qca_util Schedule

@@ -1,1 +1,1 @@
-lib/core/accelerator.ml:
+lib/core/accelerator.ml: List Printf Qca_circuit Qca_qx String

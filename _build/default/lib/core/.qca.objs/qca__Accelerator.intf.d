@@ -1,1 +1,1 @@
-lib/core/accelerator.mli:
+lib/core/accelerator.mli: Qca_qx

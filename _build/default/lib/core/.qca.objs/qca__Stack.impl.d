@@ -1,1 +1,1 @@
-lib/core/stack.ml: Array Hashtbl List Option Printf Qca_circuit Qca_compiler Qca_microarch Qca_qx Qca_util Qubit_model String
+lib/core/stack.ml: List Printf Qca_circuit Qca_compiler Qca_microarch Qca_qx Qubit_model

@@ -1,1 +1,1 @@
-lib/core/stack.mli: Qca_circuit Qca_compiler Qca_microarch Qca_util Qubit_model
+lib/core/stack.mli: Qca_circuit Qca_compiler Qca_microarch Qca_qx Qca_util Qubit_model

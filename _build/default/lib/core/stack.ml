@@ -2,8 +2,7 @@ module Platform = Qca_compiler.Platform
 module Compiler = Qca_compiler.Compiler
 module Controller = Qca_microarch.Controller
 module Circuit = Qca_circuit.Circuit
-module Rng = Qca_util.Rng
-module Sim = Qca_qx.Sim
+module Engine = Qca_qx.Engine
 
 type t = {
   stack_name : string;
@@ -63,41 +62,31 @@ type run = {
   compiled : Compiler.output;
   histogram : (string * int) list;
   microarch_stats : Controller.run_stats option;
+  engine_report : Engine.run_report;
 }
 
-let bitstring classical =
-  let n = Array.length classical in
-  String.init n (fun i ->
-      match classical.(n - 1 - i) with
-      | -1 -> '-'
-      | 0 -> '0'
-      | 1 -> '1'
-      | _ -> assert false)
-
-let execute ?(shots = 512) ?rng stack circuit =
-  let rng = match rng with Some r -> r | None -> Rng.create 0xACCE1 in
+let execute ?(shots = 512) ?seed ?rng stack circuit =
   let mode = Qubit_model.compiler_mode stack.model in
   let compiled = Compiler.compile stack.platform mode circuit in
   let noise = Qubit_model.noise stack.model stack.platform in
   match stack.technology, compiled.Compiler.eqasm with
   | Some technology, Some program ->
       (* Execute every shot through the micro-architecture. *)
-      let table = Hashtbl.create 32 in
-      let last_stats = ref None in
-      for _ = 1 to shots do
-        let result = Controller.run ~noise ~rng technology program in
-        last_stats := Some result.Controller.stats;
-        let key = bitstring result.Controller.outcome.Sim.classical in
-        Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
-      done;
-      let histogram =
-        Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
-        |> List.sort (fun (_, a) (_, b) -> compare b a)
-      in
-      { compiled; histogram; microarch_stats = !last_stats }
+      let r = Controller.run_shots ~noise ?seed ?rng ~shots technology program in
+      {
+        compiled;
+        histogram = r.Controller.histogram;
+        microarch_stats = Some r.Controller.last.Controller.stats;
+        engine_report = r.Controller.report;
+      }
   | None, _ | _, None ->
-      let histogram = Compiler.execute ~shots ~rng compiled in
-      { compiled; histogram; microarch_stats = None }
+      let result = Compiler.execute_result ~shots ?seed ?rng compiled in
+      {
+        compiled;
+        histogram = result.Engine.histogram;
+        microarch_stats = None;
+        engine_report = result.Engine.report;
+      }
 
 let success_probability run ~accept =
   let total = List.fold_left (fun acc (_, c) -> acc + c) 0 run.histogram in

@@ -34,11 +34,24 @@ type run = {
   compiled : Qca_compiler.Compiler.output;
   histogram : (string * int) list;
   microarch_stats : Qca_microarch.Controller.run_stats option;
+      (** Last-shot pipeline stats when the stack has a micro-architecture. *)
+  engine_report : Qca_qx.Engine.run_report;
+      (** Per-run execution metrics: plan chosen, gate applies, phase
+          timings. Micro-architecture stacks always report the trajectory
+          plan; direct-QX stacks take the sampled plan when the circuit
+          allows it. *)
 }
 
 val execute :
-  ?shots:int -> ?rng:Qca_util.Rng.t -> t -> Qca_circuit.Circuit.t -> run
-(** Push a circuit through the whole stack. Default 512 shots. *)
+  ?shots:int ->
+  ?seed:int ->
+  ?rng:Qca_util.Rng.t ->
+  t ->
+  Qca_circuit.Circuit.t ->
+  run
+(** Push a circuit through the whole stack. Default 512 shots. Seed
+    semantics follow {!Qca_qx.Engine.run}: [?rng] wins over [?seed]; with
+    neither, a process-wide stream advances across calls. *)
 
 val success_probability : run -> accept:(string -> bool) -> float
 (** Fraction of histogram mass on accepted bitstrings. *)

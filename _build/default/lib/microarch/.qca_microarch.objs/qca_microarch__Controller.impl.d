@@ -1,1 +1,1 @@
-lib/microarch/controller.ml: Adi Array Buffer List Microcode Option Printf Qca_circuit Qca_compiler Qca_qx Qca_util Timing_queue
+lib/microarch/controller.ml: Adi Array Buffer Hashtbl List Microcode Option Printf Qca_circuit Qca_compiler Qca_qx Qca_util Sys Timing_queue

@@ -2,7 +2,13 @@ module Eqasm = Qca_compiler.Eqasm
 module Gate = Qca_circuit.Gate
 module State = Qca_qx.State
 module Noise = Qca_qx.Noise
+module Engine = Qca_qx.Engine
 module Rng = Qca_util.Rng
+
+(* Default randomness for sessions that pass no [?rng]: one process-wide
+   stream that advances across runs (same semantics as Engine.default_rng),
+   rather than an identical fresh generator per call. *)
+let shared_rng = Rng.create 0xC0DE
 
 type technology = {
   tech_name : string;
@@ -88,6 +94,8 @@ type session = {
   single_masks : int list array;
   pair_masks : (int * int) list array;
   pool : Timing_queue.pool;
+  applies : (string, int) Hashtbl.t;
+  mutable measures : int;
   mutable trace : trace_event list;  (* reversed *)
   mutable time_cycles : int;
   mutable bundles : int;
@@ -97,7 +105,7 @@ type session = {
 }
 
 let start ?(noise = Noise.ideal) ?rng technology ~qubit_count ~cycle_ns =
-  let rng = match rng with Some r -> r | None -> Rng.create 0xC0DE in
+  let rng = match rng with Some r -> r | None -> shared_rng in
   {
     technology;
     noise;
@@ -109,6 +117,8 @@ let start ?(noise = Noise.ideal) ?rng technology ~qubit_count ~cycle_ns =
     single_masks = Array.make 32 [];
     pair_masks = Array.make 32 [];
     pool = Timing_queue.create_pool ~channels:qubit_count;
+    applies = Hashtbl.create 16;
+    measures = 0;
     trace = [];
     time_cycles = 0;
     bundles = 0;
@@ -127,6 +137,10 @@ let pulse_duration session name =
     | Some p -> p.Adi.duration_ns
     | None -> failwith (Printf.sprintf "Controller: ADI has no pulse '%s'" name)
 
+let bump_apply session name =
+  Hashtbl.replace session.applies name
+    (1 + Option.value ~default:0 (Hashtbl.find_opt session.applies name))
+
 let simulate_op session mnemonic angle qubits =
   let state = session.state and rng = session.rng and noise = session.noise in
   let ideal = session.ideal in
@@ -135,10 +149,12 @@ let simulate_op session mnemonic angle qubits =
       List.iter
         (fun q ->
           State.apply state u [| q |];
+          bump_apply session (Gate.name u);
           if not ideal then Noise.after_gate noise state rng u [| q |])
         qubits
   | Apply u, [ q1; q2 ] ->
       State.apply state u [| q1; q2 |];
+      bump_apply session (Gate.name u);
       if not ideal then Noise.after_gate noise state rng u [| q1; q2 |]
   | Apply u, _ ->
       failwith
@@ -146,11 +162,16 @@ let simulate_op session mnemonic angle qubits =
            (List.length qubits))
   | Apply_rz, _ ->
       let theta = Option.value ~default:0.0 angle in
-      List.iter (fun q -> State.apply state (Gate.Rz theta) [| q |]) qubits
+      List.iter
+        (fun q ->
+          State.apply state (Gate.Rz theta) [| q |];
+          bump_apply session "rz")
+        qubits
   | Do_measure, _ ->
       List.iter
         (fun q ->
           let m = State.measure state rng q in
+          session.measures <- session.measures + 1;
           session.classical.(q) <-
             (if ideal then m else Noise.flip_readout noise rng m))
         qubits
@@ -243,12 +264,15 @@ let finish session =
       };
   }
 
-let run ?noise ?rng technology (program : Eqasm.program) =
+let run_session ?noise ?rng technology (program : Eqasm.program) =
   let session =
     start ?noise ?rng technology ~qubit_count:program.Eqasm.qubit_count
       ~cycle_ns:program.Eqasm.cycle_ns
   in
   List.iter (step session) program.Eqasm.instructions;
+  session
+
+let collect session (program : Eqasm.program) =
   let result = finish session in
   {
     result with
@@ -260,6 +284,87 @@ let run ?noise ?rng technology (program : Eqasm.program) =
             (program.Eqasm.makespan_cycles * program.Eqasm.cycle_ns);
       };
   }
+
+let run ?noise ?rng technology program =
+  collect (run_session ?noise ?rng technology program) program
+
+type shots_result = {
+  histogram : (string * int) list;
+  last : result;
+  report : Engine.run_report;
+}
+
+let run_shots ?noise ?seed ?rng ?(shots = 1024) technology (program : Eqasm.program) =
+  if shots < 1 then invalid_arg "Controller.run_shots: shots must be positive";
+  let rng =
+    match rng, seed with
+    | Some r, _ -> r
+    | None, Some s -> Rng.create s
+    | None, None -> shared_rng
+  in
+  let t0 = Sys.time () in
+  let counts = Hashtbl.create 64 in
+  let applies = Hashtbl.create 16 in
+  let measures = ref 0 in
+  let last = ref None in
+  for _ = 1 to shots do
+    let session = run_session ?noise ~rng technology program in
+    Hashtbl.iter
+      (fun name c ->
+        Hashtbl.replace applies name
+          (c + Option.value ~default:0 (Hashtbl.find_opt applies name)))
+      session.applies;
+    measures := !measures + session.measures;
+    let result = collect session program in
+    last := Some result;
+    let key = Engine.bitstring result.outcome.Qca_qx.Sim.classical in
+    Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  let t1 = Sys.time () in
+  let histogram =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let gate_applies =
+    Hashtbl.fold (fun name count acc -> (name, count) :: acc) applies []
+    |> List.sort (fun (na, a) (nb, b) ->
+           match compare b a with 0 -> compare na nb | c -> c)
+  in
+  let report =
+    {
+      Engine.plan = Engine.Trajectory;
+      plan_reason = "cycle-accurate micro-architecture (per-shot execution)";
+      shots;
+      seed;
+      qubit_count = program.Eqasm.qubit_count;
+      instruction_count = List.length program.Eqasm.instructions;
+      gate_applies;
+      measurements = !measures;
+      wall = { Engine.analyse_s = 0.0; simulate_s = t1 -. t0; sample_s = 0.0 };
+    }
+  in
+  { histogram; last = Option.get !last; report }
+
+let backend ?(platform = Qca_compiler.Platform.superconducting_17)
+    ?(technology = superconducting) () =
+  (module struct
+    let name = "microarch-" ^ technology.tech_name
+
+    let run ?shots ?seed circuit =
+      let compiled =
+        Qca_compiler.Compiler.compile platform Qca_compiler.Compiler.Real circuit
+      in
+      match compiled.Qca_compiler.Compiler.eqasm with
+      | None -> invalid_arg "Controller backend: compiler produced no eQASM"
+      | Some program ->
+          let r =
+            run_shots ~noise:platform.Qca_compiler.Platform.noise ?seed ?shots
+              technology program
+          in
+          { Engine.histogram = r.histogram; report = r.report }
+  end : Qca_qx.Backend.S)
+
+module Backend = (val backend ())
 
 let trace_to_string (result : result) =
   let buffer = Buffer.create 512 in

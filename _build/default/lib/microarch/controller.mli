@@ -43,10 +43,51 @@ val run :
   technology ->
   Qca_compiler.Eqasm.program ->
   result
-(** Execute. Raises [Failure] on mnemonics missing from the micro-code
-    table or pulses missing from the ADI library. [noise] defaults to ideal
-    qubits so that functional behaviour can be checked separately from error
-    modelling. *)
+(** Execute one shot. Raises [Failure] on mnemonics missing from the
+    micro-code table or pulses missing from the ADI library. [noise]
+    defaults to ideal qubits so that functional behaviour can be checked
+    separately from error modelling. Without [?rng], randomness comes from
+    a process-wide stream that advances across calls (see
+    {!Qca_qx.Engine.default_rng} for the semantics). *)
+
+type shots_result = {
+  histogram : (string * int) list;
+      (** Measured bitstrings over all shots (count-descending; qubit 0
+          rightmost, '-' for never-measured qubits). *)
+  last : result;  (** Trace and stats of the final shot. *)
+  report : Qca_qx.Engine.run_report;
+      (** Engine-format metrics: always the trajectory plan, with gate
+          applies and measurements summed over all shots. *)
+}
+
+val run_shots :
+  ?noise:Qca_qx.Noise.model ->
+  ?seed:int ->
+  ?rng:Qca_util.Rng.t ->
+  ?shots:int ->
+  technology ->
+  Qca_compiler.Eqasm.program ->
+  shots_result
+(** Execute an eQASM program for many shots (default 1024) and histogram
+    the measurement records. The micro-architecture is inherently
+    per-shot — measurement collapse feeds the timing pipeline — so there is
+    no sampled fast path here; the value of this entry point is the uniform
+    histogram + {!Qca_qx.Engine.run_report} surface. [?rng] wins over
+    [?seed]; with neither, the shared stream is used. *)
+
+val backend :
+  ?platform:Qca_compiler.Platform.t ->
+  ?technology:technology ->
+  unit ->
+  (module Qca_qx.Backend.S)
+(** An execution target that compiles the circuit for [platform] (default
+    the 17-qubit superconducting platform, Real mode), then pushes every
+    shot through the micro-architecture under the platform noise model.
+    Histogram keys are platform-width (the mapper may relocate logical
+    qubits). *)
+
+module Backend : Qca_qx.Backend.S
+(** [backend ()] with the defaults: "microarch-superconducting". *)
 
 (** {2 Stepwise execution}
 

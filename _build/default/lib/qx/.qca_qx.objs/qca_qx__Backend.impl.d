@@ -1,0 +1,1 @@
+lib/qx/backend.ml: Engine Qca_circuit

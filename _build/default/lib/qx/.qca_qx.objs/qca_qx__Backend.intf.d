@@ -1,0 +1,1 @@
+lib/qx/backend.mli: Engine Qca_circuit

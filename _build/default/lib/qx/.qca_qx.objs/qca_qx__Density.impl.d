@@ -1,1 +1,1 @@
-lib/qx/density.ml: Array Float List Noise Qca_circuit Qca_util State
+lib/qx/density.ml: Array Backend Engine Float Hashtbl List Noise Option Qca_circuit Qca_util State Sys

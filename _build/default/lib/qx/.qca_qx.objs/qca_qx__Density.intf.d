@@ -1,1 +1,1 @@
-lib/qx/density.mli: Noise Qca_circuit Qca_util State
+lib/qx/density.mli: Backend Noise Qca_circuit Qca_util State

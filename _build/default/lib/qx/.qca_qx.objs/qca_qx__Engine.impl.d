@@ -1,0 +1,1 @@
+lib/qx/engine.ml: Array Buffer Hashtbl List Noise Option Printf Qca_circuit Qca_util State String Sys

@@ -1,0 +1,1 @@
+lib/qx/engine.mli: Noise Qca_circuit Qca_util State

@@ -1,1 +1,1 @@
-lib/qx/sim.ml: Array Hashtbl List Noise Option Printf Qca_circuit Qca_util State String
+lib/qx/sim.ml: Backend Engine Noise Printf Qca_circuit Qca_util State

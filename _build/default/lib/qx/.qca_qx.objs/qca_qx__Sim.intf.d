@@ -1,1 +1,1 @@
-lib/qx/sim.mli: Noise Qca_circuit Qca_util State
+lib/qx/sim.mli: Backend Noise Qca_circuit Qca_util State

@@ -1,0 +1,4 @@
+module type S = sig
+  val name : string
+  val run : ?shots:int -> ?seed:int -> Qca_circuit.Circuit.t -> Engine.result
+end

@@ -1,0 +1,28 @@
+(** The execution-target contract: one [run] signature for every way the
+    stack can execute a circuit.
+
+    The paper's portability claim is a common interface between compiler
+    output and interchangeable execution targets; [Backend.S] is that
+    contract. {!Sim.Backend} (state-vector engine), {!Density.Backend}
+    (exact density-matrix evolution) and [Qca_microarch.Controller.Backend]
+    (cycle-accurate micro-architecture) all conform, so callers swap targets
+    without code changes:
+
+    {[
+      let targets : (module Qca_qx.Backend.S) list =
+        [ (module Qca_qx.Sim.Backend); (module Qca_qx.Density.Backend) ]
+      in
+      List.map (fun (module B : Qca_qx.Backend.S) -> B.run ~shots:512 circuit) targets
+    ]} *)
+
+module type S = sig
+  val name : string
+  (** Stable identifier, e.g. ["qx-statevector"]. *)
+
+  val run : ?shots:int -> ?seed:int -> Qca_circuit.Circuit.t -> Engine.result
+  (** Execute the circuit: a histogram over measured bitstrings plus the
+      per-run metrics report. Default 1024 shots. Seed semantics are the
+      engine's (see {!Engine.run}); backends may raise [Invalid_argument]
+      on circuits outside their domain (e.g. the density backend on
+      feedback circuits). *)
+end

@@ -47,3 +47,14 @@ val run : ?noise:Noise.model -> Qca_circuit.Circuit.t -> t
     depolarising + decoherence channels on their operands, as in {!Sim}).
     Measurement, preparation and conditional instructions are rejected —
     use the trajectory simulator for those. *)
+
+val backend : ?noise:Noise.model -> unit -> (module Backend.S)
+(** A density-matrix execution target with a fixed noise model baked in
+    (channels applied as exact Kraus sums, no trajectory sampling). *)
+
+module Backend : Backend.S
+(** Exact density-matrix execution target ("qx-density"): evolves rho
+    through the unitary prefix and samples terminal measurements from its
+    diagonal. Raises [Invalid_argument] for circuits that need trajectory
+    execution (feedback, mid-circuit measurement/reset) or more than 8
+    qubits. *)

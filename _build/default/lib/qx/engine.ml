@@ -1,0 +1,342 @@
+module Circuit = Qca_circuit.Circuit
+module Gate = Qca_circuit.Gate
+module Rng = Qca_util.Rng
+
+type plan = Sampled | Trajectory
+
+let plan_to_string = function Sampled -> "sampled" | Trajectory -> "trajectory"
+
+type phase_times = { analyse_s : float; simulate_s : float; sample_s : float }
+
+type run_report = {
+  plan : plan;
+  plan_reason : string;
+  shots : int;
+  seed : int option;
+  qubit_count : int;
+  instruction_count : int;
+  gate_applies : (string * int) list;
+  measurements : int;
+  wall : phase_times;
+}
+
+type result = { histogram : (string * int) list; report : run_report }
+
+(* --- seed semantics ---------------------------------------------------- *)
+
+(* One process-wide generator backs every run that passes neither [?rng] nor
+   [?seed]. It is created once (seed 0x5EED) and advances across calls, so
+   repeated anonymous runs see fresh randomness while a whole program run
+   stays bit-for-bit reproducible. *)
+let shared_rng = Rng.create 0x5EED
+
+let default_rng () = shared_rng
+
+let resolve_rng seed rng =
+  match rng, seed with
+  | Some r, _ -> r
+  | None, Some s -> Rng.create s
+  | None, None -> shared_rng
+
+(* --- bitstrings -------------------------------------------------------- *)
+
+let bitstring classical =
+  let n = Array.length classical in
+  String.init n (fun i ->
+      match classical.(n - 1 - i) with
+      | -1 -> '-'
+      | 0 -> '0'
+      | 1 -> '1'
+      | _ -> assert false)
+
+let classical_of_key key =
+  let n = String.length key in
+  Array.init n (fun i ->
+      match key.[n - 1 - i] with
+      | '-' -> -1
+      | '0' -> 0
+      | '1' -> 1
+      | c -> invalid_arg (Printf.sprintf "Engine.classical_of_key: '%c'" c))
+
+(* --- instrumentation --------------------------------------------------- *)
+
+type tally = { applies : (string, int) Hashtbl.t; mutable measures : int }
+
+let fresh_tally () = { applies = Hashtbl.create 16; measures = 0 }
+
+let count_apply tally name =
+  Hashtbl.replace tally.applies name
+    (1 + Option.value ~default:0 (Hashtbl.find_opt tally.applies name))
+
+let gate_applies_of tally =
+  Hashtbl.fold (fun name count acc -> (name, count) :: acc) tally.applies []
+  |> List.sort (fun (na, a) (nb, b) ->
+         match compare b a with 0 -> compare na nb | c -> c)
+
+(* --- run-plan analysis ------------------------------------------------- *)
+
+(* A circuit takes the single-pass sampled plan when its measurements are
+   terminal and unconditioned: a unitary prefix (leading preps on untouched
+   qubits are no-ops on |0...0> and allowed), then only measure/barrier
+   instructions. Anything stochastic mid-circuit forces trajectories. *)
+let classify_structure circuit =
+  let n = Circuit.qubit_count circuit in
+  let touched = Array.make n false in
+  let measured = Array.make n false in
+  let seen_measure = ref false in
+  let verdict = ref None in
+  let fail reason = if !verdict = None then verdict := Some reason in
+  List.iter
+    (fun instr ->
+      if !verdict = None then
+        match instr with
+        | Gate.Unitary (_, ops) ->
+            if !seen_measure then fail "gate after measurement (mid-circuit measurement)"
+            else Array.iter (fun q -> touched.(q) <- true) ops
+        | Gate.Conditional _ -> fail "conditional (feedback) gate"
+        | Gate.Prep q ->
+            if !seen_measure then fail "prep after measurement (mid-circuit reset)"
+            else if touched.(q) then fail "mid-circuit prep (reset of a live qubit)"
+        | Gate.Measure q ->
+            seen_measure := true;
+            measured.(q) <- true
+        | Gate.Barrier _ -> ())
+    (Circuit.instructions circuit);
+  match !verdict with
+  | Some reason -> (Trajectory, reason, measured)
+  | None -> (Sampled, "terminal unconditioned measurements", measured)
+
+let analyse ?(noise = Noise.ideal) circuit =
+  if not (Noise.is_ideal noise) then (Trajectory, "stochastic noise model")
+  else
+    let plan, reason, _ = classify_structure circuit in
+    (plan, reason)
+
+let terminal_split circuit =
+  match classify_structure circuit with
+  | Trajectory, _, _ -> None
+  | Sampled, _, measured ->
+      let prefix =
+        List.filter
+          (fun instr -> match instr with Gate.Unitary _ -> true | _ -> false)
+          (Circuit.instructions circuit)
+      in
+      Some (prefix, measured)
+
+(* --- trajectory executor ----------------------------------------------- *)
+
+(* The canonical per-shot executor (also backing [Sim.run]): one fresh state
+   vector per shot, measurement collapse, classical feedback, per-gate
+   stochastic noise. *)
+let exec_instrumented ?(noise = Noise.ideal) ?tally rng circuit =
+  let n = Circuit.qubit_count circuit in
+  let state = State.create n in
+  let classical = Array.make n (-1) in
+  let ideal = Noise.is_ideal noise in
+  let record name = match tally with Some t -> count_apply t name | None -> () in
+  let execute instr =
+    match instr with
+    | Gate.Unitary (u, ops) ->
+        State.apply state u ops;
+        record (Gate.name u);
+        if not ideal then Noise.after_gate noise state rng u ops
+    | Gate.Conditional (bit, u, ops) ->
+        if classical.(bit) = 1 then begin
+          State.apply state u ops;
+          record (Gate.name u);
+          if not ideal then Noise.after_gate noise state rng u ops
+        end
+    | Gate.Prep q ->
+        let current = State.measure state rng q in
+        if current = 1 then State.apply state Gate.X [| q |];
+        if (not ideal) && Rng.bernoulli rng noise.Noise.prep_error then
+          State.apply state Gate.X [| q |]
+    | Gate.Measure q ->
+        let outcome = State.measure state rng q in
+        (match tally with Some t -> t.measures <- t.measures + 1 | None -> ());
+        classical.(q) <- (if ideal then outcome else Noise.flip_readout noise rng outcome)
+    | Gate.Barrier _ -> ()
+  in
+  List.iter execute (Circuit.instructions circuit);
+  (state, classical)
+
+let exec_shot ?noise rng circuit = exec_instrumented ?noise rng circuit
+
+let fold_trajectories ?noise ~rng ~shots ~init ~f circuit =
+  let acc = ref init in
+  for _ = 1 to shots do
+    let state, classical = exec_shot ?noise rng circuit in
+    acc := f !acc state classical
+  done;
+  !acc
+
+let sorted_histogram table =
+  Hashtbl.fold (fun key count acc -> (key, count) :: acc) table []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let run_trajectory ?noise ~tally rng ~shots circuit =
+  let table = Hashtbl.create 64 in
+  for _ = 1 to shots do
+    let _, classical = exec_instrumented ?noise ~tally rng circuit in
+    let key = bitstring classical in
+    Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+  done;
+  sorted_histogram table
+
+(* --- sampled plan ------------------------------------------------------ *)
+
+let sample_histogram ~probabilities ~measured ~rng ~shots =
+  let dim = Array.length probabilities in
+  let n = Array.length measured in
+  let cumulative = Array.make dim 0.0 in
+  let acc = ref 0.0 in
+  for k = 0 to dim - 1 do
+    acc := !acc +. probabilities.(k);
+    cumulative.(k) <- !acc
+  done;
+  let total = !acc in
+  let sample () =
+    let target = Rng.float rng total in
+    let lo = ref 0 and hi = ref (dim - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cumulative.(mid) > target then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  let mmask =
+    let m = ref 0 in
+    Array.iteri (fun q yes -> if yes then m := !m lor (1 lsl q)) measured;
+    !m
+  in
+  let counts = Hashtbl.create 64 in
+  for _ = 1 to shots do
+    let k = sample () land mmask in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  let key_of k =
+    String.init n (fun i ->
+        let q = n - 1 - i in
+        if measured.(q) then if k land (1 lsl q) <> 0 then '1' else '0' else '-')
+  in
+  Hashtbl.fold (fun k count acc -> (key_of k, count) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let run_sampled ~tally rng ~shots ~measured circuit =
+  let n = Circuit.qubit_count circuit in
+  let state = State.create n in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Gate.Unitary (u, ops) ->
+          State.apply state u ops;
+          count_apply tally (Gate.name u)
+      | Gate.Prep _ | Gate.Barrier _ | Gate.Measure _ -> ()
+      | Gate.Conditional _ -> invalid_arg "Engine: conditional gate in sampled plan")
+    (Circuit.instructions circuit);
+  let t_sim = Sys.time () in
+  let histogram =
+    sample_histogram ~probabilities:(State.probabilities state) ~measured ~rng ~shots
+  in
+  let measured_count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 measured in
+  tally.measures <- shots * measured_count;
+  (histogram, t_sim)
+
+(* --- the run surface --------------------------------------------------- *)
+
+let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) circuit =
+  if shots < 1 then invalid_arg "Engine.run: shots must be positive";
+  let t0 = Sys.time () in
+  let chosen, reason, measured =
+    let auto () =
+      if not (Noise.is_ideal noise) then
+        (Trajectory, "stochastic noise model", [||])
+      else classify_structure circuit
+    in
+    match plan with
+    | None -> auto ()
+    | Some Trajectory -> (Trajectory, "trajectory plan forced by caller", [||])
+    | Some Sampled -> (
+        match auto () with
+        | Sampled, _, measured -> (Sampled, "sampled plan forced by caller", measured)
+        | Trajectory, r, _ ->
+            invalid_arg ("Engine.run: sampled plan forced but circuit needs trajectories: " ^ r))
+  in
+  let rng = resolve_rng seed rng in
+  let t1 = Sys.time () in
+  let tally = fresh_tally () in
+  let histogram, t_sample_start =
+    match chosen with
+    | Sampled -> run_sampled ~tally rng ~shots ~measured circuit
+    | Trajectory ->
+        let h = run_trajectory ~noise ~tally rng ~shots circuit in
+        (h, Sys.time ())
+  in
+  let t2 = Sys.time () in
+  {
+    histogram;
+    report =
+      {
+        plan = chosen;
+        plan_reason = reason;
+        shots;
+        seed;
+        qubit_count = Circuit.qubit_count circuit;
+        instruction_count = Circuit.length circuit;
+        gate_applies = gate_applies_of tally;
+        measurements = tally.measures;
+        wall =
+          {
+            analyse_s = t1 -. t0;
+            simulate_s = t_sample_start -. t1;
+            sample_s = t2 -. t_sample_start;
+          };
+      };
+  }
+
+let success_probability result ~accept =
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 result.histogram in
+  if total = 0 then 0.0
+  else
+    let hits =
+      List.fold_left
+        (fun acc (key, c) -> if accept (classical_of_key key) then acc + c else acc)
+        0 result.histogram
+    in
+    float_of_int hits /. float_of_int total
+
+(* --- metrics as JSON --------------------------------------------------- *)
+
+let json_escape s =
+  let buffer = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let report_to_json r =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer
+    (Printf.sprintf "{\"plan\":\"%s\",\"plan_reason\":\"%s\",\"shots\":%d,\"seed\":%s,"
+       (plan_to_string r.plan) (json_escape r.plan_reason) r.shots
+       (match r.seed with Some s -> string_of_int s | None -> "null"));
+  Buffer.add_string buffer
+    (Printf.sprintf "\"qubits\":%d,\"instructions\":%d,\"measurements\":%d,"
+       r.qubit_count r.instruction_count r.measurements);
+  Buffer.add_string buffer "\"gate_applies\":{";
+  List.iteri
+    (fun i (name, count) ->
+      if i > 0 then Buffer.add_char buffer ',';
+      Buffer.add_string buffer (Printf.sprintf "\"%s\":%d" (json_escape name) count))
+    r.gate_applies;
+  Buffer.add_string buffer "},";
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "\"wall_s\":{\"analyse\":%.6f,\"simulate\":%.6f,\"sample\":%.6f}}"
+       r.wall.analyse_s r.wall.simulate_s r.wall.sample_s);
+  Buffer.contents buffer

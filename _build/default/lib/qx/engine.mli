@@ -1,0 +1,129 @@
+(** Shot-batched execution engine: the single run surface of the stack.
+
+    [run] first analyses a circuit into a {e run plan}:
+
+    - {b Sampled}: the circuit's measurements are terminal and unconditioned
+      and the noise model is ideal, so the state vector is simulated {e once}
+      and all shots are drawn from the final probability distribution —
+      [O(gates * 2^n + shots * n)] instead of [O(shots * gates * 2^n)].
+    - {b Trajectory}: mid-circuit measurement, conditional (feedback) gates,
+      mid-circuit resets or per-gate stochastic noise force one full
+      state-vector simulation per shot (the Monte-Carlo trajectory path).
+
+    Every run records per-run metrics — the plan chosen and why, gate-apply
+    counts by kernel, wall time per phase, seed — in a {!run_report}
+    (JSON-serialisable via {!report_to_json}: the stack's observability
+    layer, surfaced by the [qxc] CLI).
+
+    {2 Seed semantics}
+
+    Precedence: an explicit [?rng] wins; otherwise [?seed] creates a fresh
+    generator; otherwise the process-wide default stream is used. The
+    default stream is created once (seed [0x5EED]) and {e advances across
+    calls}, so repeated anonymous runs see fresh randomness while a whole
+    program execution stays reproducible bit-for-bit. Pass [?seed] (or
+    [?rng]) for run-level reproducibility. *)
+
+type plan = Sampled | Trajectory
+
+val plan_to_string : plan -> string
+
+type phase_times = {
+  analyse_s : float;  (** Run-plan analysis. *)
+  simulate_s : float;  (** State-vector evolution (all shots for trajectory). *)
+  sample_s : float;  (** Shot sampling from the final distribution. *)
+}
+
+type run_report = {
+  plan : plan;
+  plan_reason : string;  (** Why this plan was chosen (decision-table row). *)
+  shots : int;
+  seed : int option;  (** The [?seed] argument, when one was given. *)
+  qubit_count : int;
+  instruction_count : int;
+  gate_applies : (string * int) list;
+      (** State-vector kernel invocations by gate name, sorted by decreasing
+          count. Trajectory runs aggregate over all shots; sampled runs count
+          the single pass. *)
+  measurements : int;
+      (** Measurement events: actual collapses for trajectory runs,
+          [shots * measured qubits] for sampled runs. *)
+  wall : phase_times;
+}
+
+type result = {
+  histogram : (string * int) list;
+      (** Measured bitstrings (qubit 0 rightmost, '-' for unmeasured),
+          sorted by decreasing count. *)
+  report : run_report;
+}
+
+val analyse : ?noise:Noise.model -> Qca_circuit.Circuit.t -> plan * string
+(** The run plan [run] would choose, with the reason. [noise] defaults to
+    {!Noise.ideal}. *)
+
+val run :
+  ?noise:Noise.model ->
+  ?seed:int ->
+  ?rng:Qca_util.Rng.t ->
+  ?plan:plan ->
+  ?shots:int ->
+  Qca_circuit.Circuit.t ->
+  result
+(** Execute [shots] shots (default 1024). [plan] overrides the analysis:
+    forcing [Trajectory] is always allowed (used to benchmark the two paths
+    against each other); forcing [Sampled] on a circuit that needs
+    trajectories raises [Invalid_argument]. *)
+
+val success_probability : result -> accept:(int array -> bool) -> float
+(** Fraction of histogram mass whose classical record (as in
+    {!Sim.outcome}) satisfies [accept]. *)
+
+val bitstring : int array -> string
+(** Render a classical record ([-1] unmeasured) as a histogram key. *)
+
+val classical_of_key : string -> int array
+(** Inverse of {!bitstring}. *)
+
+val report_to_json : run_report -> string
+(** One-line JSON object (metrics schema documented in [docs/engine.md]). *)
+
+val default_rng : unit -> Qca_util.Rng.t
+(** The process-wide default generator (see seed semantics above). *)
+
+(** {2 Plumbing shared with the other execution surfaces} *)
+
+val exec_shot :
+  ?noise:Noise.model ->
+  Qca_util.Rng.t ->
+  Qca_circuit.Circuit.t ->
+  State.t * int array
+(** One per-shot trajectory: fresh |0...0> state, measurement collapse,
+    classical feedback, per-gate stochastic noise. This is the executor
+    behind {!Sim.run} and the engine's trajectory plan. *)
+
+val fold_trajectories :
+  ?noise:Noise.model ->
+  rng:Qca_util.Rng.t ->
+  shots:int ->
+  init:'a ->
+  f:('a -> State.t -> int array -> 'a) ->
+  Qca_circuit.Circuit.t ->
+  'a
+(** Run [shots] per-shot trajectories, folding over (final state, classical
+    record): the building block for estimators that need more than counts
+    (e.g. {!Sim.state_fidelity_vs_ideal}). *)
+
+val terminal_split :
+  Qca_circuit.Circuit.t -> (Qca_circuit.Gate.t list * bool array) option
+(** When the circuit qualifies for the sampled plan: its unitary prefix and
+    the measured-qubit mask. [None] when trajectories are required. *)
+
+val sample_histogram :
+  probabilities:float array ->
+  measured:bool array ->
+  rng:Qca_util.Rng.t ->
+  shots:int ->
+  (string * int) list
+(** Draw [shots] bitstrings from an explicit distribution, masking
+    unmeasured qubits to '-' (shared with the density backend). *)

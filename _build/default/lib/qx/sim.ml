@@ -5,35 +5,9 @@ module Rng = Qca_util.Rng
 
 type outcome = { state : State.t; classical : int array }
 
-let default_rng () = Rng.create 0x5EED
-
-let run ?(noise = Noise.ideal) ?rng circuit =
-  let rng = match rng with Some r -> r | None -> default_rng () in
-  let n = Circuit.qubit_count circuit in
-  let state = State.create n in
-  let classical = Array.make n (-1) in
-  let ideal = Noise.is_ideal noise in
-  let execute instr =
-    match instr with
-    | Gate.Unitary (u, ops) ->
-        State.apply state u ops;
-        if not ideal then Noise.after_gate noise state rng u ops
-    | Gate.Conditional (bit, u, ops) ->
-        if classical.(bit) = 1 then begin
-          State.apply state u ops;
-          if not ideal then Noise.after_gate noise state rng u ops
-        end
-    | Gate.Prep q ->
-        let current = State.measure state rng q in
-        if current = 1 then State.apply state Gate.X [| q |];
-        if (not ideal) && Rng.bernoulli rng noise.Noise.prep_error then
-          State.apply state Gate.X [| q |]
-    | Gate.Measure q ->
-        let outcome = State.measure state rng q in
-        classical.(q) <- (if ideal then outcome else Noise.flip_readout noise rng outcome)
-    | Gate.Barrier _ -> ()
-  in
-  List.iter execute (Circuit.instructions circuit);
+let run ?noise ?rng circuit =
+  let rng = match rng with Some r -> r | None -> Engine.default_rng () in
+  let state, classical = Engine.exec_shot ?noise rng circuit in
   { state; classical }
 
 let noise_of_error_model = function
@@ -53,34 +27,11 @@ let run_cqasm ?noise ?rng source =
   in
   run ?noise ?rng (Cqasm.flatten program)
 
-let bitstring classical =
-  let n = Array.length classical in
-  String.init n (fun i ->
-      match classical.(n - 1 - i) with
-      | -1 -> '-'
-      | 0 -> '0'
-      | 1 -> '1'
-      | _ -> assert false)
+let histogram ?noise ?rng ~shots circuit =
+  (Engine.run ?noise ?rng ~shots circuit).Engine.histogram
 
-let histogram ?(noise = Noise.ideal) ?rng ~shots circuit =
-  let rng = match rng with Some r -> r | None -> default_rng () in
-  let table = Hashtbl.create 64 in
-  for _ = 1 to shots do
-    let result = run ~noise ~rng circuit in
-    let key = bitstring result.classical in
-    Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
-  done;
-  Hashtbl.fold (fun key count acc -> (key, count) :: acc) table []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
-
-let success_probability ?(noise = Noise.ideal) ?rng ~shots ~accept circuit =
-  let rng = match rng with Some r -> r | None -> default_rng () in
-  let hits = ref 0 in
-  for _ = 1 to shots do
-    let result = run ~noise ~rng circuit in
-    if accept result.classical then incr hits
-  done;
-  float_of_int !hits /. float_of_int shots
+let success_probability ?noise ?rng ~shots ~accept circuit =
+  Engine.success_probability (Engine.run ?noise ?rng ~shots circuit) ~accept
 
 let expectation_z ?(noise = Noise.ideal) ?rng circuit q =
   let result = run ~noise ?rng circuit in
@@ -89,9 +40,22 @@ let expectation_z ?(noise = Noise.ideal) ?rng circuit q =
 
 let state_fidelity_vs_ideal ~noise ~rng ~shots circuit =
   let reference = (run ~noise:Noise.ideal circuit).state in
-  let acc = ref 0.0 in
-  for _ = 1 to shots do
-    let noisy = (run ~noise ~rng circuit).state in
-    acc := !acc +. State.fidelity reference noisy
-  done;
-  !acc /. float_of_int shots
+  let acc =
+    Engine.fold_trajectories ~noise ~rng ~shots ~init:0.0
+      ~f:(fun acc state _classical -> acc +. State.fidelity reference state)
+      circuit
+  in
+  acc /. float_of_int shots
+
+let backend ?(noise = Noise.ideal) () =
+  (module struct
+    let name =
+      if Noise.is_ideal noise then "qx-statevector" else "qx-statevector-noisy"
+
+    let run ?shots ?seed circuit = Engine.run ~noise ?shots ?seed circuit
+  end : Backend.S)
+
+module Backend = struct
+  let name = "qx-statevector"
+  let run ?shots ?seed circuit = Engine.run ?shots ?seed circuit
+end

@@ -12,7 +12,10 @@
   > QASM
   $ qxc info bell.qasm
   $ qxc run bell.qasm --shots 1000 --seed 7
-  $ qxc run bell.qasm --shots 1000 --seed 7 --noise 0.05 | tail -n +2 | wc -l | tr -d ' '
+  $ qxc run bell.qasm --shots 1000 --seed 7 --trajectory | head -2
+  $ qxc run bell.qasm --shots 1000 --seed 7 --noise 0.05 | head -2
+  $ qxc run bell.qasm --shots 1000 --seed 7 --noise 0.05 | tail -n +3 | wc -l | tr -d ' '
+  $ qxc run bell.qasm --shots 1000 --seed 7 --metrics - | tail -1 | tr ',' '\n' | grep -E 'plan|shots|"h"|"cnot"|measurements'
   $ qxc compile bell.qasm --platform superconducting | head -8
   $ qxc compile bell.qasm --platform superconducting --eqasm | grep -c 'SMIS\|SMIT'
   $ qxc exec bell.qasm --shots 50 --seed 3 | head -1

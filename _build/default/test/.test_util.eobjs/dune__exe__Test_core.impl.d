@@ -1,1 +1,1 @@
-test/test_core.ml: Alcotest Array Float List Printf Qca Qca_circuit Qca_compiler Qca_qx Qca_util String
+test/test_core.ml: Alcotest Array Float List Printf Qca Qca_circuit Qca_compiler Qca_microarch Qca_qx Qca_util String

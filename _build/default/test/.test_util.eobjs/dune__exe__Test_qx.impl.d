@@ -1,1 +1,1 @@
-test/test_qx.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Qca_circuit Qca_qx Qca_util
+test/test_qx.ml: Alcotest Array Float Hashtbl List Option Printf QCheck QCheck_alcotest Qca_circuit Qca_qx Qca_util String

@@ -24,17 +24,40 @@ Inspect it:
   depth:         3
   qubits used:   0, 1
 
-Run on perfect qubits (fixed seed, deterministic histogram):
+Run on perfect qubits (fixed seed, deterministic histogram). Terminal
+measurements take the engine's single-pass sampled plan:
 
   $ qxc run bell.qasm --shots 1000 --seed 7
   # 2 qubits, 4 instructions, 1000 shots
-  11     516  0.5160
-  00     484  0.4840
+  # plan: sampled (terminal unconditioned measurements)
+  00     525  0.5250
+  11     475  0.4750
 
-With depolarising noise, anticorrelated outcomes leak in:
+Forcing the per-shot trajectory plan is still possible:
 
-  $ qxc run bell.qasm --shots 1000 --seed 7 --noise 0.05 | tail -n +2 | wc -l | tr -d ' '
+  $ qxc run bell.qasm --shots 1000 --seed 7 --trajectory | head -2
+  # 2 qubits, 4 instructions, 1000 shots
+  # plan: trajectory (trajectory plan forced by caller)
+
+With depolarising noise, anticorrelated outcomes leak in (and the run
+falls back to trajectories):
+
+  $ qxc run bell.qasm --shots 1000 --seed 7 --noise 0.05 | head -2
+  # 2 qubits, 4 instructions, 1000 shots
+  # plan: trajectory (stochastic noise model)
+
+  $ qxc run bell.qasm --shots 1000 --seed 7 --noise 0.05 | tail -n +3 | wc -l | tr -d ' '
   4
+
+The per-run metrics report is available as JSON:
+
+  $ qxc run bell.qasm --shots 1000 --seed 7 --metrics - | tail -1 | tr ',' '\n' | grep -E 'plan|shots|"h"|"cnot"|measurements'
+  {"plan":"sampled"
+  "plan_reason":"terminal unconditioned measurements"
+  "shots":1000
+  "measurements":2000
+  "gate_applies":{"cnot":1
+  "h":1}
 
 Compile for the superconducting platform:
 

@@ -300,6 +300,87 @@ let test_realistic_of_degrades () =
   let realistic = Stack.realistic_of perfect_stack in
   Alcotest.(check bool) "model changed" true (realistic.Stack.model = Qca.Qubit_model.Realistic)
 
+let test_stack_engine_report () =
+  let module Engine = Qca_qx.Engine in
+  (* Direct-QX perfect stack: terminal measurements take the sampled plan. *)
+  let run = Stack.execute ~shots:100 ~seed:8 (Stack.genome ~qubits:2 ()) (bell_measured ()) in
+  Alcotest.(check bool) "perfect stack samples" true
+    (run.Stack.engine_report.Engine.plan = Engine.Sampled);
+  Alcotest.(check int) "shots recorded" 100 run.Stack.engine_report.Engine.shots;
+  (* Micro-architecture stack: inherently per-shot. *)
+  let run_sc = Stack.execute ~shots:20 ~seed:8 (Stack.superconducting ()) (bell_measured ()) in
+  Alcotest.(check bool) "microarch stack is trajectory" true
+    (run_sc.Stack.engine_report.Engine.plan = Engine.Trajectory);
+  Alcotest.(check bool) "gate applies counted" true
+    (run_sc.Stack.engine_report.Engine.gate_applies <> [])
+
+(* --- backend swapping (the Backend.S contract) --- *)
+
+let test_backend_swap () =
+  let module Engine = Qca_qx.Engine in
+  let bell = bell_measured () in
+  let targets : (module Qca_qx.Backend.S) list =
+    [
+      (module Qca_qx.Sim.Backend);
+      (module Qca_qx.Density.Backend);
+      Qca_microarch.Controller.backend ~platform:Platform.semiconducting_4
+        ~technology:Qca_microarch.Controller.semiconducting ();
+    ]
+  in
+  List.iter
+    (fun (module B : Qca_qx.Backend.S) ->
+      let result = B.run ~shots:200 ~seed:13 bell in
+      let total = List.fold_left (fun acc (_, c) -> acc + c) 0 result.Engine.histogram in
+      Alcotest.(check int) (B.name ^ ": histogram mass") 200 total;
+      (* The mapper may relocate qubits and noise may leak, but the Bell
+         correlation must dominate on every target. *)
+      let correlated =
+        List.fold_left
+          (fun acc (key, c) ->
+            let bits = List.filter (fun ch -> ch = '0' || ch = '1') (List.init (String.length key) (String.get key)) in
+            match bits with
+            | [ a; b ] when a = b -> acc + c
+            | _ -> acc)
+          0 result.Engine.histogram
+      in
+      Alcotest.(check bool)
+        (B.name ^ ": correlated mass dominates")
+        true
+        (float_of_int correlated /. float_of_int total > 0.8))
+    targets
+
+let test_accelerator_with_backend () =
+  let source =
+    "version 1.0\nqubits 2\nh q[0]\ncnot q[0], q[1]\nmeasure q[0]\nmeasure q[1]\n"
+  in
+  let qpu =
+    Accelerator.make ~name:"qpu0" ~kind:Accelerator.Quantum_gate ~speed_factor:1000.0
+      ~offload_overhead:2.0 ()
+  in
+  let backed =
+    Accelerator.with_backend (module Qca_qx.Sim.Backend) ~shots:300 ~seed:5 qpu
+  in
+  Alcotest.(check string) "renamed" "qpu0@qx-statevector" backed.Accelerator.name;
+  let output = Accelerator.run_payload backed source in
+  let entries = String.split_on_char ' ' output in
+  let total =
+    List.fold_left
+      (fun acc entry ->
+        match String.split_on_char ':' entry with
+        | [ _bits; count ] -> acc + int_of_string count
+        | _ -> Alcotest.fail ("unparseable payload entry: " ^ entry))
+      0 entries
+  in
+  Alcotest.(check int) "payload counts sum to shots" 300 total;
+  List.iter
+    (fun entry ->
+      match String.split_on_char ':' entry with
+      | [ bits; _ ] ->
+          Alcotest.(check bool) ("correlated outcome " ^ bits) true
+            (bits = "00" || bits = "11")
+      | _ -> ())
+    entries
+
 (* --- in-memory (section 5) --- *)
 
 module In_memory = Qca.In_memory
@@ -543,6 +624,9 @@ let () =
           Alcotest.test_case "genome stack bell" `Quick test_genome_stack_perfect_bell;
           Alcotest.test_case "superconducting microarch" `Quick test_superconducting_stack_runs_microarch;
           Alcotest.test_case "realistic_of" `Quick test_realistic_of_degrades;
+          Alcotest.test_case "engine report" `Quick test_stack_engine_report;
+          Alcotest.test_case "backend swap" `Quick test_backend_swap;
+          Alcotest.test_case "accelerator with_backend" `Quick test_accelerator_with_backend;
         ] );
       ( "in-memory",
         [

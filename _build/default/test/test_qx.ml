@@ -507,6 +507,123 @@ let test_teleportation_exact_state () =
     Alcotest.(check (float 1e-9)) "P(1) exact" (sin (theta /. 2.0) ** 2.0) p1
   done
 
+(* --- engine: run plans, shot sampling, backends --- *)
+
+module Engine = Qca_qx.Engine
+
+let measured_all n base =
+  Circuit.append base (Circuit.of_list n (List.init n (fun q -> Gate.Measure q)))
+
+let test_plan_classification () =
+  let check name expected circuit =
+    let plan, _ = Engine.analyse circuit in
+    Alcotest.(check string) name expected (Engine.plan_to_string plan)
+  in
+  check "terminal measurements sample" "sampled" (measured_all 3 (Library.ghz 3));
+  check "no measurement still samples" "sampled" (Library.ghz 3);
+  check "leading prep is harmless" "sampled"
+    (Circuit.of_list 2 [ Gate.Prep 0; Gate.Unitary (Gate.H, [| 0 |]); Gate.Measure 0 ]);
+  check "conditional forces trajectories" "trajectory"
+    (Circuit.of_list 2
+       [ Gate.Measure 0; Gate.Conditional (0, Gate.X, [| 1 |]); Gate.Measure 1 ]);
+  check "mid-circuit measurement forces trajectories" "trajectory"
+    (Circuit.of_list 1 [ Gate.Measure 0; Gate.Unitary (Gate.X, [| 0 |]); Gate.Measure 0 ]);
+  check "mid-circuit reset forces trajectories" "trajectory"
+    (Circuit.of_list 1 [ Gate.Unitary (Gate.H, [| 0 |]); Gate.Prep 0; Gate.Measure 0 ]);
+  let plan, reason =
+    Engine.analyse ~noise:(Noise.depolarizing 0.01) (measured_all 2 (Library.bell ()))
+  in
+  Alcotest.(check string) "noise forces trajectories" "trajectory" (Engine.plan_to_string plan);
+  Alcotest.(check string) "noise reason" "stochastic noise model" reason
+
+let test_forced_sampled_rejected () =
+  let c = Circuit.of_list 2 [ Gate.Measure 0; Gate.Conditional (0, Gate.X, [| 1 |]) ] in
+  match Engine.run ~plan:Engine.Sampled ~shots:10 c with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "forced sampled plan accepted on a feedback circuit"
+
+let test_conditional_takes_trajectory_path () =
+  (* Feedback must still execute per shot with unchanged results: X, measure,
+     conditional X always ends in |11>. *)
+  let c =
+    Circuit.of_list 2
+      [
+        Gate.Unitary (Gate.X, [| 0 |]);
+        Gate.Measure 0;
+        Gate.Conditional (0, Gate.X, [| 1 |]);
+        Gate.Measure 1;
+      ]
+  in
+  let result = Engine.run ~seed:4 ~shots:64 c in
+  Alcotest.(check bool) "trajectory plan" true
+    (result.Engine.report.Engine.plan = Engine.Trajectory);
+  Alcotest.(check (list (pair string int))) "always 11" [ ("11", 64) ] result.Engine.histogram
+
+let test_report_metrics () =
+  let result = Engine.run ~seed:3 ~shots:100 (measured_all 2 (Library.bell ())) in
+  let report = result.Engine.report in
+  Alcotest.(check int) "shots" 100 report.Engine.shots;
+  Alcotest.(check (option int)) "seed recorded" (Some 3) report.Engine.seed;
+  Alcotest.(check int) "measurements = shots x qubits" 200 report.Engine.measurements;
+  Alcotest.(check (list (pair string int)))
+    "gate applies counted once (single simulation pass)"
+    [ ("cnot", 1); ("h", 1) ]
+    (List.sort compare report.Engine.gate_applies);
+  Alcotest.(check int) "histogram mass" 100
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 result.Engine.histogram);
+  let json = Engine.report_to_json report in
+  let contains needle =
+    let n = String.length needle and m = String.length json in
+    let rec go i = i + n <= m && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json has plan" true (contains "\"plan\":\"sampled\"");
+  Alcotest.(check bool) "json has seed" true (contains "\"seed\":3");
+  Alcotest.(check bool) "json has gate applies" true (contains "\"cnot\":1")
+
+let test_plans_agree_deterministic () =
+  (* A deterministic circuit must give the identical histogram on both
+     plans, whatever the seed. *)
+  List.iter
+    (fun (n, secret) ->
+      let circuit = Library.bernstein_vazirani ~secret n in
+      let sampled = Engine.run ~seed:5 ~shots:200 circuit in
+      let traj = Engine.run ~seed:99 ~plan:Engine.Trajectory ~shots:200 circuit in
+      Alcotest.(check bool) "sampled plan chosen" true
+        (sampled.Engine.report.Engine.plan = Engine.Sampled);
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "identical histograms n=%d" n)
+        (List.sort compare traj.Engine.histogram)
+        (List.sort compare sampled.Engine.histogram))
+    [ (3, 0b101); (5, 0b10110) ]
+
+let test_same_seed_reproducible () =
+  let circuit = measured_all 3 (Library.ghz 3) in
+  let a = Engine.run ~seed:21 ~shots:500 circuit in
+  let b = Engine.run ~seed:21 ~shots:500 circuit in
+  Alcotest.(check (list (pair string int))) "same seed, same histogram"
+    a.Engine.histogram b.Engine.histogram;
+  Alcotest.(check bool) "default rng is one shared stream" true
+    (Engine.default_rng () == Engine.default_rng ())
+
+let test_backends_agree () =
+  (* The state-vector and density backends sample the same distribution with
+     the same generator, so with one seed they agree bit for bit. *)
+  let bell = measured_all 2 (Library.bell ()) in
+  let module Sv = (val (module Sim.Backend : Qca_qx.Backend.S)) in
+  let module Dm = (val (module Density.Backend : Qca_qx.Backend.S)) in
+  let sv = Sv.run ~shots:2000 ~seed:7 bell in
+  let dm = Dm.run ~shots:2000 ~seed:7 bell in
+  Alcotest.(check (list (pair string int))) "identical histograms"
+    sv.Engine.histogram dm.Engine.histogram;
+  Alcotest.(check bool) "names differ" true (Sv.name <> Dm.name)
+
+let test_density_backend_rejects_feedback () =
+  let c = Circuit.of_list 2 [ Gate.Measure 0; Gate.Conditional (0, Gate.X, [| 1 |]) ] in
+  match Density.Backend.run ~shots:8 c with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "density backend accepted a feedback circuit"
+
 (* --- properties --- *)
 
 let arb_seeded_circuit =
@@ -548,6 +665,38 @@ let prop_measurement_collapse_consistent =
       let first = State.measure result.Sim.state rng q in
       let second = State.measure result.Sim.state rng q in
       first = second)
+
+let prop_plans_agree_statistically =
+  QCheck.Test.make ~name:"sampled and trajectory plans draw the same distribution"
+    ~count:25 arb_seeded_circuit (fun (seed, qubits, gates) ->
+      let base = Library.random_circuit (Rng.create seed) ~qubits ~gates in
+      let circuit =
+        Circuit.append base
+          (Circuit.of_list qubits (List.init qubits (fun q -> Gate.Measure q)))
+      in
+      let shots = 400 in
+      let a = (Engine.run ~seed:(seed + 1) ~shots circuit).Engine.histogram in
+      let b =
+        (Engine.run ~seed:(seed + 2) ~plan:Engine.Trajectory ~shots circuit).Engine.histogram
+      in
+      (* Two-sample chi-square over the union of keys; the threshold is
+         generous (mean + ~8 sigma) so only a genuinely different
+         distribution fails, not sampling luck. *)
+      let table : (string, int * int) Hashtbl.t = Hashtbl.create 32 in
+      List.iter (fun (k, c) -> Hashtbl.replace table k (c, 0)) a;
+      List.iter
+        (fun (k, c) ->
+          let x, _ = Option.value ~default:(0, 0) (Hashtbl.find_opt table k) in
+          Hashtbl.replace table k (x, c))
+        b;
+      let keys = float_of_int (Hashtbl.length table) in
+      let stat =
+        Hashtbl.fold
+          (fun _ (x, y) acc ->
+            acc +. (float_of_int ((x - y) * (x - y)) /. float_of_int (x + y)))
+          table 0.0
+      in
+      stat < keys +. (8.0 *. sqrt (2.0 *. keys)) +. 10.0)
 
 let () =
   let qtest = QCheck_alcotest.to_alcotest in
@@ -622,6 +771,25 @@ let () =
           Alcotest.test_case "teleportation statistics" `Quick test_teleportation_preserves_state;
           Alcotest.test_case "teleportation exact" `Quick test_teleportation_exact_state;
         ] );
+      ( "engine",
+        [
+          Alcotest.test_case "plan classification" `Quick test_plan_classification;
+          Alcotest.test_case "forced sampled rejected" `Quick test_forced_sampled_rejected;
+          Alcotest.test_case "conditional stays per-shot" `Quick
+            test_conditional_takes_trajectory_path;
+          Alcotest.test_case "report metrics" `Quick test_report_metrics;
+          Alcotest.test_case "plans agree (deterministic)" `Quick
+            test_plans_agree_deterministic;
+          Alcotest.test_case "seed reproducibility" `Quick test_same_seed_reproducible;
+          Alcotest.test_case "backends agree" `Quick test_backends_agree;
+          Alcotest.test_case "density backend domain" `Quick
+            test_density_backend_rejects_feedback;
+        ] );
       ( "properties",
-        [ qtest prop_norm_preserved; qtest prop_matrix_agrees_with_simulation; qtest prop_measurement_collapse_consistent ] );
+        [
+          qtest prop_norm_preserved;
+          qtest prop_matrix_agrees_with_simulation;
+          qtest prop_measurement_collapse_consistent;
+          qtest prop_plans_agree_statistically;
+        ] );
     ]

@@ -24,6 +24,9 @@ let () =
   let run = Stack.execute ~shots:1000 ~rng:(Rng.create 1) perfect ghz in
   print_endline "\n=== perfect-qubit stack ===";
   Printf.printf "%s\n" (Stack.describe perfect);
+  Printf.printf "execution plan: %s (%s)\n"
+    (Qca_qx.Engine.plan_to_string run.Stack.engine_report.Qca_qx.Engine.plan)
+    run.Stack.engine_report.Qca_qx.Engine.plan_reason;
   List.iter (fun (key, count) -> Printf.printf "  %s : %d\n" key count) run.Stack.histogram;
 
   (* 3. Real qubits: the same logic through compiler, eQASM and the

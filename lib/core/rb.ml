@@ -120,12 +120,9 @@ let run_with ?interleave ~lengths ~sequences ~shots ~noise ~rng () =
           let circuit =
             interleaved_sequence_circuit ?interleave rng ~qubit:0 ~total_qubits:1 ~length
           in
-          let zeros = ref 0 in
-          for _ = 1 to shots do
-            let result = Sim.run ~noise ~rng circuit in
-            if result.Sim.classical.(0) = 0 then incr zeros
-          done;
-          float_of_int !zeros /. float_of_int shots)
+          Sim.success_probability ~noise ~rng ~shots
+            ~accept:(fun bits -> bits.(0) = 0)
+            circuit)
     in
     Stats.mean per_sequence
   in

@@ -1,7 +1,18 @@
 (** QX simulator front end: execute circuits on perfect or realistic qubits.
 
     The paper's QX engine executes cQASM, measures, and returns results to
-    the micro-architecture; this module is that execution engine. *)
+    the micro-architecture; this module is that execution engine. Shot
+    estimators ({!histogram}, {!success_probability}) are routed through
+    {!Engine}, which simulates terminal-measurement circuits once and
+    samples all shots from the final distribution; per-shot trajectory
+    loops are the fallback for feedback, mid-circuit measurement and noise
+    (see [docs/engine.md]).
+
+    Seed semantics: every entry point that omits [?rng] draws from the
+    engine's process-wide default stream, which advances across calls —
+    repeated calls see fresh randomness, whole-program runs stay
+    reproducible. Pass [?rng] (or use {!Engine.run} with [?seed]) for
+    call-level reproducibility. *)
 
 type outcome = {
   state : State.t;  (** Final state vector. *)
@@ -12,8 +23,8 @@ type outcome = {
 
 val run :
   ?noise:Noise.model -> ?rng:Qca_util.Rng.t -> Qca_circuit.Circuit.t -> outcome
-(** Execute a circuit once. [noise] defaults to {!Noise.ideal} (perfect
-    qubits); [rng] defaults to a fixed-seed generator. *)
+(** Execute a circuit once (one trajectory). [noise] defaults to
+    {!Noise.ideal} (perfect qubits). *)
 
 val run_cqasm : ?noise:Noise.model -> ?rng:Qca_util.Rng.t -> string -> outcome
 (** Parse cQASM source and run it. When the source carries an
@@ -26,9 +37,11 @@ val histogram :
   shots:int ->
   Qca_circuit.Circuit.t ->
   (string * int) list
-(** Re-execute [shots] times and count measured bitstrings (qubit 0 is the
+(** Count measured bitstrings over [shots] executions (qubit 0 is the
     rightmost character; unmeasured qubits render as '-'). Sorted by
-    decreasing count. *)
+    decreasing count. Routed through {!Engine.run}: terminal-measurement
+    circuits under ideal noise are simulated once and sampled in a single
+    pass. *)
 
 val success_probability :
   ?noise:Noise.model ->
@@ -37,7 +50,8 @@ val success_probability :
   accept:(int array -> bool) ->
   Qca_circuit.Circuit.t ->
   float
-(** Fraction of shots whose classical record satisfies [accept]. *)
+(** Fraction of shots whose classical record satisfies [accept]. Routed
+    through {!Engine.run} like {!histogram}. *)
 
 val expectation_z :
   ?noise:Noise.model -> ?rng:Qca_util.Rng.t -> Qca_circuit.Circuit.t -> int -> float
@@ -46,4 +60,10 @@ val expectation_z :
 val state_fidelity_vs_ideal :
   noise:Noise.model -> rng:Qca_util.Rng.t -> shots:int -> Qca_circuit.Circuit.t -> float
 (** Average over trajectories of |<psi_noisy|psi_ideal>|^2 for a
-    measurement-free circuit. *)
+    measurement-free circuit (via {!Engine.fold_trajectories}). *)
+
+val backend : ?noise:Noise.model -> unit -> (module Backend.S)
+(** An execution target with a fixed noise model baked in. *)
+
+module Backend : Backend.S
+(** Ideal-qubit state-vector execution target ("qx-statevector"). *)
