@@ -6,7 +6,10 @@
    `dune exec bench/main.exe -- micro` runs only the micro-benchmarks;
    `dune exec bench/main.exe -- engine` compares the engine's sampled and
    trajectory plans on 1000-shot GHZ histograms and writes
-   BENCH_engine.json. *)
+   BENCH_engine.json;
+   `dune exec bench/main.exe -- resilience` measures the cost of the fault
+   injection hooks when injection is disabled and writes
+   BENCH_resilience.json. *)
 
 open Bechamel
 
@@ -219,6 +222,74 @@ let run_engine () =
   close_out oc;
   print_endline "wrote BENCH_engine.json"
 
+(* --- resilience overhead benchmark (BENCH_resilience.json) --- *)
+
+let run_resilience () =
+  let module Engine = Qca_qx.Engine in
+  let module Fault = Qca_util.Fault in
+  let module Controller = Qca_microarch.Controller in
+  print_endline "=== Resilience: fault-hook overhead with injection disabled ===";
+  (* Best-of-N wall times: the comparison is absent hooks (no [?faults])
+     vs attached-but-silent hooks (an injector with every rate 0.0). *)
+  let time_best f =
+    let best = ref infinity in
+    for _ = 1 to 7 do
+      let t0 = Sys.time () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = Sys.time () -. t0 in
+      if dt < !best then best := dt
+    done;
+    Float.max 1e-9 !best
+  in
+  let bell_program =
+    let circuit =
+      Circuit.append (Library.bell ())
+        (Circuit.of_list 2 [ Gate.Measure 0; Gate.Measure 1 ])
+    in
+    match
+      (Compiler.compile Platform.superconducting_17 Compiler.Real circuit).Compiler.eqasm
+    with
+    | Some p -> p
+    | None -> assert false
+  in
+  let shots = 400 in
+  let micro_base =
+    time_best (fun () ->
+        Controller.run_shots ~seed:7 ~shots Controller.superconducting bell_program)
+  in
+  let micro_off =
+    time_best (fun () ->
+        Controller.run_shots ~seed:7 ~shots ~faults:(Fault.make Fault.off)
+          Controller.superconducting bell_program)
+  in
+  let ghz =
+    Circuit.append (Library.ghz 10)
+      (Circuit.of_list 10 (List.init 10 (fun q -> Gate.Measure q)))
+  in
+  let engine_base =
+    time_best (fun () -> Engine.run ~seed:7 ~plan:Engine.Trajectory ~shots:100 ghz)
+  in
+  let engine_off =
+    time_best (fun () ->
+        Engine.run ~seed:7 ~plan:Engine.Trajectory ~shots:100
+          ~faults:(Fault.make Fault.off) ghz)
+  in
+  let pct base off = 100.0 *. ((off -. base) /. base) in
+  let report name base off =
+    Printf.printf "%-28s baseline %.4fs | hooks-off %.4fs | overhead %+.2f%%\n" name base
+      off (pct base off)
+  in
+  report "microarch-bell-400shots" micro_base micro_off;
+  report "engine-trajectory-ghz10" engine_base engine_off;
+  let oc = open_out "BENCH_resilience.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\"benchmark\":\"resilience-disabled-overhead\",\"threshold_pct\":5.0,\"entries\":[{\"name\":\"microarch-bell-400shots\",\"baseline_s\":%.6f,\"hooks_off_s\":%.6f,\"overhead_pct\":%.2f},{\"name\":\"engine-trajectory-ghz10\",\"baseline_s\":%.6f,\"hooks_off_s\":%.6f,\"overhead_pct\":%.2f}]}\n"
+       micro_base micro_off (pct micro_base micro_off) engine_base engine_off
+       (pct engine_base engine_off));
+  close_out oc;
+  print_endline "wrote BENCH_resilience.json"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
@@ -227,12 +298,14 @@ let () =
       run_micro ()
   | [ "micro" ] -> run_micro ()
   | [ "engine" ] -> run_engine ()
+  | [ "resilience" ] -> run_resilience ()
   | ids ->
       List.iter
         (fun id ->
           match List.assoc_opt (String.lowercase_ascii id) Experiments.by_id with
           | Some e -> e ()
           | None ->
-              Printf.eprintf "unknown experiment '%s' (use e1..e13, micro or engine)\n" id;
+              Printf.eprintf
+                "unknown experiment '%s' (use e1..e13, micro, engine or resilience)\n" id;
               exit 1)
         ids

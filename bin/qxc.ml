@@ -100,9 +100,58 @@ let check_shots shots =
     false)
   else true
 
+(* --- fault injection args --- *)
+
+let fault_rate_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "fault-rate" ] ~docv:"P"
+        ~doc:
+          "Inject controller/backend faults with per-site probability $(docv) \
+           (see docs/resilience.md). Off when absent.")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt int Qca_util.Fault.default_seed
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Seed for the fault injector's own RNG stream.")
+
+let max_retries_arg =
+  Arg.(
+    value
+    & opt int Qca_util.Resilience.default_policy.Qca_util.Resilience.max_retries
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:"Retries per shot before it counts as faulted.")
+
+let make_faults rate seed =
+  match rate with
+  | None -> None
+  | Some p -> Some (Qca_util.Fault.make ~seed (Qca_util.Fault.uniform p))
+
+let make_policy retries =
+  { Qca_util.Resilience.default_policy with Qca_util.Resilience.max_retries = retries }
+
+let print_resilience faults report =
+  match faults with
+  | None -> ()
+  | Some _ ->
+      let r = report.Engine.resilience in
+      let fires =
+        List.fold_left (fun acc (_, c) -> acc + c) 0 r.Engine.faults_injected
+      in
+      Printf.printf
+        "# resilience: %d fault fires, %d retries, %d faulted shots, backoff %d ns%s\n"
+        fires r.Engine.retries r.Engine.faulted_shots r.Engine.backoff_ns
+        (match r.Engine.degraded with
+        | None -> ""
+        | Some msg -> Printf.sprintf " (degraded: %s)" msg)
+
 (* --- run --- *)
 
-let run_command file shots seed noise trajectory metrics =
+let run_command file shots seed noise trajectory metrics fault_rate fault_seed
+    max_retries =
   if not (check_shots shots) then 1
   else
     match load_circuit file with
@@ -112,13 +161,16 @@ let run_command file shots seed noise trajectory metrics =
     | Ok circuit ->
       let noise = match noise with Some p -> Noise.depolarizing p | None -> Noise.ideal in
       let plan = if trajectory then Some Engine.Trajectory else None in
-      let result = Engine.run ~noise ~seed ?plan ~shots circuit in
+      let faults = make_faults fault_rate fault_seed in
+      let policy = make_policy max_retries in
+      let result = Engine.run ~noise ~seed ?plan ~shots ?faults ~policy circuit in
       let report = result.Engine.report in
       Printf.printf "# %d qubits, %d instructions, %d shots\n" (Circuit.qubit_count circuit)
         (Circuit.length circuit) shots;
       Printf.printf "# plan: %s (%s)\n"
         (Engine.plan_to_string report.Engine.plan)
         report.Engine.plan_reason;
+      print_resilience faults report;
       List.iter
         (fun (key, count) ->
           Printf.printf "%s  %6d  %.4f\n" key count (float_of_int count /. float_of_int shots))
@@ -134,7 +186,7 @@ let trajectory_flag =
 let run_term =
   Term.(
     const run_command $ file_arg $ shots_arg $ seed_arg $ noise_arg $ trajectory_flag
-    $ metrics_arg)
+    $ metrics_arg $ fault_rate_arg $ fault_seed_arg $ max_retries_arg)
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a cQASM program on the QX simulator.") run_term
@@ -179,7 +231,8 @@ let compile_cmd =
 
 (* --- exec (through the micro-architecture) --- *)
 
-let exec_command file platform_name shots seed metrics =
+let exec_command file platform_name shots seed metrics fault_rate fault_seed
+    max_retries =
   if not (check_shots shots) then 1
   else
     match load_circuit file with
@@ -202,9 +255,11 @@ let exec_command file platform_name shots seed metrics =
                 if platform_name = "semiconducting" then Controller.semiconducting
                 else Controller.superconducting
               in
+              let faults = make_faults fault_rate fault_seed in
+              let policy = make_policy max_retries in
               let r =
-                Controller.run_shots ~noise:platform.Platform.noise ~seed ~shots technology
-                  program
+                Controller.run_shots ~noise:platform.Platform.noise ~seed ~shots
+                  ?faults ~policy technology program
               in
               let s = r.Controller.last.Controller.stats in
               Printf.printf
@@ -212,13 +267,16 @@ let exec_command file platform_name shots seed metrics =
                  violations\n"
                 s.Controller.bundles_issued s.Controller.micro_ops s.Controller.total_ns
                 s.Controller.peak_queue_depth s.Controller.timing_violations;
+              print_resilience faults r.Controller.report;
               List.iter
                 (fun (key, count) -> Printf.printf "%s  %6d\n" key count)
                 r.Controller.histogram;
               write_metrics metrics r.Controller.report))
 
 let exec_term =
-  Term.(const exec_command $ file_arg $ platform_arg $ shots_arg $ seed_arg $ metrics_arg)
+  Term.(
+    const exec_command $ file_arg $ platform_arg $ shots_arg $ seed_arg $ metrics_arg
+    $ fault_rate_arg $ fault_seed_arg $ max_retries_arg)
 
 let exec_cmd =
   Cmd.v
@@ -320,4 +378,13 @@ let () =
     Cmd.group (Cmd.info "qxc" ~version:"1.0" ~doc)
       [ run_cmd; compile_cmd; exec_cmd; qisa_cmd; info_cmd ]
   in
-  exit (Cmd.eval' main)
+  (* Structured errors escaping a subcommand become a one-line diagnostic
+     rather than an OCaml backtrace. *)
+  match Cmd.eval' ~catch:false main with
+  | code -> exit code
+  | exception Qca_util.Error.Error e ->
+      Printf.eprintf "qxc: error: %s\n" (Qca_util.Error.to_string e);
+      exit 2
+  | exception Failure msg ->
+      Printf.eprintf "qxc: error: %s\n" msg;
+      exit 2

@@ -57,11 +57,21 @@ let expand u ops =
         u1 Gate.Tdag b;
         u2 Gate.Cnot a b;
       ]
-  | _, _ -> invalid_arg "Decompose.expand: operand count does not match gate arity"
+  | _, _ ->
+      Qca_util.Error.fail ~site:"Decompose.expand"
+        ~context:
+          [
+            ("gate", Gate.name u);
+            ("operands", string_of_int (Array.length ops));
+          ]
+        (Qca_util.Error.Invalid "operand count does not match gate arity")
 
 let run platform circuit =
   let rec rewrite budget instr =
-    if budget = 0 then failwith "Decompose.run: rewrite did not terminate";
+    (* Every expand case strictly reduces toward the primitive basis, so a
+       blown budget means a cycle in the rewrite table — an internal bug,
+       never a property of the input circuit. *)
+    assert (budget > 0);
     match instr with
     | Gate.Prep _ | Gate.Measure _ | Gate.Barrier _ -> [ instr ]
     | Gate.Unitary (u, ops) ->
@@ -70,9 +80,9 @@ let run platform circuit =
           let step = expand u ops in
           (* If expand is the identity rewrite, we cannot make progress. *)
           if step = [ instr ] then
-            failwith
-              (Printf.sprintf "Decompose.run: platform %s cannot express gate %s"
-                 platform.Platform.name (Gate.name u))
+            Qca_util.Error.fail ~site:"Decompose.run"
+              (Qca_util.Error.Unsupported_gate
+                 { platform = platform.Platform.name; gate = Gate.name u })
           else List.concat_map (rewrite (budget - 1)) step
     | Gate.Conditional (bit, u, ops) ->
         (* Decompose the body, then re-attach the classical condition to

@@ -7,8 +7,8 @@ val expand : Qca_circuit.Gate.unitary -> int array -> Qca_circuit.Gate.t list
 
 val run : Platform.t -> Qca_circuit.Circuit.t -> Qca_circuit.Circuit.t
 (** Recursively rewrite until every unitary is a platform primitive. Raises
-    [Failure] if a gate cannot be expressed (should not happen for the
-    supported set). *)
+    {!Qca_util.Error.Error} with [Unsupported_gate] if a gate cannot be
+    expressed on the platform's primitive set. *)
 
 val check_equivalent : Qca_circuit.Circuit.t -> Qca_circuit.Circuit.t -> bool
 (** Compare full unitaries up to global phase (small circuits only; used by

@@ -8,6 +8,7 @@ type event = {
   start_time : float;
   finish_time : float;
   output : string option;
+  warning : string option;
 }
 
 type execution = {
@@ -16,12 +17,11 @@ type execution = {
   host_only_time : float;
   speedup : float;
   outputs : (string * string) list;
+  warnings : string list;
 }
 
 let find_accelerator accelerators name =
-  match List.find_opt (fun a -> a.Accelerator.name = name) accelerators with
-  | Some a -> a
-  | None -> invalid_arg (Printf.sprintf "Host.run: unknown accelerator '%s'" name)
+  List.find_opt (fun a -> a.Accelerator.name = name) accelerators
 
 let task_work = function Classical (_, w) | Offload (_, _, w, _) -> w
 
@@ -29,33 +29,63 @@ let run ~accelerators tasks =
   let clock = ref 0.0 in
   let timeline = ref [] in
   let outputs = ref [] in
+  let warnings = ref [] in
   List.iter
     (fun task ->
       match task with
       | Classical (name, work) ->
-          if work < 0.0 then invalid_arg "Host.run: negative work";
+          if work < 0.0 then
+            Qca_util.Error.fail ~site:"Host.run"
+              ~context:[ ("task", name) ]
+              (Qca_util.Error.Invalid "negative work");
           let start = !clock in
           clock := !clock +. work;
           timeline :=
-            { task_name = name; resource = "host"; start_time = start; finish_time = !clock; output = None }
+            { task_name = name; resource = "host"; start_time = start; finish_time = !clock; output = None; warning = None }
             :: !timeline
       | Offload (accel_name, kernel, work, arg) ->
-          if work < 0.0 then invalid_arg "Host.run: negative work";
-          let accel = find_accelerator accelerators accel_name in
+          if work < 0.0 then
+            Qca_util.Error.fail ~site:"Host.run"
+              ~context:[ ("task", kernel); ("accelerator", accel_name) ]
+              (Qca_util.Error.Invalid "negative work");
           let start = !clock in
-          let duration = accel.Accelerator.offload_overhead +. (work /. accel.Accelerator.speed_factor) in
-          clock := !clock +. duration;
-          let output = Accelerator.run_payload accel arg in
-          outputs := (kernel, output) :: !outputs;
-          timeline :=
-            {
-              task_name = kernel;
-              resource = accel_name;
-              start_time = start;
-              finish_time = !clock;
-              output = Some output;
-            }
-            :: !timeline)
+          (match find_accelerator accelerators accel_name with
+          | Some accel ->
+              let duration = accel.Accelerator.offload_overhead +. (work /. accel.Accelerator.speed_factor) in
+              clock := !clock +. duration;
+              let output = Accelerator.run_payload accel arg in
+              outputs := (kernel, output) :: !outputs;
+              timeline :=
+                {
+                  task_name = kernel;
+                  resource = accel_name;
+                  start_time = start;
+                  finish_time = !clock;
+                  output = Some output;
+                  warning = None;
+                }
+                :: !timeline
+          | None ->
+              (* Degrade rather than abort: the kernel runs on the host at
+                 speed 1.0 with no offload overhead, and the event records
+                 why the accelerator was bypassed. *)
+              let warning =
+                Printf.sprintf
+                  "unknown accelerator '%s'; kernel '%s' degraded to host execution"
+                  accel_name kernel
+              in
+              warnings := warning :: !warnings;
+              clock := !clock +. work;
+              timeline :=
+                {
+                  task_name = kernel;
+                  resource = "host";
+                  start_time = start;
+                  finish_time = !clock;
+                  output = None;
+                  warning = Some warning;
+                }
+                :: !timeline))
     tasks;
   let host_only_time = List.fold_left (fun acc t -> acc +. task_work t) 0.0 tasks in
   {
@@ -64,6 +94,7 @@ let run ~accelerators tasks =
     host_only_time;
     speedup = (if !clock > 0.0 then host_only_time /. !clock else 1.0);
     outputs = List.rev !outputs;
+    warnings = List.rev !warnings;
   }
 
 let amdahl_prediction ~accelerators tasks =
@@ -71,10 +102,16 @@ let amdahl_prediction ~accelerators tasks =
   if total <= 0.0 then 1.0
   else begin
     (* Group offloaded fractions per accelerator, folding fixed overheads in
-       as extra time relative to the original total. *)
+       as extra time relative to the original total. Offloads to unknown
+       accelerators degrade to host execution in [run], so they count as
+       classical time here to keep the prediction consistent. *)
     let classical =
       List.fold_left
-        (fun acc t -> match t with Classical (_, w) -> acc +. w | Offload _ -> acc)
+        (fun acc t ->
+          match t with
+          | Classical (_, w) -> acc +. w
+          | Offload (name, _, w, _) ->
+              if find_accelerator accelerators name = None then acc +. w else acc)
         0.0 tasks
     in
     let accelerated_time =
@@ -82,9 +119,12 @@ let amdahl_prediction ~accelerators tasks =
         (fun acc t ->
           match t with
           | Classical _ -> acc
-          | Offload (name, _, w, _) ->
-              let a = find_accelerator accelerators name in
-              acc +. a.Accelerator.offload_overhead +. (w /. a.Accelerator.speed_factor))
+          | Offload (name, _, w, _) -> (
+              match find_accelerator accelerators name with
+              | Some a ->
+                  acc +. a.Accelerator.offload_overhead
+                  +. (w /. a.Accelerator.speed_factor)
+              | None -> acc))
         0.0 tasks
     in
     total /. (classical +. accelerated_time)

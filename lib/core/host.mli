@@ -13,6 +13,8 @@ type event = {
   start_time : float;
   finish_time : float;
   output : string option;  (** Payload output for offloaded kernels. *)
+  warning : string option;
+      (** Degradation note (e.g. unknown accelerator bypassed). *)
 }
 
 type execution = {
@@ -21,13 +23,19 @@ type execution = {
   host_only_time : float;  (** Same workload with no accelerators. *)
   speedup : float;
   outputs : (string * string) list;  (** (kernel name, payload output). *)
+  warnings : string list;  (** Degradation warnings, in execution order. *)
 }
 
 val run : accelerators:Accelerator.t list -> task list -> execution
 (** Sequential offload model (matching Amdahl's assumptions): the host
-    blocks while an accelerator runs. Raises [Invalid_argument] for offloads
-    to unknown accelerators. *)
+    blocks while an accelerator runs. An offload naming an accelerator that
+    is not attached does not abort the run: the kernel degrades to host
+    execution (speed 1.0, no offload overhead, no payload output) and the
+    event — and [execution.warnings] — records why. Raises
+    {!Qca_util.Error.Error} with [Invalid] for negative work. *)
 
 val amdahl_prediction : accelerators:Accelerator.t list -> task list -> float
 (** The analytic speedup for the same workload via {!Amdahl.multi_accelerator}
-    (overheads folded in); tests check [run] against this. *)
+    (overheads folded in); tests check [run] against this. Offloads to
+    unknown accelerators count as classical host time, matching the
+    degradation in {!run}. *)

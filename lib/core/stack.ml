@@ -65,28 +65,72 @@ type run = {
   engine_report : Engine.run_report;
 }
 
-let execute ?(shots = 512) ?seed ?rng stack circuit =
+let with_degraded report msg =
+  let r = report.Engine.resilience in
+  { report with Engine.resilience = { r with Engine.degraded = Some msg } }
+
+let execute ?(shots = 512) ?seed ?rng ?faults
+    ?(policy = Qca_util.Resilience.default_policy) stack circuit =
   let mode = Qubit_model.compiler_mode stack.model in
   let compiled = Compiler.compile stack.platform mode circuit in
   let noise = Qubit_model.noise stack.model stack.platform in
+  (* Realistic-Sim fallback: execute the already-compiled output directly on
+     QX. Same platform width as the micro-architecture path, so histogram
+     keys stay comparable after a degradation. *)
+  let fallback reason =
+    let result = Compiler.execute_result ~shots ?seed ?rng compiled in
+    {
+      compiled;
+      histogram = result.Engine.histogram;
+      microarch_stats = None;
+      engine_report =
+        (match reason with
+        | None -> result.Engine.report
+        | Some msg -> with_degraded result.Engine.report msg);
+    }
+  in
   match stack.technology, compiled.Compiler.eqasm with
-  | Some technology, Some program ->
-      (* Execute every shot through the micro-architecture. *)
-      let r = Controller.run_shots ~noise ?seed ?rng ~shots technology program in
-      {
-        compiled;
-        histogram = r.Controller.histogram;
-        microarch_stats = Some r.Controller.last.Controller.stats;
-        engine_report = r.Controller.report;
-      }
-  | None, _ | _, None ->
-      let result = Compiler.execute_result ~shots ?seed ?rng compiled in
-      {
-        compiled;
-        histogram = result.Engine.histogram;
-        microarch_stats = None;
-        engine_report = result.Engine.report;
-      }
+  | Some technology, Some program -> (
+      (* Execute every shot through the micro-architecture; if the injected
+         fault load exceeds the policy threshold (or every shot faults), the
+         stack degrades to direct realistic-QX execution of the same
+         compiled program. *)
+      match
+        Qca_util.Error.protect ~site:"Stack.execute" (fun () ->
+            Controller.run_shots ~noise ?seed ?rng ~shots ?faults ~policy
+              technology program)
+      with
+      | Ok r ->
+          let faulted =
+            r.Controller.report.Engine.resilience.Engine.faulted_shots
+          in
+          let ratio = float_of_int faulted /. float_of_int (max 1 shots) in
+          if ratio > policy.Qca_util.Resilience.degrade_threshold then
+            fallback
+              (Some
+                 (Printf.sprintf
+                    "microarch faulted %d/%d shots (threshold %.0f%%); fell \
+                     back to realistic QX simulation"
+                    faulted shots
+                    (100.0 *. policy.Qca_util.Resilience.degrade_threshold)))
+          else
+            {
+              compiled;
+              histogram = r.Controller.histogram;
+              microarch_stats = Some r.Controller.last.Controller.stats;
+              engine_report = r.Controller.report;
+            }
+      | Error e ->
+          fallback
+            (Some
+               (Printf.sprintf
+                  "microarch failed (%s); fell back to realistic QX simulation"
+                  (Qca_util.Error.to_string e))))
+  | None, _ | _, None -> fallback None
+
+let run_checked ?shots ?seed ?rng ?faults ?policy stack circuit =
+  Qca_util.Error.protect ~site:"Stack.run_checked" (fun () ->
+      execute ?shots ?seed ?rng ?faults ?policy stack circuit)
 
 let success_probability run ~accept =
   let total = List.fold_left (fun acc (_, c) -> acc + c) 0 run.histogram in

@@ -46,12 +46,35 @@ val execute :
   ?shots:int ->
   ?seed:int ->
   ?rng:Qca_util.Rng.t ->
+  ?faults:Qca_util.Fault.t ->
+  ?policy:Qca_util.Resilience.policy ->
   t ->
   Qca_circuit.Circuit.t ->
   run
 (** Push a circuit through the whole stack. Default 512 shots. Seed
     semantics follow {!Qca_qx.Engine.run}: [?rng] wins over [?seed]; with
-    neither, a process-wide stream advances across calls. *)
+    neither, a process-wide stream advances across calls.
+
+    With a [faults] injector attached to a micro-architecture stack, shots
+    are retried per [policy] (default
+    {!Qca_util.Resilience.default_policy}). When the faulted-shot ratio
+    exceeds [policy.degrade_threshold] — or the controller fails outright —
+    the stack degrades: the already-compiled program re-executes directly
+    on QX (realistic simulation), [microarch_stats] is [None], and
+    [engine_report.resilience.degraded] records the event. Histogram keys
+    stay platform-width across the fallback. *)
+
+val run_checked :
+  ?shots:int ->
+  ?seed:int ->
+  ?rng:Qca_util.Rng.t ->
+  ?faults:Qca_util.Fault.t ->
+  ?policy:Qca_util.Resilience.policy ->
+  t ->
+  Qca_circuit.Circuit.t ->
+  (run, Qca_util.Error.t) result
+(** [execute] with structured errors instead of exceptions (compilation
+    failures included). *)
 
 val success_probability : run -> accept:(string -> bool) -> float
 (** Fraction of histogram mass on accepted bitstrings. *)

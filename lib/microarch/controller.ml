@@ -4,6 +4,9 @@ module State = Qca_qx.State
 module Noise = Qca_qx.Noise
 module Engine = Qca_qx.Engine
 module Rng = Qca_util.Rng
+module Qerror = Qca_util.Error
+module Fault = Qca_util.Fault
+module Resilience = Qca_util.Resilience
 
 (* Default randomness for sessions that pass no [?rng]: one process-wide
    stream that advances across runs (same semantics as Engine.default_rng),
@@ -81,12 +84,14 @@ let action_of_mnemonic = function
   | "swap" -> Apply Gate.Swap
   | "measz" -> Do_measure
   | "prepz" -> Do_prep
-  | other -> failwith (Printf.sprintf "Controller: unknown mnemonic '%s'" other)
+  | other ->
+      Qerror.fail ~site:"Controller.action_of_mnemonic" (Qerror.Unknown_mnemonic other)
 
 type session = {
   technology : technology;
   noise : Noise.model;
   rng : Rng.t;
+  faults : Fault.t option;
   cycle_ns : int;
   state : State.t;
   classical : int array;
@@ -104,12 +109,20 @@ type session = {
   mutable end_ns : int;
 }
 
-let start ?(noise = Noise.ideal) ?rng technology ~qubit_count ~cycle_ns =
+(* Injected faults are transient: the glitch model is a bit flip or drop on
+   one traversal of the pipeline, so a retry of the shot can succeed. The
+   check is a bare match + compare when no injector is attached, keeping the
+   disabled-path overhead negligible. *)
+let fault_fires session site =
+  match session.faults with None -> false | Some f -> Fault.fires f site
+
+let start ?(noise = Noise.ideal) ?rng ?faults technology ~qubit_count ~cycle_ns =
   let rng = match rng with Some r -> r | None -> shared_rng in
   {
     technology;
     noise;
     rng;
+    faults;
     cycle_ns;
     state = State.create qubit_count;
     classical = Array.make qubit_count (-1);
@@ -134,8 +147,15 @@ let pulse_duration session name =
   if name = "idle" then 0
   else
     match Adi.find session.technology.pulses name with
-    | Some p -> p.Adi.duration_ns
-    | None -> failwith (Printf.sprintf "Controller: ADI has no pulse '%s'" name)
+    | Some p ->
+        if fault_fires session Fault.Pulse_dropout then
+          Qerror.fail ~transient:true ~site:"Controller.pulse_duration"
+            (Qerror.Missing_pulse name);
+        p.Adi.duration_ns
+    | None ->
+        Qerror.fail ~site:"Controller.pulse_duration"
+          ~context:[ ("technology", session.technology.tech_name) ]
+          (Qerror.Missing_pulse name)
 
 let bump_apply session name =
   Hashtbl.replace session.applies name
@@ -157,9 +177,9 @@ let simulate_op session mnemonic angle qubits =
       bump_apply session (Gate.name u);
       if not ideal then Noise.after_gate noise state rng u [| q1; q2 |]
   | Apply u, _ ->
-      failwith
-        (Printf.sprintf "Controller: gate %s got %d operands" (Gate.name u)
-           (List.length qubits))
+      Qerror.fail ~site:"Controller.simulate_op"
+        ~context:[ ("operands", string_of_int (List.length qubits)) ]
+        (Qerror.Invalid (Printf.sprintf "gate %s got wrong operand count" (Gate.name u)))
   | Apply_rz, _ ->
       let theta = Option.value ~default:0.0 angle in
       List.iter
@@ -170,6 +190,9 @@ let simulate_op session mnemonic angle qubits =
   | Do_measure, _ ->
       List.iter
         (fun q ->
+          if fault_fires session Fault.Channel_loss then
+            Qerror.fail ~transient:true ~site:"Controller.simulate_op"
+              (Qerror.Channel_loss { qubit = q });
           let m = State.measure state rng q in
           session.measures <- session.measures + 1;
           session.classical.(q) <-
@@ -198,6 +221,9 @@ let issue_op session (op : Eqasm.quantum_op) =
   in
   let time_ns = session.time_cycles * session.cycle_ns in
   (* Micro-code translation, then timing queues, then the ADI. *)
+  if fault_fires session Fault.Microcode_lookup then
+    Qerror.fail ~transient:true ~site:"Controller.issue_op"
+      (Qerror.Unknown_mnemonic op.Eqasm.mnemonic);
   let mops =
     Microcode.translate session.technology.microcode ~time_ns ~mnemonic:op.Eqasm.mnemonic
       ~angle:op.Eqasm.angle ~qubits
@@ -205,6 +231,14 @@ let issue_op session (op : Eqasm.quantum_op) =
   List.iter
     (fun (mop : Microcode.micro_op) ->
       Timing_queue.push_pool session.pool mop;
+      if fault_fires session Fault.Queue_overflow then
+        Qerror.fail ~transient:true ~site:"Controller.issue_op"
+          (Qerror.Queue_overflow
+             {
+               channel = mop.Microcode.qubit;
+               depth =
+                 Timing_queue.pending (Timing_queue.queue session.pool mop.Microcode.qubit);
+             });
       session.micro_ops <- session.micro_ops + 1;
       if mop.Microcode.codeword.Microcode.software_phase <> 0.0 then
         session.phase_updates <- session.phase_updates + 1
@@ -264,11 +298,14 @@ let finish session =
       };
   }
 
-let run_session ?noise ?rng technology (program : Eqasm.program) =
+let run_session ?noise ?rng ?faults technology (program : Eqasm.program) =
   let session =
-    start ?noise ?rng technology ~qubit_count:program.Eqasm.qubit_count
+    start ?noise ?rng ?faults technology ~qubit_count:program.Eqasm.qubit_count
       ~cycle_ns:program.Eqasm.cycle_ns
   in
+  if fault_fires session Fault.Backend_transient then
+    Qerror.fail ~transient:true ~site:"Controller.run_session"
+      (Qerror.Backend_transient "injected controller fault");
   List.iter (step session) program.Eqasm.instructions;
   session
 
@@ -285,8 +322,11 @@ let collect session (program : Eqasm.program) =
       };
   }
 
-let run ?noise ?rng technology program =
-  collect (run_session ?noise ?rng technology program) program
+let run ?noise ?rng ?faults technology program =
+  collect (run_session ?noise ?rng ?faults technology program) program
+
+let run_checked ?noise ?rng ?faults technology program =
+  Qerror.protect ~site:"Controller.run" (fun () -> run ?noise ?rng ?faults technology program)
 
 type shots_result = {
   histogram : (string * int) list;
@@ -294,7 +334,8 @@ type shots_result = {
   report : Engine.run_report;
 }
 
-let run_shots ?noise ?seed ?rng ?(shots = 1024) technology (program : Eqasm.program) =
+let run_shots ?noise ?seed ?rng ?(shots = 1024) ?faults
+    ?(policy = Resilience.default_policy) technology (program : Eqasm.program) =
   if shots < 1 then invalid_arg "Controller.run_shots: shots must be positive";
   let rng =
     match rng, seed with
@@ -307,18 +348,33 @@ let run_shots ?noise ?seed ?rng ?(shots = 1024) technology (program : Eqasm.prog
   let applies = Hashtbl.create 16 in
   let measures = ref 0 in
   let last = ref None in
+  let counters = Resilience.fresh_counters () in
+  let last_fault = ref None in
   for _ = 1 to shots do
-    let session = run_session ?noise ~rng technology program in
-    Hashtbl.iter
-      (fun name c ->
-        Hashtbl.replace applies name
-          (c + Option.value ~default:0 (Hashtbl.find_opt applies name)))
-      session.applies;
-    measures := !measures + session.measures;
-    let result = collect session program in
-    last := Some result;
-    let key = Engine.bitstring result.outcome.Qca_qx.Sim.classical in
-    Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+    (* A shot aborted by an injected transient fault is re-attempted per the
+       retry policy; a shot that exhausts its retries is counted as faulted
+       and excluded from the histogram. Permanent errors propagate. *)
+    let attempt () = run_session ?noise ~rng ?faults technology program in
+    match
+      match faults with
+      | None -> Ok (attempt ())
+      | Some _ -> Resilience.with_retries policy counters attempt
+    with
+    | Error e ->
+        last_fault := Some e;
+        counters.Resilience.faulted_shots <- counters.Resilience.faulted_shots + 1
+    | Ok session ->
+        Hashtbl.iter
+          (fun name c ->
+            Hashtbl.replace applies name
+              (c + Option.value ~default:0 (Hashtbl.find_opt applies name)))
+          session.applies;
+        measures := !measures + session.measures;
+        let result = collect session program in
+        last := Some result;
+        let key = Engine.bitstring result.outcome.Qca_qx.Sim.classical in
+        Hashtbl.replace counts key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
   done;
   let t1 = Sys.time () in
   let histogram =
@@ -329,6 +385,18 @@ let run_shots ?noise ?seed ?rng ?(shots = 1024) technology (program : Eqasm.prog
     Hashtbl.fold (fun name count acc -> (name, count) :: acc) applies []
     |> List.sort (fun (na, a) (nb, b) ->
            match compare b a with 0 -> compare na nb | c -> c)
+  in
+  let resilience =
+    match faults with
+    | None -> Engine.no_resilience
+    | Some f ->
+        {
+          Engine.faults_injected = Fault.counts f;
+          retries = counters.Resilience.retries;
+          faulted_shots = counters.Resilience.faulted_shots;
+          backoff_ns = counters.Resilience.backoff_total_ns;
+          degraded = None;
+        }
   in
   let report =
     {
@@ -341,12 +409,23 @@ let run_shots ?noise ?seed ?rng ?(shots = 1024) technology (program : Eqasm.prog
       gate_applies;
       measurements = !measures;
       wall = { Engine.analyse_s = 0.0; simulate_s = t1 -. t0; sample_s = 0.0 };
+      resilience;
     }
   in
-  { histogram; last = Option.get !last; report }
+  match !last with
+  | Some last -> { histogram; last; report }
+  | None ->
+      (* Every shot faulted: nothing to report, so surface the final fault
+         as a permanent error (the caller's degradation ladder takes over). *)
+      let e =
+        match !last_fault with
+        | Some e -> e
+        | None -> Qerror.make ~site:"Controller.run_shots" (Qerror.Backend_transient "no shots")
+      in
+      raise (Qerror.Error { e with Qerror.transient = false })
 
 let backend ?(platform = Qca_compiler.Platform.superconducting_17)
-    ?(technology = superconducting) () =
+    ?(technology = superconducting) ?faults ?policy () =
   (module struct
     let name = "microarch-" ^ technology.tech_name
 
@@ -355,11 +434,13 @@ let backend ?(platform = Qca_compiler.Platform.superconducting_17)
         Qca_compiler.Compiler.compile platform Qca_compiler.Compiler.Real circuit
       in
       match compiled.Qca_compiler.Compiler.eqasm with
-      | None -> invalid_arg "Controller backend: compiler produced no eQASM"
+      | None ->
+          Qerror.fail ~site:"Controller.backend"
+            (Qerror.Invalid "compiler produced no eQASM")
       | Some program ->
           let r =
-            run_shots ~noise:platform.Qca_compiler.Platform.noise ?seed ?shots
-              technology program
+            run_shots ~noise:platform.Qca_compiler.Platform.noise ?seed ?shots ?faults
+              ?policy technology program
           in
           { Engine.histogram = r.histogram; report = r.report }
   end : Qca_qx.Backend.S)

@@ -40,15 +40,28 @@ type result = {
 val run :
   ?noise:Qca_qx.Noise.model ->
   ?rng:Qca_util.Rng.t ->
+  ?faults:Qca_util.Fault.t ->
   technology ->
   Qca_compiler.Eqasm.program ->
   result
-(** Execute one shot. Raises [Failure] on mnemonics missing from the
-    micro-code table or pulses missing from the ADI library. [noise]
-    defaults to ideal qubits so that functional behaviour can be checked
-    separately from error modelling. Without [?rng], randomness comes from
-    a process-wide stream that advances across calls (see
-    {!Qca_qx.Engine.default_rng} for the semantics). *)
+(** Execute one shot. Raises {!Qca_util.Error.Error} ([Unknown_mnemonic] /
+    [Missing_pulse]) on mnemonics missing from the micro-code table or
+    pulses missing from the ADI library, and transient structured errors
+    when an attached [faults] injector fires (see {!Qca_util.Fault} for the
+    controller fault sites; retry wrapping is the caller's job — or use
+    {!run_shots}). [noise] defaults to ideal qubits so that functional
+    behaviour can be checked separately from error modelling. Without
+    [?rng], randomness comes from a process-wide stream that advances
+    across calls (see {!Qca_qx.Engine.default_rng} for the semantics). *)
+
+val run_checked :
+  ?noise:Qca_qx.Noise.model ->
+  ?rng:Qca_util.Rng.t ->
+  ?faults:Qca_util.Fault.t ->
+  technology ->
+  Qca_compiler.Eqasm.program ->
+  (result, Qca_util.Error.t) Stdlib.result
+(** [run] with structured errors instead of exceptions. *)
 
 type shots_result = {
   histogram : (string * int) list;
@@ -65,6 +78,8 @@ val run_shots :
   ?seed:int ->
   ?rng:Qca_util.Rng.t ->
   ?shots:int ->
+  ?faults:Qca_util.Fault.t ->
+  ?policy:Qca_util.Resilience.policy ->
   technology ->
   Qca_compiler.Eqasm.program ->
   shots_result
@@ -73,18 +88,31 @@ val run_shots :
     per-shot — measurement collapse feeds the timing pipeline — so there is
     no sampled fast path here; the value of this entry point is the uniform
     histogram + {!Qca_qx.Engine.run_report} surface. [?rng] wins over
-    [?seed]; with neither, the shared stream is used. *)
+    [?seed]; with neither, the shared stream is used.
+
+    With a [faults] injector attached, every shot aborted by a transient
+    fault is retried per [policy] (default
+    {!Qca_util.Resilience.default_policy}); shots that exhaust their
+    retries are dropped from the histogram and counted in
+    [report.resilience.faulted_shots] (so
+    [faulted_shots + histogram total = shots]). If {e every} shot faults,
+    raises a permanent {!Qca_util.Error.Error} so the caller's degradation
+    ladder can take over. Without [faults] behaviour is bit-identical to
+    the pre-resilience path. *)
 
 val backend :
   ?platform:Qca_compiler.Platform.t ->
   ?technology:technology ->
+  ?faults:Qca_util.Fault.t ->
+  ?policy:Qca_util.Resilience.policy ->
   unit ->
   (module Qca_qx.Backend.S)
 (** An execution target that compiles the circuit for [platform] (default
     the 17-qubit superconducting platform, Real mode), then pushes every
     shot through the micro-architecture under the platform noise model.
     Histogram keys are platform-width (the mapper may relocate logical
-    qubits). *)
+    qubits). [faults]/[policy] thread through to {!run_shots}; wrap the
+    result with {!Qca_qx.Resilient.wrap} to add backend-level fallback. *)
 
 module Backend : Qca_qx.Backend.S
 (** [backend ()] with the defaults: "microarch-superconducting". *)
@@ -100,6 +128,7 @@ type session
 val start :
   ?noise:Qca_qx.Noise.model ->
   ?rng:Qca_util.Rng.t ->
+  ?faults:Qca_util.Fault.t ->
   technology ->
   qubit_count:int ->
   cycle_ns:int ->

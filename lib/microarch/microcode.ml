@@ -43,6 +43,9 @@ type micro_op = { time_ns : int; qubit : int; codeword : codeword; angle : float
 
 let translate table ~time_ns ~mnemonic ~angle ~qubits =
   match lookup table mnemonic with
-  | None -> failwith (Printf.sprintf "Microcode.translate: no codeword for '%s'" mnemonic)
+  | None ->
+      Qca_util.Error.fail ~site:"Microcode.translate"
+        ~context:[ ("time_ns", string_of_int time_ns) ]
+        (Qca_util.Error.Unknown_mnemonic mnemonic)
   | Some codeword ->
       List.map (fun qubit -> { time_ns; qubit; codeword; angle }) qubits

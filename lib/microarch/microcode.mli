@@ -42,4 +42,5 @@ val translate :
   qubits:int list ->
   micro_op list
 (** Expand one eQASM quantum op into per-qubit micro-operations. Raises
-    [Failure] for mnemonics missing from the table. *)
+    {!Qca_util.Error.Error} with [Unknown_mnemonic] for mnemonics missing
+    from the table. *)

@@ -339,7 +339,11 @@ let execute ?noise ?rng ?(max_steps = 100_000) technology p =
   let pc = ref 0 in
   let running = ref true in
   while !running && !pc < Array.length p.code do
-    if !executed > max_steps then failwith "Qisa.execute: step budget exceeded";
+    if !executed > max_steps then
+      Qca_util.Error.fail ~site:"Qisa.execute"
+        ~context:
+          [ ("program", p.qisa_name); ("max_steps", string_of_int max_steps) ]
+        (Qca_util.Error.Non_convergence "step budget exceeded");
     incr executed;
     (match p.code.(!pc) with
     | Label _ -> ()

@@ -59,4 +59,5 @@ val execute :
   program ->
   run_result
 (** Run to [Halt] (or the end of code). [max_steps] (default 100000) bounds
-    run-away loops; raises [Failure] when exceeded. *)
+    run-away loops; raises {!Qca_util.Error.Error} with [Non_convergence]
+    when exceeded. *)

@@ -35,7 +35,13 @@ let prepare_logical_zero code rng =
      X stabilizers, so sweep until clean, which terminates for CSS codes). *)
   let m = Array.length code.Code.stabilizers in
   let rec sweep budget =
-    if budget = 0 then failwith "prepare_logical_zero: projection did not converge";
+    (* User-definable codes can be non-CSS, where the single-qubit frame fix
+       is not guaranteed to settle — so this is a structured error, not an
+       assertion. *)
+    if budget = 0 then
+      Qca_util.Error.fail ~site:"Qec_experiment.prepare_logical_zero"
+        ~context:[ ("code", code.Code.name) ]
+        (Qca_util.Error.Non_convergence "stabilizer projection did not converge");
     let dirty = ref false in
     for i = 0 to m - 1 do
       let outcome = measure_stabilizer code tableau rng i in

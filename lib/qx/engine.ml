@@ -1,12 +1,26 @@
 module Circuit = Qca_circuit.Circuit
 module Gate = Qca_circuit.Gate
 module Rng = Qca_util.Rng
+module Qerror = Qca_util.Error
+module Fault = Qca_util.Fault
+module Resilience = Qca_util.Resilience
 
 type plan = Sampled | Trajectory
 
 let plan_to_string = function Sampled -> "sampled" | Trajectory -> "trajectory"
 
 type phase_times = { analyse_s : float; simulate_s : float; sample_s : float }
+
+type resilience = {
+  faults_injected : (string * int) list;
+  retries : int;
+  faulted_shots : int;
+  backoff_ns : int;
+  degraded : string option;
+}
+
+let no_resilience =
+  { faults_injected = []; retries = 0; faulted_shots = 0; backoff_ns = 0; degraded = None }
 
 type run_report = {
   plan : plan;
@@ -18,6 +32,7 @@ type run_report = {
   gate_applies : (string * int) list;
   measurements : int;
   wall : phase_times;
+  resilience : resilience;
 }
 
 type result = { histogram : (string * int) list; report : run_report }
@@ -174,14 +189,61 @@ let sorted_histogram table =
   Hashtbl.fold (fun key count acc -> (key, count) :: acc) table []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
 
-let run_trajectory ?noise ~tally rng ~shots circuit =
+(* Engine-level fault injection models the whole backend hiccuping for one
+   shot (Fault.Backend_transient); finer-grained sites live in the
+   micro-architecture controller. A shot lost after [policy.max_retries]
+   re-attempts is counted in [counters.faulted_shots] and excluded from the
+   histogram. *)
+let inject_backend_fault faults ~site =
+  match faults with
+  | Some f when Fault.fires f Fault.Backend_transient ->
+      Qerror.fail ~transient:true ~site
+        (Qerror.Backend_transient "injected backend fault")
+  | Some _ | None -> ()
+
+let run_trajectory ?noise ?(faults = None) ~policy ~counters ~tally rng ~shots circuit =
   let table = Hashtbl.create 64 in
-  for _ = 1 to shots do
-    let _, classical = exec_instrumented ?noise ~tally rng circuit in
+  let record classical =
     let key = bitstring classical in
     Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
-  done;
+  in
+  (match faults with
+  | None ->
+      for _ = 1 to shots do
+        let _, classical = exec_instrumented ?noise ~tally rng circuit in
+        record classical
+      done
+  | Some _ ->
+      for _ = 1 to shots do
+        let shot () =
+          inject_backend_fault faults ~site:"Engine.run_trajectory";
+          let _, classical = exec_instrumented ?noise ~tally rng circuit in
+          classical
+        in
+        match Resilience.with_retries policy counters shot with
+        | Ok classical -> record classical
+        | Error _ -> counters.Resilience.faulted_shots <- counters.Resilience.faulted_shots + 1
+      done);
   sorted_histogram table
+
+(* Sampled-plan equivalent: decide per-shot survival up front (a backend
+   fault costs the shot, not the single-pass simulation), then draw only the
+   surviving shots from the final distribution. *)
+let surviving_shots ?(faults = None) ~policy ~counters shots =
+  match faults with
+  | None -> shots
+  | Some _ ->
+      let ok = ref 0 in
+      for _ = 1 to shots do
+        match
+          Resilience.with_retries policy counters (fun () ->
+              inject_backend_fault faults ~site:"Engine.run_sampled")
+        with
+        | Ok () -> incr ok
+        | Error _ ->
+            counters.Resilience.faulted_shots <- counters.Resilience.faulted_shots + 1
+      done;
+      !ok
 
 (* --- sampled plan ------------------------------------------------------ *)
 
@@ -223,6 +285,7 @@ let sample_histogram ~probabilities ~measured ~rng ~shots =
   |> List.sort (fun (_, a) (_, b) -> compare b a)
 
 let run_sampled ~tally rng ~shots ~measured circuit =
+  (* [shots] here is the surviving-shot count (faults already applied). *)
   let n = Circuit.qubit_count circuit in
   let state = State.create n in
   List.iter
@@ -244,8 +307,10 @@ let run_sampled ~tally rng ~shots ~measured circuit =
 
 (* --- the run surface --------------------------------------------------- *)
 
-let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) circuit =
+let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) ?faults
+    ?(policy = Resilience.default_policy) circuit =
   if shots < 1 then invalid_arg "Engine.run: shots must be positive";
+  let counters = Resilience.fresh_counters () in
   let t0 = Sys.time () in
   let chosen, reason, measured =
     let auto () =
@@ -267,12 +332,26 @@ let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) circuit =
   let tally = fresh_tally () in
   let histogram, t_sample_start =
     match chosen with
-    | Sampled -> run_sampled ~tally rng ~shots ~measured circuit
+    | Sampled ->
+        let survivors = surviving_shots ~faults ~policy ~counters shots in
+        run_sampled ~tally rng ~shots:survivors ~measured circuit
     | Trajectory ->
-        let h = run_trajectory ~noise ~tally rng ~shots circuit in
+        let h = run_trajectory ~noise ~faults ~policy ~counters ~tally rng ~shots circuit in
         (h, Sys.time ())
   in
   let t2 = Sys.time () in
+  let resilience =
+    match faults with
+    | None -> no_resilience
+    | Some f ->
+        {
+          faults_injected = Fault.counts f;
+          retries = counters.Resilience.retries;
+          faulted_shots = counters.Resilience.faulted_shots;
+          backoff_ns = counters.Resilience.backoff_total_ns;
+          degraded = None;
+        }
+  in
   {
     histogram;
     report =
@@ -291,8 +370,13 @@ let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) circuit =
             simulate_s = t_sample_start -. t1;
             sample_s = t2 -. t_sample_start;
           };
+        resilience;
       };
   }
+
+let run_checked ?noise ?seed ?rng ?plan ?shots ?faults ?policy circuit =
+  Qerror.protect ~site:"Engine.run" (fun () ->
+      run ?noise ?seed ?rng ?plan ?shots ?faults ?policy circuit)
 
 let success_probability result ~accept =
   let total = List.fold_left (fun acc (_, c) -> acc + c) 0 result.histogram in
@@ -337,6 +421,18 @@ let report_to_json r =
   Buffer.add_string buffer "},";
   Buffer.add_string buffer
     (Printf.sprintf
-       "\"wall_s\":{\"analyse\":%.6f,\"simulate\":%.6f,\"sample\":%.6f}}"
+       "\"wall_s\":{\"analyse\":%.6f,\"simulate\":%.6f,\"sample\":%.6f},"
        r.wall.analyse_s r.wall.simulate_s r.wall.sample_s);
+  Buffer.add_string buffer "\"resilience\":{\"faults\":{";
+  List.iteri
+    (fun i (site, count) ->
+      if i > 0 then Buffer.add_char buffer ',';
+      Buffer.add_string buffer (Printf.sprintf "\"%s\":%d" (json_escape site) count))
+    r.resilience.faults_injected;
+  Buffer.add_string buffer
+    (Printf.sprintf "},\"retries\":%d,\"faulted_shots\":%d,\"backoff_ns\":%d,\"degraded\":%s}}"
+       r.resilience.retries r.resilience.faulted_shots r.resilience.backoff_ns
+       (match r.resilience.degraded with
+       | Some why -> "\"" ^ json_escape why ^ "\""
+       | None -> "null"));
   Buffer.contents buffer

@@ -34,6 +34,24 @@ type phase_times = {
   sample_s : float;  (** Shot sampling from the final distribution. *)
 }
 
+type resilience = {
+  faults_injected : (string * int) list;
+      (** Injected-fault fires by {!Qca_util.Fault.site_label}, cumulative
+          over the injector's lifetime. *)
+  retries : int;  (** Transient-fault retries performed. *)
+  faulted_shots : int;
+      (** Shots lost after exhausting retries (excluded from the
+          histogram): [faulted_shots + histogram total = shots]. *)
+  backoff_ns : int;  (** Simulated backoff time accumulated by retries. *)
+  degraded : string option;
+      (** Set when a fallback backend absorbed the run (degradation event,
+          see [docs/resilience.md]). *)
+}
+
+val no_resilience : resilience
+(** All counters zero, no degradation: the report value when resilience is
+    off. *)
+
 type run_report = {
   plan : plan;
   plan_reason : string;  (** Why this plan was chosen (decision-table row). *)
@@ -49,6 +67,9 @@ type run_report = {
       (** Measurement events: actual collapses for trajectory runs,
           [shots * measured qubits] for sampled runs. *)
   wall : phase_times;
+  resilience : resilience;
+      (** Fault/retry/degradation counters ({!no_resilience} when the run
+          had no injector and no fallback). *)
 }
 
 type result = {
@@ -68,12 +89,35 @@ val run :
   ?rng:Qca_util.Rng.t ->
   ?plan:plan ->
   ?shots:int ->
+  ?faults:Qca_util.Fault.t ->
+  ?policy:Qca_util.Resilience.policy ->
   Qca_circuit.Circuit.t ->
   result
 (** Execute [shots] shots (default 1024). [plan] overrides the analysis:
     forcing [Trajectory] is always allowed (used to benchmark the two paths
     against each other); forcing [Sampled] on a circuit that needs
-    trajectories raises [Invalid_argument]. *)
+    trajectories raises [Invalid_argument].
+
+    [faults] enables fault injection at the {!Qca_util.Fault.Backend_transient}
+    site: each shot may transiently fail and is retried per [policy]
+    (default {!Qca_util.Resilience.default_policy}); shots that exhaust
+    their retries are dropped from the histogram and counted in
+    [report.resilience.faulted_shots]. Without [faults] the run is
+    bit-identical to the pre-resilience engine. *)
+
+val run_checked :
+  ?noise:Noise.model ->
+  ?seed:int ->
+  ?rng:Qca_util.Rng.t ->
+  ?plan:plan ->
+  ?shots:int ->
+  ?faults:Qca_util.Fault.t ->
+  ?policy:Qca_util.Resilience.policy ->
+  Qca_circuit.Circuit.t ->
+  (result, Qca_util.Error.t) Stdlib.result
+(** [run] with structured errors instead of exceptions: raised
+    {!Qca_util.Error.Error}, [Failure] and [Invalid_argument] become the
+    [Error] case. *)
 
 val success_probability : result -> accept:(int array -> bool) -> float
 (** Fraction of histogram mass whose classical record (as in

@@ -1,0 +1,55 @@
+module Qerror = Qca_util.Error
+module Resilience = Qca_util.Resilience
+
+let with_resilience result f =
+  {
+    result with
+    Engine.report =
+      {
+        result.Engine.report with
+        Engine.resilience = f result.Engine.report.Engine.resilience;
+      };
+  }
+
+let wrap ?(policy = Resilience.default_policy) ~fallback:(module F : Backend.S)
+    (module P : Backend.S) =
+  (module struct
+    let name = Printf.sprintf "resilient(%s->%s)" P.name F.name
+
+    let run ?(shots = 1024) ?seed circuit =
+      let counters = Resilience.fresh_counters () in
+      let merge resilience =
+        {
+          resilience with
+          Engine.retries = resilience.Engine.retries + counters.Resilience.retries;
+          backoff_ns = resilience.Engine.backoff_ns + counters.Resilience.backoff_total_ns;
+        }
+      in
+      let degrade why =
+        let result = F.run ~shots ?seed circuit in
+        with_resilience result (fun r -> { (merge r) with Engine.degraded = Some why })
+      in
+      match
+        Resilience.with_retries policy counters (fun () -> P.run ~shots ?seed circuit)
+      with
+      | Ok result ->
+          let faulted = result.Engine.report.Engine.resilience.Engine.faulted_shots in
+          let fraction = float_of_int faulted /. float_of_int (max 1 shots) in
+          if fraction > policy.Resilience.degrade_threshold then
+            degrade
+              (Printf.sprintf
+                 "%s faulted %.0f%% of shots (threshold %.0f%%); fell back to %s" P.name
+                 (100.0 *. fraction)
+                 (100.0 *. policy.Resilience.degrade_threshold)
+                 F.name)
+          else with_resilience result merge
+      | Error e ->
+          degrade
+            (Printf.sprintf "%s failed after %d retries (%s); fell back to %s" P.name
+               policy.Resilience.max_retries (Qerror.to_string e) F.name)
+      | exception Qerror.Error e ->
+          (* Permanent structured error: no point retrying the primary. *)
+          degrade
+            (Printf.sprintf "%s failed (%s); fell back to %s" P.name (Qerror.to_string e)
+               F.name)
+  end : Backend.S)

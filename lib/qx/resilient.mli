@@ -1,0 +1,22 @@
+(** Retry/degradation combinator over the {!Backend.S} contract.
+
+    [wrap ~fallback primary] is a backend that runs [primary], retrying
+    transient structured errors per the policy, and degrades to [fallback]
+    when the primary either fails outright (a permanent
+    {!Qca_util.Error.Error}, or a transient one that survives
+    [max_retries]) or completes with a faulted-shot fraction above
+    [degrade_threshold]. Degradation is observable, not silent: the
+    returned report carries the event in
+    {!Engine.resilience.degraded}, and retry/backoff counters are merged
+    in. This is the backend-level rung of the degradation ladder described
+    in [docs/resilience.md] — e.g. wrapping the cycle-accurate
+    micro-architecture backend with the realistic {!Sim.Backend} as
+    fallback. *)
+
+val wrap :
+  ?policy:Qca_util.Resilience.policy ->
+  fallback:(module Backend.S) ->
+  (module Backend.S) ->
+  (module Backend.S)
+(** The wrapped backend is named ["resilient(<primary>-><fallback>)"].
+    [policy] defaults to {!Qca_util.Resilience.default_policy}. *)

@@ -1,0 +1,88 @@
+type kind =
+  | Unknown_mnemonic of string
+  | Missing_pulse of string
+  | Queue_overflow of { channel : int; depth : int }
+  | Channel_loss of { qubit : int }
+  | Backend_transient of string
+  | Unknown_accelerator of string
+  | Unsupported_gate of { platform : string; gate : string }
+  | Non_convergence of string
+  | Invalid of string
+
+type t = {
+  kind : kind;
+  site : string;
+  context : (string * string) list;
+  transient : bool;
+}
+
+exception Error of t
+
+(* Transient by construction: a repeat of the same operation can succeed.
+   Everything else is a configuration or input problem that retrying cannot
+   fix. *)
+let transient_kind = function
+  | Queue_overflow _ | Channel_loss _ | Backend_transient _ -> true
+  | Unknown_mnemonic _ | Missing_pulse _ | Unknown_accelerator _
+  | Unsupported_gate _ | Non_convergence _ | Invalid _ ->
+      false
+
+let kind_label = function
+  | Unknown_mnemonic _ -> "unknown-mnemonic"
+  | Missing_pulse _ -> "missing-pulse"
+  | Queue_overflow _ -> "queue-overflow"
+  | Channel_loss _ -> "channel-loss"
+  | Backend_transient _ -> "backend-transient"
+  | Unknown_accelerator _ -> "unknown-accelerator"
+  | Unsupported_gate _ -> "unsupported-gate"
+  | Non_convergence _ -> "non-convergence"
+  | Invalid _ -> "invalid"
+
+let kind_message = function
+  | Unknown_mnemonic m -> Printf.sprintf "no micro-code entry for mnemonic '%s'" m
+  | Missing_pulse p -> Printf.sprintf "ADI library has no pulse '%s'" p
+  | Queue_overflow { channel; depth } ->
+      Printf.sprintf "timing queue overflow on channel %d (depth %d)" channel depth
+  | Channel_loss { qubit } ->
+      Printf.sprintf "measurement channel for qubit %d lost" qubit
+  | Backend_transient msg -> Printf.sprintf "transient backend failure: %s" msg
+  | Unknown_accelerator name -> Printf.sprintf "unknown accelerator '%s'" name
+  | Unsupported_gate { platform; gate } ->
+      Printf.sprintf "platform %s cannot express gate %s" platform gate
+  | Non_convergence what -> Printf.sprintf "did not converge: %s" what
+  | Invalid msg -> msg
+
+let make ?(context = []) ?transient ~site kind =
+  let transient =
+    match transient with Some t -> t | None -> transient_kind kind
+  in
+  { kind; site; context; transient }
+
+let fail ?context ?transient ~site kind =
+  raise (Error (make ?context ?transient ~site kind))
+
+let to_string e =
+  let context =
+    match e.context with
+    | [] -> ""
+    | kvs ->
+        " ["
+        ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+        ^ "]"
+  in
+  Printf.sprintf "%s: %s%s%s" e.site (kind_message e.kind)
+    (if e.transient then " (transient)" else "")
+    context
+
+let of_exn = function
+  | Error e -> Some e
+  | Failure msg -> Some (make ~site:"<failwith>" (Invalid msg))
+  | Invalid_argument msg -> Some (make ~site:"<invalid_arg>" (Invalid msg))
+  | _ -> None
+
+let protect ~site f =
+  match f () with
+  | v -> Ok v
+  | exception Error e -> Stdlib.Error e
+  | exception Failure msg -> Stdlib.Error (make ~site (Invalid msg))
+  | exception Invalid_argument msg -> Stdlib.Error (make ~site (Invalid msg))

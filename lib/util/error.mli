@@ -1,0 +1,58 @@
+(** Structured errors for the execution stack.
+
+    Every classical failure mode of the stack — a missing micro-code entry,
+    a pulse absent from the ADI library, a lost measurement channel, an
+    offload to an accelerator that does not exist — is one [kind] carried in
+    a value that records where it was raised and any useful context, instead
+    of a bare [Failure] string. The [transient] flag drives the retry policy
+    ({!Resilience.with_retries}): transient errors are worth re-attempting,
+    permanent ones are configuration or input problems.
+
+    Fault taxonomy, retry policy and the degradation ladder are documented
+    in [docs/resilience.md]. *)
+
+type kind =
+  | Unknown_mnemonic of string  (** Micro-code lookup miss. *)
+  | Missing_pulse of string  (** ADI library lookup miss. *)
+  | Queue_overflow of { channel : int; depth : int }
+      (** Timing-queue depth exceeded on a channel. *)
+  | Channel_loss of { qubit : int }  (** Measurement channel dropout. *)
+  | Backend_transient of string  (** Transient execution-backend failure. *)
+  | Unknown_accelerator of string  (** Offload target not in the park. *)
+  | Unsupported_gate of { platform : string; gate : string }
+      (** Decomposition cannot reach the platform's primitive set. *)
+  | Non_convergence of string  (** An iteration budget was exhausted. *)
+  | Invalid of string  (** Malformed input (general). *)
+
+type t = {
+  kind : kind;
+  site : string;  (** Raise site, e.g. ["Controller.issue_op"]. *)
+  context : (string * string) list;  (** Extra key/value diagnostics. *)
+  transient : bool;  (** Whether a retry can succeed. *)
+}
+
+exception Error of t
+
+val make :
+  ?context:(string * string) list -> ?transient:bool -> site:string -> kind -> t
+(** [transient] defaults per [kind]: queue overflow, channel loss and
+    backend-transient are retryable, the rest are permanent. Injected
+    faults override with [~transient:true]. *)
+
+val fail :
+  ?context:(string * string) list -> ?transient:bool -> site:string -> kind -> 'a
+(** [make] then raise {!Error}. *)
+
+val kind_label : kind -> string
+(** Stable kebab-case tag, e.g. ["queue-overflow"] (used in metrics JSON). *)
+
+val to_string : t -> string
+(** One-line diagnostic: [site: message (transient) [k=v ...]]. *)
+
+val of_exn : exn -> t option
+(** Structured view of an exception: {!Error} unwrapped, [Failure] and
+    [Invalid_argument] converted to {!Invalid}; [None] otherwise. *)
+
+val protect : site:string -> (unit -> 'a) -> ('a, t) result
+(** Run a thunk, converting raised {!Error}/[Failure]/[Invalid_argument]
+    into an [Error] result. Other exceptions propagate. *)

@@ -1,0 +1,64 @@
+(** Deterministic, seeded fault injection for the execution stack.
+
+    An injector draws from its own {!Rng.t} stream (independent of the
+    simulation RNG) so that enabling faults never perturbs the quantum
+    randomness, and a given seed + spec reproduces the exact same fault
+    pattern. A site with rate [0.0] consumes no randomness at all, so an
+    all-zero injector is bit-identical to running without one — the
+    "resilience off means no behaviour change" guarantee.
+
+    Sites model controller-level classical failures (see
+    [docs/resilience.md] for the taxonomy):
+
+    - {!Microcode_lookup}: the micro-code unit misses a mnemonic.
+    - {!Pulse_dropout}: the ADI drops a pulse on the way to the AWG.
+    - {!Queue_overflow}: a per-channel timing queue overflows.
+    - {!Channel_loss}: a measurement result never arrives.
+    - {!Backend_transient}: the whole execution backend hiccups for a shot. *)
+
+type site =
+  | Microcode_lookup
+  | Pulse_dropout
+  | Queue_overflow
+  | Channel_loss
+  | Backend_transient
+
+val all_sites : site list
+val site_label : site -> string
+(** Stable kebab-case tag, e.g. ["pulse-dropout"]. *)
+
+type spec = {
+  microcode_miss : float;
+  pulse_dropout : float;
+  queue_overflow : float;
+  channel_loss : float;
+  backend : float;
+}
+(** Per-site fire probabilities, each in [0, 1]. *)
+
+val off : spec
+(** All rates zero. *)
+
+val uniform : float -> spec
+(** Same rate at every site; raises [Invalid_argument] outside [0, 1]. *)
+
+type t
+(** A seeded injector with per-site fire counters. *)
+
+val default_seed : int
+
+val make : ?seed:int -> spec -> t
+val enabled : t -> bool
+(** Whether any site has a positive rate. *)
+
+val rate : t -> site -> float
+
+val fires : t -> site -> bool
+(** Draw once at the site's rate and count a fire. Zero-rate sites return
+    [false] without consuming randomness. *)
+
+val counts : t -> (string * int) list
+(** Cumulative fires per site label (sites that never fired omitted). *)
+
+val total : t -> int
+(** Total fires across all sites. *)

@@ -1,0 +1,32 @@
+type policy = {
+  max_retries : int;
+  backoff_ns : int;
+  degrade_threshold : float;
+}
+
+let default_policy = { max_retries = 3; backoff_ns = 100; degrade_threshold = 0.5 }
+
+type counters = {
+  mutable retries : int;
+  mutable faulted_shots : int;
+  mutable backoff_total_ns : int;
+}
+
+let fresh_counters () = { retries = 0; faulted_shots = 0; backoff_total_ns = 0 }
+
+let with_retries policy counters f =
+  let rec go attempt =
+    match f () with
+    | v -> Ok v
+    | exception Error.Error e when e.Error.transient ->
+        if attempt >= policy.max_retries then Stdlib.Error e
+        else begin
+          counters.retries <- counters.retries + 1;
+          (* Deterministic exponential backoff, recorded as simulated
+             nanoseconds rather than slept. *)
+          counters.backoff_total_ns <-
+            counters.backoff_total_ns + (policy.backoff_ns lsl attempt);
+          go (attempt + 1)
+        end
+  in
+  go 0

@@ -1,0 +1,35 @@
+(** Retry/degradation policy shared by every execution surface.
+
+    Transient {!Error} values (see {!Error.t.transient}) are retried up to
+    [max_retries] times with deterministic exponential backoff — the stack
+    is a simulation, so backoff time is {e recorded} (in nanoseconds) rather
+    than slept, keeping runs reproducible. [degrade_threshold] is the
+    faulted-shot fraction beyond which callers abandon a backend and fall
+    down the degradation ladder (micro-architecture → realistic simulator →
+    host; see [docs/resilience.md]). *)
+
+type policy = {
+  max_retries : int;  (** Retries per unit of work (e.g. per shot). *)
+  backoff_ns : int;  (** Base backoff; attempt [k] adds [backoff_ns * 2^k]. *)
+  degrade_threshold : float;
+      (** Faulted-shot fraction above which to degrade to a fallback. *)
+}
+
+val default_policy : policy
+(** [{ max_retries = 3; backoff_ns = 100; degrade_threshold = 0.5 }] *)
+
+type counters = {
+  mutable retries : int;
+  mutable faulted_shots : int;
+  mutable backoff_total_ns : int;
+}
+(** Mutable tallies threaded through a run; surfaced in
+    {!Qca_qx.Engine.run_report}. *)
+
+val fresh_counters : unit -> counters
+
+val with_retries : policy -> counters -> (unit -> 'a) -> ('a, Error.t) result
+(** Run a thunk, retrying transient {!Error.Error}s up to
+    [policy.max_retries] (counting retries and backoff into [counters]).
+    [Error] is an exhausted transient; permanent errors and other
+    exceptions propagate unchanged. *)

@@ -58,6 +58,7 @@ The per-run metrics report is available as JSON:
   "measurements":2000
   "gate_applies":{"cnot":1
   "h":1}
+  "faulted_shots":0
 
 Compile for the superconducting platform:
 
@@ -101,6 +102,35 @@ A QISA program with run-time control (repeat until success):
   $ qxc qisa rus.qisa --qubits 1 --shots 20 --seed 5 | head -2
   # 28 classical instructions retired (last run)
   # register file r0..r7 -> count
+
+Fault injection is off by default; attaching an injector surfaces the
+resilience counters (same seed, same histogram — the injector has its own
+RNG stream and transient faults are retried):
+
+  $ qxc run bell.qasm --shots 1000 --seed 7 --fault-rate 0.002 | head -4
+  # 2 qubits, 4 instructions, 1000 shots
+  # plan: sampled (terminal unconditioned measurements)
+  # resilience: 2 fault fires, 2 retries, 0 faulted shots, backoff 200 ns
+  00     525  0.5250
+
+  $ qxc exec bell.qasm --shots 50 --seed 3 --fault-rate 0.01 | head -2
+  # microarch: 6 bundles, 10 micro-ops, 420 ns, peak queue 1, 0 violations
+  # resilience: 27 fault fires, 27 retries, 0 faulted shots, backoff 3700 ns
+
+Structured errors escaping a subcommand become a one-line diagnostic with
+a distinct exit code, not a backtrace:
+
+  $ cat > loop.qisa <<'QISA'
+  > LDI r0, 0
+  > loop:
+  > ADD r0, r0, r0
+  > BR.always loop
+  > HALT
+  > QISA
+
+  $ qxc qisa loop.qisa --qubits 1 --shots 1 --seed 5
+  qxc: error: Qisa.execute: did not converge: step budget exceeded [program=loop.qisa max_steps=100000]
+  [2]
 
 Parse errors carry line numbers:
 

@@ -99,9 +99,18 @@ let test_host_matches_amdahl () =
   check_float "simulation = analytic model" predicted exec.Host.speedup
 
 let test_host_unknown_accelerator () =
-  match Host.run ~accelerators:[] [ Host.Offload ("nope", "k", 1.0, "") ] with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "unknown accelerator accepted"
+  (* Degrades to host execution instead of aborting. *)
+  let exec = Host.run ~accelerators:[] [ Host.Offload ("nope", "k", 1.0, "") ] in
+  Alcotest.(check int) "one warning" 1 (List.length exec.Host.warnings);
+  check_float "ran at host speed" 1.0 exec.Host.total_time;
+  check_float "no speedup" 1.0 exec.Host.speedup;
+  (match exec.Host.timeline with
+  | [ ev ] ->
+      Alcotest.(check string) "ran on host" "host" ev.Host.resource;
+      Alcotest.(check bool) "event carries warning" true (ev.Host.warning <> None)
+  | _ -> Alcotest.fail "expected one event");
+  check_float "amdahl consistent" (Host.amdahl_prediction ~accelerators:[]
+    [ Host.Offload ("nope", "k", 1.0, "") ]) exec.Host.speedup
 
 let test_host_payload_output () =
   let quantum =
@@ -313,6 +322,53 @@ let test_stack_engine_report () =
     (run_sc.Stack.engine_report.Engine.plan = Engine.Trajectory);
   Alcotest.(check bool) "gate applies counted" true
     (run_sc.Stack.engine_report.Engine.gate_applies <> [])
+
+let test_stack_degrades_to_sim () =
+  let module Engine = Qca_qx.Engine in
+  let module Fault = Qca_util.Fault in
+  (* A saturating injector: every shot faults past its retry budget, so the
+     micro-architecture run must fall back to direct realistic QX. *)
+  let stack = Stack.superconducting () in
+  let faults = Fault.make ~seed:4 { Fault.off with Fault.backend = 1.0 } in
+  let run = Stack.execute ~shots:80 ~seed:12 ~faults stack (bell_measured ()) in
+  let res = run.Stack.engine_report.Engine.resilience in
+  Alcotest.(check bool) "degradation recorded" true (res.Engine.degraded <> None);
+  Alcotest.(check bool) "no microarch stats after fallback" true
+    (run.Stack.microarch_stats = None);
+  (* The fallback executes the already-compiled program, so histogram keys
+     keep the 17-qubit platform width. *)
+  List.iter
+    (fun (key, _) ->
+      Alcotest.(check int) "platform-width key" 17 (String.length key))
+    run.Stack.histogram;
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 run.Stack.histogram in
+  Alcotest.(check int) "all shots delivered by fallback" 80 total
+
+let test_stack_run_checked () =
+  let stack = Stack.genome ~qubits:2 () in
+  (match Stack.run_checked ~shots:50 ~seed:3 stack (bell_measured ()) with
+  | Ok run ->
+      let total = List.fold_left (fun acc (_, c) -> acc + c) 0 run.Stack.histogram in
+      Alcotest.(check int) "shots" 50 total
+  | Error e -> Alcotest.fail (Qca_util.Error.to_string e));
+  (* A gate the platform cannot express surfaces as a structured error, not
+     an exception. Perfect mode skips decomposition, so use a realistic
+     stack whose platform only offers cz. *)
+  let tiny =
+    {
+      Stack.stack_name = "tiny";
+      platform = { Platform.superconducting_17 with Platform.primitives = [ "cz" ] };
+      model = Qca.Qubit_model.Realistic;
+      technology = None;
+    }
+  in
+  match Stack.run_checked ~shots:10 tiny (bell_measured ()) with
+  | Ok _ -> Alcotest.fail "unsupported gate accepted"
+  | Error e ->
+      Alcotest.(check bool) "unsupported-gate kind" true
+        (match e.Qca_util.Error.kind with
+        | Qca_util.Error.Unsupported_gate _ -> true
+        | _ -> false)
 
 (* --- backend swapping (the Backend.S contract) --- *)
 
@@ -625,6 +681,8 @@ let () =
           Alcotest.test_case "superconducting microarch" `Quick test_superconducting_stack_runs_microarch;
           Alcotest.test_case "realistic_of" `Quick test_realistic_of_degrades;
           Alcotest.test_case "engine report" `Quick test_stack_engine_report;
+          Alcotest.test_case "degrades to sim" `Quick test_stack_degrades_to_sim;
+          Alcotest.test_case "run_checked" `Quick test_stack_run_checked;
           Alcotest.test_case "backend swap" `Quick test_backend_swap;
           Alcotest.test_case "accelerator with_backend" `Quick test_accelerator_with_backend;
         ] );

@@ -387,7 +387,12 @@ let test_qisa_step_budget () =
       [ Qisa.Label "forever"; Qisa.Br (Qisa.Always, "forever") ]
   in
   match Qisa.execute ~max_steps:1000 Controller.superconducting p with
-  | exception Failure _ -> ()
+  | exception Qca_util.Error.Error e ->
+      Alcotest.(check string) "error site" "Qisa.execute" e.Qca_util.Error.site;
+      Alcotest.(check bool) "non-convergence kind" true
+        (match e.Qca_util.Error.kind with
+        | Qca_util.Error.Non_convergence _ -> true
+        | _ -> false)
   | _ -> Alcotest.fail "infinite loop not caught"
 
 let test_qisa_parse_roundtrip () =
@@ -455,6 +460,51 @@ let test_qisa_to_string () =
     in
     contains 0)
 
+(* --- resilience through the controller --- *)
+
+module Fault = Qca_util.Fault
+module Engine = Qca_qx.Engine
+
+let test_run_shots_fault_off_identical () =
+  let _, program = compile_for Platform.superconducting_17 (bell_with_measure ()) in
+  let base =
+    Controller.run_shots ~seed:42 ~shots:64 Controller.superconducting program
+  in
+  let off =
+    Controller.run_shots ~seed:42 ~shots:64 ~faults:(Fault.make Fault.off)
+      Controller.superconducting program
+  in
+  Alcotest.(check (list (pair string int))) "identical histograms"
+    base.Controller.histogram off.Controller.histogram;
+  Alcotest.(check int) "nothing faulted" 0
+    off.Controller.report.Engine.resilience.Engine.faulted_shots
+
+let test_run_shots_fault_accounting () =
+  let _, program = compile_for Platform.superconducting_17 (bell_with_measure ()) in
+  let shots = 100 in
+  let faults = Fault.make ~seed:8 (Fault.uniform 0.02) in
+  let r =
+    Controller.run_shots ~seed:21 ~shots ~faults Controller.superconducting program
+  in
+  let res = r.Controller.report.Engine.resilience in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 r.Controller.histogram in
+  Alcotest.(check int) "faulted + histogram = shots" shots
+    (res.Engine.faulted_shots + total);
+  Alcotest.(check bool) "fires recorded" true (Fault.total faults > 0);
+  Alcotest.(check bool) "retries recorded" true (res.Engine.retries > 0)
+
+let test_unknown_mnemonic_structured () =
+  match Microcode.translate Microcode.superconducting_table ~time_ns:0
+          ~mnemonic:"frobnicate" ~angle:None ~qubits:[ 0 ]
+  with
+  | exception Qca_util.Error.Error e ->
+      Alcotest.(check bool) "unknown mnemonic kind" true
+        (match e.Qca_util.Error.kind with
+        | Qca_util.Error.Unknown_mnemonic "frobnicate" -> true
+        | _ -> false);
+      Alcotest.(check bool) "permanent" false e.Qca_util.Error.transient
+  | _ -> Alcotest.fail "unknown mnemonic accepted"
+
 let () =
   Alcotest.run "qca_microarch"
     [
@@ -490,6 +540,14 @@ let () =
           Alcotest.test_case "stats sane" `Quick test_controller_stats_sane;
           Alcotest.test_case "teleportation e2e" `Quick test_teleportation_through_microarch;
           Alcotest.test_case "trace rendering" `Quick test_trace_rendering;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "fault off identical" `Quick
+            test_run_shots_fault_off_identical;
+          Alcotest.test_case "fault accounting" `Quick test_run_shots_fault_accounting;
+          Alcotest.test_case "unknown mnemonic structured" `Quick
+            test_unknown_mnemonic_structured;
         ] );
       ( "qisa",
         [

@@ -624,6 +624,87 @@ let test_density_backend_rejects_feedback () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "density backend accepted a feedback circuit"
 
+(* --- resilience --- *)
+
+module Fault = Qca_util.Fault
+module Resilience = Qca_util.Resilience
+
+let test_fault_rate_zero_bit_identical () =
+  (* An attached all-zero injector must not perturb anything: it has its own
+     RNG stream and zero-rate sites draw nothing from it. *)
+  let bell = measured_all 2 (Library.bell ()) in
+  List.iter
+    (fun plan ->
+      let base = Engine.run ~seed:123 ?plan ~shots:500 bell in
+      let off =
+        Engine.run ~seed:123 ?plan ~shots:500 ~faults:(Fault.make Fault.off) bell
+      in
+      Alcotest.(check (list (pair string int))) "identical histograms"
+        base.Engine.histogram off.Engine.histogram;
+      Alcotest.(check int) "no faulted shots" 0
+        off.Engine.report.Engine.resilience.Engine.faulted_shots)
+    [ None; Some Engine.Trajectory ]
+
+let test_transient_faults_retry_to_completion () =
+  (* At a 0.2 backend fault rate with 8 retries, the chance any of 400 shots
+     exhausts its budget is ~400 * 0.2^9 ~ 2e-4: every shot completes. *)
+  let bell = measured_all 2 (Library.bell ()) in
+  let faults = Fault.make ~seed:5 { Fault.off with Fault.backend = 0.2 } in
+  let policy = { Resilience.default_policy with Resilience.max_retries = 8 } in
+  let r = Engine.run ~seed:9 ~shots:400 ~faults ~policy bell in
+  let res = r.Engine.report.Engine.resilience in
+  Alcotest.(check int) "no shot lost" 0 res.Engine.faulted_shots;
+  Alcotest.(check bool) "faults actually fired" true (res.Engine.retries > 0);
+  Alcotest.(check bool) "backoff recorded" true (res.Engine.backoff_ns > 0);
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 r.Engine.histogram in
+  Alcotest.(check int) "full histogram" 400 total
+
+let prop_faulted_shots_accounting =
+  QCheck.Test.make ~name:"faulted + histogram total = shots" ~count:30
+    QCheck.(pair (int_range 0 9999) (float_range 0.0 0.6))
+    (fun (seed, rate) ->
+      let bell = measured_all 2 (Library.bell ()) in
+      let faults = Fault.make ~seed (Fault.uniform rate) in
+      let r = Engine.run ~seed ~shots:100 ~faults bell in
+      let total = List.fold_left (fun acc (_, c) -> acc + c) 0 r.Engine.histogram in
+      r.Engine.report.Engine.resilience.Engine.faulted_shots + total = 100)
+
+let test_resilient_wrap_degrades () =
+  let module Flaky = struct
+    let name = "always-fails"
+
+    let run ?shots:_ ?seed:_ _ =
+      Qca_util.Error.fail ~site:"Flaky.run" (Qca_util.Error.Invalid "broken")
+  end in
+  let module Wrapped =
+    (val Qca_qx.Resilient.wrap
+           ~fallback:(module Sim.Backend)
+           (module Flaky : Qca_qx.Backend.S))
+  in
+  let bell = measured_all 2 (Library.bell ()) in
+  let r = Wrapped.run ~shots:200 ~seed:3 bell in
+  let res = r.Engine.report.Engine.resilience in
+  Alcotest.(check bool) "degradation recorded" true (res.Engine.degraded <> None);
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 r.Engine.histogram in
+  Alcotest.(check int) "fallback delivered shots" 200 total;
+  Alcotest.(check bool) "wrapped name" true
+    (Wrapped.name = "resilient(always-fails->qx-statevector)")
+
+let test_resilient_wrap_passthrough () =
+  (* A healthy primary passes through untouched, modulo merged counters. *)
+  let module Wrapped =
+    (val Qca_qx.Resilient.wrap
+           ~fallback:(module Density.Backend)
+           (module Sim.Backend : Qca_qx.Backend.S))
+  in
+  let bell = measured_all 2 (Library.bell ()) in
+  let direct = Sim.Backend.run ~shots:300 ~seed:11 bell in
+  let wrapped = Wrapped.run ~shots:300 ~seed:11 bell in
+  Alcotest.(check (list (pair string int))) "same histogram"
+    direct.Engine.histogram wrapped.Engine.histogram;
+  Alcotest.(check bool) "not degraded" true
+    (wrapped.Engine.report.Engine.resilience.Engine.degraded = None)
+
 (* --- properties --- *)
 
 let arb_seeded_circuit =
@@ -784,6 +865,17 @@ let () =
           Alcotest.test_case "backends agree" `Quick test_backends_agree;
           Alcotest.test_case "density backend domain" `Quick
             test_density_backend_rejects_feedback;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "rate 0.0 bit-identical" `Quick
+            test_fault_rate_zero_bit_identical;
+          Alcotest.test_case "transients retry to completion" `Quick
+            test_transient_faults_retry_to_completion;
+          Alcotest.test_case "wrap degrades to fallback" `Quick
+            test_resilient_wrap_degrades;
+          Alcotest.test_case "wrap passthrough" `Quick test_resilient_wrap_passthrough;
+          qtest prop_faulted_shots_accounting;
         ] );
       ( "properties",
         [

@@ -255,10 +255,138 @@ let prop_mean_bounds =
       let m = Stats.mean xs in
       m >= Stats.minimum xs -. 1e-9 && m <= Stats.maximum xs +. 1e-9)
 
+(* --- Error / Fault / Resilience --- *)
+
+module Error = Qca_util.Error
+module Fault = Qca_util.Fault
+module Resilience = Qca_util.Resilience
+
+let test_error_to_string () =
+  let e =
+    Error.make ~site:"Test.site"
+      ~context:[ ("qubit", "3") ]
+      (Error.Channel_loss { qubit = 3 })
+  in
+  Alcotest.(check bool) "transient by default" true e.Error.transient;
+  let s = Error.to_string e in
+  Alcotest.(check bool) "mentions site" true
+    (String.length s >= 9 && String.sub s 0 9 = "Test.site");
+  Alcotest.(check bool) "mentions context" true
+    (String.length s > 0 && s.[String.length s - 1] = ']')
+
+let test_error_of_exn () =
+  (match Error.of_exn (Failure "boom") with
+  | Some e ->
+      Alcotest.(check bool) "failure maps to Invalid" true
+        (match e.Error.kind with Error.Invalid _ -> true | _ -> false)
+  | None -> Alcotest.fail "Failure not converted");
+  Alcotest.(check bool) "unrelated exn ignored" true (Error.of_exn Exit = None)
+
+let test_error_protect () =
+  (match Error.protect ~site:"p" (fun () -> 41 + 1) with
+  | Ok v -> Alcotest.(check int) "value" 42 v
+  | Error _ -> Alcotest.fail "unexpected error");
+  match
+    Error.protect ~site:"p" (fun () ->
+        Error.fail ~site:"inner" (Error.Invalid "nope"))
+  with
+  | Ok _ -> Alcotest.fail "error swallowed"
+  | Error e -> Alcotest.(check string) "inner site kept" "inner" e.Error.site
+
+let test_fault_off_consumes_no_randomness () =
+  let f = Fault.make ~seed:11 Fault.off in
+  Alcotest.(check bool) "disabled" false (Fault.enabled f);
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "never fires" false (Fault.fires f Fault.Pulse_dropout)
+  done;
+  Alcotest.(check int) "no fires counted" 0 (Fault.total f)
+
+let test_fault_uniform_counts () =
+  let f = Fault.make ~seed:11 (Fault.uniform 1.0) in
+  Alcotest.(check bool) "enabled" true (Fault.enabled f);
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "always fires" true (Fault.fires f Fault.Channel_loss)
+  done;
+  Alcotest.(check int) "total" 5 (Fault.total f);
+  Alcotest.(check (list (pair string int)))
+    "per-site counts" [ ("channel-loss", 5) ] (Fault.counts f)
+
+let test_fault_rejects_bad_rate () =
+  match Fault.uniform 1.5 with
+  | exception Error.Error _ -> ()
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rate > 1 accepted"
+
+let test_retry_converges () =
+  let counters = Resilience.fresh_counters () in
+  let attempts = ref 0 in
+  let f () =
+    incr attempts;
+    if !attempts < 3 then
+      Error.fail ~site:"t" (Error.Backend_transient "blip")
+    else "ok"
+  in
+  (match Resilience.with_retries Resilience.default_policy counters f with
+  | Ok v -> Alcotest.(check string) "converged" "ok" v
+  | Error _ -> Alcotest.fail "retries did not converge");
+  Alcotest.(check int) "two retries" 2 counters.Resilience.retries;
+  (* 100 lsl 0 + 100 lsl 1 *)
+  Alcotest.(check int) "deterministic backoff" 300
+    counters.Resilience.backoff_total_ns
+
+let test_retry_exhausts () =
+  let counters = Resilience.fresh_counters () in
+  let f () = Error.fail ~site:"t" (Error.Backend_transient "always") in
+  (match Resilience.with_retries Resilience.default_policy counters f with
+  | Ok _ -> Alcotest.fail "impossible success"
+  | Error e -> Alcotest.(check bool) "transient error" true e.Error.transient);
+  Alcotest.(check int) "max retries" 3 counters.Resilience.retries
+
+let test_retry_permanent_propagates () =
+  let counters = Resilience.fresh_counters () in
+  let f () = Error.fail ~site:"t" (Error.Invalid "permanent") in
+  match Resilience.with_retries Resilience.default_policy counters f with
+  | exception Error.Error _ ->
+      Alcotest.(check int) "no retries" 0 counters.Resilience.retries
+  | Ok _ | Error _ -> Alcotest.fail "permanent error retried or absorbed"
+
+let prop_fault_rate_frequency =
+  QCheck.Test.make ~name:"fault fire frequency tracks rate" ~count:20
+    QCheck.(float_range 0.1 0.9)
+    (fun p ->
+      let f = Fault.make ~seed:77 (Fault.uniform p) in
+      let n = 2000 in
+      let fired = ref 0 in
+      for _ = 1 to n do
+        if Fault.fires f Fault.Microcode_lookup then incr fired
+      done;
+      abs_float ((float_of_int !fired /. float_of_int n) -. p) < 0.08)
+
 let () =
   let qtest = QCheck_alcotest.to_alcotest in
   Alcotest.run "qca_util"
     [
+      ( "error",
+        [
+          Alcotest.test_case "to_string" `Quick test_error_to_string;
+          Alcotest.test_case "of_exn" `Quick test_error_of_exn;
+          Alcotest.test_case "protect" `Quick test_error_protect;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "off consumes no randomness" `Quick
+            test_fault_off_consumes_no_randomness;
+          Alcotest.test_case "uniform counts" `Quick test_fault_uniform_counts;
+          Alcotest.test_case "rejects bad rate" `Quick test_fault_rejects_bad_rate;
+          qtest prop_fault_rate_frequency;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "retry converges" `Quick test_retry_converges;
+          Alcotest.test_case "retry exhausts" `Quick test_retry_exhausts;
+          Alcotest.test_case "permanent propagates" `Quick
+            test_retry_permanent_propagates;
+        ] );
       ( "rng",
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
