@@ -290,6 +290,125 @@ let run_resilience () =
   close_out oc;
   print_endline "wrote BENCH_resilience.json"
 
+(* --- tracing overhead benchmark (BENCH_trace.json) --- *)
+
+let run_trace () =
+  let module Engine = Qca_qx.Engine in
+  let module Controller = Qca_microarch.Controller in
+  let module Trace = Qca_util.Trace in
+  print_endline "=== Trace: span/counter hook overhead (disabled vs collecting) ===";
+  let time_best f =
+    let best = ref infinity in
+    for _ = 1 to 7 do
+      let t0 = Sys.time () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = Sys.time () -. t0 in
+      if dt < !best then best := dt
+    done;
+    Float.max 1e-9 !best
+  in
+  (* The disabled hooks are compiled in unconditionally, so their cost can't
+     be timed by diffing two workload runs (it is below timer noise). Instead
+     measure the disabled-path primitive directly — [with_span] +
+     [add_counter] with no sink, [iters] times against an empty loop — and
+     scale by the number of hook operations the workload actually performs
+     (the collector's [event_count] from an enabled run). *)
+  let hook_ns =
+    let iters = 5_000_000 in
+    let empty =
+      time_best (fun () ->
+          for _ = 1 to iters do
+            ignore (Sys.opaque_identity ())
+          done)
+    in
+    let hooks =
+      time_best (fun () ->
+          for _ = 1 to iters do
+            Trace.with_span "bench.hook" (fun sp ->
+                Trace.annotate sp (fun () -> [ ("k", Trace.Int 1) ]);
+                Trace.add_counter "bench.counter" 1)
+          done)
+    in
+    Float.max 0.0 (hooks -. empty) /. float_of_int iters *. 1e9
+  in
+  Printf.printf "disabled hook primitive: %.1f ns per span+counter op\n" hook_ns;
+  let bell_program =
+    let circuit =
+      Circuit.append (Library.bell ())
+        (Circuit.of_list 2 [ Gate.Measure 0; Gate.Measure 1 ])
+    in
+    match
+      (Compiler.compile Platform.superconducting_17 Compiler.Real circuit).Compiler.eqasm
+    with
+    | Some p -> p
+    | None -> assert false
+  in
+  let ghz =
+    Circuit.append (Library.ghz 10)
+      (Circuit.of_list 10 (List.init 10 (fun q -> Gate.Measure q)))
+  in
+  let qft5 = Library.qft 5 in
+  let workloads =
+    [
+      ( "microarch-bell-400shots",
+        fun () ->
+          ignore (Controller.run_shots ~seed:7 ~shots:400 Controller.superconducting
+                    bell_program) );
+      ( "engine-trajectory-ghz10",
+        fun () -> ignore (Engine.run ~seed:7 ~plan:Engine.Trajectory ~shots:100 ghz) );
+      ( "engine-sampled-ghz10",
+        fun () -> ignore (Engine.run ~seed:7 ~shots:1000 ghz) );
+      ( "compile-qft5-real",
+        fun () ->
+          ignore (Compiler.compile Platform.superconducting_17 Compiler.Real qft5) );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, work) ->
+        let disabled_s = time_best work in
+        let enabled_s =
+          time_best (fun () -> Trace.collecting (Trace.make_collector ()) work)
+        in
+        let trace_ops =
+          let c = Trace.make_collector () in
+          Trace.collecting c work;
+          Trace.event_count c
+        in
+        let enabled_pct = 100.0 *. ((enabled_s -. disabled_s) /. disabled_s) in
+        (* Cost of the compiled-in hooks when no sink is installed, as a
+           fraction of the untraced run: ops x per-op disabled cost. *)
+        let disabled_pct =
+          float_of_int trace_ops *. hook_ns /. (disabled_s *. 1e9) *. 100.0
+        in
+        Printf.printf
+          "%-26s untraced %.4fs | collecting %.4fs (%+.1f%%) | %d hook ops -> \
+           disabled overhead %.3f%%\n"
+          name disabled_s enabled_s enabled_pct trace_ops disabled_pct;
+        (name, disabled_s, enabled_s, enabled_pct, trace_ops, disabled_pct))
+      workloads
+  in
+  let worst =
+    List.fold_left (fun acc (_, _, _, _, _, pct) -> Float.max acc pct) 0.0 rows
+  in
+  Printf.printf "worst disabled overhead: %.3f%% (threshold 3%%)\n" worst;
+  let oc = open_out "BENCH_trace.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\"benchmark\":\"trace-disabled-overhead\",\"threshold_pct\":3.0,\"hook_ns\":%.2f,\"worst_disabled_overhead_pct\":%.4f,\"entries\":["
+       hook_ns worst);
+  List.iteri
+    (fun i (name, disabled_s, enabled_s, enabled_pct, trace_ops, disabled_pct) ->
+      if i > 0 then output_char oc ',';
+      output_string oc
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"disabled_s\":%.6f,\"enabled_s\":%.6f,\"enabled_overhead_pct\":%.2f,\"trace_ops\":%d,\"disabled_overhead_pct\":%.4f}"
+           name disabled_s enabled_s enabled_pct trace_ops disabled_pct))
+    rows;
+  output_string oc "]}\n";
+  close_out oc;
+  print_endline "wrote BENCH_trace.json"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
@@ -299,6 +418,7 @@ let () =
   | [ "micro" ] -> run_micro ()
   | [ "engine" ] -> run_engine ()
   | [ "resilience" ] -> run_resilience ()
+  | [ "trace" ] -> run_trace ()
   | ids ->
       List.iter
         (fun id ->
@@ -306,6 +426,8 @@ let () =
           | Some e -> e ()
           | None ->
               Printf.eprintf
-                "unknown experiment '%s' (use e1..e13, micro, engine or resilience)\n" id;
+                "unknown experiment '%s' (use e1..e13, micro, engine, resilience or \
+                 trace)\n"
+                id;
               exit 1)
         ids

@@ -94,6 +94,44 @@ let write_metrics dest report =
         Printf.eprintf "cannot write metrics: %s\n" msg;
         1)
 
+let trace_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Trace the run through every stack layer (compiler passes, engine \
+           phases, micro-architecture). With no $(docv) (or '-') print a \
+           span-tree summary after the results; with $(docv) write Chrome \
+           trace_event JSON loadable in chrome://tracing or Perfetto. See \
+           docs/observability.md.")
+
+(* Run [body] with a trace collector installed when --trace was given, then
+   export: bare --trace prints the span tree, --trace=FILE writes Chrome
+   JSON. The body's exit code wins over the export's. *)
+let with_trace dest body =
+  match dest with
+  | None -> body ()
+  | Some target ->
+      let collector = Qca_util.Trace.make_collector () in
+      let code = Qca_util.Trace.collecting collector body in
+      let export_code =
+        match target with
+        | "-" ->
+            print_string (Qca_util.Trace.to_tree_string collector);
+            0
+        | path -> (
+            try
+              let oc = open_out path in
+              output_string oc (Qca_util.Trace.to_chrome_json collector);
+              close_out oc;
+              0
+            with Sys_error msg ->
+              Printf.eprintf "cannot write trace: %s\n" msg;
+              1)
+      in
+      if code <> 0 then code else export_code
+
 let check_shots shots =
   if shots <= 0 then (
     Printf.eprintf "--shots must be positive (got %d)\n" shots;
@@ -150,8 +188,8 @@ let print_resilience faults report =
 
 (* --- run --- *)
 
-let run_command file shots seed noise trajectory metrics fault_rate fault_seed
-    max_retries =
+let run_command file shots seed noise trajectory metrics trace fault_rate
+    fault_seed max_retries =
   if not (check_shots shots) then 1
   else
     match load_circuit file with
@@ -159,23 +197,27 @@ let run_command file shots seed noise trajectory metrics fault_rate fault_seed
         prerr_endline msg;
         1
     | Ok circuit ->
-      let noise = match noise with Some p -> Noise.depolarizing p | None -> Noise.ideal in
-      let plan = if trajectory then Some Engine.Trajectory else None in
-      let faults = make_faults fault_rate fault_seed in
-      let policy = make_policy max_retries in
-      let result = Engine.run ~noise ~seed ?plan ~shots ?faults ~policy circuit in
-      let report = result.Engine.report in
-      Printf.printf "# %d qubits, %d instructions, %d shots\n" (Circuit.qubit_count circuit)
-        (Circuit.length circuit) shots;
-      Printf.printf "# plan: %s (%s)\n"
-        (Engine.plan_to_string report.Engine.plan)
-        report.Engine.plan_reason;
-      print_resilience faults report;
-      List.iter
-        (fun (key, count) ->
-          Printf.printf "%s  %6d  %.4f\n" key count (float_of_int count /. float_of_int shots))
-        result.Engine.histogram;
-      write_metrics metrics report
+      with_trace trace (fun () ->
+          let noise =
+            match noise with Some p -> Noise.depolarizing p | None -> Noise.ideal
+          in
+          let plan = if trajectory then Some Engine.Trajectory else None in
+          let faults = make_faults fault_rate fault_seed in
+          let policy = make_policy max_retries in
+          let result = Engine.run ~noise ~seed ?plan ~shots ?faults ~policy circuit in
+          let report = result.Engine.report in
+          Printf.printf "# %d qubits, %d instructions, %d shots\n"
+            (Circuit.qubit_count circuit) (Circuit.length circuit) shots;
+          Printf.printf "# plan: %s (%s)\n"
+            (Engine.plan_to_string report.Engine.plan)
+            report.Engine.plan_reason;
+          print_resilience faults report;
+          List.iter
+            (fun (key, count) ->
+              Printf.printf "%s  %6d  %.4f\n" key count
+                (float_of_int count /. float_of_int shots))
+            result.Engine.histogram;
+          write_metrics metrics report)
 
 let trajectory_flag =
   Arg.(
@@ -186,7 +228,7 @@ let trajectory_flag =
 let run_term =
   Term.(
     const run_command $ file_arg $ shots_arg $ seed_arg $ noise_arg $ trajectory_flag
-    $ metrics_arg $ fault_rate_arg $ fault_seed_arg $ max_retries_arg)
+    $ metrics_arg $ trace_arg $ fault_rate_arg $ fault_seed_arg $ max_retries_arg)
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a cQASM program on the QX simulator.") run_term
@@ -231,8 +273,8 @@ let compile_cmd =
 
 (* --- exec (through the micro-architecture) --- *)
 
-let exec_command file platform_name shots seed metrics fault_rate fault_seed
-    max_retries =
+let exec_command file platform_name shots seed metrics trace fault_rate
+    fault_seed max_retries =
   if not (check_shots shots) then 1
   else
     match load_circuit file with
@@ -244,39 +286,41 @@ let exec_command file platform_name shots seed metrics fault_rate fault_seed
       | Error msg ->
           prerr_endline msg;
           1
-      | Ok platform -> (
-          let out = Compiler.compile platform Compiler.Real circuit in
-          match out.Compiler.eqasm with
-          | None ->
-              prerr_endline "no eQASM produced";
-              1
-          | Some program ->
-              let technology =
-                if platform_name = "semiconducting" then Controller.semiconducting
-                else Controller.superconducting
-              in
-              let faults = make_faults fault_rate fault_seed in
-              let policy = make_policy max_retries in
-              let r =
-                Controller.run_shots ~noise:platform.Platform.noise ~seed ~shots
-                  ?faults ~policy technology program
-              in
-              let s = r.Controller.last.Controller.stats in
-              Printf.printf
-                "# microarch: %d bundles, %d micro-ops, %d ns, peak queue %d, %d \
-                 violations\n"
-                s.Controller.bundles_issued s.Controller.micro_ops s.Controller.total_ns
-                s.Controller.peak_queue_depth s.Controller.timing_violations;
-              print_resilience faults r.Controller.report;
-              List.iter
-                (fun (key, count) -> Printf.printf "%s  %6d\n" key count)
-                r.Controller.histogram;
-              write_metrics metrics r.Controller.report))
+      | Ok platform ->
+          with_trace trace (fun () ->
+              let out = Compiler.compile platform Compiler.Real circuit in
+              match out.Compiler.eqasm with
+              | None ->
+                  prerr_endline "no eQASM produced";
+                  1
+              | Some program ->
+                  let technology =
+                    if platform_name = "semiconducting" then Controller.semiconducting
+                    else Controller.superconducting
+                  in
+                  let faults = make_faults fault_rate fault_seed in
+                  let policy = make_policy max_retries in
+                  let r =
+                    Controller.run_shots ~noise:platform.Platform.noise ~seed ~shots
+                      ?faults ~policy technology program
+                  in
+                  let s = r.Controller.last.Controller.stats in
+                  Printf.printf
+                    "# microarch: %d bundles, %d micro-ops, %d ns, peak queue %d, %d \
+                     violations\n"
+                    s.Controller.bundles_issued s.Controller.micro_ops
+                    s.Controller.total_ns s.Controller.peak_queue_depth
+                    s.Controller.timing_violations;
+                  print_resilience faults r.Controller.report;
+                  List.iter
+                    (fun (key, count) -> Printf.printf "%s  %6d\n" key count)
+                    r.Controller.histogram;
+                  write_metrics metrics r.Controller.report))
 
 let exec_term =
   Term.(
     const exec_command $ file_arg $ platform_arg $ shots_arg $ seed_arg $ metrics_arg
-    $ fault_rate_arg $ fault_seed_arg $ max_retries_arg)
+    $ trace_arg $ fault_rate_arg $ fault_seed_arg $ max_retries_arg)
 
 let exec_cmd =
   Cmd.v

@@ -1,5 +1,6 @@
 module Circuit = Qca_circuit.Circuit
 module Cqasm = Qca_circuit.Cqasm
+module Trace = Qca_util.Trace
 
 type mode = Perfect | Realistic | Real
 
@@ -45,19 +46,58 @@ let widen platform circuit =
     Circuit.of_list ~name:(Circuit.name circuit) platform.Platform.qubit_count
       (Circuit.instructions circuit)
 
+(* One span per compiler pass, carrying the gate-count delta the pass
+   produced. The annotations are lazy so a disabled trace never walks the
+   circuit; the [input -> output] circuits also feed the pass_stat table. *)
+let traced_pass name ~input f =
+  Trace.with_span ("compiler." ^ name) (fun sp ->
+      Trace.annotate sp (fun () -> [ ("gates_in", Trace.Int (Circuit.gate_count input)) ]);
+      let output = f () in
+      Trace.annotate sp (fun () ->
+          [
+            ("gates_out", Trace.Int (Circuit.gate_count output));
+            ("two_qubit", Trace.Int (Circuit.two_qubit_gate_count output));
+            ("depth", Trace.Int (Circuit.depth output));
+          ]);
+      output)
+
 let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
     ?(schedule_policy = Schedule.Asap) platform mode logical =
+  Trace.with_span "compiler.compile" (fun compile_sp ->
+  Trace.annotate compile_sp (fun () ->
+      [
+        ("platform", Trace.String platform.Platform.name);
+        ("mode", Trace.String (mode_to_string mode));
+      ]);
   let passes = ref [ stat_of "input" logical ] in
   let record ?note name circuit = passes := stat_of ?note name circuit :: !passes in
   match mode with
   | Perfect ->
-      let optimized, ostats = Optimize.run logical in
+      let optimized, ostats =
+        Trace.with_span "compiler.optimize" (fun sp ->
+            Trace.annotate sp (fun () ->
+                [ ("gates_in", Trace.Int (Circuit.gate_count logical)) ]);
+            let optimized, ostats = Optimize.run logical in
+            Trace.annotate sp (fun () ->
+                [
+                  ("gates_out", Trace.Int (Circuit.gate_count optimized));
+                  ("cancelled", Trace.Int ostats.Optimize.removed_pairs);
+                  ("merged", Trace.Int ostats.Optimize.merged_rotations);
+                ]);
+            (optimized, ostats))
+      in
       record
         ~note:
           (Printf.sprintf "cancelled=%d merged=%d dropped=%d" ostats.Optimize.removed_pairs
              ostats.Optimize.merged_rotations ostats.Optimize.dropped_identities)
         "optimize" optimized;
-      let schedule = Schedule.run ~policy:schedule_policy platform optimized in
+      let schedule =
+        Trace.with_span "compiler.schedule" (fun sp ->
+            let schedule = Schedule.run ~policy:schedule_policy platform optimized in
+            Trace.annotate sp (fun () ->
+                [ ("makespan_cycles", Trace.Int schedule.Schedule.makespan) ]);
+            schedule)
+      in
       {
         platform;
         mode;
@@ -78,27 +118,72 @@ let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
           Platform.primitives = "swap" :: platform.Platform.primitives;
         }
       in
-      let lowered = Decompose.run swap_capable widened in
+      let lowered =
+        traced_pass "decompose" ~input:widened (fun () -> Decompose.run swap_capable widened)
+      in
       record "decompose" lowered;
       (* 2. place & route *)
-      let mapping = Mapping.run ~strategy ~placement platform lowered in
+      let mapping =
+        Trace.with_span "compiler.map" (fun sp ->
+            Trace.annotate sp (fun () ->
+                [ ("gates_in", Trace.Int (Circuit.gate_count lowered)) ]);
+            let mapping = Mapping.run ~strategy ~placement platform lowered in
+            Trace.annotate sp (fun () ->
+                [
+                  ("gates_out", Trace.Int (Circuit.gate_count mapping.Mapping.circuit));
+                  ("swaps", Trace.Int mapping.Mapping.swaps_added);
+                ]);
+            mapping)
+      in
       record
         ~note:(Printf.sprintf "swaps=%d" mapping.Mapping.swaps_added)
         "map/route" mapping.Mapping.circuit;
       (* 3. expand routing swaps into primitives *)
-      let expanded = Decompose.run platform mapping.Mapping.circuit in
+      let expanded =
+        traced_pass "expand-swaps" ~input:mapping.Mapping.circuit (fun () ->
+            Decompose.run platform mapping.Mapping.circuit)
+      in
       record "expand-swaps" expanded;
       (* 4. optimise *)
-      let optimized, ostats = Optimize.run expanded in
+      let optimized, ostats =
+        Trace.with_span "compiler.optimize" (fun sp ->
+            Trace.annotate sp (fun () ->
+                [ ("gates_in", Trace.Int (Circuit.gate_count expanded)) ]);
+            let optimized, ostats = Optimize.run expanded in
+            Trace.annotate sp (fun () ->
+                [
+                  ("gates_out", Trace.Int (Circuit.gate_count optimized));
+                  ("cancelled", Trace.Int ostats.Optimize.removed_pairs);
+                  ("merged", Trace.Int ostats.Optimize.merged_rotations);
+                ]);
+            (optimized, ostats))
+      in
       record
         ~note:
           (Printf.sprintf "cancelled=%d merged=%d dropped=%d" ostats.Optimize.removed_pairs
              ostats.Optimize.merged_rotations ostats.Optimize.dropped_identities)
         "optimize" optimized;
       (* 5. schedule with platform timing *)
-      let schedule = Schedule.run ~policy:schedule_policy platform optimized in
+      let schedule =
+        Trace.with_span "compiler.schedule" (fun sp ->
+            let schedule = Schedule.run ~policy:schedule_policy platform optimized in
+            Trace.annotate sp (fun () ->
+                [ ("makespan_cycles", Trace.Int schedule.Schedule.makespan) ]);
+            schedule)
+      in
       (* 6. lower to eQASM *)
-      let eqasm = Eqasm.of_schedule platform schedule in
+      let eqasm =
+        Trace.with_span "compiler.eqasm" (fun sp ->
+            let eqasm = Eqasm.of_schedule platform schedule in
+            Trace.annotate sp (fun () ->
+                let s = Eqasm.stats eqasm in
+                [
+                  ("bundles", Trace.Int s.Eqasm.bundle_count);
+                  ("quantum_ops", Trace.Int s.Eqasm.total_quantum_ops);
+                  ("duration_ns", Trace.Int s.Eqasm.duration_ns);
+                ]);
+            eqasm)
+      in
       {
         platform;
         mode;
@@ -109,7 +194,7 @@ let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
         cqasm = Cqasm.emit_circuit optimized;
         mapping = Some mapping;
         passes = List.rev !passes;
-      }
+      })
 
 let execute_result ?(shots = 1024) ?seed ?rng output =
   let noise =

@@ -3,6 +3,7 @@ module Compiler = Qca_compiler.Compiler
 module Controller = Qca_microarch.Controller
 module Circuit = Qca_circuit.Circuit
 module Engine = Qca_qx.Engine
+module Trace = Qca_util.Trace
 
 type t = {
   stack_name : string;
@@ -71,6 +72,13 @@ let with_degraded report msg =
 
 let execute ?(shots = 512) ?seed ?rng ?faults
     ?(policy = Qca_util.Resilience.default_policy) stack circuit =
+  Trace.with_span "stack.execute" (fun stack_sp ->
+  Trace.annotate stack_sp (fun () ->
+      [
+        ("stack", Trace.String stack.stack_name);
+        ("platform", Trace.String stack.platform.Platform.name);
+        ("model", Trace.String (Qubit_model.to_string stack.model));
+      ]);
   let mode = Qubit_model.compiler_mode stack.model in
   let compiled = Compiler.compile stack.platform mode circuit in
   let noise = Qubit_model.noise stack.model stack.platform in
@@ -78,6 +86,9 @@ let execute ?(shots = 512) ?seed ?rng ?faults
      QX. Same platform width as the micro-architecture path, so histogram
      keys stay comparable after a degradation. *)
   let fallback reason =
+    (match reason with
+    | Some msg -> Trace.add_attr stack_sp "degraded" (Trace.String msg)
+    | None -> ());
     let result = Compiler.execute_result ~shots ?seed ?rng compiled in
     {
       compiled;
@@ -126,7 +137,7 @@ let execute ?(shots = 512) ?seed ?rng ?faults
                (Printf.sprintf
                   "microarch failed (%s); fell back to realistic QX simulation"
                   (Qca_util.Error.to_string e))))
-  | None, _ | _, None -> fallback None
+  | None, _ | _, None -> fallback None)
 
 let run_checked ?shots ?seed ?rng ?faults ?policy stack circuit =
   Qca_util.Error.protect ~site:"Stack.run_checked" (fun () ->

@@ -7,6 +7,7 @@ module Rng = Qca_util.Rng
 module Qerror = Qca_util.Error
 module Fault = Qca_util.Fault
 module Resilience = Qca_util.Resilience
+module Trace = Qca_util.Trace
 
 (* Default randomness for sessions that pass no [?rng]: one process-wide
    stream that advances across runs (same semantics as Engine.default_rng),
@@ -240,9 +241,13 @@ let issue_op session (op : Eqasm.quantum_op) =
                  Timing_queue.pending (Timing_queue.queue session.pool mop.Microcode.qubit);
              });
       session.micro_ops <- session.micro_ops + 1;
-      if mop.Microcode.codeword.Microcode.software_phase <> 0.0 then
-        session.phase_updates <- session.phase_updates + 1
+      if Trace.enabled () then Trace.add_counter "microarch.micro_op" 1;
+      if mop.Microcode.codeword.Microcode.software_phase <> 0.0 then begin
+        session.phase_updates <- session.phase_updates + 1;
+        if Trace.enabled () then Trace.add_counter "microarch.phase_update" 1
+      end
       else begin
+        if Trace.enabled () then Trace.add_counter "microarch.pulse" 1;
         let duration = pulse_duration session mop.Microcode.codeword.Microcode.pulse_name in
         session.end_ns <- max session.end_ns (time_ns + duration);
         session.trace <-
@@ -279,6 +284,7 @@ let step session instr =
   | Eqasm.Bundle (pre_interval, ops) ->
       advance session pre_interval;
       session.bundles <- session.bundles + 1;
+      if Trace.enabled () then Trace.add_counter "microarch.bundle" 1;
       List.iter (issue_op session) ops
 
 let finish session =
@@ -299,15 +305,26 @@ let finish session =
   }
 
 let run_session ?noise ?rng ?faults technology (program : Eqasm.program) =
-  let session =
-    start ?noise ?rng ?faults technology ~qubit_count:program.Eqasm.qubit_count
-      ~cycle_ns:program.Eqasm.cycle_ns
-  in
-  if fault_fires session Fault.Backend_transient then
-    Qerror.fail ~transient:true ~site:"Controller.run_session"
-      (Qerror.Backend_transient "injected controller fault");
-  List.iter (step session) program.Eqasm.instructions;
-  session
+  Trace.with_span "microarch.session" (fun sp ->
+      let session =
+        start ?noise ?rng ?faults technology ~qubit_count:program.Eqasm.qubit_count
+          ~cycle_ns:program.Eqasm.cycle_ns
+      in
+      if fault_fires session Fault.Backend_transient then
+        Qerror.fail ~transient:true ~site:"Controller.run_session"
+          (Qerror.Backend_transient "injected controller fault");
+      List.iter (step session) program.Eqasm.instructions;
+      Trace.set_sim_ns sp (max session.end_ns (session.time_cycles * session.cycle_ns));
+      Trace.annotate sp (fun () ->
+          let _, peak, violations = Timing_queue.pool_stats session.pool in
+          [
+            ("bundles", Trace.Int session.bundles);
+            ("micro_ops", Trace.Int session.micro_ops);
+            ("phase_updates", Trace.Int session.phase_updates);
+            ("peak_queue", Trace.Int peak);
+            ("timing_violations", Trace.Int violations);
+          ]);
+      session)
 
 let collect session (program : Eqasm.program) =
   let result = finish session in
@@ -337,6 +354,13 @@ type shots_result = {
 let run_shots ?noise ?seed ?rng ?(shots = 1024) ?faults
     ?(policy = Resilience.default_policy) technology (program : Eqasm.program) =
   if shots < 1 then invalid_arg "Controller.run_shots: shots must be positive";
+  Trace.with_span "microarch.run_shots" (fun shots_sp ->
+  Trace.annotate shots_sp (fun () ->
+      [
+        ("technology", Trace.String technology.tech_name);
+        ("shots", Trace.Int shots);
+        ("qubits", Trace.Int program.Eqasm.qubit_count);
+      ]);
   let rng =
     match rng, seed with
     | Some r, _ -> r
@@ -412,6 +436,14 @@ let run_shots ?noise ?seed ?rng ?(shots = 1024) ?faults
       resilience;
     }
   in
+  (match faults with
+  | None -> ()
+  | Some _ ->
+      Trace.annotate shots_sp (fun () ->
+          [
+            ("faulted_shots", Trace.Int counters.Resilience.faulted_shots);
+            ("retries", Trace.Int counters.Resilience.retries);
+          ]));
   match !last with
   | Some last -> { histogram; last; report }
   | None ->
@@ -422,7 +454,7 @@ let run_shots ?noise ?seed ?rng ?(shots = 1024) ?faults
         | Some e -> e
         | None -> Qerror.make ~site:"Controller.run_shots" (Qerror.Backend_transient "no shots")
       in
-      raise (Qerror.Error { e with Qerror.transient = false })
+      raise (Qerror.Error { e with Qerror.transient = false }))
 
 let backend ?(platform = Qca_compiler.Platform.superconducting_17)
     ?(technology = superconducting) ?faults ?policy () =

@@ -2,6 +2,7 @@ module Gate = Qca_circuit.Gate
 module Circuit = Qca_circuit.Circuit
 module Matrix = Qca_util.Matrix
 module Cplx = Qca_util.Cplx
+module Trace = Qca_util.Trace
 
 type t = { n : int; mutable rho : Matrix.t }
 
@@ -50,7 +51,9 @@ let embed n small ops =
 let apply_operator d full =
   d.rho <- Matrix.mul full (Matrix.mul d.rho (Matrix.adjoint full))
 
-let apply_unitary d u ops = apply_operator d (embed d.n (Gate.matrix u) ops)
+let apply_unitary d u ops =
+  if Trace.enabled () then Trace.add_counter ("qx.density.apply." ^ Gate.name u) 1;
+  apply_operator d (embed d.n (Gate.matrix u) ops)
 
 let kraus_of_channel channel =
   let c = Cplx.make in
@@ -176,6 +179,7 @@ let run ?(noise = Noise.ideal) circuit =
    (and validates it without sampling error in the evolution itself). *)
 let run_backend ~noise ?(shots = 1024) ?seed circuit =
   if shots < 1 then invalid_arg "Density.Backend: shots must be positive";
+  Trace.with_span "density.run" (fun run_sp ->
   let t0 = Sys.time () in
   match Engine.terminal_split circuit with
   | None ->
@@ -184,10 +188,13 @@ let run_backend ~noise ?(shots = 1024) ?seed circuit =
          mid-circuit measurement or reset)"
   | Some (prefix, measured) ->
       let n = Circuit.qubit_count circuit in
+      Trace.annotate run_sp (fun () ->
+          [ ("shots", Trace.Int shots); ("qubits", Trace.Int n) ]);
       let d = create n in
       let ideal = Noise.is_ideal noise in
       let applies = Hashtbl.create 16 in
       let t1 = Sys.time () in
+      let sim_sp = Trace.begin_span "density.simulate" in
       List.iter
         (fun instr ->
           match instr with
@@ -198,6 +205,7 @@ let run_backend ~noise ?(shots = 1024) ?seed circuit =
                 (1 + Option.value ~default:0 (Hashtbl.find_opt applies (Gate.name u)))
           | _ -> assert false)
         prefix;
+      Trace.end_span sim_sp;
       let t2 = Sys.time () in
       let rng =
         match seed with
@@ -205,7 +213,8 @@ let run_backend ~noise ?(shots = 1024) ?seed circuit =
         | None -> Engine.default_rng ()
       in
       let histogram =
-        Engine.sample_histogram ~probabilities:(probabilities d) ~measured ~rng ~shots
+        Trace.with_span "density.sample" (fun _ ->
+            Engine.sample_histogram ~probabilities:(probabilities d) ~measured ~rng ~shots)
       in
       let t3 = Sys.time () in
       let gate_applies =
@@ -231,7 +240,7 @@ let run_backend ~noise ?(shots = 1024) ?seed circuit =
             wall = { Engine.analyse_s = t1 -. t0; simulate_s = t2 -. t1; sample_s = t3 -. t2 };
             resilience = Engine.no_resilience;
           };
-      }
+      })
 
 let backend ?(noise = Noise.ideal) () =
   (module struct

@@ -4,6 +4,7 @@ module Rng = Qca_util.Rng
 module Qerror = Qca_util.Error
 module Fault = Qca_util.Fault
 module Resilience = Qca_util.Resilience
+module Trace = Qca_util.Trace
 
 type plan = Sampled | Trajectory
 
@@ -148,7 +149,12 @@ let exec_instrumented ?(noise = Noise.ideal) ?tally rng circuit =
   let state = State.create n in
   let classical = Array.make n (-1) in
   let ideal = Noise.is_ideal noise in
-  let record name = match tally with Some t -> count_apply t name | None -> () in
+  (* Gate-class counters feed the tracing layer; the [enabled] guard keeps
+     the string construction off the disabled hot path. *)
+  let record name =
+    (match tally with Some t -> count_apply t name | None -> ());
+    if Trace.enabled () then Trace.add_counter ("qx.apply." ^ name) 1
+  in
   let execute instr =
     match instr with
     | Gate.Unitary (u, ops) ->
@@ -169,6 +175,7 @@ let exec_instrumented ?(noise = Noise.ideal) ?tally rng circuit =
     | Gate.Measure q ->
         let outcome = State.measure state rng q in
         (match tally with Some t -> t.measures <- t.measures + 1 | None -> ());
+        if Trace.enabled () then Trace.add_counter "qx.measure" 1;
         classical.(q) <- (if ideal then outcome else Noise.flip_readout noise rng outcome)
     | Gate.Barrier _ -> ()
   in
@@ -288,21 +295,29 @@ let run_sampled ~tally rng ~shots ~measured circuit =
   (* [shots] here is the surviving-shot count (faults already applied). *)
   let n = Circuit.qubit_count circuit in
   let state = State.create n in
+  let sim_sp = Trace.begin_span "engine.simulate" in
   List.iter
     (fun instr ->
       match instr with
       | Gate.Unitary (u, ops) ->
           State.apply state u ops;
-          count_apply tally (Gate.name u)
+          count_apply tally (Gate.name u);
+          if Trace.enabled () then Trace.add_counter ("qx.apply." ^ Gate.name u) 1
       | Gate.Prep _ | Gate.Barrier _ | Gate.Measure _ -> ()
       | Gate.Conditional _ -> invalid_arg "Engine: conditional gate in sampled plan")
     (Circuit.instructions circuit);
+  Trace.annotate sim_sp (fun () ->
+      [ ("gate_applies", Trace.Int (Hashtbl.fold (fun _ c acc -> acc + c) tally.applies 0)) ]);
+  Trace.end_span sim_sp;
   let t_sim = Sys.time () in
   let histogram =
-    sample_histogram ~probabilities:(State.probabilities state) ~measured ~rng ~shots
+    Trace.with_span "engine.sample" (fun sample_sp ->
+        Trace.annotate sample_sp (fun () -> [ ("shots", Trace.Int shots) ]);
+        sample_histogram ~probabilities:(State.probabilities state) ~measured ~rng ~shots)
   in
   let measured_count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 measured in
   tally.measures <- shots * measured_count;
+  if Trace.enabled () then Trace.add_counter "qx.measure" tally.measures;
   (histogram, t_sim)
 
 (* --- the run surface --------------------------------------------------- *)
@@ -310,8 +325,10 @@ let run_sampled ~tally rng ~shots ~measured circuit =
 let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) ?faults
     ?(policy = Resilience.default_policy) circuit =
   if shots < 1 then invalid_arg "Engine.run: shots must be positive";
+  Trace.with_span "engine.run" (fun run_sp ->
   let counters = Resilience.fresh_counters () in
   let t0 = Sys.time () in
+  let analyse_sp = Trace.begin_span "engine.analyse" in
   let chosen, reason, measured =
     let auto () =
       if not (Noise.is_ideal noise) then
@@ -327,6 +344,16 @@ let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) ?faults
         | Trajectory, r, _ ->
             invalid_arg ("Engine.run: sampled plan forced but circuit needs trajectories: " ^ r))
   in
+  Trace.annotate analyse_sp (fun () ->
+      [ ("plan", Trace.String (plan_to_string chosen)); ("reason", Trace.String reason) ]);
+  Trace.end_span analyse_sp;
+  Trace.annotate run_sp (fun () ->
+      [
+        ("plan", Trace.String (plan_to_string chosen));
+        ("shots", Trace.Int shots);
+        ("qubits", Trace.Int (Circuit.qubit_count circuit));
+        ("instructions", Trace.Int (Circuit.length circuit));
+      ]);
   let rng = resolve_rng seed rng in
   let t1 = Sys.time () in
   let tally = fresh_tally () in
@@ -336,7 +363,11 @@ let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) ?faults
         let survivors = surviving_shots ~faults ~policy ~counters shots in
         run_sampled ~tally rng ~shots:survivors ~measured circuit
     | Trajectory ->
-        let h = run_trajectory ~noise ~faults ~policy ~counters ~tally rng ~shots circuit in
+        let h =
+          Trace.with_span "engine.simulate" (fun sim_sp ->
+              Trace.annotate sim_sp (fun () -> [ ("trajectories", Trace.Int shots) ]);
+              run_trajectory ~noise ~faults ~policy ~counters ~tally rng ~shots circuit)
+        in
         (h, Sys.time ())
   in
   let t2 = Sys.time () in
@@ -352,6 +383,14 @@ let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) ?faults
           degraded = None;
         }
   in
+  Trace.annotate run_sp (fun () ->
+      match faults with
+      | None -> []
+      | Some _ ->
+          [
+            ("faulted_shots", Trace.Int resilience.faulted_shots);
+            ("retries", Trace.Int resilience.retries);
+          ]);
   {
     histogram;
     report =
@@ -372,7 +411,7 @@ let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) ?faults
           };
         resilience;
       };
-  }
+  })
 
 let run_checked ?noise ?seed ?rng ?plan ?shots ?faults ?policy circuit =
   Qerror.protect ~site:"Engine.run" (fun () ->

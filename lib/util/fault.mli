@@ -24,6 +24,8 @@ type site =
   | Backend_transient
 
 val all_sites : site list
+(** Every site, in declaration order. *)
+
 val site_label : site -> string
 (** Stable kebab-case tag, e.g. ["pulse-dropout"]. *)
 
@@ -46,12 +48,18 @@ type t
 (** A seeded injector with per-site fire counters. *)
 
 val default_seed : int
+(** Seed used by {!make} when none is given (and by [qxc --fault-seed]'s
+    default). *)
 
 val make : ?seed:int -> spec -> t
+(** Fresh injector with zeroed counters; equal seed + spec gives an
+    identical fault pattern. *)
+
 val enabled : t -> bool
 (** Whether any site has a positive rate. *)
 
 val rate : t -> site -> float
+(** The spec rate configured for [site]. *)
 
 val fires : t -> site -> bool
 (** Draw once at the site's rate and count a fire. Zero-rate sites return

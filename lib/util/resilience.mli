@@ -27,6 +27,7 @@ type counters = {
     {!Qca_qx.Engine.run_report}. *)
 
 val fresh_counters : unit -> counters
+(** All-zero counters for the start of a run. *)
 
 val with_retries : policy -> counters -> (unit -> 'a) -> ('a, Error.t) result
 (** Run a thunk, retrying transient {!Error.Error}s up to

@@ -143,3 +143,63 @@ Parse errors carry line numbers:
   $ qxc run bad.qasm
   bad.qasm:3: parse error: unknown mnemonic 'frobnicate'
   [1]
+
+Tracing: bare --trace prints a per-layer span tree (after the results) plus
+counters. Wall-clock times vary run to run, so strip them; the span names,
+attributes, counters and simulated-ns are deterministic for a fixed seed:
+
+  $ qxc run bell.qasm --shots 1000 --seed 7 --trace | sed -E 's/ \[[0-9.]+ms\]$//'
+  # 2 qubits, 4 instructions, 1000 shots
+  # plan: sampled (terminal unconditioned measurements)
+  00     525  0.5250
+  11     475  0.4750
+  - engine.run plan=sampled shots=1000 qubits=2 instructions=4
+    - engine.analyse plan=sampled reason=terminal unconditioned measurements
+    - engine.simulate gate_applies=2
+    - engine.sample shots=1000
+  counters:
+    qx.apply.cnot 1
+    qx.apply.h 1
+    qx.measure 2000
+
+Through the micro-architecture the same flag shows every layer: compiler
+passes with gate-count deltas, then one (collapsed) session per shot with
+pulse-level counters:
+
+  $ qxc exec bell.qasm --shots 20 --seed 3 --trace | sed -E 's/ \[[0-9.]+ms\]$//'
+  # microarch: 6 bundles, 10 micro-ops, 420 ns, peak queue 1, 0 violations
+  ---------------11      10
+  ---------------00       9
+  ---------------01       1
+  - compiler.compile platform=superconducting-17 mode=real
+    - compiler.decompose gates_in=2 gates_out=7 two_qubit=1 depth=6
+    - compiler.map gates_in=7 gates_out=7 swaps=0
+    - compiler.expand-swaps gates_in=7 gates_out=7 two_qubit=1 depth=6
+    - compiler.optimize gates_in=7 gates_out=7 cancelled=0 merged=0
+    - compiler.schedule makespan_cycles=21
+    - compiler.eqasm bundles=6 quantum_ops=9 duration_ns=420
+  - microarch.run_shots technology=superconducting shots=20 qubits=17
+    - microarch.session x20 bundles=120 micro_ops=200 phase_updates=60 peak_queue=20 timing_violations=0 sim=8400ns
+  counters:
+    microarch.bundle 120
+    microarch.micro_op 200
+    microarch.phase_update 60
+    microarch.pulse 140
+
+--trace=FILE writes Chrome trace_event JSON (load in chrome://tracing or
+Perfetto) without disturbing the normal output or the histogram:
+
+  $ qxc run bell.qasm --shots 1000 --seed 7 --trace=bell_trace.json
+  # 2 qubits, 4 instructions, 1000 shots
+  # plan: sampled (terminal unconditioned measurements)
+  00     525  0.5250
+  11     475  0.4750
+
+  $ head -c 15 bell_trace.json; echo
+  {"traceEvents":
+
+  $ grep -c '"ph":"X"' bell_trace.json
+  4
+
+  $ grep -c '"ph":"C"' bell_trace.json
+  3

@@ -779,6 +779,57 @@ let prop_plans_agree_statistically =
       in
       stat < keys +. (8.0 *. sqrt (2.0 *. keys)) +. 10.0)
 
+(* --- tracing --- *)
+
+module Trace = Qca_util.Trace
+
+let measured_ghz n =
+  Circuit.append (Library.ghz n)
+    (Circuit.of_list n (List.init n (fun q -> Gate.Measure q)))
+
+let test_trace_bit_identical () =
+  (* Collecting a trace must not touch the RNG stream: histograms of traced
+     and untraced runs with the same seed are bit-identical, for both plans. *)
+  List.iter
+    (fun plan ->
+      let run () = (Engine.run ~seed:99 ?plan ~shots:300 (measured_ghz 4)).Engine.histogram in
+      let plain = run () in
+      let traced = Trace.collecting (Trace.make_collector ()) run in
+      Alcotest.(check (list (pair string int))) "identical histograms" plain traced)
+    [ None; Some Engine.Trajectory ]
+
+let test_trace_counters_match_report () =
+  (* The qx.apply.* counters emitted from the apply loop agree with the
+     engine report's own gate tally, and qx.measure with its measurements. *)
+  let c = Trace.make_collector () in
+  let result =
+    Trace.collecting c (fun () ->
+        Engine.run ~seed:5 ~plan:Engine.Trajectory ~shots:20 (measured_ghz 3))
+  in
+  let report = result.Engine.report in
+  List.iter
+    (fun (gate, count) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "counter qx.apply.%s" gate)
+        (Some count)
+        (List.assoc_opt ("qx.apply." ^ gate) (Trace.counters c)))
+    report.Engine.gate_applies;
+  Alcotest.(check (option int)) "qx.measure matches report"
+    (Some report.Engine.measurements)
+    (List.assoc_opt "qx.measure" (Trace.counters c))
+
+let test_trace_span_phases () =
+  (* A sampled run produces the engine.run > analyse/simulate/sample tree. *)
+  let c = Trace.make_collector () in
+  ignore (Trace.collecting c (fun () -> Engine.run ~seed:7 ~shots:100 (measured_ghz 3)));
+  match Trace.roots c with
+  | [ root ] ->
+      Alcotest.(check string) "root" "engine.run" root.Trace.span_name;
+      Alcotest.(check (list string)) "phases"
+        [ "engine.analyse"; "engine.simulate"; "engine.sample" ]
+        (List.map (fun n -> n.Trace.span_name) root.Trace.children)
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
 let () =
   let qtest = QCheck_alcotest.to_alcotest in
   Alcotest.run "qca_qx"
@@ -865,6 +916,13 @@ let () =
           Alcotest.test_case "backends agree" `Quick test_backends_agree;
           Alcotest.test_case "density backend domain" `Quick
             test_density_backend_rejects_feedback;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "traced run bit-identical" `Quick test_trace_bit_identical;
+          Alcotest.test_case "counters match report" `Quick
+            test_trace_counters_match_report;
+          Alcotest.test_case "span phases" `Quick test_trace_span_phases;
         ] );
       ( "resilience",
         [

@@ -362,6 +362,177 @@ let prop_fault_rate_frequency =
       done;
       abs_float ((float_of_int !fired /. float_of_int n) -. p) < 0.08)
 
+(* --- Trace --- *)
+
+module Trace = Qca_util.Trace
+
+let span_names nodes = List.map (fun n -> n.Trace.span_name) nodes
+
+let test_trace_disabled_noop () =
+  Alcotest.(check bool) "disabled by default" false (Trace.enabled ());
+  (* Every primitive must be callable with no sink and change nothing. *)
+  let sp = Trace.begin_span "orphan" in
+  Trace.add_attr sp "k" (Trace.Int 1);
+  Trace.set_sim_ns sp 5;
+  Trace.end_span sp;
+  Trace.add_counter "c" 3;
+  let thunk_ran = ref false in
+  let v =
+    Trace.with_span "w" (fun sp ->
+        Trace.annotate sp (fun () ->
+            thunk_ran := true;
+            [ ("k", Trace.Int 1) ]);
+        42)
+  in
+  Alcotest.(check int) "with_span passes value through" 42 v;
+  Alcotest.(check bool) "annotate thunk not evaluated when disabled" false !thunk_ran
+
+let test_trace_nesting () =
+  let c = Trace.make_collector () in
+  Trace.collecting c (fun () ->
+      Trace.with_span "a" (fun _ ->
+          Trace.with_span "b" (fun _ -> ());
+          Trace.with_span "c" (fun _ -> ())));
+  match Trace.roots c with
+  | [ a ] ->
+      Alcotest.(check string) "root" "a" a.Trace.span_name;
+      Alcotest.(check (list string)) "children in order" [ "b"; "c" ]
+        (span_names a.Trace.children)
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_trace_defensive_end () =
+  (* Ending an outer span closes any dangling descendants first. *)
+  let c = Trace.make_collector () in
+  Trace.collecting c (fun () ->
+      let a = Trace.begin_span "a" in
+      let _b = Trace.begin_span "b" in
+      Trace.end_span a;
+      Trace.with_span "after" (fun _ -> ()));
+  Alcotest.(check (list string)) "a closed with b inside, then a sibling"
+    [ "a"; "after" ] (span_names (Trace.roots c));
+  match Trace.roots c with
+  | [ a; _ ] ->
+      Alcotest.(check (list string)) "b became a's child" [ "b" ]
+        (span_names a.Trace.children)
+  | _ -> Alcotest.fail "expected two roots"
+
+let test_trace_exception_safety () =
+  let c = Trace.make_collector () in
+  (try
+     Trace.collecting c (fun () ->
+         Trace.with_span "boom" (fun _ -> failwith "kaput"))
+   with Failure _ -> ());
+  Alcotest.(check bool) "sink uninstalled after raise" false (Trace.enabled ());
+  Alcotest.(check (list string)) "span closed despite raise" [ "boom" ]
+    (span_names (Trace.roots c))
+
+let test_trace_attrs_and_counters () =
+  let c = Trace.make_collector () in
+  Trace.collecting c (fun () ->
+      Trace.with_span "s" (fun sp ->
+          Trace.add_attr sp "first" (Trace.Int 1);
+          Trace.annotate sp (fun () -> [ ("second", Trace.String "x") ]);
+          Trace.set_sim_ns sp 120);
+      Trace.add_counter "hits" 2;
+      Trace.add_counter "hits" 3;
+      Trace.add_counter "misses" 1);
+  (match Trace.roots c with
+  | [ s ] ->
+      Alcotest.(check (list string)) "attr order preserved" [ "first"; "second" ]
+        (List.map fst s.Trace.attrs);
+      Alcotest.(check (option int)) "sim_ns" (Some 120) s.Trace.sim_ns
+  | _ -> Alcotest.fail "expected one root");
+  Alcotest.(check (list (pair string int))) "counters summed and sorted"
+    [ ("hits", 5); ("misses", 1) ] (Trace.counters c)
+
+let test_trace_tree_collapse () =
+  let c = Trace.make_collector () in
+  Trace.collecting c (fun () ->
+      Trace.with_span "parent" (fun _ ->
+          for i = 1 to 3 do
+            Trace.with_span "shot" (fun sp ->
+                Trace.add_attr sp "ops" (Trace.Int i);
+                Trace.set_sim_ns sp 100)
+          done));
+  let tree = Trace.to_tree_string ~show_wall:false c in
+  Alcotest.(check bool) "siblings collapsed"
+    true
+    (let re = "shot x3 ops=6 sim=300ns" in
+     let rec contains i =
+       i + String.length re <= String.length tree
+       && (String.sub tree i (String.length re) = re || contains (i + 1))
+     in
+     contains 0)
+
+(* Enough JSON checking to catch escaping and nesting mistakes: balanced
+   delimiters outside strings, valid escapes inside, no raw control chars. *)
+let json_well_formed s =
+  let depth = ref 0 and ok = ref true in
+  let in_string = ref false and escaped = ref false in
+  String.iter
+    (fun ch ->
+      if !in_string then
+        if !escaped then escaped := false
+        else if ch = '\\' then escaped := true
+        else if ch = '"' then in_string := false
+        else if Char.code ch < 0x20 then ok := false
+        else ()
+      else
+        match ch with
+        | '"' -> in_string := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_string
+
+let test_trace_chrome_json () =
+  let c = Trace.make_collector () in
+  Trace.collecting c (fun () ->
+      Trace.with_span "outer" (fun sp ->
+          Trace.add_attr sp "label" (Trace.String "quotes \" and \\ and\nnewline");
+          Trace.with_span "inner" (fun sp -> Trace.set_sim_ns sp 40));
+      Trace.add_counter "qx.apply.h" 7);
+  let json = Trace.to_chrome_json c in
+  Alcotest.(check bool) "well-formed" true (json_well_formed json);
+  let has needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length json && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has traceEvents" true (has "\"traceEvents\"");
+  Alcotest.(check bool) "complete events" true (has "\"ph\":\"X\"");
+  Alcotest.(check bool) "counter events" true (has "\"ph\":\"C\"");
+  Alcotest.(check bool) "sim_ns in args" true (has "\"sim_ns\":40");
+  Alcotest.(check bool) "escaped newline" true (has "\\nnewline")
+
+let prop_trace_nesting_depth =
+  QCheck.Test.make ~name:"trace random begin/end keeps a well-formed forest"
+    QCheck.(list (int_range 0 2))
+    (fun script ->
+      let c = Trace.make_collector () in
+      Trace.collecting c (fun () ->
+          let open_spans = ref [] in
+          List.iter
+            (fun op ->
+              match op, !open_spans with
+              | 0, _ ->
+                  open_spans := Trace.begin_span "n" :: !open_spans
+              | 1, sp :: rest ->
+                  Trace.end_span sp;
+                  open_spans := rest
+              | _, _ -> Trace.add_counter "k" 1)
+            script);
+      (* Whatever the open/close sequence, the finished forest contains only
+         closed spans and the total span count never exceeds the opens. *)
+      let opens = List.length (List.filter (fun op -> op = 0) script) in
+      let rec count nodes =
+        List.fold_left (fun acc n -> acc + 1 + count n.Trace.children) 0 nodes
+      in
+      count (Trace.roots c) <= opens)
+
 let () =
   let qtest = QCheck_alcotest.to_alcotest in
   Alcotest.run "qca_util"
@@ -386,6 +557,17 @@ let () =
           Alcotest.test_case "retry exhausts" `Quick test_retry_exhausts;
           Alcotest.test_case "permanent propagates" `Quick
             test_retry_permanent_propagates;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled no-op" `Quick test_trace_disabled_noop;
+          Alcotest.test_case "nesting" `Quick test_trace_nesting;
+          Alcotest.test_case "defensive end" `Quick test_trace_defensive_end;
+          Alcotest.test_case "exception safety" `Quick test_trace_exception_safety;
+          Alcotest.test_case "attrs and counters" `Quick test_trace_attrs_and_counters;
+          Alcotest.test_case "tree collapse" `Quick test_trace_tree_collapse;
+          Alcotest.test_case "chrome json" `Quick test_trace_chrome_json;
+          qtest prop_trace_nesting_depth;
         ] );
       ( "rng",
         [

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Documentation checks:
+#   1. lint relative links between the markdown docs (always),
+#   2. build the odoc API docs (when odoc is installed).
+#
+# The link lint also runs as part of `dune runtest` (tools/dune, alias
+# lint-docs). The odoc build is gated on the tool being present so the
+# script works in minimal containers; install odoc via opam to enable it.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== docs link lint"
+dune build @lint-docs
+echo "ok"
+
+if command -v odoc >/dev/null 2>&1; then
+  echo "== odoc API docs (dune build @doc)"
+  dune build @doc
+  echo "ok: _build/default/_doc/_html/index.html"
+else
+  echo "== odoc not installed; skipping 'dune build @doc' (opam install odoc to enable)"
+fi

@@ -1,0 +1,64 @@
+(* Docs link lint: check that every relative markdown link in the given
+   files points at an existing file. External links (http/https/mailto) and
+   pure in-page anchors are skipped; a [path#anchor] target is checked as
+   [path]. Runs under `dune runtest` via the lint-docs alias. *)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  content
+
+(* Extract inline-link targets: every "](target)" occurrence. Reference
+   definitions and autolinks don't use this shape, so this stays simple and
+   has no false negatives for the repo's docs style. *)
+let targets content =
+  let acc = ref [] in
+  let line = ref 1 in
+  let n = String.length content in
+  let i = ref 0 in
+  while !i < n do
+    (match content.[!i] with
+    | '\n' -> incr line
+    | ']' when !i + 1 < n && content.[!i + 1] = '(' -> (
+        match String.index_from_opt content (!i + 2) ')' with
+        | Some close when close > !i + 2 ->
+            acc := (!line, String.sub content (!i + 2) (close - !i - 2)) :: !acc
+        | Some _ | None -> ())
+    | _ -> ());
+    incr i
+  done;
+  List.rev !acc
+
+let external_target t =
+  let prefixed p =
+    String.length t >= String.length p && String.sub t 0 (String.length p) = p
+  in
+  prefixed "http://" || prefixed "https://" || prefixed "mailto:"
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  let broken = ref 0 in
+  List.iter
+    (fun file ->
+      let dir = Filename.dirname file in
+      List.iter
+        (fun (line, target) ->
+          if not (external_target target || target = "" || target.[0] = '#') then begin
+            let path =
+              match String.index_opt target '#' with
+              | Some h -> String.sub target 0 h
+              | None -> target
+            in
+            if path <> "" && not (Sys.file_exists (Filename.concat dir path)) then begin
+              incr broken;
+              Printf.eprintf "%s:%d: broken link: %s\n" file line target
+            end
+          end)
+        (targets (read_file file)))
+    files;
+  if !broken > 0 then begin
+    Printf.eprintf "docs link lint: %d broken link(s)\n" !broken;
+    exit 1
+  end
