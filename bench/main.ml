@@ -9,7 +9,10 @@
    BENCH_engine.json;
    `dune exec bench/main.exe -- resilience` measures the cost of the fault
    injection hooks when injection is disabled and writes
-   BENCH_resilience.json. *)
+   BENCH_resilience.json;
+   `dune exec bench/main.exe -- kernels` measures the seed state-vector
+   kernels against the mask-specialised, fused and parallel ones and
+   writes BENCH_kernels.json. *)
 
 open Bechamel
 
@@ -409,6 +412,163 @@ let run_trace () =
   close_out oc;
   print_endline "wrote BENCH_trace.json"
 
+(* --- state-vector kernel benchmark (BENCH_kernels.json) --- *)
+
+let run_kernels () =
+  let module State = Qca_qx.State in
+  let module Engine = Qca_qx.Engine in
+  let module Parallel = Qca_util.Parallel in
+  print_endline
+    "=== Kernels: seed vs specialised vs fused vs parallel (ns per amplitude per run) ===";
+  let time_best ?(reps = 5) f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Sys.time () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = Sys.time () -. t0 in
+      if dt < !best then best := dt
+    done;
+    Float.max 1e-9 !best
+  in
+  let prepared n =
+    let s = State.create n in
+    for q = 0 to n - 1 do
+      State.apply s Gate.H [| q |]
+    done;
+    s
+  in
+  (* Each gate class is a run of 8 gates; the timed unit applies the whole
+     run [inner] times so the smallest states still get past timer
+     resolution. ns/amp is per one application of the run, so a fused
+     single-sweep execution shows up directly against 8 seed sweeps. *)
+  let classes =
+    [
+      ("h8", List.init 8 (fun _ -> (Gate.H, [| 0 |])));
+      ("t8", List.init 8 (fun _ -> (Gate.T, [| 0 |])));
+      ("rz8", List.init 8 (fun i -> (Gate.Rz (0.1 *. float_of_int (i + 1)), [| 0 |])));
+      ("cnot8", List.init 8 (fun i -> (Gate.Cnot, [| i mod 2; 2 |])));
+      ( "diag8",
+        [
+          (Gate.T, [| 0 |]); (Gate.Rz 0.3, [| 0 |]); (Gate.Cz, [| 0; 1 |]);
+          (Gate.Cphase 0.7, [| 1; 2 |]); (Gate.Tdag, [| 1 |]); (Gate.Rz 0.5, [| 2 |]);
+          (Gate.Cz, [| 0; 2 |]); (Gate.S, [| 0 |]);
+        ] );
+    ]
+  in
+  let saved_threshold = Parallel.threshold_qubits () in
+  let diag_n20_speedup = ref 0.0 in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let dim = 1 lsl n in
+        let inner = max 1 ((1 lsl 23) / dim) in
+        let per_amp seconds = seconds /. float_of_int (inner * dim) *. 1e9 in
+        List.map
+          (fun (name, run) ->
+            let steps, _ =
+              Engine.compile_steps ~fusion:true
+                (List.map (fun (u, ops) -> Gate.Unitary (u, ops)) run)
+            in
+            let kernels =
+              List.filter_map
+                (function Engine.Kernel k -> Some k | Engine.Instr _ -> None)
+                steps
+            in
+            let s = prepared n in
+            let loop apply_run () =
+              for _ = 1 to inner do
+                apply_run ()
+              done
+            in
+            let seed_s =
+              time_best
+                (loop (fun () ->
+                     List.iter (fun (u, ops) -> State.Reference.apply s u ops) run))
+            in
+            let spec_s =
+              time_best
+                (loop (fun () -> List.iter (fun (u, ops) -> State.apply s u ops) run))
+            in
+            let fused_run () = List.iter (Engine.apply_kernel s) kernels in
+            let fused_s = time_best (loop fused_run) in
+            Parallel.set_threshold_qubits 0;
+            let par_s = time_best (loop fused_run) in
+            Parallel.set_threshold_qubits saved_threshold;
+            let speedup = per_amp seed_s /. per_amp fused_s in
+            if name = "diag8" && n = 20 then diag_n20_speedup := speedup;
+            Printf.printf
+              "n=%-3d %-6s seed %7.2f | specialised %7.2f | fused %7.2f | parallel \
+               %7.2f ns/amp | fused speedup %.2fx\n"
+              n name (per_amp seed_s) (per_amp spec_s) (per_amp fused_s)
+              (per_amp par_s) speedup;
+            (name, n, per_amp seed_s, per_amp spec_s, per_amp fused_s, per_amp par_s,
+             speedup))
+          classes)
+      [ 10; 16; 20; 22 ]
+  in
+  (* End-to-end: full circuits through the seed kernels vs the compiled
+     fused plan (state allocation included on both sides). *)
+  let end_to_end =
+    List.map
+      (fun (name, circuit) ->
+        let unitaries =
+          List.filter_map
+            (function Gate.Unitary (u, ops) -> Some (u, ops) | _ -> None)
+            (Circuit.instructions circuit)
+        in
+        let steps, _ =
+          Engine.compile_steps ~fusion:true (Circuit.instructions circuit)
+        in
+        let kernels =
+          List.filter_map
+            (function Engine.Kernel k -> Some k | Engine.Instr _ -> None)
+            steps
+        in
+        let n = Circuit.qubit_count circuit in
+        let seed_s =
+          time_best (fun () ->
+              let s = State.create n in
+              List.iter (fun (u, ops) -> State.Reference.apply s u ops) unitaries)
+        in
+        let fused_s =
+          time_best (fun () ->
+              let s = State.create n in
+              List.iter (Engine.apply_kernel s) kernels)
+        in
+        let speedup = seed_s /. fused_s in
+        Printf.printf "%-8s seed %.4fs | fused plan %.4fs | speedup %.2fx\n" name
+          seed_s fused_s speedup;
+        (name, seed_s, fused_s, speedup))
+      [ ("ghz-20", Library.ghz 20); ("qft-16", Library.qft 16) ]
+  in
+  Printf.printf "diag-heavy n=20 fused-vs-seed speedup: %.2fx (target 2x)\n"
+    !diag_n20_speedup;
+  let oc = open_out "BENCH_kernels.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\"benchmark\":\"state-vector-kernels\",\"unit\":\"ns_per_amplitude_per_run\",\"domains\":%d,\"threshold_qubits\":%d,\"diag_n20_speedup_fused_vs_seed\":%.2f,\"gate_classes\":["
+       (Parallel.domain_count ()) saved_threshold !diag_n20_speedup);
+  List.iteri
+    (fun i (name, n, seed, spec, fused, par, speedup) ->
+      if i > 0 then output_char oc ',';
+      output_string oc
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"n\":%d,\"seed\":%.3f,\"specialised\":%.3f,\"fused\":%.3f,\"parallel\":%.3f,\"speedup_fused_vs_seed\":%.2f}"
+           name n seed spec fused par speedup))
+    rows;
+  output_string oc "],\"end_to_end\":[";
+  List.iteri
+    (fun i (name, seed_s, fused_s, speedup) ->
+      if i > 0 then output_char oc ',';
+      output_string oc
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"seed_s\":%.6f,\"fused_s\":%.6f,\"speedup\":%.2f}" name
+           seed_s fused_s speedup))
+    end_to_end;
+  output_string oc "]}\n";
+  close_out oc;
+  print_endline "wrote BENCH_kernels.json"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
@@ -419,6 +579,7 @@ let () =
   | [ "engine" ] -> run_engine ()
   | [ "resilience" ] -> run_resilience ()
   | [ "trace" ] -> run_trace ()
+  | [ "kernels" ] -> run_kernels ()
   | ids ->
       List.iter
         (fun id ->
@@ -426,8 +587,8 @@ let () =
           | Some e -> e ()
           | None ->
               Printf.eprintf
-                "unknown experiment '%s' (use e1..e13, micro, engine, resilience or \
-                 trace)\n"
+                "unknown experiment '%s' (use e1..e13, micro, engine, resilience, \
+                 trace or kernels)\n"
                 id;
               exit 1)
         ids

@@ -188,7 +188,7 @@ let print_resilience faults report =
 
 (* --- run --- *)
 
-let run_command file shots seed noise trajectory metrics trace fault_rate
+let run_command file shots seed noise trajectory no_fusion metrics trace fault_rate
     fault_seed max_retries =
   if not (check_shots shots) then 1
   else
@@ -204,7 +204,10 @@ let run_command file shots seed noise trajectory metrics trace fault_rate
           let plan = if trajectory then Some Engine.Trajectory else None in
           let faults = make_faults fault_rate fault_seed in
           let policy = make_policy max_retries in
-          let result = Engine.run ~noise ~seed ?plan ~shots ?faults ~policy circuit in
+          let result =
+            Engine.run ~noise ~seed ?plan ~shots ?faults ~policy ~fusion:(not no_fusion)
+              circuit
+          in
           let report = result.Engine.report in
           Printf.printf "# %d qubits, %d instructions, %d shots\n"
             (Circuit.qubit_count circuit) (Circuit.length circuit) shots;
@@ -225,10 +228,19 @@ let trajectory_flag =
     & info [ "trajectory" ]
         ~doc:"Force the per-shot trajectory plan even when single-pass sampling applies.")
 
+let no_fusion_flag =
+  Arg.(
+    value & flag
+    & info [ "no-fusion" ]
+        ~doc:
+          "Disable the gate-fusion pre-pass (results are bit-identical either way; \
+           this only affects speed and the fusion metrics).")
+
 let run_term =
   Term.(
     const run_command $ file_arg $ shots_arg $ seed_arg $ noise_arg $ trajectory_flag
-    $ metrics_arg $ trace_arg $ fault_rate_arg $ fault_seed_arg $ max_retries_arg)
+    $ no_fusion_flag $ metrics_arg $ trace_arg $ fault_rate_arg $ fault_seed_arg
+    $ max_retries_arg)
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a cQASM program on the QX simulator.") run_term

@@ -65,8 +65,9 @@ let () =
   let params = { Qaoa.gammas = [| best.(0) |]; betas = [| best.(1) |] } in
   let state = Qaoa.evolve model params in
   let best_bits = ref [||] and best_cut = ref neg_infinity in
+  let sampler = Qca_qx.State.sampler state in
   for _ = 1 to 512 do
-    let basis = Qca_qx.State.sample_index state rng in
+    let basis = Qca_qx.State.sampler_draw sampler rng in
     let bits = Array.init model.Ising.n (fun q -> (basis lsr q) land 1) in
     let cut = Problems.cut_value graph bits in
     if cut > !best_cut then begin

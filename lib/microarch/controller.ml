@@ -434,6 +434,7 @@ let run_shots ?noise ?seed ?rng ?(shots = 1024) ?faults
       measurements = !measures;
       wall = { Engine.analyse_s = 0.0; simulate_s = t1 -. t0; sample_s = 0.0 };
       resilience;
+      fusion = Engine.no_fusion;
     }
   in
   (match faults with

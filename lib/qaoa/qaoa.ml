@@ -126,8 +126,11 @@ let optimize ?(layers = 1) ?(restarts = 3) ?(shots = 256) ~rng model =
   let state = evolve_with energies model p in
   let n = model.Ising.n in
   let best_bits = ref (Array.make n 0) and best_energy = ref infinity in
+  (* One cumulative build, then O(n) binary-search draws: repeated
+     sample_index calls would rebuild the distribution every shot. *)
+  let sampler = State.sampler state in
   for _ = 1 to shots do
-    let basis = State.sample_index state rng in
+    let basis = State.sampler_draw sampler rng in
     let e = spin_energy_of_basis model basis in
     if e < !best_energy then begin
       best_energy := e;

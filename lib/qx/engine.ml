@@ -23,6 +23,15 @@ type resilience = {
 let no_resilience =
   { faults_injected = []; retries = 0; faulted_shots = 0; backoff_ns = 0; degraded = None }
 
+type fusion_stats = {
+  gates_in : int;
+  kernels : int;
+  fused_1q : int;
+  fused_diag : int;
+}
+
+let no_fusion = { gates_in = 0; kernels = 0; fused_1q = 0; fused_diag = 0 }
+
 type run_report = {
   plan : plan;
   plan_reason : string;
@@ -34,6 +43,7 @@ type run_report = {
   measurements : int;
   wall : phase_times;
   resilience : resilience;
+  fusion : fusion_stats;
 }
 
 type result = { histogram : (string * int) list; report : run_report }
@@ -139,6 +149,92 @@ let terminal_split circuit =
       in
       Some (prefix, measured)
 
+(* --- gate fusion ------------------------------------------------------- *)
+
+(* The fusion pre-pass folds adjacent unitaries into fused kernels:
+   maximal runs of consecutive diagonal gates (any operands) become one
+   diagonal sweep, and runs of single-qubit gates on the same qubit become
+   one pair sweep. Fused kernels keep each gate's specialised arithmetic
+   (see State), so a fused run is bit-identical to the unfused sequence —
+   fusion is a pure traversal-order optimisation. Runs never cross
+   measurements, preps, conditionals or barriers, and the pass only runs
+   when the noise model is ideal (noise is applied after each gate, which
+   pins the gate-by-gate schedule). *)
+
+type fused_kernel =
+  | Single of Gate.unitary * int array * string
+  | Fused_1q of int * State.fused1q_plan * string list
+  | Fused_diag of State.diag_plan * string list
+
+type plan_step = Kernel of fused_kernel | Instr of Gate.t
+
+let compile_steps ~fusion instrs =
+  let gates_in = ref 0 and kernels = ref 0 and fused_1q = ref 0 and fused_diag = ref 0 in
+  let rec take_diag acc = function
+    | Gate.Unitary (u, ops) :: rest when Gate.is_diagonal u ->
+        take_diag ((u, ops) :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let rec take_1q q acc = function
+    | Gate.Unitary (u, ops) :: rest when Gate.arity u = 1 && ops.(0) = q ->
+        take_1q q (u :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let single u ops =
+    incr gates_in;
+    incr kernels;
+    Kernel (Single (u, ops, Gate.name u))
+  in
+  let rec go acc instrs =
+    match instrs with
+    | [] -> List.rev acc
+    | (Gate.Conditional _ | Gate.Prep _ | Gate.Measure _ | Gate.Barrier _) as instr :: rest
+      ->
+        go (Instr instr :: acc) rest
+    | Gate.Unitary (u, ops) :: rest when not fusion -> go (single u ops :: acc) rest
+    | Gate.Unitary (u, ops) :: rest as all -> (
+        let diag_run, diag_rest =
+          if Gate.is_diagonal u then take_diag [] all else ([], all)
+        in
+        match diag_run with
+        | _ :: _ :: _ ->
+            (* Every gate in the run is diagonal, so the plan exists. *)
+            let dplan = Option.get (State.diag_plan_of diag_run) in
+            gates_in := !gates_in + List.length diag_run;
+            incr kernels;
+            incr fused_diag;
+            let names = List.map (fun (du, _) -> Gate.name du) diag_run in
+            go (Kernel (Fused_diag (dplan, names)) :: acc) diag_rest
+        | _ ->
+            if Gate.arity u = 1 then begin
+              let q = ops.(0) in
+              match take_1q q [] all with
+              | (_ :: _ :: _ as run), rest' ->
+                  gates_in := !gates_in + List.length run;
+                  incr kernels;
+                  incr fused_1q;
+                  go
+                    (Kernel (Fused_1q (q, State.fused1q_plan_of run, List.map Gate.name run))
+                    :: acc)
+                    rest'
+              | _ -> go (single u ops :: acc) rest
+            end
+            else go (single u ops :: acc) rest)
+  in
+  let steps = go [] instrs in
+  ( steps,
+    {
+      gates_in = !gates_in;
+      kernels = !kernels;
+      fused_1q = !fused_1q;
+      fused_diag = !fused_diag;
+    } )
+
+let apply_kernel state = function
+  | Single (u, ops, _) -> State.apply state u ops
+  | Fused_1q (q, p, _) -> State.apply_fused1q state p q
+  | Fused_diag (p, _) -> State.apply_diag_plan state p
+
 (* --- trajectory executor ----------------------------------------------- *)
 
 (* The canonical per-shot executor (also backing [Sim.run]): one fresh state
@@ -184,6 +280,45 @@ let exec_instrumented ?(noise = Noise.ideal) ?tally rng circuit =
 
 let exec_shot ?noise rng circuit = exec_instrumented ?noise rng circuit
 
+(* Ideal-noise per-shot executor over a compiled (possibly fused) plan.
+   Consumes randomness exactly where [exec_instrumented] does (Prep and
+   Measure only — the plan exists only for ideal noise), and fused kernels
+   are bit-identical to gate-by-gate application, so trajectories match
+   the unfused executor bit for bit. The tally still counts every
+   {e logical} gate: fused kernels record each constituent gate name. *)
+let exec_plan ~tally rng steps n =
+  let state = State.create n in
+  let classical = Array.make n (-1) in
+  let record name =
+    count_apply tally name;
+    if Trace.enabled () then Trace.add_counter ("qx.apply." ^ name) 1
+  in
+  List.iter
+    (fun step ->
+      match step with
+      | Kernel k -> (
+          apply_kernel state k;
+          match k with
+          | Single (_, _, name) -> record name
+          | Fused_1q (_, _, names) | Fused_diag (_, names) -> List.iter record names)
+      | Instr (Gate.Conditional (bit, u, ops)) ->
+          if classical.(bit) = 1 then begin
+            State.apply state u ops;
+            record (Gate.name u)
+          end
+      | Instr (Gate.Prep q) ->
+          let current = State.measure state rng q in
+          if current = 1 then State.apply state Gate.X [| q |]
+      | Instr (Gate.Measure q) ->
+          let outcome = State.measure state rng q in
+          tally.measures <- tally.measures + 1;
+          if Trace.enabled () then Trace.add_counter "qx.measure" 1;
+          classical.(q) <- outcome
+      | Instr (Gate.Barrier _) -> ()
+      | Instr (Gate.Unitary _) -> assert false)
+    steps;
+  classical
+
 let fold_trajectories ?noise ~rng ~shots ~init ~f circuit =
   let acc = ref init in
   for _ = 1 to shots do
@@ -208,7 +343,7 @@ let inject_backend_fault faults ~site =
         (Qerror.Backend_transient "injected backend fault")
   | Some _ | None -> ()
 
-let run_trajectory ?noise ?(faults = None) ~policy ~counters ~tally rng ~shots circuit =
+let run_trajectory ?(faults = None) ~policy ~counters ~shot_exec ~shots () =
   let table = Hashtbl.create 64 in
   let record classical =
     let key = bitstring classical in
@@ -217,15 +352,13 @@ let run_trajectory ?noise ?(faults = None) ~policy ~counters ~tally rng ~shots c
   (match faults with
   | None ->
       for _ = 1 to shots do
-        let _, classical = exec_instrumented ?noise ~tally rng circuit in
-        record classical
+        record (shot_exec ())
       done
   | Some _ ->
       for _ = 1 to shots do
         let shot () =
           inject_backend_fault faults ~site:"Engine.run_trajectory";
-          let _, classical = exec_instrumented ?noise ~tally rng circuit in
-          classical
+          shot_exec ()
         in
         match Resilience.with_retries policy counters shot with
         | Ok classical -> record classical
@@ -291,21 +424,27 @@ let sample_histogram ~probabilities ~measured ~rng ~shots =
   Hashtbl.fold (fun k count acc -> (key_of k, count) :: acc) counts []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
 
-let run_sampled ~tally rng ~shots ~measured circuit =
+let run_sampled ~tally rng ~shots ~measured ~steps circuit =
   (* [shots] here is the surviving-shot count (faults already applied). *)
   let n = Circuit.qubit_count circuit in
   let state = State.create n in
+  let record name =
+    count_apply tally name;
+    if Trace.enabled () then Trace.add_counter ("qx.apply." ^ name) 1
+  in
   let sim_sp = Trace.begin_span "engine.simulate" in
   List.iter
-    (fun instr ->
-      match instr with
-      | Gate.Unitary (u, ops) ->
-          State.apply state u ops;
-          count_apply tally (Gate.name u);
-          if Trace.enabled () then Trace.add_counter ("qx.apply." ^ Gate.name u) 1
-      | Gate.Prep _ | Gate.Barrier _ | Gate.Measure _ -> ()
-      | Gate.Conditional _ -> invalid_arg "Engine: conditional gate in sampled plan")
-    (Circuit.instructions circuit);
+    (fun step ->
+      match step with
+      | Kernel k -> (
+          apply_kernel state k;
+          match k with
+          | Single (_, _, name) -> record name
+          | Fused_1q (_, _, names) | Fused_diag (_, names) -> List.iter record names)
+      | Instr (Gate.Prep _ | Gate.Barrier _ | Gate.Measure _) -> ()
+      | Instr (Gate.Unitary _) -> assert false
+      | Instr (Gate.Conditional _) -> invalid_arg "Engine: conditional gate in sampled plan")
+    steps;
   Trace.annotate sim_sp (fun () ->
       [ ("gate_applies", Trace.Int (Hashtbl.fold (fun _ c acc -> acc + c) tally.applies 0)) ]);
   Trace.end_span sim_sp;
@@ -323,7 +462,7 @@ let run_sampled ~tally rng ~shots ~measured circuit =
 (* --- the run surface --------------------------------------------------- *)
 
 let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) ?faults
-    ?(policy = Resilience.default_policy) circuit =
+    ?(policy = Resilience.default_policy) ?(fusion = true) circuit =
   if shots < 1 then invalid_arg "Engine.run: shots must be positive";
   Trace.with_span "engine.run" (fun run_sp ->
   let counters = Resilience.fresh_counters () in
@@ -355,18 +494,47 @@ let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) ?faults
         ("instructions", Trace.Int (Circuit.length circuit));
       ]);
   let rng = resolve_rng seed rng in
+  (* Fusion pre-pass: only for ideal noise (per-gate stochastic noise pins
+     the gate-by-gate schedule). [~fusion:false] still compiles — into
+     single-gate kernels — so both paths run the same executor. *)
+  let ideal = Noise.is_ideal noise in
+  let steps, fstats =
+    if ideal then
+      Trace.with_span "engine.fuse" (fun fuse_sp ->
+          let steps, stats = compile_steps ~fusion (Circuit.instructions circuit) in
+          Trace.annotate fuse_sp (fun () ->
+              [
+                ("fusion", Trace.Bool fusion);
+                ("gates_in", Trace.Int stats.gates_in);
+                ("kernels", Trace.Int stats.kernels);
+                ("fused_1q", Trace.Int stats.fused_1q);
+                ("fused_diag", Trace.Int stats.fused_diag);
+              ]);
+          if Trace.enabled () then begin
+            Trace.add_counter "qx.fusion.gates_in" stats.gates_in;
+            Trace.add_counter "qx.fusion.kernels" stats.kernels
+          end;
+          (Some steps, stats))
+    else (None, no_fusion)
+  in
   let t1 = Sys.time () in
   let tally = fresh_tally () in
   let histogram, t_sample_start =
     match chosen with
     | Sampled ->
         let survivors = surviving_shots ~faults ~policy ~counters shots in
-        run_sampled ~tally rng ~shots:survivors ~measured circuit
+        run_sampled ~tally rng ~shots:survivors ~measured ~steps:(Option.get steps) circuit
     | Trajectory ->
+        let n = Circuit.qubit_count circuit in
+        let shot_exec =
+          match steps with
+          | Some steps -> fun () -> exec_plan ~tally rng steps n
+          | None -> fun () -> snd (exec_instrumented ~noise ~tally rng circuit)
+        in
         let h =
           Trace.with_span "engine.simulate" (fun sim_sp ->
               Trace.annotate sim_sp (fun () -> [ ("trajectories", Trace.Int shots) ]);
-              run_trajectory ~noise ~faults ~policy ~counters ~tally rng ~shots circuit)
+              run_trajectory ~faults ~policy ~counters ~shot_exec ~shots ())
         in
         (h, Sys.time ())
   in
@@ -410,12 +578,13 @@ let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) ?faults
             sample_s = t2 -. t_sample_start;
           };
         resilience;
+        fusion = fstats;
       };
   })
 
-let run_checked ?noise ?seed ?rng ?plan ?shots ?faults ?policy circuit =
+let run_checked ?noise ?seed ?rng ?plan ?shots ?faults ?policy ?fusion circuit =
   Qerror.protect ~site:"Engine.run" (fun () ->
-      run ?noise ?seed ?rng ?plan ?shots ?faults ?policy circuit)
+      run ?noise ?seed ?rng ?plan ?shots ?faults ?policy ?fusion circuit)
 
 let success_probability result ~accept =
   let total = List.fold_left (fun acc (_, c) -> acc + c) 0 result.histogram in
@@ -458,6 +627,10 @@ let report_to_json r =
       Buffer.add_string buffer (Printf.sprintf "\"%s\":%d" (json_escape name) count))
     r.gate_applies;
   Buffer.add_string buffer "},";
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "\"fusion\":{\"gates_in\":%d,\"kernels\":%d,\"fused_1q\":%d,\"fused_diag\":%d},"
+       r.fusion.gates_in r.fusion.kernels r.fusion.fused_1q r.fusion.fused_diag);
   Buffer.add_string buffer
     (Printf.sprintf
        "\"wall_s\":{\"analyse\":%.6f,\"simulate\":%.6f,\"sample\":%.6f},"

@@ -52,6 +52,22 @@ val no_resilience : resilience
 (** All counters zero, no degradation: the report value when resilience is
     off. *)
 
+type fusion_stats = {
+  gates_in : int;
+      (** Unitary gates that reached the fusion pre-pass. Conditional
+          gates execute outside the pass and are not counted. *)
+  kernels : int;  (** Kernel sweeps executed per pass (fused or single). *)
+  fused_1q : int;  (** Fused same-qubit single-qubit runs. *)
+  fused_diag : int;  (** Coalesced diagonal-gate runs. *)
+}
+(** Gate-fusion pre-pass statistics ([docs/performance.md]). For a
+    trajectory run the plan is compiled {e once} and executed per shot, so
+    the counts are per compile, not per shot. *)
+
+val no_fusion : fusion_stats
+(** All counters zero: the report value when the pass did not run (noisy
+    runs, non-engine backends). *)
+
 type run_report = {
   plan : plan;
   plan_reason : string;  (** Why this plan was chosen (decision-table row). *)
@@ -70,6 +86,9 @@ type run_report = {
   resilience : resilience;
       (** Fault/retry/degradation counters ({!no_resilience} when the run
           had no injector and no fallback). *)
+  fusion : fusion_stats;
+      (** Gate-fusion pre-pass statistics ({!no_fusion} when the pass did
+          not run). *)
 }
 
 type result = {
@@ -91,6 +110,7 @@ val run :
   ?shots:int ->
   ?faults:Qca_util.Fault.t ->
   ?policy:Qca_util.Resilience.policy ->
+  ?fusion:bool ->
   Qca_circuit.Circuit.t ->
   result
 (** Execute [shots] shots (default 1024). [plan] overrides the analysis:
@@ -103,7 +123,11 @@ val run :
     (default {!Qca_util.Resilience.default_policy}); shots that exhaust
     their retries are dropped from the histogram and counted in
     [report.resilience.faulted_shots]. Without [faults] the run is
-    bit-identical to the pre-resilience engine. *)
+    bit-identical to the pre-resilience engine.
+
+    [fusion] (default [true]) controls the gate-fusion pre-pass. Fused
+    kernels are bit-identical to gate-by-gate application, so this only
+    changes speed and the [report.fusion] counters, never results. *)
 
 val run_checked :
   ?noise:Noise.model ->
@@ -113,6 +137,7 @@ val run_checked :
   ?shots:int ->
   ?faults:Qca_util.Fault.t ->
   ?policy:Qca_util.Resilience.policy ->
+  ?fusion:bool ->
   Qca_circuit.Circuit.t ->
   (result, Qca_util.Error.t) Stdlib.result
 (** [run] with structured errors instead of exceptions: raised
@@ -171,3 +196,29 @@ val sample_histogram :
   (string * int) list
 (** Draw [shots] bitstrings from an explicit distribution, masking
     unmeasured qubits to '-' (shared with the density backend). *)
+
+(** {2 The compiled kernel plan}
+
+    Exposed for benchmarks and tests; [run] drives these internally. *)
+
+type fused_kernel =
+  | Single of Qca_circuit.Gate.unitary * int array * string
+      (** One gate, one kernel sweep; the string is the cached gate name. *)
+  | Fused_1q of int * State.fused1q_plan * string list
+      (** A same-qubit single-qubit run: qubit, compiled run, gate names. *)
+  | Fused_diag of State.diag_plan * string list
+      (** A coalesced diagonal run (any operands): plan, gate names. *)
+
+type plan_step =
+  | Kernel of fused_kernel
+  | Instr of Qca_circuit.Gate.t
+      (** Non-unitary instruction (measure/prep/conditional/barrier),
+          executed by the shot executor, never fused across. *)
+
+val compile_steps :
+  fusion:bool -> Qca_circuit.Gate.t list -> plan_step list * fusion_stats
+(** The fusion pre-pass. With [fusion:false] every unitary becomes a
+    [Single] kernel (so both settings run the same executor). *)
+
+val apply_kernel : State.t -> fused_kernel -> unit
+(** Apply one compiled kernel to a state (no tally, no tracing). *)

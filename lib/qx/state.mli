@@ -1,7 +1,21 @@
 (** State-vector backend of the QX simulator.
 
     Amplitudes are stored little-endian: qubit 0 is the least-significant bit
-    of the basis index, matching {!Qca_circuit.Circuit.unitary_matrix}. *)
+    of the basis index, matching {!Qca_circuit.Circuit.unitary_matrix}.
+
+    {2 The kernel layer}
+
+    Every gate is dispatched to a mask-specialised kernel: single-qubit
+    phases touch only the dim/2 affected amplitudes, controlled gates
+    enumerate only their control-set subspace (dim/4 for CNOT/CZ, dim/8
+    for Toffoli), and Rz is a single branching sweep. Element-wise kernels
+    run on the {!Qca_util.Parallel} domain pool when the state is at or
+    above [Parallel.threshold_qubits] — with fixed chunk boundaries, so
+    parallel results are bit-identical to sequential ones. Fused kernels
+    ({!apply_fused1q}, {!apply_diag_plan}) execute a run of gates in one
+    sweep and are bit-identical to applying the run gate by gate (loop
+    fusion: same floating-point operations in the same per-element order).
+    See [docs/performance.md]. *)
 
 type t
 
@@ -47,7 +61,21 @@ val measure : t -> Qca_util.Rng.t -> int -> int
 (** Sample and collapse one qubit; returns the outcome. *)
 
 val sample_index : t -> Qca_util.Rng.t -> int
-(** Sample a basis index from the current distribution without collapsing. *)
+(** Sample a basis index from the current distribution without collapsing.
+    One draw costs an [O(2^n)] cumulative build plus an [O(n)] binary
+    search; for repeated draws from the same state build a {!sampler}. *)
+
+type sampler
+(** A cumulative distribution snapshot of a state, for repeated draws. *)
+
+val sampler : t -> sampler
+(** Build the cumulative array once ([O(2^n)]). The snapshot does not
+    track later mutations of the state. *)
+
+val sampler_draw : sampler -> Qca_util.Rng.t -> int
+(** One [O(n)] binary-search draw. [sampler_draw (sampler s) rng] is
+    bit-identical to [sample_index s rng] (same RNG consumption, same
+    index). *)
 
 val overlap : t -> t -> Qca_util.Cplx.t
 (** Inner product <a|b>. *)
@@ -78,3 +106,51 @@ val apply_controlled_permutation : t -> control:int -> (int -> int) -> unit
 
 val memory_bytes : int -> int
 (** Bytes required by a state on [n] qubits (used by the E5 scaling table). *)
+
+(** {2 Fused kernels}
+
+    Building blocks for the engine's gate-fusion pre-pass
+    ([Qx.Engine], [docs/performance.md]). Both are {e loop} fusion — the
+    amplitude (pair) is loaded once, every gate of the run is applied to
+    it in sequence, and it is stored once — so results are bit-identical
+    to applying the run gate by gate. *)
+
+type fused1q_plan
+(** A compiled run of single-qubit gates on one qubit. Each gate keeps the
+    specialised arithmetic of its standalone kernel (X a swap, phases
+    touching only the set-bit element, Rz a branch, dense gates the full
+    2x2), so the fused sweep is strictly bit-identical to the unfused
+    sequence. *)
+
+val fused1q_plan_of : Qca_circuit.Gate.unitary list -> fused1q_plan
+(** Compile a run of single-qubit gates (application order); identities
+    are dropped. *)
+
+val fused1q_gates : fused1q_plan -> int
+(** Number of non-identity gates in the plan. *)
+
+val apply_fused1q : t -> fused1q_plan -> int -> unit
+(** [apply_fused1q s plan q]: apply the run to qubit [q] in one sweep over
+    the amplitude pairs. *)
+
+type diag_plan
+(** A coalesced run of computational-basis-diagonal gates, applied to
+    every amplitude in a single sweep by {!apply_diag_plan}. *)
+
+val diag_plan_of : (Qca_circuit.Gate.unitary * int array) list -> diag_plan option
+(** Compile a gate run (application order, with operands) into a diagonal
+    sweep. [None] if any gate is not diagonal; identities are dropped. *)
+
+val diag_plan_terms : diag_plan -> int
+(** Number of non-identity terms in the plan. *)
+
+val apply_diag_plan : t -> diag_plan -> unit
+
+(** {2 Seed kernels (benchmark baseline)}
+
+    The pre-kernel-layer gate implementations, kept verbatim so
+    [bench kernels] and the runtest perf guard can measure the new
+    kernels against them. Not an execution path of the stack. *)
+module Reference : sig
+  val apply : t -> Qca_circuit.Gate.unitary -> int array -> unit
+end

@@ -1,0 +1,142 @@
+(* Shared domain pool: chunked parallel-for with fixed chunk boundaries.
+
+   Determinism contract: the range [0, length) is cut into chunks of
+   [chunk_size] items; chunk boundaries depend only on [length], never on
+   the domain count. Each chunk is executed left-to-right by exactly one
+   domain, so element-wise kernels (disjoint writes) perform the same
+   floating-point operations on the same elements in the same per-element
+   order as a sequential run — bit-identical results for any QCA_DOMAINS. *)
+
+let chunk_size = 16384
+let max_domains = 64
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> default)
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let domains =
+  ref (clamp 1 max_domains (env_int "QCA_DOMAINS" (Domain.recommended_domain_count ())))
+
+let threshold = ref (clamp 1 30 (env_int "QCA_PARALLEL_THRESHOLD" 18))
+
+let domain_count () = !domains
+let set_domain_count n = domains := clamp 1 max_domains n
+let threshold_qubits () = !threshold
+let set_threshold_qubits n = threshold := clamp 1 30 n
+let available () = !domains > 1
+
+(* --- pool --------------------------------------------------------------- *)
+
+type job = {
+  body : int -> int -> unit;
+  length : int;
+  next : int Atomic.t;  (* next unclaimed chunk start *)
+  mutable active : int;  (* domains currently inside [run_chunks] *)
+  mutable failed : exn option;  (* first exception raised by a chunk *)
+}
+
+let mutex = Mutex.create ()
+let work_ready = Condition.create ()
+let job_done = Condition.create ()
+let current : job option ref = ref None
+let generation = ref 0
+let stopping = ref false
+let workers : unit Domain.t list ref = ref []
+let dispatches = ref 0
+
+(* Claim and run fixed chunks until the job is exhausted. Lock-free between
+   chunks: claims go through the atomic cursor. *)
+let run_chunks job =
+  let continue_ = ref true in
+  while !continue_ do
+    let lo = Atomic.fetch_and_add job.next chunk_size in
+    if lo >= job.length then continue_ := false
+    else begin
+      let hi = min job.length (lo + chunk_size) in
+      try job.body lo hi
+      with e ->
+        Mutex.lock mutex;
+        if job.failed = None then job.failed <- Some e;
+        Mutex.unlock mutex
+    end
+  done
+
+let worker_loop () =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock mutex;
+    while (not !stopping) && (!generation = !seen || !current = None) do
+      Condition.wait work_ready mutex
+    done;
+    if !stopping then begin
+      Mutex.unlock mutex;
+      running := false
+    end
+    else begin
+      seen := !generation;
+      let job = Option.get !current in
+      job.active <- job.active + 1;
+      Mutex.unlock mutex;
+      run_chunks job;
+      Mutex.lock mutex;
+      job.active <- job.active - 1;
+      if job.active = 0 then Condition.broadcast job_done;
+      Mutex.unlock mutex
+    end
+  done
+
+let ensure_workers wanted =
+  while List.length !workers < wanted - 1 do
+    workers := Domain.spawn worker_loop :: !workers
+  done
+
+let shutdown () =
+  Mutex.lock mutex;
+  stopping := true;
+  Condition.broadcast work_ready;
+  Mutex.unlock mutex;
+  List.iter Domain.join !workers;
+  workers := [];
+  stopping := false
+
+let () = at_exit shutdown
+
+(* Re-entrancy guard: a kernel body must never dispatch a nested parallel
+   loop (the pool has one job slot). Nested calls run sequentially. *)
+let dispatching = ref false
+
+let dispatch_count () = !dispatches
+
+let for_range length body =
+  if length > 0 then begin
+    let d = !domains in
+    if d <= 1 || length < 2 * chunk_size || !dispatching then body 0 length
+    else begin
+      ensure_workers d;
+      incr dispatches;
+      dispatching := true;
+      let job = { body; length; next = Atomic.make 0; active = 0; failed = None } in
+      Mutex.lock mutex;
+      current := Some job;
+      incr generation;
+      Condition.broadcast work_ready;
+      Mutex.unlock mutex;
+      (* The caller is one of the pool's domains. *)
+      run_chunks job;
+      Mutex.lock mutex;
+      while job.active > 0 do
+        Condition.wait job_done mutex
+      done;
+      current := None;
+      Mutex.unlock mutex;
+      dispatching := false;
+      match job.failed with Some e -> raise e | None -> ()
+    end
+  end

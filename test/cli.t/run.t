@@ -60,6 +60,38 @@ The per-run metrics report is available as JSON:
   "h":1}
   "faulted_shots":0
 
+Fusion statistics (logical gates in vs kernel sweeps executed) ride in the
+same report: a chain of diagonal gates coalesces into one sweep, and
+--no-fusion turns the pass off (results are bit-identical either way):
+
+  $ cat > tchain.qasm <<'QASM'
+  > version 1.0
+  > qubits 2
+  > t q[0]
+  > t q[0]
+  > cz q[0], q[1]
+  > rz q[1], 0.5
+  > h q[0]
+  > measure q[0]
+  > measure q[1]
+  > QASM
+
+  $ qxc run tchain.qasm --shots 100 --seed 2 --metrics - | tail -1 | tr ',' '\n' | grep -E 'fusion|kernels|fused'
+  "fusion":{"gates_in":5
+  "kernels":2
+  "fused_1q":0
+  "fused_diag":1}
+
+  $ qxc run tchain.qasm --no-fusion --shots 100 --seed 2 --metrics - | tail -1 | tr ',' '\n' | grep -E 'fusion|kernels|fused'
+  "fusion":{"gates_in":5
+  "kernels":5
+  "fused_1q":0
+  "fused_diag":0}
+
+  $ qxc run tchain.qasm --shots 100 --seed 2 | tail -n +3 > fused.out
+  $ qxc run tchain.qasm --no-fusion --shots 100 --seed 2 | tail -n +3 > unfused.out
+  $ diff fused.out unfused.out
+
 Compile for the superconducting platform:
 
   $ qxc compile bell.qasm --platform superconducting | head -8
@@ -155,11 +187,14 @@ attributes, counters and simulated-ns are deterministic for a fixed seed:
   11     475  0.4750
   - engine.run plan=sampled shots=1000 qubits=2 instructions=4
     - engine.analyse plan=sampled reason=terminal unconditioned measurements
+    - engine.fuse fusion=true gates_in=2 kernels=2 fused_1q=0 fused_diag=0
     - engine.simulate gate_applies=2
     - engine.sample shots=1000
   counters:
     qx.apply.cnot 1
     qx.apply.h 1
+    qx.fusion.gates_in 2
+    qx.fusion.kernels 2
     qx.measure 2000
 
 Through the micro-architecture the same flag shows every layer: compiler
@@ -199,7 +234,7 @@ Perfetto) without disturbing the normal output or the histogram:
   {"traceEvents":
 
   $ grep -c '"ph":"X"' bell_trace.json
-  4
+  5
 
   $ grep -c '"ph":"C"' bell_trace.json
-  3
+  5

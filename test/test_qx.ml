@@ -819,16 +819,230 @@ let test_trace_counters_match_report () =
     (List.assoc_opt "qx.measure" (Trace.counters c))
 
 let test_trace_span_phases () =
-  (* A sampled run produces the engine.run > analyse/simulate/sample tree. *)
+  (* A sampled run produces the engine.run > analyse/fuse/simulate/sample
+     tree. *)
   let c = Trace.make_collector () in
   ignore (Trace.collecting c (fun () -> Engine.run ~seed:7 ~shots:100 (measured_ghz 3)));
   match Trace.roots c with
   | [ root ] ->
       Alcotest.(check string) "root" "engine.run" root.Trace.span_name;
       Alcotest.(check (list string)) "phases"
-        [ "engine.analyse"; "engine.simulate"; "engine.sample" ]
+        [ "engine.analyse"; "engine.fuse"; "engine.simulate"; "engine.sample" ]
         (List.map (fun n -> n.Trace.span_name) root.Trace.children)
   | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+(* --- kernels: fusion and the parallel path --- *)
+
+module Parallel = Qca_util.Parallel
+
+let with_pool ~domains f =
+  let d0 = Parallel.domain_count () and t0 = Parallel.threshold_qubits () in
+  Fun.protect
+    ~finally:(fun () ->
+      Parallel.set_domain_count d0;
+      Parallel.set_threshold_qubits t0)
+    (fun () ->
+      Parallel.set_domain_count domains;
+      f ())
+
+let apply_unitaries s instrs =
+  List.iter
+    (function Gate.Unitary (u, ops) -> State.apply s u ops | _ -> ())
+    instrs
+
+let states_bit_identical a b =
+  let dim = State.dimension a in
+  let same = ref (dim = State.dimension b) in
+  for k = 0 to dim - 1 do
+    let x = State.amplitude a k and y = State.amplitude b k in
+    if
+      Int64.bits_of_float (Cplx.re x) <> Int64.bits_of_float (Cplx.re y)
+      || Int64.bits_of_float (Cplx.im x) <> Int64.bits_of_float (Cplx.im y)
+    then same := false
+  done;
+  !same
+
+let test_fusion_stats () =
+  (* t;t;cz;rz coalesce into one diagonal sweep, h stays a single kernel. *)
+  let diag_then_h =
+    Circuit.of_list 2
+      [
+        Gate.Unitary (Gate.T, [| 0 |]); Gate.Unitary (Gate.T, [| 0 |]);
+        Gate.Unitary (Gate.Cz, [| 0; 1 |]); Gate.Unitary (Gate.Rz 0.5, [| 1 |]);
+        Gate.Unitary (Gate.H, [| 0 |]); Gate.Measure 0; Gate.Measure 1;
+      ]
+  in
+  let fused = Engine.run ~seed:2 ~shots:50 diag_then_h in
+  let f = fused.Engine.report.Engine.fusion in
+  Alcotest.(check int) "gates in" 5 f.Engine.gates_in;
+  Alcotest.(check int) "kernels" 2 f.Engine.kernels;
+  Alcotest.(check int) "fused diag runs" 1 f.Engine.fused_diag;
+  Alcotest.(check int) "fused 1q runs" 0 f.Engine.fused_1q;
+  let unfused = Engine.run ~seed:2 ~fusion:false ~shots:50 diag_then_h in
+  let g = unfused.Engine.report.Engine.fusion in
+  Alcotest.(check int) "unfused kernels = gates" 5 g.Engine.kernels;
+  Alcotest.(check (list (pair string int))) "same histogram"
+    fused.Engine.histogram unfused.Engine.histogram;
+  (* A same-qubit dense run becomes one fused 1q kernel. *)
+  let dense_run =
+    Circuit.of_list 1
+      [
+        Gate.Unitary (Gate.H, [| 0 |]); Gate.Unitary (Gate.Rx 0.3, [| 0 |]);
+        Gate.Unitary (Gate.H, [| 0 |]); Gate.Measure 0;
+      ]
+  in
+  let r = Engine.run ~seed:3 ~shots:50 dense_run in
+  let f1 = r.Engine.report.Engine.fusion in
+  Alcotest.(check int) "1q gates in" 3 f1.Engine.gates_in;
+  Alcotest.(check int) "1q kernels" 1 f1.Engine.kernels;
+  Alcotest.(check int) "1q fused runs" 1 f1.Engine.fused_1q
+
+let test_parallel_threshold_guard () =
+  (* The parallel path must never engage below the qubit threshold, and
+     must engage at it (given enough domains and a big enough sweep). *)
+  with_pool ~domains:4 (fun () ->
+      let sweep16 () =
+        let s = State.create 16 in
+        State.apply s (Gate.Rz 0.3) [| 0 |];
+        State.apply s Gate.H [| 0 |]
+      in
+      Parallel.set_threshold_qubits 18;
+      let before = Parallel.dispatch_count () in
+      sweep16 ();
+      Alcotest.(check int) "no dispatch below threshold" before
+        (Parallel.dispatch_count ());
+      Parallel.set_threshold_qubits 16;
+      sweep16 ();
+      Alcotest.(check bool) "dispatches at threshold" true
+        (Parallel.dispatch_count () > before))
+
+let test_fused_not_slower_guard () =
+  (* Single-domain fused kernels vs the seed kernels on a smoke circuit.
+     The factor is generous — this only catches pathological regressions,
+     not noise. *)
+  let n = 14 in
+  let gates =
+    [
+      (Gate.T, [| 0 |]); (Gate.Rz 0.3, [| 0 |]); (Gate.Cz, [| 0; 1 |]);
+      (Gate.Cphase 0.7, [| 1; 2 |]); (Gate.T, [| 1 |]); (Gate.Rz 0.5, [| 2 |]);
+      (Gate.Cz, [| 0; 2 |]); (Gate.S, [| 0 |]); (Gate.H, [| 0 |]);
+    ]
+  in
+  let steps, _ =
+    Engine.compile_steps ~fusion:true
+      (List.map (fun (u, ops) -> Gate.Unitary (u, ops)) gates)
+  in
+  let kernels =
+    List.filter_map
+      (function Engine.Kernel k -> Some k | Engine.Instr _ -> None)
+      steps
+  in
+  let prep () =
+    let s = State.create n in
+    for q = 0 to n - 1 do
+      State.apply s Gate.H [| q |]
+    done;
+    s
+  in
+  let time_best f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Sys.time () in
+      f ();
+      let dt = Sys.time () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let inner = 32 in
+  let s_seed = prep () in
+  let seed_s =
+    time_best (fun () ->
+        for _ = 1 to inner do
+          List.iter (fun (u, ops) -> State.Reference.apply s_seed u ops) gates
+        done)
+  in
+  let s_fused = prep () in
+  let fused_s =
+    time_best (fun () ->
+        for _ = 1 to inner do
+          List.iter (Engine.apply_kernel s_fused) kernels
+        done)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fused within 3x of seed (%.2fms vs %.2fms)"
+       (fused_s *. 1e3) (seed_s *. 1e3))
+    true
+    (fused_s <= (3.0 *. seed_s) +. 1e-3)
+
+let prop_fusion_bit_identical =
+  QCheck.Test.make ~name:"fusion is bit-identical (state and both engine plans)"
+    ~count:30 arb_seeded_circuit (fun (seed, qubits, gates) ->
+      let base = Library.random_circuit (Rng.create seed) ~qubits ~gates in
+      let instrs = Circuit.instructions base in
+      let steps, _ = Engine.compile_steps ~fusion:true instrs in
+      let s_fused = State.create qubits in
+      List.iter
+        (function
+          | Engine.Kernel k -> Engine.apply_kernel s_fused k
+          | Engine.Instr _ -> ())
+        steps;
+      let s_ref = State.create qubits in
+      apply_unitaries s_ref instrs;
+      let measured =
+        Circuit.append base
+          (Circuit.of_list qubits (List.init qubits (fun q -> Gate.Measure q)))
+      in
+      let histogram plan fusion =
+        (Engine.run ~seed:(seed + 1) ?plan ~fusion ~shots:200 measured).Engine.histogram
+      in
+      states_bit_identical s_fused s_ref
+      && histogram None true = histogram None false
+      && histogram (Some Engine.Trajectory) true
+         = histogram (Some Engine.Trajectory) false)
+
+let prop_fusion_preserves_measurement_order =
+  QCheck.Test.make ~name:"fusion never reorders mid-circuit measurements"
+    ~count:30 arb_seeded_circuit (fun (seed, qubits, gates) ->
+      (* A mid-circuit measurement forces the trajectory plan and splits
+         every fusion run crossing it; same seed, fusion on and off, must
+         produce the same histogram shot by shot. *)
+      let base = Circuit.instructions (Library.random_circuit (Rng.create seed) ~qubits ~gates) in
+      let cut = List.length base / 2 in
+      let before = List.filteri (fun i _ -> i < cut) base in
+      let after = List.filteri (fun i _ -> i >= cut) base in
+      let circuit =
+        Circuit.of_list qubits
+          (before
+          @ (Gate.Measure (seed mod qubits) :: after)
+          @ List.init qubits (fun q -> Gate.Measure q))
+      in
+      let run fusion = (Engine.run ~seed:(seed + 1) ~fusion ~shots:100 circuit) in
+      let a = run true and b = run false in
+      a.Engine.report.Engine.plan = Engine.Trajectory
+      && a.Engine.histogram = b.Engine.histogram
+      && a.Engine.report.Engine.measurements = b.Engine.report.Engine.measurements)
+
+let prop_parallel_bit_identical =
+  QCheck.Test.make ~name:"parallel kernels bit-identical to sequential" ~count:5
+    QCheck.(int_range 0 9999)
+    (fun seed ->
+      (* 16 qubits puts full sweeps (and 1q pair sweeps) at or above the
+         2-chunk dispatch floor, so the pool really runs. *)
+      let n = 16 in
+      let instrs =
+        Circuit.instructions (Library.random_circuit (Rng.create seed) ~qubits:n ~gates:30)
+      in
+      let sequential = State.create n in
+      apply_unitaries sequential instrs;
+      let parallel =
+        with_pool ~domains:3 (fun () ->
+            Parallel.set_threshold_qubits n;
+            let s = State.create n in
+            apply_unitaries s instrs;
+            s)
+      in
+      states_bit_identical sequential parallel)
 
 let () =
   let qtest = QCheck_alcotest.to_alcotest in
@@ -934,6 +1148,16 @@ let () =
             test_resilient_wrap_degrades;
           Alcotest.test_case "wrap passthrough" `Quick test_resilient_wrap_passthrough;
           qtest prop_faulted_shots_accounting;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "fusion stats" `Quick test_fusion_stats;
+          Alcotest.test_case "parallel threshold guard" `Quick
+            test_parallel_threshold_guard;
+          Alcotest.test_case "fused perf guard" `Quick test_fused_not_slower_guard;
+          qtest prop_fusion_bit_identical;
+          qtest prop_fusion_preserves_measurement_order;
+          qtest prop_parallel_bit_identical;
         ] );
       ( "properties",
         [

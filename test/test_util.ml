@@ -533,6 +533,93 @@ let prop_trace_nesting_depth =
       in
       count (Trace.roots c) <= opens)
 
+(* --- Parallel --- *)
+
+module Parallel = Qca_util.Parallel
+
+let with_domains domains f =
+  let d0 = Parallel.domain_count () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.set_domain_count d0)
+    (fun () ->
+      Parallel.set_domain_count domains;
+      f ())
+
+let test_parallel_covers_range () =
+  (* Every index visited exactly once, whatever the domain count. *)
+  with_domains 3 (fun () ->
+      let length = (2 * Parallel.chunk_size) + 777 in
+      let seen = Array.make length 0 in
+      Parallel.for_range length (fun lo hi ->
+          for i = lo to hi - 1 do
+            seen.(i) <- seen.(i) + 1
+          done);
+      Alcotest.(check bool) "each index exactly once" true
+        (Array.for_all (fun c -> c = 1) seen))
+
+let test_parallel_dispatch_gating () =
+  with_domains 3 (fun () ->
+      let before = Parallel.dispatch_count () in
+      (* Short ranges stay sequential even with domains available. *)
+      Parallel.for_range ((2 * Parallel.chunk_size) - 1) (fun _ _ -> ());
+      Alcotest.(check int) "short range sequential" before (Parallel.dispatch_count ());
+      Parallel.for_range (2 * Parallel.chunk_size) (fun _ _ -> ());
+      Alcotest.(check int) "long range dispatches" (before + 1)
+        (Parallel.dispatch_count ());
+      (* One domain means the parallel path is off entirely. *)
+      Parallel.set_domain_count 1;
+      Parallel.for_range (4 * Parallel.chunk_size) (fun _ _ -> ());
+      Alcotest.(check int) "single domain sequential" (before + 1)
+        (Parallel.dispatch_count ()))
+
+let test_parallel_bit_identical () =
+  (* Fixed chunk boundaries: a floating-point map gives bitwise the same
+     array with 1 and with 3 domains. *)
+  let length = (2 * Parallel.chunk_size) + 123 in
+  let init () = Array.init length (fun i -> 1.0 +. (float_of_int i /. 7.0)) in
+  let kernel xs lo hi =
+    for i = lo to hi - 1 do
+      xs.(i) <- (xs.(i) *. 1.000000119) +. (0.25 /. xs.(i))
+    done
+  in
+  let sequential = init () in
+  with_domains 1 (fun () -> Parallel.for_range length (kernel sequential));
+  let parallel = init () in
+  with_domains 3 (fun () -> Parallel.for_range length (kernel parallel));
+  let same = ref true in
+  for i = 0 to length - 1 do
+    if Int64.bits_of_float sequential.(i) <> Int64.bits_of_float parallel.(i) then
+      same := false
+  done;
+  Alcotest.(check bool) "bitwise identical" true !same
+
+let test_parallel_exception_propagates () =
+  with_domains 3 (fun () ->
+      let length = 4 * Parallel.chunk_size in
+      Alcotest.check_raises "body exception re-raised" (Failure "kernel boom")
+        (fun () ->
+          Parallel.for_range length (fun lo _ ->
+              if lo >= Parallel.chunk_size then failwith "kernel boom"));
+      (* The pool survives a failed loop. *)
+      let total = Atomic.make 0 in
+      Parallel.for_range length (fun lo hi -> ignore (Atomic.fetch_and_add total (hi - lo)));
+      Alcotest.(check int) "pool usable after failure" length (Atomic.get total))
+
+let test_parallel_clamps_settings () =
+  let d0 = Parallel.domain_count () and t0 = Parallel.threshold_qubits () in
+  Fun.protect
+    ~finally:(fun () ->
+      Parallel.set_domain_count d0;
+      Parallel.set_threshold_qubits t0)
+    (fun () ->
+      Parallel.set_domain_count 0;
+      Alcotest.(check int) "domain floor" 1 (Parallel.domain_count ());
+      Alcotest.(check bool) "not available at 1" false (Parallel.available ());
+      Parallel.set_domain_count 1000;
+      Alcotest.(check int) "domain cap" 64 (Parallel.domain_count ());
+      Parallel.set_threshold_qubits 21;
+      Alcotest.(check int) "threshold stored" 21 (Parallel.threshold_qubits ()))
+
 let () =
   let qtest = QCheck_alcotest.to_alcotest in
   Alcotest.run "qca_util"
@@ -613,6 +700,15 @@ let () =
           Alcotest.test_case "exponential fit" `Quick test_exponential_fit;
           Alcotest.test_case "histogram" `Quick test_histogram;
           qtest prop_mean_bounds;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "covers range" `Quick test_parallel_covers_range;
+          Alcotest.test_case "dispatch gating" `Quick test_parallel_dispatch_gating;
+          Alcotest.test_case "bit identical" `Quick test_parallel_bit_identical;
+          Alcotest.test_case "exception propagates" `Quick
+            test_parallel_exception_propagates;
+          Alcotest.test_case "clamps settings" `Quick test_parallel_clamps_settings;
         ] );
       ( "optimize",
         [
