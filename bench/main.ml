@@ -12,7 +12,10 @@
    BENCH_resilience.json;
    `dune exec bench/main.exe -- kernels` measures the seed state-vector
    kernels against the mask-specialised, fused and parallel ones and
-   writes BENCH_kernels.json. *)
+   writes BENCH_kernels.json;
+   `dune exec bench/main.exe -- lint` measures static-checker throughput
+   and the pass-verifier's compile-time overhead and writes
+   BENCH_lint.json. *)
 
 open Bechamel
 
@@ -569,6 +572,80 @@ let run_kernels () =
   close_out oc;
   print_endline "wrote BENCH_kernels.json"
 
+(* --- static checker benchmark (BENCH_lint.json) --- *)
+
+let run_lint () =
+  let module Checks = Qca_analysis.Circuit_checks in
+  let module Verify = Qca_analysis.Verify in
+  print_endline "=== Static checker throughput and pass-verifier overhead ===";
+  let best_of k f =
+    let best = ref infinity in
+    for _ = 1 to k do
+      let t0 = Sys.time () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = Sys.time () -. t0 in
+      if dt < !best then best := dt
+    done;
+    Float.max 1e-9 !best
+  in
+  (* Throughput: the full circuit suite over large random circuits. *)
+  let gates = 20_000 in
+  let throughput =
+    List.map
+      (fun n ->
+        let c = Library.random_circuit (Rng.create 11) ~qubits:n ~gates in
+        let findings = List.length (Checks.check_circuit c) in
+        let dt = best_of 3 (fun () -> Checks.check_circuit c) in
+        let rate = float_of_int gates /. dt in
+        Printf.printf "n=%-3d %d gates checked in %.4fs (%.0f gates/s, %d findings)\n"
+          n gates dt rate findings;
+        (n, dt, rate))
+      [ 10; 16; 20 ]
+  in
+  (* Overhead: the same program compiled with and without the verifier
+     observing every pass. Two plain timings bracket the verified one so
+     the hook-off noise floor is visible. *)
+  let circuit = Library.random_circuit (Rng.create 12) ~qubits:10 ~gates:2_000 in
+  let platform = Platform.superconducting_17 in
+  (* Warm up allocator and caches so neither arm pays one-time costs, then
+     interleave the arms so clock drift hits both equally; min-of-k is the
+     robust CPU-time estimator. The two alternating plain minima double as
+     the hook-off noise floor. *)
+  ignore (Sys.opaque_identity (Compiler.compile platform Compiler.Real circuit));
+  ignore (Sys.opaque_identity (Verify.compile platform Compiler.Real circuit));
+  let plain_a = ref infinity and plain_b = ref infinity in
+  let verified = ref infinity in
+  for t = 1 to 12 do
+    let tp = best_of 1 (fun () -> Compiler.compile platform Compiler.Real circuit) in
+    let tv = best_of 1 (fun () -> Verify.compile platform Compiler.Real circuit) in
+    let slot = if t land 1 = 0 then plain_a else plain_b in
+    if tp < !slot then slot := tp;
+    if tv < !verified then verified := tv
+  done;
+  let plain_a = !plain_a and plain_b = !plain_b and verified = !verified in
+  let plain = Float.min plain_a plain_b in
+  let on_pct = 100.0 *. (verified -. plain) /. plain in
+  let off_pct = 100.0 *. Float.abs (plain_a -. plain_b) /. plain in
+  Printf.printf
+    "pass-verifier: plain %.4fs, verified %.4fs -> %.1f%% overhead enabled (target < \
+     5%%), %.1f%% hook-off noise floor (target ~ 0%%)\n"
+    plain verified on_pct off_pct;
+  let oc = open_out "BENCH_lint.json" in
+  output_string oc "{\"benchmark\":\"static-checker\",\"circuit\":\"random\",";
+  output_string oc (Printf.sprintf "\"gates\":%d,\"throughput\":[" gates);
+  List.iteri
+    (fun i (n, dt, rate) ->
+      if i > 0 then output_char oc ',';
+      output_string oc
+        (Printf.sprintf "{\"n\":%d,\"check_s\":%.6f,\"gates_per_s\":%.1f}" n dt rate))
+    throughput;
+  output_string oc
+    (Printf.sprintf
+       "],\"verifier\":{\"compile_gates\":2000,\"plain_s\":%.6f,\"verified_s\":%.6f,\"overhead_enabled_pct\":%.2f,\"overhead_disabled_pct\":%.2f,\"target_enabled_pct\":5.0}}\n"
+       plain verified on_pct off_pct);
+  close_out oc;
+  print_endline "wrote BENCH_lint.json"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
@@ -580,6 +657,7 @@ let () =
   | [ "resilience" ] -> run_resilience ()
   | [ "trace" ] -> run_trace ()
   | [ "kernels" ] -> run_kernels ()
+  | [ "lint" ] -> run_lint ()
   | ids ->
       List.iter
         (fun id ->
@@ -588,7 +666,7 @@ let () =
           | None ->
               Printf.eprintf
                 "unknown experiment '%s' (use e1..e13, micro, engine, resilience, \
-                 trace or kernels)\n"
+                 trace, kernels or lint)\n"
                 id;
               exit 1)
         ids

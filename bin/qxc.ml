@@ -10,6 +10,8 @@ module Compiler = Qca_compiler.Compiler
 module Eqasm = Qca_compiler.Eqasm
 module Controller = Qca_microarch.Controller
 module Rng = Qca_util.Rng
+module Diagnostic = Qca_analysis.Diagnostic
+module Verify = Qca_analysis.Verify
 
 open Cmdliner
 
@@ -20,12 +22,14 @@ let read_file path =
   close_in ic;
   content
 
-let load_circuit path =
-  try Ok (Cqasm.parse_circuit (read_file path)) with
-  | Cqasm.Parse_error (line, msg) ->
-      Error (Printf.sprintf "%s:%d: parse error: %s" path line msg)
+let load_program path =
+  try Ok (Cqasm.parse (read_file path)) with
+  | Qca_util.Error.Error { kind = Qca_util.Error.Syntax { line; reason; _ }; _ } ->
+      Error (Printf.sprintf "%s:%d: parse error: %s" path line reason)
   | Sys_error msg -> Error msg
   | Invalid_argument msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+let load_circuit path = Result.map Cqasm.flatten (load_program path)
 
 let platform_of_string name qubits =
   match name with
@@ -132,6 +136,33 @@ let with_trace dest body =
       in
       if code <> 0 then code else export_code
 
+(* --- static checker (docs/analysis.md) --- *)
+
+let lint_flag =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Run the static checker (docs/analysis.md) on the source before \
+           proceeding. Diagnostics go to stderr; error-severity findings \
+           abort with exit 2.")
+
+let lint_json_flag =
+  Arg.(
+    value & flag
+    & info [ "lint-json" ]
+        ~doc:"Like $(b,--lint) but emit the diagnostics as a JSON array.")
+
+(* Returns false when error-severity findings should abort the command. *)
+let run_lint ~lint ~lint_json ?platform program =
+  if not (lint || lint_json) then true
+  else begin
+    let diags = Verify.source_check ?platform program in
+    if lint_json then prerr_endline (Diagnostic.json_of_list diags)
+    else prerr_string (Diagnostic.render diags);
+    Diagnostic.exit_code diags < 2
+  end
+
 let check_shots shots =
   if shots <= 0 then (
     Printf.eprintf "--shots must be positive (got %d)\n" shots;
@@ -186,17 +217,107 @@ let print_resilience faults report =
         | None -> ""
         | Some msg -> Printf.sprintf " (degraded: %s)" msg)
 
+(* --- check --- *)
+
+let check_command file platform_name mode_name json no_verify =
+  let finish source report =
+    let passes = match report with None -> [] | Some r -> r.Verify.passes in
+    let all = source @ (match report with None -> [] | Some r -> r.Verify.final) in
+    if json then begin
+      let pass_json (p : Verify.pass_report) =
+        Printf.sprintf "{\"pass\":\"%s\",\"introduced\":[%s],\"diagnostics\":%s}"
+          (Diagnostic.json_escape p.Verify.pass_name)
+          (String.concat ","
+             (List.map
+                (fun c -> "\"" ^ Diagnostic.json_escape c ^ "\"")
+                p.Verify.introduced))
+          (Diagnostic.json_of_list p.Verify.diagnostics)
+      in
+      Printf.printf
+        "{\"file\":\"%s\",\"diagnostics\":%s,\"passes\":[%s],\"summary\":\"%s\"}\n"
+        (Diagnostic.json_escape file)
+        (Diagnostic.json_of_list all)
+        (String.concat "," (List.map pass_json passes))
+        (Diagnostic.json_escape (Diagnostic.summary all))
+    end
+    else begin
+      List.iter (fun d -> print_endline (Diagnostic.to_string d)) source;
+      (match report with None -> () | Some r -> print_string (Verify.render r));
+      Printf.printf "%s: %s\n" file (Diagnostic.summary all)
+    end;
+    Diagnostic.exit_code all
+  in
+  match load_program file with
+  | Error msg ->
+      finish
+        [ Diagnostic.make Diagnostic.Error ~code:"X01" ~check:"parse-error" ~site:file msg ]
+        None
+  | Ok program -> (
+      match platform_name with
+      | None -> finish (Verify.source_check program) None
+      | Some pname -> (
+          let circuit = Cqasm.flatten program in
+          match
+            ( platform_of_string pname (Circuit.qubit_count circuit),
+              mode_of_string mode_name )
+          with
+          | Error msg, _ | _, Error msg ->
+              prerr_endline msg;
+              2
+          | Ok platform, Ok mode ->
+              let source = Verify.source_check ~platform program in
+              (* Source errors (e.g. out-of-range operands) would make the
+                 compiler itself raise; report them without verifying. *)
+              if no_verify || Diagnostic.exit_code source = 2 then finish source None
+              else
+                let _out, report = Verify.compile platform mode circuit in
+                finish source (Some report)))
+
+let check_platform_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "platform" ] ~docv:"NAME"
+        ~doc:
+          "Also compile for $(docv) (superconducting, semiconducting or perfect) \
+           with the pass-verifier on, reporting which pass introduced each \
+           violation.")
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+
+let no_verify_flag =
+  Arg.(
+    value & flag
+    & info [ "no-verify" ]
+        ~doc:"With $(b,--platform): skip the per-pass verifier, source checks only.")
+
+let check_term =
+  Term.(
+    const check_command $ file_arg $ check_platform_arg $ mode_arg $ json_flag
+    $ no_verify_flag)
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically check a cQASM program (exit 0 clean / 1 warnings / 2 errors). \
+          See docs/analysis.md for the check catalogue.")
+    check_term
+
 (* --- run --- *)
 
 let run_command file shots seed noise trajectory no_fusion metrics trace fault_rate
-    fault_seed max_retries =
+    fault_seed max_retries lint lint_json =
   if not (check_shots shots) then 1
   else
-    match load_circuit file with
+    match load_program file with
     | Error msg ->
         prerr_endline msg;
         1
-    | Ok circuit ->
+    | Ok program when not (run_lint ~lint ~lint_json program) -> 2
+    | Ok program ->
+      let circuit = Cqasm.flatten program in
       with_trace trace (fun () ->
           let noise =
             match noise with Some p -> Noise.depolarizing p | None -> Noise.ideal
@@ -240,19 +361,20 @@ let run_term =
   Term.(
     const run_command $ file_arg $ shots_arg $ seed_arg $ noise_arg $ trajectory_flag
     $ no_fusion_flag $ metrics_arg $ trace_arg $ fault_rate_arg $ fault_seed_arg
-    $ max_retries_arg)
+    $ max_retries_arg $ lint_flag $ lint_json_flag)
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a cQASM program on the QX simulator.") run_term
 
 (* --- compile --- *)
 
-let compile_command file platform_name mode_name emit_eqasm =
-  match load_circuit file with
+let compile_command file platform_name mode_name emit_eqasm lint lint_json =
+  match load_program file with
   | Error msg ->
       prerr_endline msg;
       1
-  | Ok circuit -> (
+  | Ok program -> (
+      let circuit = Cqasm.flatten program in
       match
         ( platform_of_string platform_name (Circuit.qubit_count circuit),
           mode_of_string mode_name )
@@ -261,22 +383,39 @@ let compile_command file platform_name mode_name emit_eqasm =
           prerr_endline msg;
           1
       | Ok platform, Ok mode ->
-          let out = Compiler.compile platform mode circuit in
-          print_string (Compiler.report out);
-          print_newline ();
-          if emit_eqasm then begin
-            match out.Compiler.eqasm with
-            | Some program -> print_string (Eqasm.to_string program)
-            | None -> print_endline "# perfect mode: no eQASM emitted"
-          end
-          else print_string out.Compiler.cqasm;
-          0)
+          if not (run_lint ~lint ~lint_json ~platform program) then 2
+          else begin
+            (* With linting on, compile under the pass-verifier so a pass
+               that introduces a violation is named on stderr. *)
+            let out, verified =
+              if lint || lint_json then
+                let out, report = Verify.compile platform mode circuit in
+                (out, Some report)
+              else (Compiler.compile platform mode circuit, None)
+            in
+            (match verified with
+            | Some r when r.Verify.final <> [] -> prerr_string (Verify.render r)
+            | _ -> ());
+            print_string (Compiler.report out);
+            print_newline ();
+            if emit_eqasm then begin
+              match out.Compiler.eqasm with
+              | Some program -> print_string (Eqasm.to_string program)
+              | None -> print_endline "# perfect mode: no eQASM emitted"
+            end
+            else print_string out.Compiler.cqasm;
+            match verified with
+            | Some r when Diagnostic.exit_code r.Verify.final = 2 -> 2
+            | _ -> 0
+          end)
 
 let eqasm_flag =
   Arg.(value & flag & info [ "eqasm" ] ~doc:"Emit eQASM instead of cQASM.")
 
 let compile_term =
-  Term.(const compile_command $ file_arg $ platform_arg $ mode_arg $ eqasm_flag)
+  Term.(
+    const compile_command $ file_arg $ platform_arg $ mode_arg $ eqasm_flag $ lint_flag
+    $ lint_json_flag)
 
 let compile_cmd =
   Cmd.v
@@ -432,7 +571,7 @@ let () =
   let doc = "full-stack quantum accelerator toolchain (cQASM/eQASM/QX)" in
   let main =
     Cmd.group (Cmd.info "qxc" ~version:"1.0" ~doc)
-      [ run_cmd; compile_cmd; exec_cmd; qisa_cmd; info_cmd ]
+      [ run_cmd; compile_cmd; check_cmd; exec_cmd; qisa_cmd; info_cmd ]
   in
   (* Structured errors escaping a subcommand become a one-line diagnostic
      rather than an OCaml backtrace. *)

@@ -1,0 +1,18 @@
+(** Timing and mask-discipline checks on lowered eQASM (codes E01–E03).
+
+    The checker replays the program on the micro-architecture's timing grid:
+    SMIS/SMIT define mask registers, QWAIT and bundle pre-intervals advance
+    the clock, and each quantum op occupies its mask's qubits for the
+    platform duration of its mnemonic.
+
+    - [E01] overlapping-window (error): a bundle issues an op on a qubit
+      that is still busy executing an earlier op.
+    - [E02] qwait-underflow (error): the declared makespan (what the tail
+      QWAIT pads to) is shorter than the last op's completion, so the
+      program hands back control mid-gate.
+    - [E03] mask-unset (error): a bundle op reads an s/t mask register
+      before any SMIS/SMIT defined it. *)
+
+val check : Qca_compiler.Platform.t -> Qca_compiler.Eqasm.program -> Diagnostic.t list
+(** Sites are ["eqasm[<instruction index>]"] (or ["eqasm"] for the
+    program-level E02). *)

@@ -4,7 +4,12 @@ type program = {
   subcircuits : (string * int * Circuit.t) list;
 }
 
-exception Parse_error of int * string
+(* All parse failures carry the 1-based source line and the offending token
+   through [Qca_util.Error.Syntax] so callers (CLI, checker) can point at
+   the exact source location. *)
+let syntax_error ?(token = "") line reason =
+  Qca_util.Error.fail ~site:"Cqasm.parse"
+    (Qca_util.Error.Syntax { line; token; reason })
 
 let emit_instruction buffer instr =
   Buffer.add_string buffer "  ";
@@ -58,7 +63,8 @@ let tokenize line =
 
 let parse_qubit lineno token =
   let fail () =
-    raise (Parse_error (lineno, Printf.sprintf "expected qubit operand, got '%s'" token))
+    syntax_error ~token lineno
+      (Printf.sprintf "expected qubit operand, got '%s'" token)
   in
   let len = String.length token in
   if len >= 4 && String.sub token 0 2 = "q[" && token.[len - 1] = ']' then
@@ -70,17 +76,19 @@ let parse_qubit lineno token =
 let parse_float lineno token =
   match float_of_string_opt token with
   | Some f -> f
-  | None -> raise (Parse_error (lineno, Printf.sprintf "expected angle, got '%s'" token))
+  | None ->
+      syntax_error ~token lineno (Printf.sprintf "expected angle, got '%s'" token)
 
 let parse_int lineno token =
   match int_of_string_opt token with
   | Some k -> k
-  | None -> raise (Parse_error (lineno, Printf.sprintf "expected integer, got '%s'" token))
+  | None ->
+      syntax_error ~token lineno (Printf.sprintf "expected integer, got '%s'" token)
 
 let parse_bit lineno token =
   let fail () =
-    raise
-      (Parse_error (lineno, Printf.sprintf "expected classical bit operand, got '%s'" token))
+    syntax_error ~token lineno
+      (Printf.sprintf "expected classical bit operand, got '%s'" token)
   in
   let len = String.length token in
   if len >= 4 && String.sub token 0 2 = "b[" && token.[len - 1] = ']' then
@@ -104,18 +112,21 @@ let rec parse_instruction lineno qubit_count tokens =
       match parse_instruction lineno qubit_count (inner :: rest) with
       | Some [ Gate.Unitary (u, ops) ] -> Some [ Gate.Conditional (bit, u, ops) ]
       | Some _ | None ->
-          raise (Parse_error (lineno, "c- prefix requires a single unitary gate"))
+          syntax_error ~token:mnemonic lineno
+            "c- prefix requires a single unitary gate"
     end
   | mnemonic :: operands -> begin
       let single u =
         match operands with
         | [ t ] -> Some [ Gate.Unitary (u, [| q t |]) ]
-        | _ -> raise (Parse_error (lineno, mnemonic ^ ": expected one operand"))
+        | _ ->
+            syntax_error ~token:mnemonic lineno (mnemonic ^ ": expected one operand")
       in
       let double u =
         match operands with
         | [ t1; t2 ] -> Some [ Gate.Unitary (u, [| q t1; q t2 |]) ]
-        | _ -> raise (Parse_error (lineno, mnemonic ^ ": expected two operands"))
+        | _ ->
+            syntax_error ~token:mnemonic lineno (mnemonic ^ ": expected two operands")
       in
       match mnemonic with
       | "i" -> single Gate.I
@@ -142,7 +153,9 @@ let rec parse_instruction lineno qubit_count tokens =
                 | _ -> Gate.Rz theta
               in
               Some [ Gate.Unitary (u, [| q t |]) ]
-          | _ -> raise (Parse_error (lineno, mnemonic ^ ": expected qubit and angle"))
+          | _ ->
+              syntax_error ~token:mnemonic lineno
+                (mnemonic ^ ": expected qubit and angle")
         end
       | "cnot" -> double Gate.Cnot
       | "cz" -> double Gate.Cz
@@ -152,32 +165,35 @@ let rec parse_instruction lineno qubit_count tokens =
           | [ t1; t2; angle ] ->
               Some
                 [ Gate.Unitary (Gate.Cphase (parse_float lineno angle), [| q t1; q t2 |]) ]
-          | _ -> raise (Parse_error (lineno, "cphase: expected two qubits and angle"))
+          | _ ->
+              syntax_error ~token:"cphase" lineno "cphase: expected two qubits and angle"
         end
       | "cr" -> begin
           match operands with
           | [ t1; t2; k ] ->
               Some [ Gate.Unitary (Gate.Crk (parse_int lineno k), [| q t1; q t2 |]) ]
-          | _ -> raise (Parse_error (lineno, "cr: expected two qubits and integer"))
+          | _ -> syntax_error ~token:"cr" lineno "cr: expected two qubits and integer"
         end
       | "toffoli" -> begin
           match operands with
           | [ t1; t2; t3 ] ->
               Some [ Gate.Unitary (Gate.Toffoli, [| q t1; q t2; q t3 |]) ]
-          | _ -> raise (Parse_error (lineno, "toffoli: expected three operands"))
+          | _ -> syntax_error ~token:"toffoli" lineno "toffoli: expected three operands"
         end
       | "prep_z" -> begin
           match operands with
           | [ t ] -> Some [ Gate.Prep (q t) ]
-          | _ -> raise (Parse_error (lineno, "prep_z: expected one operand"))
+          | _ -> syntax_error ~token:"prep_z" lineno "prep_z: expected one operand"
         end
       | "measure" -> begin
           match operands with
           | [ t ] -> Some [ Gate.Measure (q t) ]
-          | _ -> raise (Parse_error (lineno, "measure: expected one operand"))
+          | _ -> syntax_error ~token:"measure" lineno "measure: expected one operand"
         end
       | "barrier" -> Some [ Gate.Barrier (Array.of_list (List.map q operands)) ]
-      | other -> raise (Parse_error (lineno, Printf.sprintf "unknown mnemonic '%s'" other))
+      | other ->
+          syntax_error ~token:other lineno
+            (Printf.sprintf "unknown mnemonic '%s'" other)
     end
 
 let parse_subcircuit_header lineno line =
@@ -187,7 +203,7 @@ let parse_subcircuit_header lineno line =
   | None -> (body, 1)
   | Some i ->
       if String.length body < i + 2 || body.[String.length body - 1] <> ')' then
-        raise (Parse_error (lineno, "malformed subcircuit header"))
+        syntax_error ~token:body lineno "malformed subcircuit header"
       else
         let name = String.sub body 0 i in
         let count_str = String.sub body (i + 1) (String.length body - i - 2) in
@@ -226,17 +242,29 @@ let parse source =
               error_model := Some (model, parse_float lineno rate)
           | tokens -> begin
               if !qubit_count = 0 then
-                raise (Parse_error (lineno, "instruction before 'qubits' declaration"));
+                syntax_error
+                  ~token:(match tokens with t :: _ -> t | [] -> "")
+                  lineno "instruction before 'qubits' declaration";
               match parse_instruction lineno !qubit_count tokens with
               | None -> ()
               | Some instrs ->
+                  (* Validate operands here so range errors point at the
+                     offending source line, not the end-of-parse flush. *)
+                  List.iter
+                    (fun instr ->
+                      try Circuit.validate_instruction !qubit_count instr
+                      with Invalid_argument reason ->
+                        syntax_error
+                          ~token:(match tokens with t :: _ -> t | [] -> "")
+                          lineno reason)
+                    instrs;
                   let name, iterations, rev_instrs = !current in
                   current := (name, iterations, List.rev_append instrs rev_instrs)
             end)
     lines;
   flush ();
-  if not !seen_version then raise (Parse_error (1, "missing 'version' header"));
-  if !qubit_count <= 0 then raise (Parse_error (1, "missing or invalid 'qubits' declaration"));
+  if not !seen_version then syntax_error 1 "missing 'version' header";
+  if !qubit_count <= 0 then syntax_error 1 "missing or invalid 'qubits' declaration";
   {
     qubit_count = !qubit_count;
     error_model = !error_model;

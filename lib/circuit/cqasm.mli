@@ -27,11 +27,12 @@ val flatten : program -> Circuit.t
 
 val of_circuit : Circuit.t -> program
 
-exception Parse_error of int * string
-(** Line number (1-based) and message. *)
-
 val parse : string -> program
-(** Parse cQASM source. Raises {!Parse_error} on malformed input. *)
+(** Parse cQASM source. Malformed input raises
+    {!Qca_util.Error.Error} with a {!Qca_util.Error.Syntax} kind carrying
+    the 1-based source line and the offending token (site
+    ["Cqasm.parse"]). Out-of-range or malformed operands are reported the
+    same way, at the line that used them. *)
 
 val parse_circuit : string -> Circuit.t
 (** [flatten (parse source)]. *)

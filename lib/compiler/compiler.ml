@@ -12,6 +12,11 @@ type pass_stat = {
   note : string;
 }
 
+type pass_artifact =
+  | Circuit_stage of Circuit.t
+  | Schedule_stage of Schedule.t
+  | Eqasm_stage of Eqasm.program
+
 type output = {
   platform : Platform.t;
   mode : mode;
@@ -62,17 +67,21 @@ let traced_pass name ~input f =
       output)
 
 let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
-    ?(schedule_policy = Schedule.Asap) platform mode logical =
+    ?(schedule_policy = Schedule.Asap) ?observer platform mode logical =
   Trace.with_span "compiler.compile" (fun compile_sp ->
   Trace.annotate compile_sp (fun () ->
       [
         ("platform", Trace.String platform.Platform.name);
         ("mode", Trace.String (mode_to_string mode));
       ]);
+  let observe name artifact =
+    match observer with None -> () | Some f -> f name artifact
+  in
   let passes = ref [ stat_of "input" logical ] in
   let record ?note name circuit = passes := stat_of ?note name circuit :: !passes in
   match mode with
   | Perfect ->
+      observe "input" (Circuit_stage logical);
       let optimized, ostats =
         Trace.with_span "compiler.optimize" (fun sp ->
             Trace.annotate sp (fun () ->
@@ -91,6 +100,7 @@ let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
           (Printf.sprintf "cancelled=%d merged=%d dropped=%d" ostats.Optimize.removed_pairs
              ostats.Optimize.merged_rotations ostats.Optimize.dropped_identities)
         "optimize" optimized;
+      observe "optimize" (Circuit_stage optimized);
       let schedule =
         Trace.with_span "compiler.schedule" (fun sp ->
             let schedule = Schedule.run ~policy:schedule_policy platform optimized in
@@ -98,6 +108,7 @@ let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
                 [ ("makespan_cycles", Trace.Int schedule.Schedule.makespan) ]);
             schedule)
       in
+      observe "schedule" (Schedule_stage schedule);
       {
         platform;
         mode;
@@ -111,6 +122,7 @@ let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
       }
   | Realistic | Real ->
       let widened = widen platform logical in
+      observe "input" (Circuit_stage widened);
       (* 1. decompose to primitives (+ swap for routing support) *)
       let swap_capable =
         {
@@ -122,6 +134,7 @@ let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
         traced_pass "decompose" ~input:widened (fun () -> Decompose.run swap_capable widened)
       in
       record "decompose" lowered;
+      observe "decompose" (Circuit_stage lowered);
       (* 2. place & route *)
       let mapping =
         Trace.with_span "compiler.map" (fun sp ->
@@ -138,12 +151,14 @@ let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
       record
         ~note:(Printf.sprintf "swaps=%d" mapping.Mapping.swaps_added)
         "map/route" mapping.Mapping.circuit;
+      observe "map/route" (Circuit_stage mapping.Mapping.circuit);
       (* 3. expand routing swaps into primitives *)
       let expanded =
         traced_pass "expand-swaps" ~input:mapping.Mapping.circuit (fun () ->
             Decompose.run platform mapping.Mapping.circuit)
       in
       record "expand-swaps" expanded;
+      observe "expand-swaps" (Circuit_stage expanded);
       (* 4. optimise *)
       let optimized, ostats =
         Trace.with_span "compiler.optimize" (fun sp ->
@@ -163,6 +178,7 @@ let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
           (Printf.sprintf "cancelled=%d merged=%d dropped=%d" ostats.Optimize.removed_pairs
              ostats.Optimize.merged_rotations ostats.Optimize.dropped_identities)
         "optimize" optimized;
+      observe "optimize" (Circuit_stage optimized);
       (* 5. schedule with platform timing *)
       let schedule =
         Trace.with_span "compiler.schedule" (fun sp ->
@@ -171,6 +187,7 @@ let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
                 [ ("makespan_cycles", Trace.Int schedule.Schedule.makespan) ]);
             schedule)
       in
+      observe "schedule" (Schedule_stage schedule);
       (* 6. lower to eQASM *)
       let eqasm =
         Trace.with_span "compiler.eqasm" (fun sp ->
@@ -184,6 +201,7 @@ let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
                 ]);
             eqasm)
       in
+      observe "eqasm" (Eqasm_stage eqasm);
       {
         platform;
         mode;

@@ -22,6 +22,14 @@ type pass_stat = {
   note : string;
 }
 
+type pass_artifact =
+  | Circuit_stage of Qca_circuit.Circuit.t
+  | Schedule_stage of Schedule.t
+  | Eqasm_stage of Eqasm.program
+      (** What a compiler pass produced, as handed to the [?observer] of
+          {!compile}. Circuit-level passes emit [Circuit_stage]; the
+          scheduler and eQASM lowering emit their own artifact kinds. *)
+
 type output = {
   platform : Platform.t;
   mode : mode;
@@ -40,10 +48,18 @@ val compile :
   ?strategy:Mapping.strategy ->
   ?placement:Mapping.placement ->
   ?schedule_policy:Schedule.policy ->
+  ?observer:(string -> pass_artifact -> unit) ->
   Platform.t ->
   mode ->
   Qca_circuit.Circuit.t ->
   output
+(** [observer] (the pass-verifier hook) is called after every pass with the
+    pass name (matching the {!pass_stat} rows: ["input"], ["decompose"],
+    ["map/route"], ["expand-swaps"], ["optimize"], plus ["schedule"] and
+    ["eqasm"]) and the artifact it produced. When absent the pipeline pays
+    one branch per pass. [Qca_analysis.Verify] drives this hook to run the
+    static-check suites after each pass and report which pass introduced a
+    violation. *)
 
 val execute_result :
   ?shots:int ->

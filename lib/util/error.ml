@@ -7,6 +7,7 @@ type kind =
   | Unknown_accelerator of string
   | Unsupported_gate of { platform : string; gate : string }
   | Non_convergence of string
+  | Syntax of { line : int; token : string; reason : string }
   | Invalid of string
 
 type t = {
@@ -24,7 +25,7 @@ exception Error of t
 let transient_kind = function
   | Queue_overflow _ | Channel_loss _ | Backend_transient _ -> true
   | Unknown_mnemonic _ | Missing_pulse _ | Unknown_accelerator _
-  | Unsupported_gate _ | Non_convergence _ | Invalid _ ->
+  | Unsupported_gate _ | Non_convergence _ | Syntax _ | Invalid _ ->
       false
 
 let kind_label = function
@@ -36,6 +37,7 @@ let kind_label = function
   | Unknown_accelerator _ -> "unknown-accelerator"
   | Unsupported_gate _ -> "unsupported-gate"
   | Non_convergence _ -> "non-convergence"
+  | Syntax _ -> "syntax"
   | Invalid _ -> "invalid"
 
 let kind_message = function
@@ -50,6 +52,7 @@ let kind_message = function
   | Unsupported_gate { platform; gate } ->
       Printf.sprintf "platform %s cannot express gate %s" platform gate
   | Non_convergence what -> Printf.sprintf "did not converge: %s" what
+  | Syntax { line; reason; _ } -> Printf.sprintf "line %d: %s" line reason
   | Invalid msg -> msg
 
 let make ?(context = []) ?transient ~site kind =

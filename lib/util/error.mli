@@ -22,6 +22,10 @@ type kind =
   | Unsupported_gate of { platform : string; gate : string }
       (** Decomposition cannot reach the platform's primitive set. *)
   | Non_convergence of string  (** An iteration budget was exhausted. *)
+  | Syntax of { line : int; token : string; reason : string }
+      (** Source-text parse error: 1-based line number, the offending token
+          ([""] when the whole line is at fault) and a human-readable
+          reason. Raised by the cQASM parser. *)
   | Invalid of string  (** Malformed input (general). *)
 
 type t = {

@@ -176,6 +176,25 @@ Parse errors carry line numbers:
   bad.qasm:3: parse error: unknown mnemonic 'frobnicate'
   [1]
 
+Every fixture in this suite goes through the static checker (see
+docs/analysis.md and test/lint.t for the full catalogue). The shipped
+programs are clean; the unparseable one is reported as X01:
+
+  $ qxc check bell.qasm
+  bell.qasm: clean
+
+  $ qxc check tchain.qasm
+  tchain.qasm: clean
+
+  $ qxc check bell.qasm --platform superconducting | tail -2
+  verifier: clean
+  bell.qasm: clean
+
+  $ qxc check bad.qasm; echo "exit=$?"
+  error[X01 parse-error] bad.qasm: bad.qasm:3: parse error: unknown mnemonic 'frobnicate'
+  bad.qasm: 1 error, 0 warnings, 0 hints
+  exit=2
+
 Tracing: bare --trace prints a per-layer span tree (after the results) plus
 counters. Wall-clock times vary run to run, so strip them; the span names,
 attributes, counters and simulated-ns are deterministic for a fixed seed:

@@ -1,0 +1,13 @@
+version 1.0
+# Bell pair: the two-qubit hello world (lint corpus).
+qubits 2
+
+.prepare
+  prep_z q[0]
+  prep_z q[1]
+  h q[0]
+  cnot q[0], q[1]
+
+.readout
+  measure q[0]
+  measure q[1]

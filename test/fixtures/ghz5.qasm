@@ -1,0 +1,13 @@
+version 1.0
+# Five-qubit GHZ chain (lint corpus).
+qubits 5
+
+.entangle
+  h q[0]
+  cnot q[0], q[1]
+  cnot q[1], q[2]
+  cnot q[2], q[3]
+  cnot q[3], q[4]
+
+.readout
+  measure_all

@@ -1,0 +1,20 @@
+version 1.0
+# Four-qubit QFT with controlled phases and final swaps (lint corpus).
+qubits 4
+
+.qft
+  h q[0]
+  cr q[1], q[0], 2
+  cr q[2], q[0], 3
+  cr q[3], q[0], 4
+  h q[1]
+  cr q[2], q[1], 2
+  cr q[3], q[1], 3
+  h q[2]
+  cr q[3], q[2], 2
+  h q[3]
+  swap q[0], q[3]
+  swap q[1], q[2]
+
+.readout
+  measure_all

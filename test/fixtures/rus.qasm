@@ -1,0 +1,14 @@
+version 1.0
+# Repeat-until-success shape: measure, reset, retry. The explicit prep_z
+# between reuse keeps the checker quiet (lint corpus).
+qubits 2
+
+.attempt(3)
+  prep_z q[0]
+  h q[0]
+  cnot q[0], q[1]
+  measure q[0]
+  c-x b[0], q[1]
+
+.readout
+  measure q[1]

@@ -1,0 +1,24 @@
+version 1.0
+# Teleportation with mid-circuit measurement and binary-controlled
+# corrections: exercises the checker's fast-feedback exemption (no C03)
+# and read-before-overwrite logic (no C04). Lint corpus.
+qubits 3
+
+.prepare
+  prep_z q[0]
+  prep_z q[1]
+  prep_z q[2]
+  ry q[0], 1.047198
+  h q[1]
+  cnot q[1], q[2]
+
+.bell_measure
+  cnot q[0], q[1]
+  h q[0]
+  measure q[0]
+  measure q[1]
+
+.correct
+  c-x b[1], q[2]
+  c-z b[0], q[2]
+  measure q[2]

@@ -1,0 +1,127 @@
+The static checker end to end (docs/analysis.md). A deliberately unhealthy
+program trips six distinct check codes across all severities:
+
+  $ cat > unhealthy.qasm <<'QASM'
+  > version 1.0
+  > qubits 4
+  > 
+  > .main
+  >   prep_z q[0]
+  >   h q[0]
+  >   h q[0]
+  >   rx q[1], nan
+  >   measure q[1]
+  >   x q[1]
+  >   measure q[1]
+  > 
+  > .main
+  >   x q[0]
+  > QASM
+
+  $ qxc check unhealthy.qasm
+  error[C07 non-finite-angle] circuit[3]: rx has a non-finite rotation angle (nan) (fix: replace the angle with a finite value)
+  warning[C03 use-after-measure] circuit[5]: x q[1] acts on qubit 1 after it was measured, without a reset (fix: insert 'prep_z q[1]' before reuse)
+  hint[C04 measure-never-read] circuit[4]: result of measuring qubit 1 is overwritten at circuit[6] before being read (fix: drop this measurement or branch on b[1] before re-measuring)
+  hint[C05 unused-qubit] circuit: 2 of 4 declared qubits never used: {2, 3} (fix: declare 'qubits 2' or use the idle qubits)
+  hint[C06 redundant-pair] circuit[1]: adjacent self-inverse pair: h q[0] here and at circuit[2] cancel (fix: remove both gates)
+  warning[P03 duplicate-kernel] .main: subcircuit name 'main' is declared more than once (fix: rename one of the subcircuits)
+  unhealthy.qasm: 1 error, 2 warnings, 3 hints
+  [2]
+
+The same report as JSON (one object per diagnostic):
+
+  $ qxc check unhealthy.qasm --json | tr ',' '\n' | grep -c '"code"'
+  6
+
+Warnings alone exit 1; a clean program exits 0:
+
+  $ cat > warn.qasm <<'QASM'
+  > version 1.0
+  > qubits 1
+  >   measure q[0]
+  >   x q[0]
+  > QASM
+
+  $ qxc check warn.qasm
+  warning[C03 use-after-measure] circuit[1]: x q[0] acts on qubit 0 after it was measured, without a reset (fix: insert 'prep_z q[0]' before reuse)
+  warn.qasm: 0 errors, 1 warning, 0 hints
+  [1]
+
+  $ cat > bell.qasm <<'QASM'
+  > version 1.0
+  > qubits 2
+  > 
+  > .bell
+  >   prep_z q[0]
+  >   prep_z q[1]
+  >   h q[0]
+  >   cnot q[0], q[1]
+  >   measure q[0]
+  >   measure q[1]
+  > QASM
+
+  $ qxc check bell.qasm
+  bell.qasm: clean
+
+With --platform the program is compiled under the pass-verifier: every
+pass artifact is re-checked (platform conformance after mapping, schedule
+exclusivity, eQASM timing windows) and a violating pass would be named:
+
+  $ qxc check bell.qasm --platform superconducting
+  pass input        clean
+  pass decompose    clean
+  pass map/route    clean
+  pass expand-swaps clean
+  pass optimize     clean
+  pass schedule     clean
+  pass eqasm        clean
+  verifier: clean
+  bell.qasm: clean
+
+  $ qxc check bell.qasm --platform perfect --mode perfect --json | tr ',' '\n' | grep -c '"pass"'
+  3
+
+Unparseable input is itself a diagnostic (X01), not a crash:
+
+  $ cat > broken.qasm <<'QASM'
+  > version 1.0
+  > qubits 2
+  > frobnicate q[0]
+  > QASM
+
+  $ qxc check broken.qasm
+  error[X01 parse-error] broken.qasm: broken.qasm:3: parse error: unknown mnemonic 'frobnicate'
+  broken.qasm: 1 error, 0 warnings, 0 hints
+  [2]
+
+run/compile take --lint (diagnostics on stderr; errors abort with exit 2
+before any simulation):
+
+  $ qxc run unhealthy.qasm --shots 10 --lint 2>/dev/null
+  [2]
+
+  $ qxc run bell.qasm --shots 10 --seed 7 --lint 2>/dev/null
+  # 2 qubits, 6 instructions, 10 shots
+  # plan: sampled (terminal unconditioned measurements)
+  00       8  0.8000
+  11       2  0.2000
+
+  $ qxc compile bell.qasm --platform semiconducting --lint 2>lint.err >compile.out; echo exit=$?
+  exit=0
+  $ cat lint.err
+  clean
+
+The cQASM the compiler emits for a platform is itself diagnostic-clean at
+error severity (hints about physical-level structure are acceptable):
+
+  $ qxc compile bell.qasm --platform superconducting | sed -n '/^version/,$p' > physical.qasm
+  $ qxc check physical.qasm; test $? -lt 2 && echo no-errors
+  hint[C05 unused-qubit] circuit: 15 of 17 declared qubits never used: {2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16} (fix: declare 'qubits 2' or use the idle qubits)
+  physical.qasm: 0 errors, 0 warnings, 1 hint
+  no-errors
+
+So is the program the quickstart example prints (the paper's GHZ logic):
+
+  $ ../../examples/quickstart.exe | awk '/^=== perfect/{exit} /^version/{on=1} on' > quickstart.qasm
+  $ qxc check quickstart.qasm
+  quickstart.qasm: clean

@@ -287,7 +287,9 @@ let test_cqasm_parse_angles () =
 let test_cqasm_parse_errors () =
   let expect_error src =
     match Cqasm.parse src with
-    | exception Cqasm.Parse_error _ -> ()
+    | exception Qca_util.Error.Error
+        { Qca_util.Error.kind = Qca_util.Error.Syntax _; _ } ->
+        ()
     | _ -> Alcotest.fail "expected parse error"
   in
   expect_error "qubits 2\nx q[0]\n";
@@ -316,8 +318,11 @@ let test_cqasm_error_model_roundtrip () =
 let test_cqasm_out_of_range_rejected () =
   let src = "version 1.0\nqubits 2\nx q[5]\n" in
   match Cqasm.parse src with
-  | exception Invalid_argument _ -> ()
-  | exception Cqasm.Parse_error _ -> ()
+  | exception Qca_util.Error.Error
+      { Qca_util.Error.kind = Qca_util.Error.Syntax { line; token; _ }; _ } ->
+      (* The range error points at the offending line and token. *)
+      Alcotest.(check int) "line" 3 line;
+      Alcotest.(check string) "token" "x" token
   | _ -> Alcotest.fail "expected failure"
 
 (* --- properties --- *)
