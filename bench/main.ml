@@ -15,7 +15,10 @@
    writes BENCH_kernels.json;
    `dune exec bench/main.exe -- lint` measures static-checker throughput
    and the pass-verifier's compile-time overhead and writes
-   BENCH_lint.json. *)
+   BENCH_lint.json;
+   `dune exec bench/main.exe -- service` measures multi-tenant job-service
+   throughput (distinct vs digest-shared vs cache-hit workloads) and
+   writes BENCH_service.json. *)
 
 open Bechamel
 
@@ -572,6 +575,105 @@ let run_kernels () =
   close_out oc;
   print_endline "wrote BENCH_kernels.json"
 
+(* --- job-service throughput benchmark (BENCH_service.json) --- *)
+
+let run_service () =
+  let module Service = Qca_service.Service in
+  let module Job_spec = Qca.Job_spec in
+  print_endline "=== Job service: multi-tenant throughput (jobs/s) ===";
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Float.max 1e-9 (Sys.time () -. t0))
+  in
+  let measured n base =
+    Circuit.append base (Circuit.of_list n (List.init n (fun q -> Gate.Measure q)))
+  in
+  let tenants = [ "alice"; "bob"; "carol" ] in
+  (* Jobs arrive in rounds of one per tenant, with the service drained
+     between rounds — so later rounds can be served from the result cache
+     when they repeat earlier work. *)
+  let submit_rounds svc specs =
+    List.iteri
+      (fun i spec ->
+        let tenant = List.nth tenants (i mod List.length tenants) in
+        (match Service.submit svc ~tenant spec with
+        | Ok _ -> ()
+        | Error e -> failwith (Qca_util.Error.to_string e));
+        if i mod List.length tenants = List.length tenants - 1 then
+          Service.drain svc)
+      specs
+  in
+  (* Three workloads over the same 3-tenant mix:
+     - distinct: every job is a different circuit (no sharing possible);
+     - batched: every job is the same circuit under a different seed, so
+       one state-vector analysis feeds all of them;
+     - cached: every job is literally identical, so after the first run
+       the rest are result-cache hits. *)
+  let jobs = 60 in
+  let shots = 2000 in
+  let workloads =
+    [
+      ( "distinct-circuits",
+        List.init jobs (fun i ->
+            {
+              (Job_spec.of_circuit (measured 8 (Library.random_circuit (Rng.create (100 + i)) ~qubits:8 ~gates:40)))
+              with
+              Job_spec.shots;
+              seed = Some i;
+            }) );
+      ( "shared-digest",
+        List.init jobs (fun i ->
+            { (Job_spec.of_circuit (measured 12 (Library.ghz 12))) with Job_spec.shots; seed = Some i }) );
+      ( "cache-hits",
+        List.init jobs (fun _ ->
+            { (Job_spec.of_circuit (measured 12 (Library.ghz 12))) with Job_spec.shots; seed = Some 7 }) );
+    ]
+  in
+  let config =
+    {
+      Service.default_config with
+      Service.max_queue = jobs + 1;
+      degrade_above = jobs + 1;
+      default_quota = { Service.default_quota with Service.max_queued = jobs };
+    }
+  in
+  let rows =
+    List.map
+      (fun (name, specs) ->
+        let svc = Service.create ~config () in
+        let (), dt =
+          time (fun () ->
+              submit_rounds svc specs;
+              Service.drain svc)
+        in
+        let s = Service.stats svc in
+        let rate = float_of_int s.Service.completed /. dt in
+        Printf.printf
+          "%-18s %d jobs x %d shots in %.4fs -> %7.1f jobs/s (shared %d, cache hits %d, slices %d)\n"
+          name s.Service.completed shots dt rate s.Service.shared_analyses
+          s.Service.cache_hits s.Service.slices;
+        (name, s, dt, rate))
+      workloads
+  in
+  let oc = open_out "BENCH_service.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\"benchmark\":\"service-throughput\",\"jobs\":%d,\"shots\":%d,\"tenants\":%d,\"entries\":["
+       jobs shots (List.length tenants));
+  List.iteri
+    (fun i (name, s, dt, rate) ->
+      if i > 0 then output_char oc ',';
+      output_string oc
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"completed\":%d,\"elapsed_s\":%.6f,\"jobs_per_s\":%.1f,\"shared_analyses\":%d,\"cache_hits\":%d,\"slices\":%d}"
+           name s.Service.completed dt rate s.Service.shared_analyses
+           s.Service.cache_hits s.Service.slices))
+    rows;
+  output_string oc "]}\n";
+  close_out oc;
+  print_endline "wrote BENCH_service.json"
+
 (* --- static checker benchmark (BENCH_lint.json) --- *)
 
 let run_lint () =
@@ -658,6 +760,7 @@ let () =
   | [ "trace" ] -> run_trace ()
   | [ "kernels" ] -> run_kernels ()
   | [ "lint" ] -> run_lint ()
+  | [ "service" ] -> run_service ()
   | ids ->
       List.iter
         (fun id ->
@@ -666,7 +769,7 @@ let () =
           | None ->
               Printf.eprintf
                 "unknown experiment '%s' (use e1..e13, micro, engine, resilience, \
-                 trace, kernels or lint)\n"
+                 trace, kernels, lint or service)\n"
                 id;
               exit 1)
         ids

@@ -1,17 +1,27 @@
 (* qxc: compile and execute cQASM programs on the QX simulator through the
-   OpenQL-style compiler and, optionally, the micro-architecture model. *)
+   OpenQL-style compiler and, optionally, the micro-architecture model.
+
+   Every execution subcommand builds one Qca.Job_spec.t and dispatches it
+   through Qca.Runner — the same path the qxd job service uses — so `run`,
+   `exec` and `submit` share seed semantics, fault handling and the
+   metrics schema. The flag vocabulary is likewise shared: the [common]
+   record below is the one parser for --platform/--mode/--shots/--seed/
+   --noise/--json/--metrics/--trace/--fault-* across check, run, compile,
+   exec and submit. *)
 
 module Circuit = Qca_circuit.Circuit
 module Cqasm = Qca_circuit.Cqasm
 module Engine = Qca_qx.Engine
-module Noise = Qca_qx.Noise
-module Platform = Qca_compiler.Platform
 module Compiler = Qca_compiler.Compiler
 module Eqasm = Qca_compiler.Eqasm
 module Controller = Qca_microarch.Controller
 module Rng = Qca_util.Rng
+module Error = Qca_util.Error
 module Diagnostic = Qca_analysis.Diagnostic
 module Verify = Qca_analysis.Verify
+module Job_spec = Qca.Job_spec
+module Runner = Qca.Runner
+module Spool = Qca_service.Spool
 
 open Cmdliner
 
@@ -31,20 +41,21 @@ let load_program path =
 
 let load_circuit path = Result.map Cqasm.flatten (load_program path)
 
-let platform_of_string name qubits =
-  match name with
-  | "superconducting" -> Ok Platform.superconducting_17
-  | "semiconducting" -> Ok Platform.semiconducting_4
-  | "perfect" -> Ok (Platform.perfect qubits)
-  | other -> Error (Printf.sprintf "unknown platform '%s'" other)
+(* --- the shared flag spec (one parser for every subcommand) --- *)
 
-let mode_of_string = function
-  | "perfect" -> Ok Compiler.Perfect
-  | "realistic" -> Ok Compiler.Realistic
-  | "real" -> Ok Compiler.Real
-  | other -> Error (Printf.sprintf "unknown mode '%s'" other)
-
-(* --- common args --- *)
+type common = {
+  shots : int;
+  seed : int;
+  noise : float option;
+  platform : string option;
+  mode : string;
+  json : bool;
+  metrics : string option;
+  trace : string option;
+  fault_rate : float option;
+  fault_seed : int;
+  max_retries : int;
+}
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"cQASM source file.")
@@ -64,7 +75,7 @@ let noise_arg =
 let platform_arg =
   Arg.(
     value
-    & opt string "superconducting"
+    & opt (some string) None
     & info [ "platform" ] ~docv:"NAME"
         ~doc:"Target platform: superconducting, semiconducting or perfect.")
 
@@ -74,12 +85,88 @@ let mode_arg =
     & opt string "realistic"
     & info [ "mode" ] ~docv:"MODE" ~doc:"Qubit model: perfect, realistic or real.")
 
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+
 let metrics_arg =
   Arg.(
     value
     & opt (some string) None
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:"Write the per-run metrics report as JSON to $(docv) ('-' for stdout).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Trace the run through every stack layer (compiler passes, engine \
+           phases, micro-architecture). With no $(docv) (or '-') print a \
+           span-tree summary after the results; with $(docv) write Chrome \
+           trace_event JSON loadable in chrome://tracing or Perfetto. See \
+           docs/observability.md.")
+
+let fault_rate_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "fault-rate" ] ~docv:"P"
+        ~doc:
+          "Inject controller/backend faults with per-site probability $(docv) \
+           (see docs/resilience.md). Off when absent.")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt int Qca_util.Fault.default_seed
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Seed for the fault injector's own RNG stream.")
+
+let max_retries_arg =
+  Arg.(
+    value
+    & opt int Qca_util.Resilience.default_policy.Qca_util.Resilience.max_retries
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:"Retries per shot before it counts as faulted.")
+
+let common_term =
+  let make shots seed noise platform mode json metrics trace fault_rate
+      fault_seed max_retries =
+    {
+      shots;
+      seed;
+      noise;
+      platform;
+      mode;
+      json;
+      metrics;
+      trace;
+      fault_rate;
+      fault_seed;
+      max_retries;
+    }
+  in
+  Term.(
+    const make $ shots_arg $ seed_arg $ noise_arg $ platform_arg $ mode_arg
+    $ json_flag $ metrics_arg $ trace_arg $ fault_rate_arg $ fault_seed_arg
+    $ max_retries_arg)
+
+(* Build the canonical run-request from the shared flags. *)
+let spec_of_common common ~label ~route ~trajectory ~fusion =
+  let base = Job_spec.make ~label (Job_spec.Circuit (Circuit.create 1)) in
+  {
+    base with
+    Job_spec.route;
+    shots = common.shots;
+    seed = Some common.seed;
+    noise = common.noise;
+    force_trajectory = trajectory;
+    fusion;
+    fault_rate = common.fault_rate;
+    fault_seed = common.fault_seed;
+    max_retries = common.max_retries;
+  }
 
 let write_metrics dest report =
   match dest with
@@ -97,18 +184,6 @@ let write_metrics dest report =
       with Sys_error msg ->
         Printf.eprintf "cannot write metrics: %s\n" msg;
         1)
-
-let trace_arg =
-  Arg.(
-    value
-    & opt ~vopt:(Some "-") (some string) None
-    & info [ "trace" ] ~docv:"FILE"
-        ~doc:
-          "Trace the run through every stack layer (compiler passes, engine \
-           phases, micro-architecture). With no $(docv) (or '-') print a \
-           span-tree summary after the results; with $(docv) write Chrome \
-           trace_event JSON loadable in chrome://tracing or Perfetto. See \
-           docs/observability.md.")
 
 (* Run [body] with a trace collector installed when --trace was given, then
    export: bare --trace prints the span tree, --trace=FILE writes Chrome
@@ -169,57 +244,42 @@ let check_shots shots =
     false)
   else true
 
-(* --- fault injection args --- *)
+let print_resilience gate report =
+  if gate then begin
+    let r = report.Engine.resilience in
+    let fires =
+      List.fold_left (fun acc (_, c) -> acc + c) 0 r.Engine.faults_injected
+    in
+    Printf.printf
+      "# resilience: %d fault fires, %d retries, %d faulted shots, backoff %d ns%s\n"
+      fires r.Engine.retries r.Engine.faulted_shots r.Engine.backoff_ns
+      (match r.Engine.degraded with
+      | None -> ""
+      | Some msg -> Printf.sprintf " (degraded: %s)" msg)
+  end
 
-let fault_rate_arg =
-  Arg.(
-    value
-    & opt (some float) None
-    & info [ "fault-rate" ] ~docv:"P"
-        ~doc:
-          "Inject controller/backend faults with per-site probability $(docv) \
-           (see docs/resilience.md). Off when absent.")
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
 
-let fault_seed_arg =
-  Arg.(
-    value
-    & opt int Qca_util.Fault.default_seed
-    & info [ "fault-seed" ] ~docv:"SEED"
-        ~doc:"Seed for the fault injector's own RNG stream.")
-
-let max_retries_arg =
-  Arg.(
-    value
-    & opt int Qca_util.Resilience.default_policy.Qca_util.Resilience.max_retries
-    & info [ "max-retries" ] ~docv:"N"
-        ~doc:"Retries per shot before it counts as faulted.")
-
-let make_faults rate seed =
-  match rate with
-  | None -> None
-  | Some p -> Some (Qca_util.Fault.make ~seed (Qca_util.Fault.uniform p))
-
-let make_policy retries =
-  { Qca_util.Resilience.default_policy with Qca_util.Resilience.max_retries = retries }
-
-let print_resilience faults report =
-  match faults with
-  | None -> ()
-  | Some _ ->
-      let r = report.Engine.resilience in
-      let fires =
-        List.fold_left (fun acc (_, c) -> acc + c) 0 r.Engine.faults_injected
-      in
-      Printf.printf
-        "# resilience: %d fault fires, %d retries, %d faulted shots, backoff %d ns%s\n"
-        fires r.Engine.retries r.Engine.faulted_shots r.Engine.backoff_ns
-        (match r.Engine.degraded with
-        | None -> ""
-        | Some msg -> Printf.sprintf " (degraded: %s)" msg)
+let histogram_json hist =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v) hist)
+  ^ "}"
 
 (* --- check --- *)
 
-let check_command file platform_name mode_name json no_verify =
+let check_command common file no_verify =
+  let json = common.json in
   let finish source report =
     let passes = match report with None -> [] | Some r -> r.Verify.passes in
     let all = source @ (match report with None -> [] | Some r -> r.Verify.final) in
@@ -253,13 +313,13 @@ let check_command file platform_name mode_name json no_verify =
         [ Diagnostic.make Diagnostic.Error ~code:"X01" ~check:"parse-error" ~site:file msg ]
         None
   | Ok program -> (
-      match platform_name with
+      match common.platform with
       | None -> finish (Verify.source_check program) None
       | Some pname -> (
           let circuit = Cqasm.flatten program in
           match
-            ( platform_of_string pname (Circuit.qubit_count circuit),
-              mode_of_string mode_name )
+            ( Spool.platform_of_string pname (Circuit.qubit_count circuit),
+              Spool.mode_of_string common.mode )
           with
           | Error msg, _ | _, Error msg ->
               prerr_endline msg;
@@ -273,29 +333,13 @@ let check_command file platform_name mode_name json no_verify =
                 let _out, report = Verify.compile platform mode circuit in
                 finish source (Some report)))
 
-let check_platform_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "platform" ] ~docv:"NAME"
-        ~doc:
-          "Also compile for $(docv) (superconducting, semiconducting or perfect) \
-           with the pass-verifier on, reporting which pass introduced each \
-           violation.")
-
-let json_flag =
-  Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
-
 let no_verify_flag =
   Arg.(
     value & flag
     & info [ "no-verify" ]
         ~doc:"With $(b,--platform): skip the per-pass verifier, source checks only.")
 
-let check_term =
-  Term.(
-    const check_command $ file_arg $ check_platform_arg $ mode_arg $ json_flag
-    $ no_verify_flag)
+let check_term = Term.(const check_command $ common_term $ file_arg $ no_verify_flag)
 
 let check_cmd =
   Cmd.v
@@ -307,41 +351,58 @@ let check_cmd =
 
 (* --- run --- *)
 
-let run_command file shots seed noise trajectory no_fusion metrics trace fault_rate
-    fault_seed max_retries lint lint_json =
-  if not (check_shots shots) then 1
+let run_command common file trajectory no_fusion lint lint_json =
+  if not (check_shots common.shots) then 1
   else
     match load_program file with
     | Error msg ->
         prerr_endline msg;
         1
     | Ok program when not (run_lint ~lint ~lint_json program) -> 2
-    | Ok program ->
-      let circuit = Cqasm.flatten program in
-      with_trace trace (fun () ->
-          let noise =
-            match noise with Some p -> Noise.depolarizing p | None -> Noise.ideal
-          in
-          let plan = if trajectory then Some Engine.Trajectory else None in
-          let faults = make_faults fault_rate fault_seed in
-          let policy = make_policy max_retries in
-          let result =
-            Engine.run ~noise ~seed ?plan ~shots ?faults ~policy ~fusion:(not no_fusion)
-              circuit
-          in
-          let report = result.Engine.report in
-          Printf.printf "# %d qubits, %d instructions, %d shots\n"
-            (Circuit.qubit_count circuit) (Circuit.length circuit) shots;
-          Printf.printf "# plan: %s (%s)\n"
-            (Engine.plan_to_string report.Engine.plan)
-            report.Engine.plan_reason;
-          print_resilience faults report;
-          List.iter
-            (fun (key, count) ->
-              Printf.printf "%s  %6d  %.4f\n" key count
-                (float_of_int count /. float_of_int shots))
-            result.Engine.histogram;
-          write_metrics metrics report)
+    | Ok program -> (
+        let circuit = Cqasm.flatten program in
+        match
+          Spool.route_of_names ~platform:common.platform ~mode:common.mode
+            ~ladder:true ~qubits:(Circuit.qubit_count circuit)
+        with
+        | Error msg ->
+            prerr_endline msg;
+            1
+        | Ok route ->
+            with_trace common.trace (fun () ->
+                let spec =
+                  {
+                    (spec_of_common common ~label:(Circuit.name circuit) ~route
+                       ~trajectory ~fusion:(not no_fusion))
+                    with
+                    Job_spec.payload = Job_spec.Circuit circuit;
+                  }
+                in
+                match Runner.run spec with
+                | Error e ->
+                    Printf.eprintf "qxc: error: %s\n" (Error.to_string e);
+                    2
+                | Ok o ->
+                    let report = o.Runner.report in
+                    if common.json then
+                      Printf.printf "{\"histogram\":%s,\"report\":%s}\n"
+                        (histogram_json o.Runner.histogram)
+                        (Engine.report_to_json report)
+                    else begin
+                      Printf.printf "# %d qubits, %d instructions, %d shots\n"
+                        (Circuit.qubit_count circuit) (Circuit.length circuit)
+                        common.shots;
+                      Printf.printf "# plan: %s (%s)\n"
+                        (Engine.plan_to_string report.Engine.plan)
+                        report.Engine.plan_reason;
+                      print_resilience (common.fault_rate <> None) report;
+                      List.iter
+                        (fun (key, count) ->
+                          Printf.printf "%s  %6d  %.4f\n" key count
+                            (float_of_int count /. float_of_int common.shots))
+                        o.Runner.histogram
+                    end;
+                    write_metrics common.metrics report))
 
 let trajectory_flag =
   Arg.(
@@ -359,25 +420,31 @@ let no_fusion_flag =
 
 let run_term =
   Term.(
-    const run_command $ file_arg $ shots_arg $ seed_arg $ noise_arg $ trajectory_flag
-    $ no_fusion_flag $ metrics_arg $ trace_arg $ fault_rate_arg $ fault_seed_arg
-    $ max_retries_arg $ lint_flag $ lint_json_flag)
+    const run_command $ common_term $ file_arg $ trajectory_flag $ no_fusion_flag
+    $ lint_flag $ lint_json_flag)
 
 let run_cmd =
-  Cmd.v (Cmd.info "run" ~doc:"Execute a cQASM program on the QX simulator.") run_term
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute a cQASM program on the QX simulator. With $(b,--platform), \
+          compile first and execute through the full stack (with the \
+          degradation ladder).")
+    run_term
 
 (* --- compile --- *)
 
-let compile_command file platform_name mode_name emit_eqasm lint lint_json =
+let compile_command common file emit_eqasm lint lint_json =
   match load_program file with
   | Error msg ->
       prerr_endline msg;
       1
   | Ok program -> (
       let circuit = Cqasm.flatten program in
+      let platform_name = Option.value ~default:"superconducting" common.platform in
       match
-        ( platform_of_string platform_name (Circuit.qubit_count circuit),
-          mode_of_string mode_name )
+        ( Spool.platform_of_string platform_name (Circuit.qubit_count circuit),
+          Spool.mode_of_string common.mode )
       with
       | Error msg, _ | _, Error msg ->
           prerr_endline msg;
@@ -414,7 +481,7 @@ let eqasm_flag =
 
 let compile_term =
   Term.(
-    const compile_command $ file_arg $ platform_arg $ mode_arg $ eqasm_flag $ lint_flag
+    const compile_command $ common_term $ file_arg $ eqasm_flag $ lint_flag
     $ lint_json_flag)
 
 let compile_cmd =
@@ -424,54 +491,61 @@ let compile_cmd =
 
 (* --- exec (through the micro-architecture) --- *)
 
-let exec_command file platform_name shots seed metrics trace fault_rate
-    fault_seed max_retries =
-  if not (check_shots shots) then 1
+let exec_command common file =
+  if not (check_shots common.shots) then 1
   else
     match load_circuit file with
     | Error msg ->
         prerr_endline msg;
         1
     | Ok circuit -> (
-      match platform_of_string platform_name (Circuit.qubit_count circuit) with
-      | Error msg ->
-          prerr_endline msg;
-          1
-      | Ok platform ->
-          with_trace trace (fun () ->
-              let out = Compiler.compile platform Compiler.Real circuit in
-              match out.Compiler.eqasm with
-              | None ->
-                  prerr_endline "no eQASM produced";
-                  1
-              | Some program ->
-                  let technology =
-                    if platform_name = "semiconducting" then Controller.semiconducting
-                    else Controller.superconducting
-                  in
-                  let faults = make_faults fault_rate fault_seed in
-                  let policy = make_policy max_retries in
-                  let r =
-                    Controller.run_shots ~noise:platform.Platform.noise ~seed ~shots
-                      ?faults ~policy technology program
-                  in
-                  let s = r.Controller.last.Controller.stats in
-                  Printf.printf
-                    "# microarch: %d bundles, %d micro-ops, %d ns, peak queue %d, %d \
-                     violations\n"
-                    s.Controller.bundles_issued s.Controller.micro_ops
-                    s.Controller.total_ns s.Controller.peak_queue_depth
-                    s.Controller.timing_violations;
-                  print_resilience faults r.Controller.report;
-                  List.iter
-                    (fun (key, count) -> Printf.printf "%s  %6d\n" key count)
-                    r.Controller.histogram;
-                  write_metrics metrics r.Controller.report))
+        let platform_name =
+          Option.value ~default:"superconducting" common.platform
+        in
+        match
+          Spool.route_of_names ~platform:(Some platform_name) ~mode:"real"
+            ~ladder:false ~qubits:(Circuit.qubit_count circuit)
+        with
+        | Error msg ->
+            prerr_endline msg;
+            1
+        | Ok route ->
+            with_trace common.trace (fun () ->
+                let spec =
+                  {
+                    (spec_of_common common ~label:(Circuit.name circuit) ~route
+                       ~trajectory:false ~fusion:true)
+                    with
+                    Job_spec.payload = Job_spec.Circuit circuit;
+                  }
+                in
+                match Runner.run spec with
+                | Error e ->
+                    Printf.eprintf "%s\n" (Error.to_string e);
+                    1
+                | Ok o ->
+                    if common.json then
+                      Printf.printf "{\"histogram\":%s,\"report\":%s}\n"
+                        (histogram_json o.Runner.histogram)
+                        (Engine.report_to_json o.Runner.report)
+                    else begin
+                      (match o.Runner.microarch_stats with
+                      | Some s ->
+                          Printf.printf
+                            "# microarch: %d bundles, %d micro-ops, %d ns, peak \
+                             queue %d, %d violations\n"
+                            s.Controller.bundles_issued s.Controller.micro_ops
+                            s.Controller.total_ns s.Controller.peak_queue_depth
+                            s.Controller.timing_violations
+                      | None -> ());
+                      print_resilience (common.fault_rate <> None) o.Runner.report;
+                      List.iter
+                        (fun (key, count) -> Printf.printf "%s  %6d\n" key count)
+                        o.Runner.histogram
+                    end;
+                    write_metrics common.metrics o.Runner.report))
 
-let exec_term =
-  Term.(
-    const exec_command $ file_arg $ platform_arg $ shots_arg $ seed_arg $ metrics_arg
-    $ trace_arg $ fault_rate_arg $ fault_seed_arg $ max_retries_arg)
+let exec_term = Term.(const exec_command $ common_term $ file_arg)
 
 let exec_cmd =
   Cmd.v
@@ -479,18 +553,136 @@ let exec_cmd =
        ~doc:"Execute through the cycle-accurate micro-architecture (real qubits).")
     exec_term
 
+(* --- submit / status / cancel (the qxd spool client) --- *)
+
+let spool_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "spool" ] ~docv:"DIR" ~doc:"Spool directory shared with $(b,qxd serve).")
+
+let tenant_arg =
+  Arg.(
+    value
+    & opt string "default"
+    & info [ "tenant" ] ~docv:"NAME" ~doc:"Tenant the job is accounted to.")
+
+let priority_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "priority" ] ~docv:"P"
+        ~doc:"Scheduling priority within the tenant (lower runs sooner).")
+
+let submit_command common dir tenant priority file trajectory no_fusion =
+  if not (check_shots common.shots) then 1
+  else
+    match load_circuit file with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok circuit -> (
+        match
+          Spool.route_of_names ~platform:common.platform ~mode:common.mode
+            ~ladder:true ~qubits:(Circuit.qubit_count circuit)
+        with
+        | Error msg ->
+            prerr_endline msg;
+            1
+        | Ok route -> (
+            let spec =
+              {
+                (spec_of_common common ~label:(Circuit.name circuit) ~route
+                   ~trajectory ~fusion:(not no_fusion))
+                with
+                Job_spec.payload = Job_spec.Circuit circuit;
+                priority;
+              }
+            in
+            match Spool.submit ~dir ~tenant spec with
+            | Error e ->
+                Printf.eprintf "qxc: error: %s\n" (Error.to_string e);
+                1
+            | Ok id ->
+                if common.json then
+                  Printf.printf "{\"id\":\"%s\",\"tenant\":\"%s\"}\n" id
+                    (json_escape tenant)
+                else Printf.printf "submitted %s\n" id;
+                0))
+
+let submit_term =
+  Term.(
+    const submit_command $ common_term $ spool_arg $ tenant_arg $ priority_arg
+    $ file_arg $ trajectory_flag $ no_fusion_flag)
+
+let submit_cmd =
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Queue a cQASM program on a $(b,qxd) spool and print the job id. The \
+          job carries the same flags as $(b,run); poll it with $(b,status).")
+    submit_term
+
+let id_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Job id.")
+
+let status_command json dir id =
+  match Spool.read_result ~dir id with
+  | Some line ->
+      print_string line;
+      0
+  | None ->
+      if Spool.in_inbox ~dir id then begin
+        if json then Printf.printf "{\"id\":\"%s\",\"status\":\"queued\"}\n" id
+        else Printf.printf "%s queued\n" id;
+        0
+      end
+      else if Spool.cancel_requested ~dir id then begin
+        if json then Printf.printf "{\"id\":\"%s\",\"status\":\"cancelling\"}\n" id
+        else Printf.printf "%s cancelling\n" id;
+        0
+      end
+      else begin
+        Printf.eprintf "unknown job %s\n" id;
+        1
+      end
+
+let status_term = Term.(const status_command $ json_flag $ spool_arg $ id_arg)
+
+let status_cmd =
+  Cmd.v
+    (Cmd.info "status" ~doc:"Report a submitted job: queued, cancelling or its result.")
+    status_term
+
+let cancel_command dir id =
+  if Spool.request_cancel ~dir id then begin
+    Printf.printf "cancel requested for %s\n" id;
+    0
+  end
+  else begin
+    Printf.eprintf "%s already finished\n" id;
+    1
+  end
+
+let cancel_term = Term.(const cancel_command $ spool_arg $ id_arg)
+
+let cancel_cmd =
+  Cmd.v
+    (Cmd.info "cancel"
+       ~doc:
+         "Request cancellation of a queued or running job (fails once a result \
+          is published).")
+    cancel_term
+
 (* --- qisa --- *)
 
-let qisa_command file qubits shots seed tech_name =
+let qisa_command common file qubits tech_name =
   match (try Ok (read_file file) with Sys_error m -> Error m) with
   | Error msg ->
       prerr_endline msg;
       1
   | Ok source -> (
-      let technology =
-        if tech_name = "semiconducting" then Qca_microarch.Controller.semiconducting
-        else Qca_microarch.Controller.superconducting
-      in
+      let technology = Spool.technology_of_platform tech_name in
       let cycle_ns = if tech_name = "semiconducting" then 100 else 20 in
       match
         Qca_microarch.Qisa.parse ~name:(Filename.basename file) ~qubit_count:qubits
@@ -503,10 +695,10 @@ let qisa_command file qubits shots seed tech_name =
           prerr_endline msg;
           1
       | program ->
-          let rng = Rng.create seed in
+          let rng = Rng.create common.seed in
           let counts = Hashtbl.create 16 in
           let last = ref None in
-          for _ = 1 to shots do
+          for _ = 1 to common.shots do
             let result = Qca_microarch.Qisa.execute ~rng technology program in
             last := Some result;
             let key =
@@ -537,8 +729,7 @@ let tech_arg =
     & opt string "superconducting"
     & info [ "technology" ] ~docv:"TECH" ~doc:"Micro-architecture technology.")
 
-let qisa_term =
-  Term.(const qisa_command $ file_arg $ qubits_arg $ shots_arg $ seed_arg $ tech_arg)
+let qisa_term = Term.(const qisa_command $ common_term $ file_arg $ qubits_arg $ tech_arg)
 
 let qisa_cmd =
   Cmd.v
@@ -571,7 +762,10 @@ let () =
   let doc = "full-stack quantum accelerator toolchain (cQASM/eQASM/QX)" in
   let main =
     Cmd.group (Cmd.info "qxc" ~version:"1.0" ~doc)
-      [ run_cmd; compile_cmd; check_cmd; exec_cmd; qisa_cmd; info_cmd ]
+      [
+        run_cmd; compile_cmd; check_cmd; exec_cmd; submit_cmd; status_cmd;
+        cancel_cmd; qisa_cmd; info_cmd;
+      ]
   in
   (* Structured errors escaping a subcommand become a one-line diagnostic
      rather than an OCaml backtrace. *)

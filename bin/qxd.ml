@@ -1,0 +1,279 @@
+(* qxd: the multi-tenant quantum job daemon.
+
+   `qxd serve --spool DIR` turns a spool directory (populated by
+   `qxc submit`) into a running Qca_service.Service instance: inbox
+   entries are admitted under their tenant, scheduled by weighted fair
+   queuing, and published as one JSON line each under DIR/results/.
+   There is no network; the filesystem is the protocol (docs/service.md). *)
+
+module Engine = Qca_qx.Engine
+module Error = Qca_util.Error
+module Job_spec = Qca.Job_spec
+module Runner = Qca.Runner
+module Service = Qca_service.Service
+module Spool = Qca_service.Spool
+
+open Cmdliner
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let histogram_json hist =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v) hist)
+  ^ "}"
+
+let result_line ~id ~tenant ~label status body =
+  Printf.sprintf "{\"id\":\"%s\",\"tenant\":\"%s\",\"label\":\"%s\",\"status\":\"%s\"%s}"
+    (json_escape id) (json_escape tenant) (json_escape label) status body
+
+let done_line ~id ~tenant ~label (o : Runner.outcome) =
+  result_line ~id ~tenant ~label "done"
+    (Printf.sprintf ",\"histogram\":%s,\"report\":%s"
+       (histogram_json o.Runner.histogram)
+       (Engine.report_to_json o.Runner.report))
+
+let error_line ~id ~tenant ~label status (e : Error.t) =
+  result_line ~id ~tenant ~label status
+    (Printf.sprintf ",\"error\":{\"kind\":\"%s\",\"message\":\"%s\"}"
+       (json_escape (Error.kind_label e.Error.kind))
+       (json_escape (Error.to_string e)))
+
+(* One admitted job the daemon is tracking: spool id + service handle. *)
+type tracked = {
+  tr_id : string;
+  tr_tenant : string;
+  tr_label : string;
+  tr_handle : Service.handle;
+  mutable tr_published : bool;
+}
+
+let serve_command dir once interval workers max_queue degrade_above slice_shots
+    cache_capacity verbose print_stats =
+  Spool.init dir;
+  let config =
+    {
+      Service.default_config with
+      Service.workers;
+      max_queue;
+      degrade_above;
+      slice_shots;
+      cache_capacity;
+    }
+  in
+  let service = Service.create ~config () in
+  let tracked = ref [] (* newest first; published in id order *) in
+  let say fmt =
+    Printf.ksprintf (fun s -> if verbose then print_endline ("qxd: " ^ s)) fmt
+  in
+  let admit_inbox () =
+    List.iter
+      (fun (id, entry) ->
+        Spool.consume ~dir id;
+        match entry with
+        | Error e ->
+            say "rejected malformed job %s" id;
+            Spool.write_result ~dir ~id
+              (error_line ~id ~tenant:"unknown" ~label:"?" "rejected" e)
+        | Ok { Spool.entry_id = _; tenant; spec } -> (
+            match Service.submit service ~tenant spec with
+            | Ok h ->
+                say "admitted %s (%s, %d shots)" id tenant spec.Job_spec.shots;
+                tracked :=
+                  {
+                    tr_id = id;
+                    tr_tenant = tenant;
+                    tr_label = spec.Job_spec.label;
+                    tr_handle = h;
+                    tr_published = false;
+                  }
+                  :: !tracked
+            | Error e ->
+                say "refused %s (%s): %s" id tenant (Error.kind_label e.Error.kind);
+                Spool.write_result ~dir ~id
+                  (error_line ~id ~tenant ~label:spec.Job_spec.label "rejected" e)))
+      (List.map
+         (fun r ->
+           match r with
+           | Ok e -> (e.Spool.entry_id, Ok e)
+           | Error err -> (
+               (* Recover the id from the error context so the rejection
+                  can still be published. *)
+               match List.assoc_opt "job" err.Error.context with
+               | Some id -> (id, Error err)
+               | None -> ("unknown", Error err)))
+         (Spool.pending ~dir))
+  in
+  let apply_cancels () =
+    List.iter
+      (fun tr ->
+        if (not tr.tr_published) && Spool.cancel_requested ~dir tr.tr_id then
+          if Service.cancel service tr.tr_handle then
+            say "cancelled %s" tr.tr_id)
+      !tracked
+  in
+  let publish () =
+    List.iter
+      (fun tr ->
+        if not tr.tr_published then
+          let line =
+            match Service.poll service tr.tr_handle with
+            | Service.Queued _ | Service.Running _ -> None
+            | Service.Done o ->
+                Some
+                  (done_line ~id:tr.tr_id ~tenant:tr.tr_tenant
+                     ~label:tr.tr_label o)
+            | Service.Failed e ->
+                Some
+                  (error_line ~id:tr.tr_id ~tenant:tr.tr_tenant
+                     ~label:tr.tr_label "failed" e)
+            | Service.Cancelled ->
+                Some
+                  (result_line ~id:tr.tr_id ~tenant:tr.tr_tenant
+                     ~label:tr.tr_label "cancelled" "")
+          in
+          match line with
+          | None -> ()
+          | Some line ->
+              Spool.write_result ~dir ~id:tr.tr_id line;
+              tr.tr_published <- true;
+              say "published %s" tr.tr_id)
+      (List.sort (fun a b -> compare a.tr_id b.tr_id) !tracked)
+  in
+  let finish () =
+    if print_stats then print_endline (Service.stats_to_json service);
+    0
+  in
+  if once then begin
+    (* Drain mode: take everything currently spooled, honour cancel
+       markers present now, run to completion, publish, exit. *)
+    admit_inbox ();
+    apply_cancels ();
+    let rec pump () =
+      if Service.step service then begin
+        apply_cancels ();
+        pump ()
+      end
+    in
+    pump ();
+    publish ();
+    finish ()
+  end
+  else begin
+    let stop = ref false in
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle (fun _ -> stop := true));
+    say "serving %s (%d workers, queue %d)" dir config.Service.workers
+      config.Service.max_queue;
+    while not !stop do
+      admit_inbox ();
+      apply_cancels ();
+      let progressed = Service.step service in
+      publish ();
+      if not progressed then Unix.sleepf interval
+    done;
+    finish ()
+  end
+
+let spool_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "spool" ] ~docv:"DIR" ~doc:"Spool directory shared with $(b,qxc submit).")
+
+let once_flag =
+  Arg.(
+    value & flag
+    & info [ "once" ]
+        ~doc:
+          "Drain the spool and exit instead of serving forever (used by tests \
+           and batch pipelines).")
+
+let interval_arg =
+  Arg.(
+    value
+    & opt float 0.05
+    & info [ "poll-interval" ] ~docv:"SECONDS"
+        ~doc:"Idle sleep between spool scans.")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt int Qca_service.Service.default_config.Qca_service.Service.workers
+    & info [ "workers" ] ~docv:"N" ~doc:"Scheduler slices per tick.")
+
+let max_queue_arg =
+  Arg.(
+    value
+    & opt int Qca_service.Service.default_config.Qca_service.Service.max_queue
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:"Global backlog capacity; submissions beyond it are rejected.")
+
+let degrade_above_arg =
+  Arg.(
+    value
+    & opt int
+        Qca_service.Service.default_config.Qca_service.Service.degrade_above
+    & info [ "degrade-above" ] ~docv:"N"
+        ~doc:
+          "Backlog at which new jobs are admitted degraded (shot cap / \
+           realistic-QX fallback) before the queue rejects outright.")
+
+let slice_arg =
+  Arg.(
+    value
+    & opt int Qca_service.Service.default_config.Qca_service.Service.slice_shots
+    & info [ "slice-shots" ] ~docv:"N"
+        ~doc:"Preemption granularity: shots per scheduler slice.")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt int
+        Qca_service.Service.default_config.Qca_service.Service.cache_capacity
+    & info [ "cache" ] ~docv:"N" ~doc:"Result-cache capacity (0 disables).")
+
+let verbose_flag =
+  Arg.(value & flag & info [ "verbose" ] ~doc:"Narrate admissions and publications.")
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print the service counters as JSON on exit (schema in docs/service.md).")
+
+let serve_term =
+  Term.(
+    const serve_command $ spool_arg $ once_flag $ interval_arg $ workers_arg
+    $ max_queue_arg $ degrade_above_arg $ slice_arg $ cache_arg $ verbose_flag
+    $ stats_flag)
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a spool directory: admit submitted jobs under their tenants, \
+          schedule them fairly, publish results.")
+    serve_term
+
+let () =
+  let doc = "multi-tenant quantum job service daemon" in
+  let main = Cmd.group (Cmd.info "qxd" ~version:"1.0" ~doc) [ serve_cmd ] in
+  match Cmd.eval' ~catch:false main with
+  | code -> exit code
+  | exception Qca_util.Error.Error e ->
+      Printf.eprintf "qxd: error: %s\n" (Qca_util.Error.to_string e);
+      exit 2
+  | exception Failure msg ->
+      Printf.eprintf "qxd: error: %s\n" msg;
+      exit 2

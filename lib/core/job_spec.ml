@@ -1,0 +1,140 @@
+module Circuit = Qca_circuit.Circuit
+module Cqasm = Qca_circuit.Cqasm
+module Gate = Qca_circuit.Gate
+module Platform = Qca_compiler.Platform
+module Compiler = Qca_compiler.Compiler
+module Controller = Qca_microarch.Controller
+module Error = Qca_util.Error
+module Fault = Qca_util.Fault
+module Resilience = Qca_util.Resilience
+
+type payload =
+  | Circuit of Circuit.t
+  | Source of { name : string; text : string }
+
+type route =
+  | Direct
+  | Compiled of {
+      platform : Platform.t;
+      mode : Compiler.mode;
+      technology : Controller.technology option;
+      ladder : bool;
+    }
+
+type t = {
+  label : string;
+  payload : payload;
+  route : route;
+  shots : int;
+  seed : int option;
+  noise : float option;
+  force_trajectory : bool;
+  fusion : bool;
+  fault_rate : float option;
+  fault_seed : int;
+  max_retries : int;
+  backoff_ns : int;
+  degrade_threshold : float;
+  priority : int;
+}
+
+let make ?(label = "job") ?(route = Direct) ?(shots = 1024) ?seed ?noise
+    ?(force_trajectory = false) ?(fusion = true) ?fault_rate
+    ?(fault_seed = Fault.default_seed)
+    ?(max_retries = Resilience.default_policy.Resilience.max_retries)
+    ?(backoff_ns = Resilience.default_policy.Resilience.backoff_ns)
+    ?(degrade_threshold =
+      Resilience.default_policy.Resilience.degrade_threshold) payload =
+  if shots < 1 then invalid_arg "Job_spec.make: shots must be positive";
+  {
+    label;
+    payload;
+    route;
+    shots;
+    seed;
+    noise;
+    force_trajectory;
+    fusion;
+    fault_rate;
+    fault_seed;
+    max_retries;
+    backoff_ns;
+    degrade_threshold;
+    priority = 0;
+  }
+
+let of_circuit ?label circuit = make ?label (Circuit circuit)
+
+let of_source ?(label = "job") text =
+  make ~label (Source { name = label; text })
+
+let resolve spec =
+  match spec.payload with
+  | Circuit c -> Ok c
+  | Source { name; text } ->
+      Error.protect ~site:("Job_spec.resolve(" ^ name ^ ")") (fun () ->
+          Cqasm.parse_circuit text)
+
+(* The digest covers the semantic content only: qubit count plus the
+   instruction list. The circuit's name is presentation, not semantics —
+   two identically-shaped circuits submitted under different labels must
+   share a distribution. *)
+let digest circuit =
+  let body =
+    Circuit.instructions circuit
+    |> List.map Gate.to_string
+    |> String.concat "\n"
+  in
+  Digest.to_hex
+    (Digest.string (Printf.sprintf "%d\n%s" (Circuit.qubit_count circuit) body))
+
+let route_fingerprint = function
+  | Direct -> "direct"
+  | Compiled { platform; mode; technology; ladder } ->
+      Printf.sprintf "%s/%s/%s%s" platform.Platform.name
+        (match mode with
+        | Compiler.Perfect -> "perfect"
+        | Compiler.Realistic -> "realistic"
+        | Compiler.Real -> "real")
+        (match technology with
+        | Some t -> t.Controller.tech_name
+        | None -> "direct-qx")
+        (if ladder then "+ladder" else "")
+
+let route_description spec = route_fingerprint spec.route
+
+let cache_key spec circuit =
+  match spec.seed with
+  | None -> None
+  | Some seed ->
+      Some
+        (Printf.sprintf "%s|%s|shots=%d|seed=%d|noise=%s|traj=%b|faults=%s"
+           (digest circuit)
+           (route_fingerprint spec.route)
+           spec.shots seed
+           (match spec.noise with
+           | None -> "ideal"
+           | Some p -> Printf.sprintf "%.17g" p)
+           spec.force_trajectory
+           (match spec.fault_rate with
+           | None -> "off"
+           | Some p ->
+               Printf.sprintf "%.17g:%d:%d:%d:%.17g" p spec.fault_seed
+                 spec.max_retries spec.backoff_ns spec.degrade_threshold))
+
+let noise_model spec =
+  match spec.noise with
+  | None -> Qca_qx.Noise.ideal
+  | Some p -> Qca_qx.Noise.depolarizing p
+
+let faults spec =
+  match spec.fault_rate with
+  | None -> None
+  | Some p -> Some (Fault.make ~seed:spec.fault_seed (Fault.uniform p))
+
+let retry_policy spec =
+  {
+    Resilience.max_retries = spec.max_retries;
+    backoff_ns = spec.backoff_ns;
+    degrade_threshold = spec.degrade_threshold;
+  }

@@ -1,0 +1,115 @@
+(** The canonical "run request" record of the stack.
+
+    Every execution surface — [qxc run]/[exec], {!Stack.execute}, the
+    {!Runner} entry points and the multi-tenant job service
+    ({!Qca_service.Service}) — is a consumer of this one record: what to
+    run (a circuit, or cQASM source to parse), where to run it (the
+    {!route}), and the run parameters (shots, seed, noise, plan override,
+    fusion, fault-injection and retry policy). The CLI and the daemon are
+    therefore thin clients of the same code path; see [docs/service.md].
+
+    All fields are plain data (no RNG or injector state), so a spec can be
+    serialised over the service's spool protocol and re-hydrated
+    bit-identically: {!faults} builds a fresh, deterministic injector from
+    [fault_rate]/[fault_seed] on every call. *)
+
+type payload =
+  | Circuit of Qca_circuit.Circuit.t  (** An already-built circuit. *)
+  | Source of { name : string; text : string }
+      (** cQASM source, parsed by {!resolve} (errors are structured
+          {!Qca_util.Error.t} values, not exceptions). *)
+
+type route =
+  | Direct
+      (** Straight to the QX engine ({!Qca_qx.Engine.run}): no compiler,
+          topology or micro-architecture — the [qxc run] path. *)
+  | Compiled of {
+      platform : Qca_compiler.Platform.t;
+      mode : Qca_compiler.Compiler.mode;
+      technology : Qca_microarch.Controller.technology option;
+          (** Required for micro-architecture (Real-mode) execution. *)
+      ladder : bool;
+          (** [true]: walk the degradation ladder on failure
+              (micro-architecture -> realistic QX, the {!Stack.execute}
+              semantics). [false]: fail fast with the structured error
+              (the [qxc exec] semantics). *)
+    }
+
+type t = {
+  label : string;  (** Job name, used in reports and service logs. *)
+  payload : payload;
+  route : route;
+  shots : int;
+  seed : int option;
+      (** Explicit seed: required for result-cache eligibility. *)
+  noise : float option;
+      (** Depolarising error rate for [Direct] runs ([None] = ideal);
+          [Compiled] routes use the platform's own model. *)
+  force_trajectory : bool;
+      (** Force the per-shot trajectory plan ([qxc run --trajectory]). *)
+  fusion : bool;  (** Gate-fusion pre-pass (default on). *)
+  fault_rate : float option;
+      (** Per-site fault-injection probability ([None] = injection off). *)
+  fault_seed : int;  (** Seed of the injector's own RNG stream. *)
+  max_retries : int;  (** Retries per shot before it counts as faulted. *)
+  backoff_ns : int;  (** Base simulated backoff per retry. *)
+  degrade_threshold : float;
+      (** Faulted-shot fraction beyond which the ladder degrades. *)
+  priority : int;  (** Service scheduling priority (lower runs sooner). *)
+}
+
+val make :
+  ?label:string ->
+  ?route:route ->
+  ?shots:int ->
+  ?seed:int ->
+  ?noise:float ->
+  ?force_trajectory:bool ->
+  ?fusion:bool ->
+  ?fault_rate:float ->
+  ?fault_seed:int ->
+  ?max_retries:int ->
+  ?backoff_ns:int ->
+  ?degrade_threshold:float ->
+  payload ->
+  t
+(** Defaults mirror [qxc run]: route [Direct], 1024 shots, no explicit
+    seed, ideal noise, automatic plan, fusion on, injection off,
+    {!Qca_util.Resilience.default_policy} retry parameters, priority 0. *)
+
+val of_circuit : ?label:string -> Qca_circuit.Circuit.t -> t
+(** [make (Circuit c)] with the defaults. *)
+
+val of_source : ?label:string -> string -> t
+(** [make (Source ...)] with the defaults. *)
+
+val resolve : t -> (Qca_circuit.Circuit.t, Qca_util.Error.t) result
+(** The payload as a circuit: [Circuit c] unwrapped, [Source] parsed and
+    flattened (parse failures become [Error]). *)
+
+val digest : Qca_circuit.Circuit.t -> string
+(** Hex digest of the circuit's canonical form (qubit count +
+    instruction list; the circuit's name does not participate). Two jobs
+    whose resolved circuits share a digest can share one
+    {!Qca_qx.Engine.sampled_distribution}. *)
+
+val cache_key : t -> Qca_circuit.Circuit.t -> string option
+(** Result-cache key: circuit digest plus every semantic run parameter
+    (route fingerprint, shots, seed, noise, plan, fault/retry policy).
+    [None] when the spec has no explicit seed — an unseeded run draws from
+    the process-wide stream and is not reproducible, so it must not be
+    cached. [fusion] deliberately does not participate: fused and unfused
+    runs are bit-identical. *)
+
+val noise_model : t -> Qca_qx.Noise.model
+(** [noise] as an engine noise model (ideal when [None]). *)
+
+val faults : t -> Qca_util.Fault.t option
+(** A fresh injector per call, seeded from [fault_seed]: equal specs give
+    identical fault patterns. [None] when [fault_rate] is [None]. *)
+
+val retry_policy : t -> Qca_util.Resilience.policy
+
+val route_description : t -> string
+(** One-line route summary for logs, e.g. ["direct"] or
+    ["superconducting-17/real/microarch+ladder"]. *)

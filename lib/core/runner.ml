@@ -1,0 +1,147 @@
+module Engine = Qca_qx.Engine
+module Compiler = Qca_compiler.Compiler
+module Platform = Qca_compiler.Platform
+module Controller = Qca_microarch.Controller
+module Error = Qca_util.Error
+
+type outcome = {
+  histogram : (string * int) list;
+  report : Engine.run_report;
+  compiled : Compiler.output option;
+  microarch_stats : Controller.run_stats option;
+}
+
+module type RUNNER = sig
+  val runner_name : string
+
+  val run :
+    ?rng:Qca_util.Rng.t ->
+    ?faults:Qca_util.Fault.t ->
+    Job_spec.t ->
+    (outcome, Qca_util.Error.t) result
+end
+
+let wrong_route ~site spec =
+  Stdlib.Error
+    (Error.make ~site
+       ~context:[ ("route", Job_spec.route_description spec) ]
+       (Error.Invalid "job spec routed to the wrong runner"))
+
+module Engine_runner = struct
+  let runner_name = "engine"
+
+  let run ?rng ?faults (spec : Job_spec.t) =
+    match spec.Job_spec.route with
+    | Job_spec.Compiled _ -> wrong_route ~site:"Runner.Engine_runner" spec
+    | Job_spec.Direct -> (
+        match Job_spec.resolve spec with
+        | Error e -> Stdlib.Error e
+        | Ok circuit -> (
+            let faults =
+              match faults with
+              | Some _ as f -> f
+              | None -> Job_spec.faults spec
+            in
+            let plan =
+              if spec.Job_spec.force_trajectory then Some Engine.Trajectory
+              else None
+            in
+            match
+              Engine.run_checked ~noise:(Job_spec.noise_model spec)
+                ?seed:spec.Job_spec.seed ?rng ?plan ~shots:spec.Job_spec.shots
+                ?faults ~policy:(Job_spec.retry_policy spec)
+                ~fusion:spec.Job_spec.fusion circuit
+            with
+            | Error e -> Stdlib.Error e
+            | Ok result ->
+                Ok
+                  {
+                    histogram = result.Engine.histogram;
+                    report = result.Engine.report;
+                    compiled = None;
+                    microarch_stats = None;
+                  }))
+end
+
+module Microarch_runner = struct
+  let runner_name = "microarch"
+
+  let run ?rng ?faults (spec : Job_spec.t) =
+    match spec.Job_spec.route with
+    | Job_spec.Compiled
+        { platform; mode = Compiler.Real; technology = Some technology; _ }
+      -> (
+        match Job_spec.resolve spec with
+        | Error e -> Stdlib.Error e
+        | Ok circuit ->
+            let faults =
+              match faults with
+              | Some _ as f -> f
+              | None -> Job_spec.faults spec
+            in
+            Error.protect ~site:"Runner.Microarch_runner" (fun () ->
+                let out = Compiler.compile platform Compiler.Real circuit in
+                match out.Compiler.eqasm with
+                | None ->
+                    Error.fail ~site:"Runner.Microarch_runner"
+                      ~context:[ ("platform", platform.Platform.name) ]
+                      (Error.Invalid "compiler produced no eQASM")
+                | Some program ->
+                    let r =
+                      Controller.run_shots ~noise:platform.Platform.noise
+                        ?seed:spec.Job_spec.seed ?rng
+                        ~shots:spec.Job_spec.shots ?faults
+                        ~policy:(Job_spec.retry_policy spec) technology program
+                    in
+                    {
+                      histogram = r.Controller.histogram;
+                      report = r.Controller.report;
+                      compiled = Some out;
+                      microarch_stats = Some r.Controller.last.Controller.stats;
+                    }))
+    | _ -> wrong_route ~site:"Runner.Microarch_runner" spec
+end
+
+module Stack_runner = struct
+  let runner_name = "stack"
+
+  let model_of_mode = function
+    | Compiler.Perfect -> Qubit_model.Perfect
+    | Compiler.Realistic -> Qubit_model.Realistic
+    | Compiler.Real -> Qubit_model.Real
+
+  let run ?rng ?faults (spec : Job_spec.t) =
+    match spec.Job_spec.route with
+    | Job_spec.Direct -> wrong_route ~site:"Runner.Stack_runner" spec
+    | Job_spec.Compiled { platform; mode; technology; _ } -> (
+        let stack =
+          {
+            Stack.stack_name = spec.Job_spec.label ^ "-stack";
+            platform;
+            model = model_of_mode mode;
+            technology;
+          }
+        in
+        match Stack.run_spec ?rng ?faults stack spec with
+        | Error e -> Stdlib.Error e
+        | Ok r ->
+            Ok
+              {
+                histogram = r.Stack.histogram;
+                report = r.Stack.engine_report;
+                compiled = Some r.Stack.compiled;
+                microarch_stats = r.Stack.microarch_stats;
+              })
+end
+
+let select (spec : Job_spec.t) : (module RUNNER) =
+  match spec.Job_spec.route with
+  | Job_spec.Direct -> (module Engine_runner)
+  | Job_spec.Compiled
+      { mode = Compiler.Real; technology = Some _; ladder = false; _ } ->
+      (module Microarch_runner)
+  | Job_spec.Compiled _ -> (module Stack_runner)
+
+let run ?rng ?faults spec =
+  let (module R) = select spec in
+  R.run ?rng ?faults spec

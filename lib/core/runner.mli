@@ -1,0 +1,62 @@
+(** The one execution entry point: dispatch a {!Job_spec.t} to the right
+    backend surface.
+
+    Historically the stack grew three parallel result-typed entry points —
+    [Qca_qx.Engine.run_checked], [Qca_microarch.Controller.run_checked] and
+    {!Stack.run_checked} — each with its own argument list. They remain as
+    thin compatibility wrappers, but the canonical path is now: build a
+    {!Job_spec.t}, call {!run}. [qxc run]/[exec], the examples and the job
+    service ({!Qca_service.Service}) all go through here, so every consumer
+    sees the same seed semantics, fault handling and report schema
+    ([docs/service.md]). *)
+
+type outcome = {
+  histogram : (string * int) list;
+      (** Measured bitstrings, count-descending (see
+          {!Qca_qx.Engine.result}). *)
+  report : Qca_qx.Engine.run_report;
+  compiled : Qca_compiler.Compiler.output option;
+      (** Present for [Compiled] routes. *)
+  microarch_stats : Qca_microarch.Controller.run_stats option;
+      (** Last-shot pipeline stats for micro-architecture execution. *)
+}
+
+(** The shared shape of an execution surface. [?rng] overrides the spec's
+    seed (engine precedence rules); [?faults] threads an existing injector
+    through instead of building one from the spec — both exist so the job
+    service can slice a job across scheduler ticks while keeping the
+    merged result bit-identical to one uninterrupted run. *)
+module type RUNNER = sig
+  val runner_name : string
+
+  val run :
+    ?rng:Qca_util.Rng.t ->
+    ?faults:Qca_util.Fault.t ->
+    Job_spec.t ->
+    (outcome, Qca_util.Error.t) result
+end
+
+module Engine_runner : RUNNER
+(** [Direct] routes: straight QX engine execution ({!Qca_qx.Engine.run});
+    rejects [Compiled] specs. *)
+
+module Microarch_runner : RUNNER
+(** [Compiled] routes with a technology, Real mode and [ladder = false]:
+    compile to eQASM and execute every shot through the cycle-accurate
+    controller, failing fast on structured errors (the [qxc exec]
+    semantics). *)
+
+module Stack_runner : RUNNER
+(** Every other [Compiled] route: full-stack execution via
+    {!Stack.execute_spec}, including the micro-architecture -> realistic-QX
+    degradation ladder when [ladder = true]. *)
+
+val select : Job_spec.t -> (module RUNNER)
+(** The runner {!run} would dispatch to. *)
+
+val run :
+  ?rng:Qca_util.Rng.t ->
+  ?faults:Qca_util.Fault.t ->
+  Job_spec.t ->
+  (outcome, Qca_util.Error.t) result
+(** [run spec] = [let (module R) = select spec in R.run spec]. *)

@@ -70,8 +70,22 @@ let with_degraded report msg =
   let r = report.Engine.resilience in
   { report with Engine.resilience = { r with Engine.degraded = Some msg } }
 
-let execute ?(shots = 512) ?seed ?rng ?faults
-    ?(policy = Qca_util.Resilience.default_policy) stack circuit =
+(* The spec-consuming executor: the one canonical code path. [execute] and
+   [Runner.Stack_runner] are both thin clients of it. The stack's own
+   platform/model/technology decide the route; the spec contributes the
+   run parameters (shots, seed, retry policy, payload). *)
+let execute_spec ?rng ?faults stack (spec : Job_spec.t) =
+  let shots = spec.Job_spec.shots in
+  let seed = spec.Job_spec.seed in
+  let policy = Job_spec.retry_policy spec in
+  let faults =
+    match faults with Some _ as f -> f | None -> Job_spec.faults spec
+  in
+  let circuit =
+    match Job_spec.resolve spec with
+    | Ok c -> c
+    | Error e -> raise (Qca_util.Error.Error e)
+  in
   Trace.with_span "stack.execute" (fun stack_sp ->
   Trace.annotate stack_sp (fun () ->
       [
@@ -138,6 +152,21 @@ let execute ?(shots = 512) ?seed ?rng ?faults
                   "microarch failed (%s); fell back to realistic QX simulation"
                   (Qca_util.Error.to_string e))))
   | None, _ | _, None -> fallback None)
+
+let run_spec ?rng ?faults stack spec =
+  Qca_util.Error.protect ~site:"Stack.run_spec" (fun () ->
+      execute_spec ?rng ?faults stack spec)
+
+let spec_of ?(shots = 512) ?seed ?(policy = Qca_util.Resilience.default_policy)
+    circuit =
+  Job_spec.make ~label:(Circuit.name circuit) ~shots ?seed
+    ~max_retries:policy.Qca_util.Resilience.max_retries
+    ~backoff_ns:policy.Qca_util.Resilience.backoff_ns
+    ~degrade_threshold:policy.Qca_util.Resilience.degrade_threshold
+    (Job_spec.Circuit circuit)
+
+let execute ?shots ?seed ?rng ?faults ?policy stack circuit =
+  execute_spec ?rng ?faults stack (spec_of ?shots ?seed ?policy circuit)
 
 let run_checked ?shots ?seed ?rng ?faults ?policy stack circuit =
   Qca_util.Error.protect ~site:"Stack.run_checked" (fun () ->

@@ -74,7 +74,34 @@ val run_checked :
   Qca_circuit.Circuit.t ->
   (run, Qca_util.Error.t) result
 (** [execute] with structured errors instead of exceptions (compilation
-    failures included). *)
+    failures included).
+
+    @deprecated Thin compatibility wrapper: new callers should build a
+    {!Job_spec.t} and go through {!Runner.run} (or {!run_spec}), the
+    canonical execution path. *)
+
+(** {2 Job-spec surface}
+
+    [execute] is itself a thin client of this path: it builds a
+    {!Job_spec.t} from its arguments and calls {!execute_spec}. The
+    [Runner.Stack_runner] instance and the job service enter here. *)
+
+val execute_spec :
+  ?rng:Qca_util.Rng.t -> ?faults:Qca_util.Fault.t -> t -> Job_spec.t -> run
+(** Run a job spec through this stack. The stack's platform/model/
+    technology decide the route ([spec.route] is not consulted); the spec
+    contributes payload, shots, seed and the fault/retry policy. An
+    explicit [?faults] injector wins over the spec's [fault_rate] (so a
+    caller can thread one injector across several calls). Raises
+    {!Qca_util.Error.Error} on unresolvable payloads. *)
+
+val run_spec :
+  ?rng:Qca_util.Rng.t ->
+  ?faults:Qca_util.Fault.t ->
+  t ->
+  Job_spec.t ->
+  (run, Qca_util.Error.t) result
+(** [execute_spec] with structured errors instead of exceptions. *)
 
 val success_probability : run -> accept:(string -> bool) -> float
 (** Fraction of histogram mass on accepted bitstrings. *)

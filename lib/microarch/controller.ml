@@ -435,6 +435,7 @@ let run_shots ?noise ?seed ?rng ?(shots = 1024) ?faults
       wall = { Engine.analyse_s = 0.0; simulate_s = t1 -. t0; sample_s = 0.0 };
       resilience;
       fusion = Engine.no_fusion;
+      cache = Engine.no_cache;
     }
   in
   (match faults with

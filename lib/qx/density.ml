@@ -240,6 +240,7 @@ let run_backend ~noise ?(shots = 1024) ?seed circuit =
             wall = { Engine.analyse_s = t1 -. t0; simulate_s = t2 -. t1; sample_s = t3 -. t2 };
             resilience = Engine.no_resilience;
             fusion = Engine.no_fusion;
+            cache = Engine.no_cache;
           };
       })
 

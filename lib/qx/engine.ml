@@ -32,6 +32,10 @@ type fusion_stats = {
 
 let no_fusion = { gates_in = 0; kernels = 0; fused_1q = 0; fused_diag = 0 }
 
+type cache_stats = { cache_hits : int; cache_shared : int }
+
+let no_cache = { cache_hits = 0; cache_shared = 0 }
+
 type run_report = {
   plan : plan;
   plan_reason : string;
@@ -44,6 +48,7 @@ type run_report = {
   wall : phase_times;
   resilience : resilience;
   fusion : fusion_stats;
+  cache : cache_stats;
 }
 
 type result = { histogram : (string * int) list; report : run_report }
@@ -459,6 +464,41 @@ let run_sampled ~tally rng ~shots ~measured ~steps circuit =
   if Trace.enabled () then Trace.add_counter "qx.measure" tally.measures;
   (histogram, t_sim)
 
+(* --- shared sampled-plan distribution ---------------------------------- *)
+
+type sampled_distribution = {
+  probabilities : float array;
+  dist_measured : bool array;
+  dist_fusion : fusion_stats;
+  dist_gate_applies : (string * int) list;
+}
+
+let sampled_distribution ?(fusion = true) circuit =
+  match classify_structure circuit with
+  | Trajectory, _, _ -> None
+  | Sampled, _, measured ->
+      let steps, fstats = compile_steps ~fusion (Circuit.instructions circuit) in
+      let tally = fresh_tally () in
+      let state = State.create (Circuit.qubit_count circuit) in
+      List.iter
+        (fun step ->
+          match step with
+          | Kernel k -> (
+              apply_kernel state k;
+              match k with
+              | Single (_, _, name) -> count_apply tally name
+              | Fused_1q (_, _, names) | Fused_diag (_, names) ->
+                  List.iter (count_apply tally) names)
+          | Instr _ -> ())
+        steps;
+      Some
+        {
+          probabilities = State.probabilities state;
+          dist_measured = measured;
+          dist_fusion = fstats;
+          dist_gate_applies = gate_applies_of tally;
+        }
+
 (* --- the run surface --------------------------------------------------- *)
 
 let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) ?faults
@@ -579,6 +619,7 @@ let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) ?faults
           };
         resilience;
         fusion = fstats;
+        cache = no_cache;
       };
   })
 
@@ -629,12 +670,15 @@ let report_to_json r =
   Buffer.add_string buffer "},";
   Buffer.add_string buffer
     (Printf.sprintf
-       "\"fusion\":{\"gates_in\":%d,\"kernels\":%d,\"fused_1q\":%d,\"fused_diag\":%d},"
-       r.fusion.gates_in r.fusion.kernels r.fusion.fused_1q r.fusion.fused_diag);
-  Buffer.add_string buffer
-    (Printf.sprintf
        "\"wall_s\":{\"analyse\":%.6f,\"simulate\":%.6f,\"sample\":%.6f},"
        r.wall.analyse_s r.wall.simulate_s r.wall.sample_s);
+  (* Every counter family lives under one stable "counters" object (the
+     metrics schema in docs/engine.md): fusion, fault/retry and cache. *)
+  Buffer.add_string buffer "\"counters\":{";
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "\"fusion\":{\"gates_in\":%d,\"kernels\":%d,\"fused_1q\":%d,\"fused_diag\":%d},"
+       r.fusion.gates_in r.fusion.kernels r.fusion.fused_1q r.fusion.fused_diag);
   Buffer.add_string buffer "\"resilience\":{\"faults\":{";
   List.iteri
     (fun i (site, count) ->
@@ -642,9 +686,12 @@ let report_to_json r =
       Buffer.add_string buffer (Printf.sprintf "\"%s\":%d" (json_escape site) count))
     r.resilience.faults_injected;
   Buffer.add_string buffer
-    (Printf.sprintf "},\"retries\":%d,\"faulted_shots\":%d,\"backoff_ns\":%d,\"degraded\":%s}}"
+    (Printf.sprintf "},\"retries\":%d,\"faulted_shots\":%d,\"backoff_ns\":%d,\"degraded\":%s},"
        r.resilience.retries r.resilience.faulted_shots r.resilience.backoff_ns
        (match r.resilience.degraded with
        | Some why -> "\"" ^ json_escape why ^ "\""
        | None -> "null"));
+  Buffer.add_string buffer
+    (Printf.sprintf "\"cache\":{\"hits\":%d,\"shared\":%d}}}" r.cache.cache_hits
+       r.cache.cache_shared);
   Buffer.contents buffer

@@ -68,6 +68,19 @@ val no_fusion : fusion_stats
 (** All counters zero: the report value when the pass did not run (noisy
     runs, non-engine backends). *)
 
+type cache_stats = {
+  cache_hits : int;
+      (** Runs served whole from the job service's result cache. *)
+  cache_shared : int;
+      (** Runs that reused another job's compiled distribution
+          (cross-request shot batching, [docs/service.md]). *)
+}
+(** Result-cache counters. Always {!no_cache} for direct engine runs; the
+    job service ({!Qca_service.Service}) fills them in when it serves a run
+    from cache or batches it against an identical in-flight circuit. *)
+
+val no_cache : cache_stats
+
 type run_report = {
   plan : plan;
   plan_reason : string;  (** Why this plan was chosen (decision-table row). *)
@@ -89,6 +102,9 @@ type run_report = {
   fusion : fusion_stats;
       (** Gate-fusion pre-pass statistics ({!no_fusion} when the pass did
           not run). *)
+  cache : cache_stats;
+      (** Result-cache / shot-batching counters ({!no_cache} for direct
+          runs). *)
 }
 
 type result = {
@@ -196,6 +212,27 @@ val sample_histogram :
   (string * int) list
 (** Draw [shots] bitstrings from an explicit distribution, masking
     unmeasured qubits to '-' (shared with the density backend). *)
+
+type sampled_distribution = {
+  probabilities : float array;  (** Final-state distribution, length 2^n. *)
+  dist_measured : bool array;  (** Measured-qubit mask. *)
+  dist_fusion : fusion_stats;  (** Fusion stats of the one compile. *)
+  dist_gate_applies : (string * int) list;
+      (** Kernel invocations of the one simulation pass. *)
+}
+(** The reusable part of a sampled-plan run: simulate once, sample any
+    number of independent shot batches from it with {!sample_histogram}.
+    This is the unit of the job service's cross-request shot batching
+    ([docs/service.md]): jobs whose circuits share a digest share one of
+    these. *)
+
+val sampled_distribution :
+  ?fusion:bool -> Qca_circuit.Circuit.t -> sampled_distribution option
+(** Simulate the circuit's unitary prefix once and return its final
+    distribution, or [None] when the circuit needs trajectories. Sampling
+    from the result with a seed-[s] generator is bit-identical to
+    [run ~seed:s] on the same circuit (the simulate phase consumes no
+    randomness). *)
 
 (** {2 The compiled kernel plan}
 

@@ -1,0 +1,135 @@
+(** Multi-tenant quantum job service: the long-running front door of the
+    stack ([docs/service.md]).
+
+    Clients {!submit} a {!Qca.Job_spec.t} under a tenant name and get back
+    a {!handle}; {!poll}, {!await} and {!cancel} operate on handles. Jobs
+    are executed by a pool of virtual worker slots driven by {!step} /
+    {!drain}: scheduling is {e cooperative and deterministic} — amplitude-
+    level parallelism stays in the engine's domain pool
+    ({!Qca_util.Parallel}), while this layer multiplexes {e jobs} over the
+    simulated QPU the way a real accelerator service multiplexes a serial
+    quantum device.
+
+    {2 Scheduling}
+
+    Weighted fair queuing over per-tenant virtual time: each slice of work
+    advances its tenant's clock by [cost / weight], and the scheduler
+    always serves the tenant with the smallest clock, so a tenant with
+    weight 2 receives twice the throughput of a tenant with weight 1 and
+    no tenant starves. Direct-route jobs are {e sliced} ([slice_shots]
+    shots per scheduler visit), so long jobs are preempted at slice
+    boundaries; compiled/micro-architecture jobs execute atomically and
+    pay their full cost on the tenant clock.
+
+    {2 Batching and caching}
+
+    Jobs whose resolved circuits share a {!Qca.Job_spec.digest} share one
+    {!Qca_qx.Engine.sampled_distribution}: the state vector is simulated
+    once and every job samples its own shots (with its own seed) from the
+    shared distribution — bit-identical to running each job alone.
+    Seeded jobs are additionally served from a result cache keyed on
+    {!Qca.Job_spec.cache_key} (circuit digest, route, seed, shots, noise,
+    fault policy). Hits and shares surface in
+    {!Qca_qx.Engine.cache_stats} and the service {!stats}.
+
+    {2 Backpressure}
+
+    Admission walks a degradation ladder before refusing work: when the
+    backlog passes [degrade_above], new micro-architecture jobs are
+    downgraded to realistic-QX simulation and direct jobs have their shots
+    capped (recorded in [report.resilience.degraded]); when it passes
+    [max_queue], submission fails with a structured
+    {!Qca_util.Error.Overloaded}. Per-tenant [max_queued] quotas fail with
+    {!Qca_util.Error.Quota_exceeded}. *)
+
+type quota = {
+  max_running : int;  (** Concurrent started jobs per tenant. *)
+  max_queued : int;  (** Waiting jobs per tenant before quota rejection. *)
+  weight : float;  (** Fair-share weight (> 0); default 1.0. *)
+}
+
+type config = {
+  workers : int;  (** Worker slots per {!step} (clamped to >= 1). *)
+  max_queue : int;  (** Global waiting-job capacity (reject beyond). *)
+  degrade_above : int;  (** Backlog at which admission degrades new jobs. *)
+  slice_shots : int;  (** Preemption granularity for direct-route jobs. *)
+  degraded_shot_cap : int;  (** Shot cap applied to degraded direct jobs. *)
+  default_quota : quota;
+  quotas : (string * quota) list;  (** Per-tenant overrides. *)
+  cache_capacity : int;  (** Result-cache entries (0 disables caching). *)
+  service_seed : int;
+      (** Derives per-job RNG streams for jobs without an explicit seed. *)
+}
+
+val default_quota : quota
+(** [{ max_running = 4; max_queued = 16; weight = 1.0 }] *)
+
+val default_config : config
+
+type t
+
+type handle
+
+val job_id : handle -> int
+val job_tenant : handle -> string
+
+type status =
+  | Queued of int  (** Waiting; the int is the global queue position. *)
+  | Running of { done_shots : int; total_shots : int }
+  | Done of Qca.Runner.outcome
+  | Failed of Qca_util.Error.t
+  | Cancelled
+
+val create : ?config:config -> unit -> t
+
+val submit :
+  t -> tenant:string -> Qca.Job_spec.t -> (handle, Qca_util.Error.t) result
+(** Admit a job. The payload is resolved now (parse errors are reported
+    here, not at execution), the result cache is consulted (hits complete
+    immediately and bypass admission control — they cost nothing), then
+    quota, backpressure-degradation and capacity checks run in that
+    order. *)
+
+val poll : t -> handle -> status
+(** Non-blocking status; never advances execution. *)
+
+val step : t -> bool
+(** Run one scheduler tick: up to [workers] slices, each given to the
+    eligible tenant with the smallest virtual time. Returns [false] when
+    no runnable work exists. *)
+
+val await : t -> handle -> (Qca.Runner.outcome, Qca_util.Error.t) result
+(** Drive {!step} until the job completes. Cancelled jobs return a
+    {!Qca_util.Error.Cancelled} error. *)
+
+val cancel : t -> handle -> bool
+(** Cancel a waiting or running job ([true]); running jobs stop at their
+    next slice boundary — work already done is discarded. [false] when the
+    job already finished (or was already cancelled). *)
+
+val drain : t -> unit
+(** {!step} until idle. *)
+
+type stats = {
+  submitted : int;  (** All submission attempts. *)
+  accepted : int;  (** Admitted to the queue (cache hits not included). *)
+  completed : int;  (** Finished successfully (cache hits included). *)
+  failed : int;
+  cancelled : int;
+  rejected : int;  (** Refused: overload, quota or unresolvable payload. *)
+  degraded : int;  (** Admitted via the backpressure degradation ladder. *)
+  cache_hits : int;
+  shared_analyses : int;
+      (** Jobs that reused another job's sampled distribution. *)
+  slices : int;  (** Scheduler slices executed. *)
+  per_tenant : (string * int) list;  (** Completed jobs per tenant. *)
+}
+
+val stats : t -> stats
+
+val stats_to_json : t -> string
+(** One-line JSON object (schema in [docs/service.md]). *)
+
+val execution_log : t -> (string * int) list
+(** Chronological (tenant, job id) pairs, one per slice: the fairness
+    witness used by tests and [qxd serve --verbose]. *)

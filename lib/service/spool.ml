@@ -1,0 +1,337 @@
+module Circuit = Qca_circuit.Circuit
+module Cqasm = Qca_circuit.Cqasm
+module Platform = Qca_compiler.Platform
+module Compiler = Qca_compiler.Compiler
+module Controller = Qca_microarch.Controller
+module Error = Qca_util.Error
+module Job_spec = Qca.Job_spec
+
+type entry = { entry_id : string; tenant : string; spec : Job_spec.t }
+
+(* ---- shared name parsing --------------------------------------------- *)
+
+let platform_of_string name qubits =
+  match name with
+  | "superconducting" -> Ok Platform.superconducting_17
+  | "semiconducting" -> Ok Platform.semiconducting_4
+  | "perfect" -> Ok (Platform.perfect qubits)
+  | other -> Error (Printf.sprintf "unknown platform '%s'" other)
+
+let mode_of_string = function
+  | "perfect" -> Ok Compiler.Perfect
+  | "realistic" -> Ok Compiler.Realistic
+  | "real" -> Ok Compiler.Real
+  | other -> Error (Printf.sprintf "unknown mode '%s'" other)
+
+let mode_to_string = function
+  | Compiler.Perfect -> "perfect"
+  | Compiler.Realistic -> "realistic"
+  | Compiler.Real -> "real"
+
+let technology_of_platform = function
+  | "semiconducting" -> Controller.semiconducting
+  | _ -> Controller.superconducting
+
+(* The vocabulary name a platform value came from (spool headers store
+   the vocabulary, not the platform's display name, so they re-parse). *)
+let platform_to_string (p : Platform.t) =
+  if p.Platform.name = Platform.superconducting_17.Platform.name then
+    "superconducting"
+  else if p.Platform.name = Platform.semiconducting_4.Platform.name then
+    "semiconducting"
+  else "perfect"
+
+let route_of_names ~platform ~mode ~ladder ~qubits =
+  match platform with
+  | None -> Ok Job_spec.Direct
+  | Some pname -> (
+      match (platform_of_string pname qubits, mode_of_string mode) with
+      | (Error _ as e), _ -> (match e with Error m -> Error m | _ -> assert false)
+      | _, Error m -> Error m
+      | Ok platform, Ok mode ->
+          let technology =
+            match mode with
+            | Compiler.Real -> Some (technology_of_platform pname)
+            | Compiler.Perfect | Compiler.Realistic -> None
+          in
+          Ok (Job_spec.Compiled { platform; mode; technology; ladder }))
+
+(* ---- serialisation --------------------------------------------------- *)
+
+let encode ~tenant spec =
+  match Job_spec.resolve spec with
+  | Error e -> Error e
+  | Ok circuit ->
+      let b = Buffer.create 512 in
+      let add k v = Printf.bprintf b "%s=%s\n" k v in
+      add "tenant" tenant;
+      add "label" spec.Job_spec.label;
+      add "shots" (string_of_int spec.Job_spec.shots);
+      (match spec.Job_spec.seed with
+      | Some s -> add "seed" (string_of_int s)
+      | None -> ());
+      (match spec.Job_spec.noise with
+      | Some p -> add "noise" (string_of_float p)
+      | None -> ());
+      if spec.Job_spec.force_trajectory then add "trajectory" "true";
+      if not spec.Job_spec.fusion then add "fusion" "false";
+      (match spec.Job_spec.fault_rate with
+      | Some p ->
+          add "fault-rate" (string_of_float p);
+          add "fault-seed" (string_of_int spec.Job_spec.fault_seed);
+          add "max-retries" (string_of_int spec.Job_spec.max_retries)
+      | None -> ());
+      if spec.Job_spec.priority <> 0 then
+        add "priority" (string_of_int spec.Job_spec.priority);
+      (match spec.Job_spec.route with
+      | Job_spec.Direct -> ()
+      | Job_spec.Compiled { platform; mode; technology = _; ladder } ->
+          add "platform" (platform_to_string platform);
+          add "mode" (mode_to_string mode);
+          if ladder then add "ladder" "true");
+      Buffer.add_string b "---\n";
+      Buffer.add_string b (Cqasm.emit_circuit circuit);
+      Ok (Buffer.contents b)
+
+let decode ~id text =
+  let invalid msg =
+    Stdlib.Error
+      (Error.make ~site:"Spool.decode" ~context:[ ("job", id) ]
+         (Error.Invalid msg))
+  in
+  (* Split at the first line that is exactly "---". *)
+  let lines = String.split_on_char '\n' text in
+  (
+
+      let rec split acc = function
+        | [] -> None
+        | "---" :: rest -> Some (List.rev acc, String.concat "\n" rest)
+        | line :: rest -> split (line :: acc) rest
+      in
+      match split [] lines with
+      | None -> invalid "missing '---' separator"
+      | Some (header, body) -> (
+          let fields = ref [] in
+          let bad = ref None in
+          List.iter
+            (fun line ->
+              let line = String.trim line in
+              if line <> "" && !bad = None then
+                match String.index_opt line '=' with
+                | None -> bad := Some ("malformed header line: " ^ line)
+                | Some i ->
+                    fields :=
+                      ( String.sub line 0 i,
+                        String.sub line (i + 1) (String.length line - i - 1) )
+                      :: !fields)
+            header;
+          match !bad with
+          | Some msg -> invalid msg
+          | None -> (
+              let fields = List.rev !fields in
+              let known =
+                [
+                  "tenant"; "label"; "shots"; "seed"; "noise"; "trajectory";
+                  "fusion"; "fault-rate"; "fault-seed"; "max-retries";
+                  "priority"; "platform"; "mode"; "ladder";
+                ]
+              in
+              match
+                List.find_opt (fun (k, _) -> not (List.mem k known)) fields
+              with
+              | Some (k, _) -> invalid (Printf.sprintf "unknown key '%s'" k)
+              | None -> (
+                  let get k = List.assoc_opt k fields in
+                  let int_field k default =
+                    match get k with
+                    | None -> Ok default
+                    | Some v -> (
+                        match int_of_string_opt v with
+                        | Some n -> Ok n
+                        | None ->
+                            Error (Printf.sprintf "%s: not an integer: %s" k v))
+                  in
+                  let float_field k =
+                    match get k with
+                    | None -> Ok None
+                    | Some v -> (
+                        match float_of_string_opt v with
+                        | Some f -> Ok (Some f)
+                        | None ->
+                            Error (Printf.sprintf "%s: not a number: %s" k v))
+                  in
+                  let bool_field k =
+                    match get k with
+                    | None | Some "false" -> Ok false
+                    | Some "true" -> Ok true
+                    | Some v ->
+                        Error (Printf.sprintf "%s: not a boolean: %s" k v)
+                  in
+                  let ( let* ) r f =
+                    match r with Ok v -> f v | Error m -> invalid m
+                  in
+                  let tenant = Option.value ~default:"anonymous" (get "tenant") in
+                  let label = Option.value ~default:("job-" ^ id) (get "label") in
+                  let payload = Job_spec.Source { name = label; text = body } in
+                  match Job_spec.resolve (Job_spec.make ~label payload) with
+                  | Error e -> Stdlib.Error e
+                  | Ok circuit ->
+                      let* shots = int_field "shots" 1024 in
+                      let* seed =
+                        match get "seed" with
+                        | None -> Ok None
+                        | Some v -> (
+                            match int_of_string_opt v with
+                            | Some n -> Ok (Some n)
+                            | None -> Error ("seed: not an integer: " ^ v))
+                      in
+                      let* noise = float_field "noise" in
+                      let* force_trajectory = bool_field "trajectory" in
+                      let* fusion =
+                        match get "fusion" with
+                        | None | Some "true" -> Ok true
+                        | Some "false" -> Ok false
+                        | Some v -> Error ("fusion: not a boolean: " ^ v)
+                      in
+                      let* fault_rate = float_field "fault-rate" in
+                      let* fault_seed =
+                        int_field "fault-seed" Qca_util.Fault.default_seed
+                      in
+                      let* max_retries =
+                        int_field "max-retries"
+                          Qca_util.Resilience.default_policy
+                            .Qca_util.Resilience.max_retries
+                      in
+                      let* priority = int_field "priority" 0 in
+                      let* ladder = bool_field "ladder" in
+                      let mode =
+                        Option.value ~default:"realistic" (get "mode")
+                      in
+                      let* route =
+                        route_of_names ~platform:(get "platform") ~mode ~ladder
+                          ~qubits:(Circuit.qubit_count circuit)
+                      in
+                      if shots < 1 then invalid "shots must be positive"
+                      else
+                        let base = Job_spec.make ~label payload in
+                        let spec =
+                          {
+                            base with
+                            Job_spec.route;
+                            shots;
+                            seed;
+                            noise;
+                            force_trajectory;
+                            fusion;
+                            fault_rate;
+                            fault_seed;
+                            max_retries;
+                            priority;
+                          }
+                        in
+                        Ok { entry_id = id; tenant; spec }))))
+
+(* ---- spool directories ----------------------------------------------- *)
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    let parent = Filename.dirname path in
+    if parent <> path then mkdir_p parent;
+    try Sys.mkdir path 0o755 with Sys_error _ -> ()
+  end
+
+let inbox dir = Filename.concat dir "inbox"
+let results dir = Filename.concat dir "results"
+let cancels dir = Filename.concat dir "cancel"
+let tmp dir = Filename.concat dir "tmp"
+
+let init dir =
+  mkdir_p (inbox dir);
+  mkdir_p (results dir);
+  mkdir_p (cancels dir);
+  mkdir_p (tmp dir)
+
+let ids_in path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.filter_map (fun f -> int_of_string_opt (Filename.remove_extension f))
+  else []
+
+let next_id dir =
+  let top =
+    List.fold_left
+      (fun acc d -> List.fold_left max acc (ids_in d))
+      0
+      [ inbox dir; results dir; cancels dir ]
+  in
+  Printf.sprintf "%06d" (top + 1)
+
+(* Write-then-rename so readers never observe a partial file. *)
+let atomic_write dir ~target content =
+  let staging = Filename.concat (tmp dir) (Filename.basename target) in
+  let oc = open_out staging in
+  output_string oc content;
+  close_out oc;
+  Sys.rename staging target
+
+let submit ~dir ~tenant spec =
+  match encode ~tenant spec with
+  | Error e -> Error e
+  | Ok text ->
+      init dir;
+      let id = next_id dir in
+      atomic_write dir
+        ~target:(Filename.concat (inbox dir) (id ^ ".job"))
+        text;
+      Ok id
+
+let pending ~dir =
+  let d = inbox dir in
+  if not (Sys.file_exists d) then []
+  else
+    Sys.readdir d |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".job")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let id = Filename.remove_extension f in
+           let path = Filename.concat d f in
+           let ic = open_in path in
+           let n = in_channel_length ic in
+           let text = really_input_string ic n in
+           close_in ic;
+           decode ~id text)
+
+let in_inbox ~dir id =
+  Sys.file_exists (Filename.concat (inbox dir) (id ^ ".job"))
+
+let consume ~dir id =
+  let path = Filename.concat (inbox dir) (id ^ ".job") in
+  if Sys.file_exists path then Sys.remove path
+
+let result_path dir id = Filename.concat (results dir) (id ^ ".json")
+
+let read_result ~dir id =
+  let path = result_path dir id in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    Some text
+  end
+  else None
+
+let write_result ~dir ~id line =
+  init dir;
+  atomic_write dir ~target:(result_path dir id) (line ^ "\n")
+
+let request_cancel ~dir id =
+  if Sys.file_exists (result_path dir id) then false
+  else begin
+    init dir;
+    atomic_write dir ~target:(Filename.concat (cancels dir) id) "cancel\n";
+    true
+  end
+
+let cancel_requested ~dir id =
+  Sys.file_exists (Filename.concat (cancels dir) id)

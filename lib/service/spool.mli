@@ -1,0 +1,103 @@
+(** File-based submit/status/cancel protocol between [qxc] and [qxd].
+
+    No network: a spool directory is the queue. [qxc submit] drops a job
+    file into [DIR/inbox] (written to [DIR/tmp] first, then renamed, so
+    the daemon never sees a partial file); [qxd serve] consumes inbox
+    entries, feeds them to {!Service}, and writes one JSON line per job to
+    [DIR/results/<id>.json]; [qxc cancel] drops a marker into
+    [DIR/cancel]. Everything is plain text so a spool survives inspection
+    and hand-editing ([docs/service.md] documents the format).
+
+    A job file is a [key=value] header, a [---] separator, then the cQASM
+    program:
+
+    {v
+    tenant=alice
+    label=bell
+    shots=1000
+    seed=7
+    ---
+    version 1.0
+    qubits 2
+    ...
+    v}
+
+    Header keys mirror {!Qca.Job_spec.t} (and the [qxc] flags):
+    [tenant], [label], [shots], [seed], [noise], [trajectory], [fusion],
+    [fault-rate], [fault-seed], [max-retries], [priority], and the route
+    triple [platform]/[mode]/[ladder] ([platform] absent means the direct
+    engine route). Unknown keys are a structured error, not a warning. *)
+
+type entry = {
+  entry_id : string;  (** Zero-padded sequence number, e.g. ["000007"]. *)
+  tenant : string;
+  spec : Qca.Job_spec.t;
+}
+
+(** {2 Shared name parsing}
+
+    One vocabulary for platform/mode names across [qxc] flags, [qxd]
+    flags and spool headers. *)
+
+val platform_of_string :
+  string -> int -> (Qca_compiler.Platform.t, string) result
+(** [platform_of_string name qubits]: [superconducting],
+    [semiconducting] or [perfect] (sized to [qubits]). *)
+
+val mode_of_string : string -> (Qca_compiler.Compiler.mode, string) result
+
+val technology_of_platform : string -> Qca_microarch.Controller.technology
+(** The micro-architecture configuration conventionally paired with a
+    platform name ([semiconducting] or the superconducting default). *)
+
+val route_of_names :
+  platform:string option ->
+  mode:string ->
+  ladder:bool ->
+  qubits:int ->
+  (Qca.Job_spec.route, string) result
+(** The route a [--platform]/[--mode]/[--ladder] flag triple denotes:
+    [None] platform is the direct engine route; Real mode picks up the
+    platform's paired technology. *)
+
+(** {2 Spool directories} *)
+
+val init : string -> unit
+(** Create the spool skeleton ([inbox/], [results/], [cancel/], [tmp/]);
+    idempotent. *)
+
+val submit :
+  dir:string ->
+  tenant:string ->
+  Qca.Job_spec.t ->
+  (string, Qca_util.Error.t) result
+(** Serialise a spec into [inbox/], returning the new job id. The payload
+    is resolved first (a spec that cannot run is rejected at submit
+    time). *)
+
+val pending : dir:string -> (entry, Qca_util.Error.t) result list
+(** Inbox entries in id order; a malformed file surfaces as its own
+    [Error] (the daemon rejects it without stopping the queue). *)
+
+val in_inbox : dir:string -> string -> bool
+(** The job file is still waiting in the inbox. *)
+
+val consume : dir:string -> string -> unit
+(** Remove a job file from the inbox (after the daemon has taken it). *)
+
+val request_cancel : dir:string -> string -> bool
+(** Drop a cancel marker for a job id. [false] when the job already has a
+    result (too late to cancel). *)
+
+val cancel_requested : dir:string -> string -> bool
+
+val write_result : dir:string -> id:string -> string -> unit
+(** Publish a job's one-line JSON result (atomic rename, like
+    {!submit}). *)
+
+val read_result : dir:string -> string -> string option
+
+(** {2 Serialisation} (exposed for tests) *)
+
+val encode : tenant:string -> Qca.Job_spec.t -> (string, Qca_util.Error.t) result
+val decode : id:string -> string -> (entry, Qca_util.Error.t) result

@@ -8,6 +8,9 @@ type kind =
   | Unsupported_gate of { platform : string; gate : string }
   | Non_convergence of string
   | Syntax of { line : int; token : string; reason : string }
+  | Overloaded of { queued : int; capacity : int }
+  | Quota_exceeded of { tenant : string; queued : int; limit : int }
+  | Cancelled of string
   | Invalid of string
 
 type t = {
@@ -23,9 +26,12 @@ exception Error of t
    Everything else is a configuration or input problem that retrying cannot
    fix. *)
 let transient_kind = function
-  | Queue_overflow _ | Channel_loss _ | Backend_transient _ -> true
+  | Queue_overflow _ | Channel_loss _ | Backend_transient _ | Overloaded _
+  | Quota_exceeded _ ->
+      true
   | Unknown_mnemonic _ | Missing_pulse _ | Unknown_accelerator _
-  | Unsupported_gate _ | Non_convergence _ | Syntax _ | Invalid _ ->
+  | Unsupported_gate _ | Non_convergence _ | Syntax _ | Cancelled _
+  | Invalid _ ->
       false
 
 let kind_label = function
@@ -38,6 +44,9 @@ let kind_label = function
   | Unsupported_gate _ -> "unsupported-gate"
   | Non_convergence _ -> "non-convergence"
   | Syntax _ -> "syntax"
+  | Overloaded _ -> "overloaded"
+  | Quota_exceeded _ -> "quota-exceeded"
+  | Cancelled _ -> "cancelled"
   | Invalid _ -> "invalid"
 
 let kind_message = function
@@ -53,6 +62,13 @@ let kind_message = function
       Printf.sprintf "platform %s cannot express gate %s" platform gate
   | Non_convergence what -> Printf.sprintf "did not converge: %s" what
   | Syntax { line; reason; _ } -> Printf.sprintf "line %d: %s" line reason
+  | Overloaded { queued; capacity } ->
+      Printf.sprintf "service overloaded: %d jobs queued (capacity %d)" queued
+        capacity
+  | Quota_exceeded { tenant; queued; limit } ->
+      Printf.sprintf "tenant '%s' quota exceeded: %d jobs queued (limit %d)"
+        tenant queued limit
+  | Cancelled job -> Printf.sprintf "job %s was cancelled" job
   | Invalid msg -> msg
 
 let make ?(context = []) ?transient ~site kind =

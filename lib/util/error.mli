@@ -26,6 +26,14 @@ type kind =
       (** Source-text parse error: 1-based line number, the offending token
           ([""] when the whole line is at fault) and a human-readable
           reason. Raised by the cQASM parser. *)
+  | Overloaded of { queued : int; capacity : int }
+      (** The job service's admission queue is full; the request was
+          rejected after the degradation ladder was exhausted (see
+          [docs/service.md]). Transient: resubmitting later can succeed. *)
+  | Quota_exceeded of { tenant : string; queued : int; limit : int }
+      (** A tenant hit its per-tenant queue quota in the job service.
+          Transient: capacity frees up as the tenant's jobs complete. *)
+  | Cancelled of string  (** The named job was cancelled by the client. *)
   | Invalid of string  (** Malformed input (general). *)
 
 type t = {

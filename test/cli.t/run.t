@@ -60,6 +60,12 @@ The per-run metrics report is available as JSON:
   "h":1}
   "faulted_shots":0
 
+Every counter family — fusion, fault/retry and the job-service cache —
+rides under one stable "counters" object (schema in docs/engine.md):
+
+  $ qxc run bell.qasm --shots 100 --seed 7 --metrics - | tail -1 | grep -o '"counters":{"fusion":{[^}]*},"resilience":{"faults":{[^}]*},[^}]*},"cache":{[^}]*}}'
+  "counters":{"fusion":{"gates_in":2,"kernels":2,"fused_1q":0,"fused_diag":0},"resilience":{"faults":{},"retries":0,"faulted_shots":0,"backoff_ns":0,"degraded":null},"cache":{"hits":0,"shared":0}}
+
 Fusion statistics (logical gates in vs kernel sweeps executed) ride in the
 same report: a chain of diagonal gates coalesces into one sweep, and
 --no-fusion turns the pass off (results are bit-identical either way):
@@ -77,13 +83,13 @@ same report: a chain of diagonal gates coalesces into one sweep, and
   > QASM
 
   $ qxc run tchain.qasm --shots 100 --seed 2 --metrics - | tail -1 | tr ',' '\n' | grep -E 'fusion|kernels|fused'
-  "fusion":{"gates_in":5
+  "counters":{"fusion":{"gates_in":5
   "kernels":2
   "fused_1q":0
   "fused_diag":1}
 
   $ qxc run tchain.qasm --no-fusion --shots 100 --seed 2 --metrics - | tail -1 | tr ',' '\n' | grep -E 'fusion|kernels|fused'
-  "fusion":{"gates_in":5
+  "counters":{"fusion":{"gates_in":5
   "kernels":5
   "fused_1q":0
   "fused_diag":0}

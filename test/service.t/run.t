@@ -1,0 +1,109 @@
+The job service end to end: qxc submit -> qxd serve -> qxc status over a
+file spool (no network; the directory is the protocol, docs/service.md).
+
+  $ cat > bell.qasm <<'QASM'
+  > version 1.0
+  > qubits 2
+  > h q[0]
+  > cnot q[0], q[1]
+  > measure q[0]
+  > measure q[1]
+  > QASM
+
+Two tenants submit concurrently. Alice's third job is bit-identical to
+her first (same circuit, same seed), and all three share one circuit
+digest, so the daemon simulates the state vector once and every job
+samples its own shots from the shared distribution:
+
+  $ qxc submit bell.qasm --spool spool --tenant alice --shots 400 --seed 7
+  submitted 000001
+  $ qxc submit bell.qasm --spool spool --tenant bob --shots 400 --seed 8
+  submitted 000002
+  $ qxc submit bell.qasm --spool spool --tenant alice --shots 400 --seed 7
+  submitted 000003
+
+Before the daemon runs, the jobs are queued:
+
+  $ qxc status 000001 --spool spool
+  000001 queued
+
+Drain the spool once. The verbose log narrates fair admission per tenant;
+--stats prints the service counters (note shared_analyses = 2):
+
+  $ qxd serve --spool spool --once --verbose --slice-shots 64 --stats
+  qxd: admitted 000001 (alice, 400 shots)
+  qxd: admitted 000002 (bob, 400 shots)
+  qxd: admitted 000003 (alice, 400 shots)
+  qxd: published 000001
+  qxd: published 000002
+  qxd: published 000003
+  {"service":{"submitted":3,"accepted":3,"completed":3,"failed":0,"cancelled":0,"rejected":0,"degraded":0,"cache_hits":0,"shared_analyses":2,"slices":21,"tenants":{"alice":2,"bob":1}}}
+
+Results are one JSON line per job; the histogram is deterministic for a
+fixed seed:
+
+  $ qxc status 000001 --spool spool | grep -o '"status":"done"'
+  "status":"done"
+
+  $ qxc status 000001 --spool spool | grep -o '"histogram":{[^}]*}'
+  "histogram":{"00":203,"11":197}
+
+Sharing the analysis never perturbs results: alice's identical resubmit
+gets the identical histogram, and bob (different seed) gets his own draw:
+
+  $ qxc status 000003 --spool spool | grep -o '"histogram":{[^}]*}'
+  "histogram":{"00":203,"11":197}
+
+  $ qxc status 000002 --spool spool | grep -o '"histogram":{[^}]*}'
+  "histogram":{"11":209,"00":191}
+
+Cancellation is a marker file; the daemon honours it before starting the
+job:
+
+  $ qxc submit bell.qasm --spool spool --tenant alice --shots 1000 --seed 9
+  submitted 000004
+  $ qxc cancel 000004 --spool spool
+  cancel requested for 000004
+  $ qxd serve --spool spool --once
+  $ qxc status 000004 --spool spool | grep -o '"status":"cancelled"'
+  "status":"cancelled"
+
+Cancelling a finished job is refused:
+
+  $ qxc cancel 000001 --spool spool
+  000001 already finished
+  [1]
+
+Overload walks the degradation ladder before rejecting: with a backlog
+capacity of 4 and degradation above 2, jobs 3 and 4 are admitted with a
+capped shot budget and job 5 is refused with a structured error — the
+daemon never crashes:
+
+  $ for seed in 1 2 3 4 5; do qxc submit bell.qasm --spool flood --tenant mallory --shots 1000 --seed $seed; done
+  submitted 000001
+  submitted 000002
+  submitted 000003
+  submitted 000004
+  submitted 000005
+
+  $ qxd serve --spool flood --once --max-queue 4 --degrade-above 2 --stats
+  {"service":{"submitted":5,"accepted":4,"completed":4,"failed":0,"cancelled":0,"rejected":1,"degraded":2,"cache_hits":0,"shared_analyses":3,"slices":10,"tenants":{"mallory":4}}}
+
+  $ qxc status 000001 --spool flood | grep -o '"degraded":[^,]*'
+  "degraded":null}
+
+  $ qxc status 000003 --spool flood | grep -o '"degraded":[^,]*'
+  "degraded":"service overload: shot budget capped to 128"}
+
+  $ qxc status 000005 --spool flood | grep -o '"status":"[a-z]*"\|"kind":"[a-z-]*"'
+  "status":"rejected"
+  "kind":"overloaded"
+
+A malformed job file is rejected as its own result, without stopping the
+queue:
+
+  $ mkdir -p spool/inbox
+  $ printf 'wibble=1\n---\nversion 1.0\nqubits 1\n' > spool/inbox/000099.job
+  $ qxd serve --spool spool --once
+  $ qxc status 000099 --spool spool | grep -o '"status":"rejected"'
+  "status":"rejected"

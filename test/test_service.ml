@@ -1,0 +1,490 @@
+(* Tests for the multi-tenant job service: bit-identity of sliced/batched
+   execution, the result cache, quotas, weighted fairness, backpressure
+   degradation, cancellation, and the qxc<->qxd spool protocol. *)
+
+module Service = Qca_service.Service
+module Spool = Qca_service.Spool
+module Job_spec = Qca.Job_spec
+module Runner = Qca.Runner
+module Engine = Qca_qx.Engine
+module Circuit = Qca_circuit.Circuit
+module Gate = Qca_circuit.Gate
+module Library = Qca_circuit.Library
+module Error = Qca_util.Error
+
+let measured_all n base =
+  Circuit.append base
+    (Circuit.of_list n (List.init n (fun q -> Gate.Measure q)))
+
+let bell () = measured_all 2 (Library.bell ())
+let ghz n = measured_all n (Library.ghz n)
+
+(* Histograms compared as canonical (key-sorted) multisets: the service
+   merges slice histograms through its own table, so count-tied keys may
+   legally order differently than a single engine run. *)
+let canon h = List.sort compare h
+
+let total h = List.fold_left (fun acc (_, c) -> acc + c) 0 h
+
+let spec ?(shots = 1000) ?seed ?noise ?(trajectory = false) circuit =
+  let base = Job_spec.of_circuit circuit in
+  {
+    base with
+    Job_spec.shots;
+    seed;
+    noise;
+    force_trajectory = trajectory;
+  }
+
+let submit_ok svc ~tenant s =
+  match Service.submit svc ~tenant s with
+  | Ok h -> h
+  | Error e -> Alcotest.failf "submit failed: %s" (Error.to_string e)
+
+let await_ok svc h =
+  match Service.await svc h with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "await failed: %s" (Error.to_string e)
+
+let hist_testable = Alcotest.(list (pair string int))
+
+(* --- bit-identity of the service execution paths --- *)
+
+let test_batched_bit_identity () =
+  (* slice_shots 64 over 1000 shots: the job crosses ~16 scheduler slices,
+     sampling from a shared distribution with its own threaded RNG. *)
+  let config = { Service.default_config with Service.slice_shots = 64 } in
+  let svc = Service.create ~config () in
+  let h = submit_ok svc ~tenant:"alice" (spec ~seed:7 (bell ())) in
+  let o = await_ok svc h in
+  let direct = Engine.run ~seed:7 ~shots:1000 (bell ()) in
+  Alcotest.check hist_testable "sliced sampling == one engine run"
+    (canon direct.Engine.histogram)
+    (canon o.Runner.histogram);
+  Alcotest.(check int) "report shots" 1000 o.Runner.report.Engine.shots
+
+let test_trajectory_bit_identity () =
+  let config = { Service.default_config with Service.slice_shots = 16 } in
+  let svc = Service.create ~config () in
+  let h =
+    submit_ok svc ~tenant:"alice" (spec ~shots:100 ~seed:11 ~trajectory:true (bell ()))
+  in
+  let o = await_ok svc h in
+  let direct =
+    Engine.run ~seed:11 ~plan:Engine.Trajectory ~shots:100 (bell ())
+  in
+  Alcotest.check hist_testable "sliced trajectories == one engine run"
+    (canon direct.Engine.histogram)
+    (canon o.Runner.histogram);
+  Alcotest.(check int) "merged report shots" 100 o.Runner.report.Engine.shots
+
+let test_noisy_bit_identity () =
+  let config = { Service.default_config with Service.slice_shots = 32 } in
+  let svc = Service.create ~config () in
+  let h =
+    submit_ok svc ~tenant:"alice" (spec ~shots:100 ~seed:3 ~noise:0.05 (bell ()))
+  in
+  let o = await_ok svc h in
+  let direct =
+    Engine.run ~noise:(Qca_qx.Noise.depolarizing 0.05) ~seed:3 ~shots:100
+      (bell ())
+  in
+  Alcotest.check hist_testable "sliced noisy run == one engine run"
+    (canon direct.Engine.histogram)
+    (canon o.Runner.histogram)
+
+(* --- result cache and cross-request shot batching --- *)
+
+let test_cache_hit () =
+  let svc = Service.create () in
+  let s = spec ~seed:5 (bell ()) in
+  let o1 = await_ok svc (submit_ok svc ~tenant:"alice" s) in
+  let o2 = await_ok svc (submit_ok svc ~tenant:"bob" s) in
+  Alcotest.check hist_testable "identical histograms"
+    (canon o1.Runner.histogram) (canon o2.Runner.histogram);
+  Alcotest.(check int) "first run is not a hit" 0
+    o1.Runner.report.Engine.cache.Engine.cache_hits;
+  Alcotest.(check int) "second run served from cache" 1
+    o2.Runner.report.Engine.cache.Engine.cache_hits;
+  Alcotest.(check int) "stats count the hit" 1 (Service.stats svc).Service.cache_hits
+
+let test_cache_seed_miss () =
+  let svc = Service.create () in
+  let _ = await_ok svc (submit_ok svc ~tenant:"alice" (spec ~seed:5 (bell ()))) in
+  let _ = await_ok svc (submit_ok svc ~tenant:"alice" (spec ~seed:6 (bell ()))) in
+  Alcotest.(check int) "different seed misses" 0
+    (Service.stats svc).Service.cache_hits
+
+let test_unseeded_not_cached () =
+  let svc = Service.create () in
+  let _ = await_ok svc (submit_ok svc ~tenant:"alice" (spec (bell ()))) in
+  let _ = await_ok svc (submit_ok svc ~tenant:"alice" (spec (bell ()))) in
+  Alcotest.(check int) "unseeded jobs never hit the cache" 0
+    (Service.stats svc).Service.cache_hits
+
+let test_shared_distribution () =
+  let svc = Service.create () in
+  let h1 = submit_ok svc ~tenant:"alice" (spec ~seed:1 (ghz 4)) in
+  let h2 = submit_ok svc ~tenant:"bob" (spec ~seed:2 (ghz 4)) in
+  let o1 = await_ok svc h1 and o2 = await_ok svc h2 in
+  Alcotest.(check int) "one analysis shared" 1
+    (Service.stats svc).Service.shared_analyses;
+  (* Sharing the distribution must not perturb either job's results. *)
+  let d1 = Engine.run ~seed:1 ~shots:1000 (ghz 4) in
+  let d2 = Engine.run ~seed:2 ~shots:1000 (ghz 4) in
+  Alcotest.check hist_testable "job 1 bit-identical"
+    (canon d1.Engine.histogram) (canon o1.Runner.histogram);
+  Alcotest.check hist_testable "job 2 bit-identical"
+    (canon d2.Engine.histogram) (canon o2.Runner.histogram);
+  Alcotest.(check int) "share recorded in the report" 1
+    o2.Runner.report.Engine.cache.Engine.cache_shared
+
+(* --- quotas and backpressure --- *)
+
+let test_tenant_quota () =
+  let config =
+    {
+      Service.default_config with
+      Service.default_quota =
+        { Service.default_quota with Service.max_queued = 2 };
+    }
+  in
+  let svc = Service.create ~config () in
+  let _ = submit_ok svc ~tenant:"greedy" (spec ~seed:1 (bell ())) in
+  let _ = submit_ok svc ~tenant:"greedy" (spec ~seed:2 (bell ())) in
+  (match Service.submit svc ~tenant:"greedy" (spec ~seed:3 (bell ())) with
+  | Ok _ -> Alcotest.fail "third job should exceed the quota"
+  | Error e -> (
+      match e.Error.kind with
+      | Error.Quota_exceeded { tenant; queued; limit } ->
+          Alcotest.(check string) "tenant named" "greedy" tenant;
+          Alcotest.(check int) "queued" 2 queued;
+          Alcotest.(check int) "limit" 2 limit
+      | _ -> Alcotest.failf "wrong error: %s" (Error.to_string e)));
+  (* Another tenant is unaffected. *)
+  let _ = submit_ok svc ~tenant:"polite" (spec ~seed:4 (bell ())) in
+  Alcotest.(check int) "one rejection" 1 (Service.stats svc).Service.rejected
+
+let test_overload_ladder () =
+  (* degrade_above 2, max_queue 4: jobs 3 and 4 are admitted degraded
+     (shot cap), job 5 is rejected with a structured Overloaded error —
+     degraded-then-rejected, never a crash. *)
+  let config =
+    {
+      Service.default_config with
+      Service.max_queue = 4;
+      degrade_above = 2;
+      degraded_shot_cap = 50;
+    }
+  in
+  let svc = Service.create ~config () in
+  let handles =
+    List.map
+      (fun seed -> submit_ok svc ~tenant:"flood" (spec ~seed (bell ())))
+      [ 1; 2; 3; 4 ]
+  in
+  (match Service.submit svc ~tenant:"flood" (spec ~seed:5 (bell ())) with
+  | Ok _ -> Alcotest.fail "fifth job should be rejected"
+  | Error e -> (
+      match e.Error.kind with
+      | Error.Overloaded { queued; capacity } ->
+          Alcotest.(check int) "queued" 4 queued;
+          Alcotest.(check int) "capacity" 4 capacity;
+          Alcotest.(check bool) "overload is transient" true e.Error.transient
+      | _ -> Alcotest.failf "wrong error: %s" (Error.to_string e)));
+  let outcomes = List.map (await_ok svc) handles in
+  let degraded =
+    List.filter
+      (fun o ->
+        o.Runner.report.Engine.resilience.Engine.degraded <> None)
+      outcomes
+  in
+  Alcotest.(check int) "two jobs admitted degraded" 2 (List.length degraded);
+  List.iter
+    (fun o ->
+      Alcotest.(check int) "degraded job ran capped shots" 50
+        (total o.Runner.histogram))
+    degraded;
+  let s = Service.stats svc in
+  Alcotest.(check int) "stats.degraded" 2 s.Service.degraded;
+  Alcotest.(check int) "stats.rejected" 1 s.Service.rejected
+
+(* --- cancellation --- *)
+
+let test_cancel_while_queued () =
+  let svc = Service.create () in
+  let h1 = submit_ok svc ~tenant:"alice" (spec ~seed:1 (bell ())) in
+  let h2 = submit_ok svc ~tenant:"alice" (spec ~seed:2 (bell ())) in
+  Alcotest.(check bool) "cancel queued job" true (Service.cancel svc h2);
+  (match Service.await svc h2 with
+  | Ok _ -> Alcotest.fail "cancelled job must not complete"
+  | Error e -> (
+      match e.Error.kind with
+      | Error.Cancelled _ -> ()
+      | _ -> Alcotest.failf "wrong error: %s" (Error.to_string e)));
+  let _ = await_ok svc h1 in
+  Alcotest.(check bool) "double cancel is a no-op" false (Service.cancel svc h2);
+  Alcotest.(check int) "stats.cancelled" 1 (Service.stats svc).Service.cancelled
+
+let test_cancel_while_running () =
+  let config = { Service.default_config with Service.slice_shots = 64 } in
+  let svc = Service.create ~config () in
+  let h = submit_ok svc ~tenant:"alice" (spec ~seed:1 (bell ())) in
+  ignore (Service.step svc);
+  (match Service.poll svc h with
+  | Service.Running { done_shots; total_shots } ->
+      Alcotest.(check bool) "made partial progress" true
+        (done_shots > 0 && done_shots < total_shots)
+  | _ -> Alcotest.fail "job should be mid-flight after one step");
+  Alcotest.(check bool) "cancel running job" true (Service.cancel svc h);
+  (match Service.poll svc h with
+  | Service.Cancelled -> ()
+  | _ -> Alcotest.fail "job should report cancelled");
+  Service.drain svc;
+  Alcotest.(check int) "no completion recorded" 0
+    (Service.stats svc).Service.completed
+
+let test_cancel_completed_fails () =
+  let svc = Service.create () in
+  let h = submit_ok svc ~tenant:"alice" (spec ~seed:1 (bell ())) in
+  let _ = await_ok svc h in
+  Alcotest.(check bool) "too late to cancel" false (Service.cancel svc h)
+
+(* --- fairness --- *)
+
+let test_weighted_fairness () =
+  (* heavy (weight 3) and light (weight 1) each submit one 16-slice job;
+     WFQ must complete heavy's job well before light's. *)
+  let config =
+    {
+      Service.default_config with
+      Service.slice_shots = 64;
+      workers = 1;
+      quotas =
+        [
+          ("heavy", { Service.default_quota with Service.weight = 3.0 });
+          ("light", Service.default_quota);
+        ];
+    }
+  in
+  let svc = Service.create ~config () in
+  let hh = submit_ok svc ~tenant:"heavy" (spec ~seed:1 ~shots:1024 (bell ())) in
+  let hl = submit_ok svc ~tenant:"light" (spec ~seed:2 ~shots:1024 (bell ())) in
+  let _ = await_ok svc hh and _ = await_ok svc hl in
+  let log = Service.execution_log svc in
+  let last_index tenant =
+    List.mapi (fun i (t, _) -> (i, t)) log
+    |> List.filter (fun (_, t) -> t = tenant)
+    |> List.map fst |> List.fold_left max 0
+  in
+  Alcotest.(check bool) "heavy tenant finishes first" true
+    (last_index "heavy" < last_index "light");
+  let heavy_early =
+    List.filteri (fun i _ -> i < 8) log
+    |> List.filter (fun (t, _) -> t = "heavy")
+    |> List.length
+  in
+  Alcotest.(check bool) "heavy gets the 3:1 share early" true (heavy_early >= 5)
+
+let prop_no_tenant_starves =
+  QCheck.Test.make ~name:"WFQ: every tenant's first slice lands in round one"
+    ~count:30
+    QCheck.(pair (int_range 2 4) (int_range 1 3))
+    (fun (tenants, jobs_each) ->
+      let config =
+        { Service.default_config with Service.slice_shots = 64; workers = 1 }
+      in
+      let svc = Service.create ~config () in
+      let handles = ref [] in
+      for t = 0 to tenants - 1 do
+        for j = 0 to jobs_each - 1 do
+          let tenant = Printf.sprintf "tenant-%d" t in
+          let s = spec ~seed:((t * 100) + j) ~shots:256 (ghz 3) in
+          handles := (tenant, submit_ok svc ~tenant s) :: !handles
+        done
+      done;
+      Service.drain svc;
+      (* no starvation: every accepted job completed *)
+      let all_done =
+        List.for_all
+          (fun (_, h) ->
+            match Service.poll svc h with Service.Done _ -> true | _ -> false)
+          !handles
+      in
+      (* fairness: with equal weights, the first [tenants] slices contain
+         every tenant exactly once (round-robin over virtual time) *)
+      let log = Service.execution_log svc in
+      let first_round =
+        List.filteri (fun i _ -> i < tenants) log |> List.map fst
+      in
+      let distinct = List.sort_uniq compare first_round in
+      all_done && List.length distinct = tenants)
+
+let prop_cache_key_soundness =
+  QCheck.Test.make
+    ~name:"cache: same digest+seed+shots hits bit-identically, new seed misses"
+    ~count:25
+    QCheck.(pair (int_range 0 9999) (int_range 50 200))
+    (fun (seed, shots) ->
+      let svc = Service.create () in
+      let s = spec ~seed ~shots (ghz 3) in
+      let o1 = await_ok svc (submit_ok svc ~tenant:"a" s) in
+      let o2 = await_ok svc (submit_ok svc ~tenant:"b" s) in
+      let hits_after_same = (Service.stats svc).Service.cache_hits in
+      let s' = spec ~seed:(seed + 1) ~shots (ghz 3) in
+      let _ = await_ok svc (submit_ok svc ~tenant:"a" s') in
+      let hits_after_diff = (Service.stats svc).Service.cache_hits in
+      canon o1.Runner.histogram = canon o2.Runner.histogram
+      && hits_after_same = 1
+      && hits_after_diff = 1)
+
+let prop_cancel_queued_or_running =
+  QCheck.Test.make ~name:"cancel: queued or running, never after completion"
+    ~count:30
+    QCheck.(int_range 0 20)
+    (fun steps ->
+      let config = { Service.default_config with Service.slice_shots = 32 } in
+      let svc = Service.create ~config () in
+      let h = submit_ok svc ~tenant:"a" (spec ~seed:1 ~shots:512 (bell ())) in
+      for _ = 1 to steps do
+        ignore (Service.step svc)
+      done;
+      let finished =
+        match Service.poll svc h with Service.Done _ -> true | _ -> false
+      in
+      let cancelled = Service.cancel svc h in
+      (* exactly one of: cancel succeeded, or the job already finished *)
+      cancelled <> finished
+      &&
+      match Service.poll svc h with
+      | Service.Cancelled -> cancelled
+      | Service.Done _ -> finished
+      | _ -> false)
+
+(* --- the spool protocol --- *)
+
+let temp_spool name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) name in
+  (* start from a clean slate: the spool layout is flat, so removing the
+     files in each subdirectory is a full reset *)
+  List.iter
+    (fun sub ->
+      let d = Filename.concat dir sub in
+      if Sys.file_exists d && Sys.is_directory d then
+        Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d))
+    [ "inbox"; "results"; "cancel"; "tmp" ];
+  Spool.init dir;
+  dir
+
+let test_spool_roundtrip () =
+  let s =
+    {
+      (spec ~seed:42 ~shots:500 (bell ())) with
+      Job_spec.label = "bell-roundtrip";
+      priority = 2;
+      fault_rate = Some 0.05;
+      fault_seed = 9;
+    }
+  in
+  match Spool.encode ~tenant:"alice" s with
+  | Error e -> Alcotest.failf "encode failed: %s" (Error.to_string e)
+  | Ok text -> (
+      match Spool.decode ~id:"000042" text with
+      | Error e -> Alcotest.failf "decode failed: %s" (Error.to_string e)
+      | Ok entry ->
+          Alcotest.(check string) "tenant" "alice" entry.Spool.tenant;
+          Alcotest.(check string) "id" "000042" entry.Spool.entry_id;
+          let d = entry.Spool.spec in
+          Alcotest.(check int) "shots" 500 d.Job_spec.shots;
+          Alcotest.(check (option int)) "seed" (Some 42) d.Job_spec.seed;
+          Alcotest.(check int) "priority" 2 d.Job_spec.priority;
+          Alcotest.(check (option (float 1e-9))) "fault rate" (Some 0.05)
+            d.Job_spec.fault_rate;
+          Alcotest.(check int) "fault seed" 9 d.Job_spec.fault_seed;
+          (* the payload survives as an equivalent circuit *)
+          let c1 = Result.get_ok (Job_spec.resolve s) in
+          let c2 = Result.get_ok (Job_spec.resolve d) in
+          Alcotest.(check string) "circuit digest survives"
+            (Job_spec.digest c1) (Job_spec.digest c2))
+
+let test_spool_queue_cycle () =
+  let dir = temp_spool "qca-spool-cycle" in
+  let s = spec ~seed:7 ~shots:100 (bell ()) in
+  let id =
+    match Spool.submit ~dir ~tenant:"alice" s with
+    | Ok id -> id
+    | Error e -> Alcotest.failf "spool submit failed: %s" (Error.to_string e)
+  in
+  Alcotest.(check bool) "in inbox" true (Spool.in_inbox ~dir id);
+  (match Spool.pending ~dir with
+  | [ Ok entry ] ->
+      Alcotest.(check string) "entry id" id entry.Spool.entry_id;
+      Alcotest.(check string) "tenant" "alice" entry.Spool.tenant
+  | _ -> Alcotest.fail "expected exactly one pending entry");
+  Spool.consume ~dir id;
+  Alcotest.(check bool) "consumed" false (Spool.in_inbox ~dir id);
+  Spool.write_result ~dir ~id "{\"status\":\"done\"}";
+  (match Spool.read_result ~dir id with
+  | Some line ->
+      Alcotest.(check bool) "result readable" true
+        (String.length (String.trim line) > 0)
+  | None -> Alcotest.fail "result missing");
+  Alcotest.(check bool) "cancel after result fails" false
+    (Spool.request_cancel ~dir id)
+
+let test_spool_decode_rejects_garbage () =
+  (match Spool.decode ~id:"000001" "tenant=alice\nno separator" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing separator must fail");
+  match Spool.decode ~id:"000002" "wibble=1\n---\nversion 1.0\nqubits 1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown keys must fail"
+
+let () =
+  let qtest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qca_service"
+    [
+      ( "bit-identity",
+        [
+          Alcotest.test_case "batched sampling" `Quick test_batched_bit_identity;
+          Alcotest.test_case "sliced trajectories" `Quick
+            test_trajectory_bit_identity;
+          Alcotest.test_case "sliced noisy run" `Quick test_noisy_bit_identity;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit" `Quick test_cache_hit;
+          Alcotest.test_case "seed miss" `Quick test_cache_seed_miss;
+          Alcotest.test_case "unseeded uncached" `Quick test_unseeded_not_cached;
+          Alcotest.test_case "shared distribution" `Quick
+            test_shared_distribution;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "tenant quota" `Quick test_tenant_quota;
+          Alcotest.test_case "overload ladder" `Quick test_overload_ladder;
+        ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "while queued" `Quick test_cancel_while_queued;
+          Alcotest.test_case "while running" `Quick test_cancel_while_running;
+          Alcotest.test_case "after completion" `Quick
+            test_cancel_completed_fails;
+        ] );
+      ( "fairness",
+        [ Alcotest.test_case "weighted shares" `Quick test_weighted_fairness ] );
+      ( "properties",
+        List.map qtest
+          [
+            prop_no_tenant_starves;
+            prop_cache_key_soundness;
+            prop_cancel_queued_or_running;
+          ] );
+      ( "spool",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_spool_roundtrip;
+          Alcotest.test_case "queue cycle" `Quick test_spool_queue_cycle;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_spool_decode_rejects_garbage;
+        ] );
+    ]
