@@ -574,7 +574,27 @@ let priority_arg =
     & info [ "priority" ] ~docv:"P"
         ~doc:"Scheduling priority within the tenant (lower runs sooner).")
 
-let submit_command common dir tenant priority file trajectory no_fusion =
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget: the job fails with a structured \
+           deadline-exceeded error if it is still unfinished $(docv) \
+           milliseconds after it starts (checked at scheduler slice \
+           boundaries).")
+
+let durable_flag =
+  Arg.(
+    value & flag
+    & info [ "durable" ]
+        ~doc:
+          "fsync the job file and the spool directories around the atomic \
+           rename, so the submission survives power loss.")
+
+let submit_command common dir tenant priority deadline_ms durable file
+    trajectory no_fusion =
   if not (check_shots common.shots) then 1
   else
     match load_circuit file with
@@ -597,9 +617,10 @@ let submit_command common dir tenant priority file trajectory no_fusion =
                 with
                 Job_spec.payload = Job_spec.Circuit circuit;
                 priority;
+                deadline_ms;
               }
             in
-            match Spool.submit ~dir ~tenant spec with
+            match Spool.submit ~durable ~dir ~tenant spec with
             | Error e ->
                 Printf.eprintf "qxc: error: %s\n" (Error.to_string e);
                 1
@@ -613,7 +634,7 @@ let submit_command common dir tenant priority file trajectory no_fusion =
 let submit_term =
   Term.(
     const submit_command $ common_term $ spool_arg $ tenant_arg $ priority_arg
-    $ file_arg $ trajectory_flag $ no_fusion_flag)
+    $ deadline_arg $ durable_flag $ file_arg $ trajectory_flag $ no_fusion_flag)
 
 let submit_cmd =
   Cmd.v
@@ -626,32 +647,90 @@ let submit_cmd =
 let id_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Job id.")
 
-let status_command json dir id =
-  match Spool.read_result ~dir id with
-  | Some line ->
-      print_string line;
-      0
-  | None ->
-      if Spool.in_inbox ~dir id then begin
-        if json then Printf.printf "{\"id\":\"%s\",\"status\":\"queued\"}\n" id
-        else Printf.printf "%s queued\n" id;
-        0
-      end
-      else if Spool.cancel_requested ~dir id then begin
-        if json then Printf.printf "{\"id\":\"%s\",\"status\":\"cancelling\"}\n" id
-        else Printf.printf "%s cancelling\n" id;
-        0
-      end
-      else begin
-        Printf.eprintf "unknown job %s\n" id;
-        1
-      end
+let id_opt_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"ID"
+        ~doc:"Job id; omit it to report the daemon and queue depths instead.")
 
-let status_term = Term.(const status_command $ json_flag $ spool_arg $ id_arg)
+(* Spool-wide status: daemon liveness (from DIR/daemon.json) plus queue
+   depths. This is the operator's `is my daemon up?` probe. *)
+let spool_status json dir =
+  let inbox = List.length (Spool.pending_ids ~dir) in
+  let active = List.length (Spool.active ~dir) in
+  match Spool.read_heartbeat ~dir with
+  | None ->
+      if json then
+        Printf.printf "{\"daemon\":null,\"inbox\":%d,\"active\":%d}\n" inbox
+          active
+      else begin
+        Printf.printf "daemon: none\n";
+        Printf.printf "inbox:  %d queued, active: %d journaled\n" inbox active
+      end;
+      0
+  | Some hb ->
+      let alive = Spool.pid_alive hb.Spool.hb_pid in
+      if json then
+        Printf.printf
+          "{\"daemon\":{\"pid\":%d,\"state\":\"%s\",\"alive\":%b},\"inbox\":%d,\"active\":%d}\n"
+          hb.Spool.hb_pid
+          (json_escape hb.Spool.hb_state)
+          alive inbox active
+      else begin
+        Printf.printf "daemon: pid %d %s (%s)\n" hb.Spool.hb_pid
+          hb.Spool.hb_state
+          (if alive then "alive" else "dead");
+        Printf.printf "inbox:  %d queued, active: %d journaled\n" inbox active
+      end;
+      0
+
+let status_command json dir id =
+  match id with
+  | None -> spool_status json dir
+  | Some id -> (
+      match Spool.read_result ~dir id with
+      | Some line ->
+          print_string line;
+          0
+      | None ->
+          if Spool.in_inbox ~dir id then begin
+            if json then
+              Printf.printf "{\"id\":\"%s\",\"status\":\"queued\"}\n" id
+            else Printf.printf "%s queued\n" id;
+            0
+          end
+          else
+            match Spool.in_active ~dir id with
+            | Some c ->
+                if json then
+                  Printf.printf
+                    "{\"id\":\"%s\",\"status\":\"running\",\"attempt\":%d,\"pid\":%d}\n"
+                    id c.Spool.attempt c.Spool.claim_pid
+                else
+                  Printf.printf "%s running (attempt %d, pid %d)\n" id
+                    c.Spool.attempt c.Spool.claim_pid;
+                0
+            | None ->
+                if Spool.cancel_requested ~dir id then begin
+                  if json then
+                    Printf.printf "{\"id\":\"%s\",\"status\":\"cancelling\"}\n" id
+                  else Printf.printf "%s cancelling\n" id;
+                  0
+                end
+                else begin
+                  Printf.eprintf "unknown job %s\n" id;
+                  1
+                end)
+
+let status_term = Term.(const status_command $ json_flag $ spool_arg $ id_opt_arg)
 
 let status_cmd =
   Cmd.v
-    (Cmd.info "status" ~doc:"Report a submitted job: queued, cancelling or its result.")
+    (Cmd.info "status"
+       ~doc:
+         "Report a submitted job (queued, running, cancelling or its result) \
+          — or, with no ID, the daemon heartbeat and queue depths.")
     status_term
 
 let cancel_command dir id =

@@ -2,9 +2,18 @@
 
    `qxd serve --spool DIR` turns a spool directory (populated by
    `qxc submit`) into a running Qca_service.Service instance: inbox
-   entries are admitted under their tenant, scheduled by weighted fair
-   queuing, and published as one JSON line each under DIR/results/.
-   There is no network; the filesystem is the protocol (docs/service.md). *)
+   entries are claimed into the DIR/active journal, admitted under
+   their tenant, scheduled by weighted fair queuing, and published as
+   one JSON line each under DIR/results/. There is no network; the
+   filesystem is the protocol (docs/service.md).
+
+   Crash safety: a job is either in inbox/ (unclaimed), journaled in
+   active/ (claimed, possibly running), or terminal (results/ or
+   failed/). The daemon never deletes a job file before its result
+   exists, so a crash at any point leaves the job recoverable; startup
+   recovery re-executes orphaned journal entries bit-identically and
+   retires jobs that crash the daemon more than --max-attempts times
+   (docs/resilience.md). *)
 
 module Engine = Qca_qx.Engine
 module Error = Qca_util.Error
@@ -59,8 +68,29 @@ type tracked = {
 }
 
 let serve_command dir once interval workers max_queue degrade_above slice_shots
-    cache_capacity verbose print_stats =
+    cache_capacity max_attempts durable verbose print_stats =
   Spool.init dir;
+  let pid = Unix.getpid () in
+  let say fmt =
+    Printf.ksprintf (fun s -> if verbose then print_endline ("qxd: " ^ s)) fmt
+  in
+  (* Refuse to double-serve a spool another live daemon owns: two
+     daemons would race on claims and publish duplicate results. *)
+  (match Spool.read_heartbeat ~dir with
+  | Some hb
+    when hb.Spool.hb_pid <> pid
+         && Spool.pid_alive hb.Spool.hb_pid
+         && (String.equal hb.Spool.hb_state "serving"
+            || String.equal hb.Spool.hb_state "draining") ->
+      Printf.eprintf "qxd: spool %s is already served by pid %d\n" dir
+        hb.Spool.hb_pid;
+      exit 1
+  | _ -> ());
+  let started_at_ms = Spool.now_ms () in
+  let heartbeat state = Spool.write_heartbeat ~dir ~pid ~state ~started_at_ms in
+  heartbeat "starting";
+  let swept = Spool.sweep_tmp ~dir in
+  if swept > 0 then say "swept %d stale tmp file(s)" swept;
   let config =
     {
       Service.default_config with
@@ -73,46 +103,78 @@ let serve_command dir once interval workers max_queue degrade_above slice_shots
   in
   let service = Service.create ~config () in
   let tracked = ref [] (* newest first; published in id order *) in
-  let say fmt =
-    Printf.ksprintf (fun s -> if verbose then print_endline ("qxd: " ^ s)) fmt
+  let publish_line id line =
+    (* The result file is the commit point: write it first, then clear
+       the journal entry and any consumed cancel marker. Re-crashing
+       between these steps is safe — recovery sees the result and
+       finishes the cleanup without re-running the job. *)
+    Spool.write_result ~durable ~dir ~id line;
+    Spool.complete ~dir id;
+    Spool.clear_cancel ~dir id
   in
-  let admit_inbox () =
+  (* Admit one claimed (journaled) entry into the service. The cancel
+     marker is honoured even though the job is already claimed: a
+     cancel that raced the claim still wins as long as execution has
+     not finished. *)
+  let admit_entry ~id ~attempt entry =
+    match entry with
+    | Error e ->
+        say "rejected malformed job %s" id;
+        publish_line id (error_line ~id ~tenant:"unknown" ~label:"?" "rejected" e)
+    | Ok { Spool.entry_id = _; tenant; spec } ->
+        let label = spec.Job_spec.label in
+        if Spool.cancel_requested ~dir id then begin
+          say "cancelled %s before execution" id;
+          publish_line id (result_line ~id ~tenant ~label "cancelled" "")
+        end
+        else begin
+          match Service.submit service ~tenant spec with
+          | Ok h ->
+              if attempt > 1 then
+                say "admitted %s (%s, %d shots, attempt %d)" id tenant
+                  spec.Job_spec.shots attempt
+              else
+                say "admitted %s (%s, %d shots)" id tenant spec.Job_spec.shots;
+              tracked :=
+                {
+                  tr_id = id;
+                  tr_tenant = tenant;
+                  tr_label = label;
+                  tr_handle = h;
+                  tr_published = false;
+                }
+                :: !tracked
+          | Error e ->
+              say "refused %s (%s): %s" id tenant (Error.kind_label e.Error.kind);
+              publish_line id (error_line ~id ~tenant ~label "rejected" e)
+        end
+  in
+  let recover () =
+    List.iter
+      (fun r ->
+        match r with
+        | Spool.Already_published id ->
+            say "recovered %s: result already published" id
+        | Spool.Busy { id; owner } ->
+            say "leaving %s alone: claimed by live pid %d" id owner
+        | Spool.Poison { id; attempts; tenant; label } ->
+            say "retiring poison job %s after %d attempts" id attempts;
+            let e =
+              Error.make ~site:"qxd.recover"
+                ~context:[ ("job", id); ("tenant", tenant) ]
+                (Error.Crash_loop { attempts })
+            in
+            publish_line id (error_line ~id ~tenant ~label "failed" e)
+        | Spool.Replay { id; entry; attempt } ->
+            say "replaying %s (attempt %d)" id attempt;
+            admit_entry ~id ~attempt entry)
+      (Spool.recover ~dir ~pid ~max_attempts)
+  in
+  let claim_inbox () =
     List.iter
       (fun (id, entry) ->
-        Spool.consume ~dir id;
-        match entry with
-        | Error e ->
-            say "rejected malformed job %s" id;
-            Spool.write_result ~dir ~id
-              (error_line ~id ~tenant:"unknown" ~label:"?" "rejected" e)
-        | Ok { Spool.entry_id = _; tenant; spec } -> (
-            match Service.submit service ~tenant spec with
-            | Ok h ->
-                say "admitted %s (%s, %d shots)" id tenant spec.Job_spec.shots;
-                tracked :=
-                  {
-                    tr_id = id;
-                    tr_tenant = tenant;
-                    tr_label = spec.Job_spec.label;
-                    tr_handle = h;
-                    tr_published = false;
-                  }
-                  :: !tracked
-            | Error e ->
-                say "refused %s (%s): %s" id tenant (Error.kind_label e.Error.kind);
-                Spool.write_result ~dir ~id
-                  (error_line ~id ~tenant ~label:spec.Job_spec.label "rejected" e)))
-      (List.map
-         (fun r ->
-           match r with
-           | Ok e -> (e.Spool.entry_id, Ok e)
-           | Error err -> (
-               (* Recover the id from the error context so the rejection
-                  can still be published. *)
-               match List.assoc_opt "job" err.Error.context with
-               | Some id -> (id, Error err)
-               | None -> ("unknown", Error err)))
-         (Spool.pending ~dir))
+        if Spool.claim ~dir ~pid id then admit_entry ~id ~attempt:1 entry)
+      (Spool.pending_ids ~dir)
   in
   let apply_cancels () =
     List.iter
@@ -145,7 +207,7 @@ let serve_command dir once interval workers max_queue degrade_above slice_shots
           match line with
           | None -> ()
           | Some line ->
-              Spool.write_result ~dir ~id:tr.tr_id line;
+              publish_line tr.tr_id line;
               tr.tr_published <- true;
               say "published %s" tr.tr_id)
       (List.sort (fun a b -> compare a.tr_id b.tr_id) !tracked)
@@ -155,33 +217,58 @@ let serve_command dir once interval workers max_queue degrade_above slice_shots
     0
   in
   if once then begin
-    (* Drain mode: take everything currently spooled, honour cancel
-       markers present now, run to completion, publish, exit. *)
-    admit_inbox ();
+    (* Drain mode: recover the journal, take everything currently
+       spooled, honour cancel markers present now, run to completion,
+       publish, exit. *)
+    recover ();
+    claim_inbox ();
     apply_cancels ();
     let rec pump () =
       if Service.step service then begin
         apply_cancels ();
+        publish ();
         pump ()
       end
     in
     pump ();
     publish ();
+    heartbeat "stopped";
     finish ()
   end
   else begin
-    let stop = ref false in
-    Sys.set_signal Sys.sigint
-      (Sys.Signal_handle (fun _ -> stop := true));
+    let drain = ref false in
+    let on_signal _ =
+      if !drain then
+        (* Second signal: stop now. In-flight jobs stay journaled and
+           are replayed by the next daemon's recovery. *)
+        Stdlib.exit 130
+      else drain := true
+    in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    recover ();
     say "serving %s (%d workers, queue %d)" dir config.Service.workers
       config.Service.max_queue;
+    heartbeat "serving";
+    let stop = ref false in
     while not !stop do
-      admit_inbox ();
+      if not !drain then claim_inbox ();
       apply_cancels ();
       let progressed = Service.step service in
       publish ();
-      if not progressed then Unix.sleepf interval
+      heartbeat (if !drain then "draining" else "serving");
+      if !drain then begin
+        (* Graceful drain: no new claims; finish what is in flight,
+           publish it, then leave. *)
+        if not progressed then begin
+          say "drained";
+          stop := true
+        end
+      end
+      else if not progressed then Unix.sleepf interval
     done;
+    publish ();
+    heartbeat "drained";
     finish ()
   end
 
@@ -243,6 +330,23 @@ let cache_arg =
         Qca_service.Service.default_config.Qca_service.Service.cache_capacity
     & info [ "cache" ] ~docv:"N" ~doc:"Result-cache capacity (0 disables).")
 
+let max_attempts_arg =
+  Arg.(
+    value
+    & opt int 3
+    & info [ "max-attempts" ] ~docv:"N"
+        ~doc:
+          "Execution attempts a job may consume (claims plus recovery \
+           replays) before it is retired to failed/ as poison.")
+
+let durable_flag =
+  Arg.(
+    value & flag
+    & info [ "durable" ]
+        ~doc:
+          "fsync result files and spool directories around atomic renames, \
+           so published results survive power loss.")
+
 let verbose_flag =
   Arg.(value & flag & info [ "verbose" ] ~doc:"Narrate admissions and publications.")
 
@@ -255,15 +359,16 @@ let stats_flag =
 let serve_term =
   Term.(
     const serve_command $ spool_arg $ once_flag $ interval_arg $ workers_arg
-    $ max_queue_arg $ degrade_above_arg $ slice_arg $ cache_arg $ verbose_flag
-    $ stats_flag)
+    $ max_queue_arg $ degrade_above_arg $ slice_arg $ cache_arg
+    $ max_attempts_arg $ durable_flag $ verbose_flag $ stats_flag)
 
 let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve a spool directory: admit submitted jobs under their tenants, \
-          schedule them fairly, publish results.")
+         "Serve a spool directory: claim submitted jobs into the durable \
+          journal, schedule them fairly under their tenants, publish results; \
+          recover orphaned jobs from a previous crash first.")
     serve_term
 
 let () =

@@ -36,6 +36,7 @@ type t = {
   backoff_ns : int;
   degrade_threshold : float;
   priority : int;
+  deadline_ms : int option;
 }
 
 let make ?(label = "job") ?(route = Direct) ?(shots = 1024) ?seed ?noise
@@ -44,8 +45,13 @@ let make ?(label = "job") ?(route = Direct) ?(shots = 1024) ?seed ?noise
     ?(max_retries = Resilience.default_policy.Resilience.max_retries)
     ?(backoff_ns = Resilience.default_policy.Resilience.backoff_ns)
     ?(degrade_threshold =
-      Resilience.default_policy.Resilience.degrade_threshold) payload =
+      Resilience.default_policy.Resilience.degrade_threshold) ?deadline_ms
+    payload =
   if shots < 1 then invalid_arg "Job_spec.make: shots must be positive";
+  (match deadline_ms with
+  | Some d when d < 0 ->
+      invalid_arg "Job_spec.make: deadline_ms must be non-negative"
+  | _ -> ());
   {
     label;
     payload;
@@ -61,6 +67,7 @@ let make ?(label = "job") ?(route = Direct) ?(shots = 1024) ?seed ?noise
     backoff_ns;
     degrade_threshold;
     priority = 0;
+    deadline_ms;
   }
 
 let of_circuit ?label circuit = make ?label (Circuit circuit)

@@ -56,6 +56,12 @@ type t = {
   degrade_threshold : float;
       (** Faulted-shot fraction beyond which the ladder degrades. *)
   priority : int;  (** Service scheduling priority (lower runs sooner). *)
+  deadline_ms : int option;
+      (** Wall-clock budget from job start, enforced cooperatively at
+          scheduler slice boundaries; exceeding it is a terminal
+          {!Qca_util.Error.Deadline_exceeded} failure ([None] = no
+          deadline). A deadline of [0] fails at the first slice boundary —
+          the deterministic form used by tests. *)
 }
 
 val make :
@@ -71,11 +77,14 @@ val make :
   ?max_retries:int ->
   ?backoff_ns:int ->
   ?degrade_threshold:float ->
+  ?deadline_ms:int ->
   payload ->
   t
 (** Defaults mirror [qxc run]: route [Direct], 1024 shots, no explicit
     seed, ideal noise, automatic plan, fusion on, injection off,
-    {!Qca_util.Resilience.default_policy} retry parameters, priority 0. *)
+    {!Qca_util.Resilience.default_policy} retry parameters, priority 0,
+    no deadline. Raises [Invalid_argument] on [shots < 1] or a negative
+    [deadline_ms]. *)
 
 val of_circuit : ?label:string -> Qca_circuit.Circuit.t -> t
 (** [make (Circuit c)] with the defaults. *)

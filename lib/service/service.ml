@@ -53,6 +53,7 @@ type active = {
   kind : exec_kind;
   rng : Rng.t;
   faults : Qca_util.Fault.t option;
+  started_at : float;  (* wall clock, for deadline_ms enforcement *)
   mutable remaining : int;
   mutable done_shots : int;
   acc : (string, int) Hashtbl.t;
@@ -112,6 +113,7 @@ type t = {
   mutable s_accepted : int;
   mutable s_completed : int;
   mutable s_failed : int;
+  mutable s_deadline : int;
   mutable s_cancelled : int;
   mutable s_rejected : int;
   mutable s_degraded : int;
@@ -142,6 +144,7 @@ let create ?(config = default_config) () =
     s_accepted = 0;
     s_completed = 0;
     s_failed = 0;
+    s_deadline = 0;
     s_cancelled = 0;
     s_rejected = 0;
     s_degraded = 0;
@@ -432,6 +435,7 @@ let activate t job =
         kind = classify t job;
         rng = Rng.create seed;
         faults = Job_spec.faults job.spec;
+        started_at = Unix.gettimeofday ();
         remaining = job.spec.Job_spec.shots;
         done_shots = 0;
         acc = Hashtbl.create 16;
@@ -511,6 +515,7 @@ let finish_job t ts job (a : active) =
   | _ -> ()
 
 let exec_slice t ts job (a : active) =
+  Qca_util.Fault.crash_point "slice";
   let slice =
     match a.kind with
     | Atomic -> a.remaining
@@ -564,6 +569,21 @@ let exec_slice t ts job (a : active) =
   t.exec_log <- (ts.t_name, job.id) :: t.exec_log;
   Trace.end_span span
 
+(* Cooperative deadline enforcement: the budget is checked at every slice
+   boundary, before the slice runs, so a job can overshoot by at most one
+   slice of work already in flight — never start new work past its
+   deadline. [deadline_ms = 0] therefore fails deterministically at the
+   first boundary (the form the tests pin). *)
+let deadline_expired job (a : active) =
+  match job.spec.Job_spec.deadline_ms with
+  | None -> None
+  | Some deadline_ms ->
+      let elapsed_ms =
+        int_of_float ((Unix.gettimeofday () -. a.started_at) *. 1000.0)
+      in
+      if elapsed_ms >= deadline_ms then Some (deadline_ms, elapsed_ms)
+      else None
+
 let run_one t ts =
   if ts.active_ids = [] then start_next t ts;
   match ts.active_ids with
@@ -572,13 +592,27 @@ let run_one t ts =
       let job = Hashtbl.find t.jobs id in
       match job.phase with
       | Active a -> (
-          exec_slice t ts job a;
-          match job.phase with
-          | Active a when a.remaining <= 0 ->
-              finish_job t ts job a;
+          match deadline_expired job a with
+          | Some (deadline_ms, elapsed_ms) ->
+              t.s_deadline <- t.s_deadline + 1;
+              Trace.add_counter "service.deadline_exceeded" 1;
+              fail_job t ts job
+                (Error.make ~site:"Service.step"
+                   ~context:
+                     [
+                       ("job", string_of_int job.id); ("tenant", ts.t_name);
+                       ("done_shots", string_of_int a.done_shots);
+                     ]
+                   (Error.Deadline_exceeded { deadline_ms; elapsed_ms }));
               ts.active_ids <- rest
-          | Active _ -> ts.active_ids <- rest @ [ id ]
-          | _ -> ts.active_ids <- rest)
+          | None -> (
+              exec_slice t ts job a;
+              match job.phase with
+              | Active a when a.remaining <= 0 ->
+                  finish_job t ts job a;
+                  ts.active_ids <- rest
+              | Active _ -> ts.active_ids <- rest @ [ id ]
+              | _ -> ts.active_ids <- rest))
       | _ -> ts.active_ids <- rest)
 
 let eligible ts =
@@ -697,6 +731,7 @@ type stats = {
   accepted : int;
   completed : int;
   failed : int;
+  deadline_exceeded : int;
   cancelled : int;
   rejected : int;
   degraded : int;
@@ -716,6 +751,7 @@ let stats t =
     accepted = t.s_accepted;
     completed = t.s_completed;
     failed = t.s_failed;
+    deadline_exceeded = t.s_deadline;
     cancelled = t.s_cancelled;
     rejected = t.s_rejected;
     degraded = t.s_degraded;
@@ -729,9 +765,9 @@ let stats_to_json t =
   let s = stats t in
   let buf = Buffer.create 256 in
   Printf.bprintf buf
-    "{\"service\":{\"submitted\":%d,\"accepted\":%d,\"completed\":%d,\"failed\":%d,\"cancelled\":%d,\"rejected\":%d,\"degraded\":%d,\"cache_hits\":%d,\"shared_analyses\":%d,\"slices\":%d,\"tenants\":{"
-    s.submitted s.accepted s.completed s.failed s.cancelled s.rejected
-    s.degraded s.cache_hits s.shared_analyses s.slices;
+    "{\"service\":{\"submitted\":%d,\"accepted\":%d,\"completed\":%d,\"failed\":%d,\"deadline_exceeded\":%d,\"cancelled\":%d,\"rejected\":%d,\"degraded\":%d,\"cache_hits\":%d,\"shared_analyses\":%d,\"slices\":%d,\"tenants\":{"
+    s.submitted s.accepted s.completed s.failed s.deadline_exceeded
+    s.cancelled s.rejected s.degraded s.cache_hits s.shared_analyses s.slices;
   List.iteri
     (fun i (name, completed) ->
       if i > 0 then Buffer.add_char buf ',';

@@ -96,7 +96,15 @@ val poll : t -> handle -> status
 val step : t -> bool
 (** Run one scheduler tick: up to [workers] slices, each given to the
     eligible tenant with the smallest virtual time. Returns [false] when
-    no runnable work exists. *)
+    no runnable work exists.
+
+    Deadlines are enforced here, cooperatively: before a job's slice
+    runs, its [deadline_ms] budget (wall clock since the job started) is
+    checked, and an exhausted budget fails the job with a terminal
+    {!Qca_util.Error.Deadline_exceeded} — a job never {e starts} work
+    past its deadline, and overshoots by at most the slice already in
+    flight. Each slice also passes the [slice] chaos kill point
+    ({!Qca_util.Fault.crash_point}, [docs/resilience.md]). *)
 
 val await : t -> handle -> (Qca.Runner.outcome, Qca_util.Error.t) result
 (** Drive {!step} until the job completes. Cancelled jobs return a
@@ -115,6 +123,9 @@ type stats = {
   accepted : int;  (** Admitted to the queue (cache hits not included). *)
   completed : int;  (** Finished successfully (cache hits included). *)
   failed : int;
+  deadline_exceeded : int;
+      (** Jobs that ran out of their [deadline_ms] budget at a slice
+          boundary (also counted in [failed]). *)
   cancelled : int;
   rejected : int;  (** Refused: overload, quota or unresolvable payload. *)
   degraded : int;  (** Admitted via the backpressure degradation ladder. *)

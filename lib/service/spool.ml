@@ -4,6 +4,7 @@ module Platform = Qca_compiler.Platform
 module Compiler = Qca_compiler.Compiler
 module Controller = Qca_microarch.Controller
 module Error = Qca_util.Error
+module Fault = Qca_util.Fault
 module Job_spec = Qca.Job_spec
 
 type entry = { entry_id : string; tenant : string; spec : Job_spec.t }
@@ -83,6 +84,9 @@ let encode ~tenant spec =
       | None -> ());
       if spec.Job_spec.priority <> 0 then
         add "priority" (string_of_int spec.Job_spec.priority);
+      (match spec.Job_spec.deadline_ms with
+      | Some d -> add "deadline-ms" (string_of_int d)
+      | None -> ());
       (match spec.Job_spec.route with
       | Job_spec.Direct -> ()
       | Job_spec.Compiled { platform; mode; technology = _; ladder } ->
@@ -133,7 +137,7 @@ let decode ~id text =
                 [
                   "tenant"; "label"; "shots"; "seed"; "noise"; "trajectory";
                   "fusion"; "fault-rate"; "fault-seed"; "max-retries";
-                  "priority"; "platform"; "mode"; "ladder";
+                  "priority"; "deadline-ms"; "platform"; "mode"; "ladder";
                 ]
               in
               match
@@ -203,6 +207,17 @@ let decode ~id text =
                             .Qca_util.Resilience.max_retries
                       in
                       let* priority = int_field "priority" 0 in
+                      let* deadline_ms =
+                        match get "deadline-ms" with
+                        | None -> Ok None
+                        | Some v -> (
+                            match int_of_string_opt v with
+                            | Some n when n >= 0 -> Ok (Some n)
+                            | _ ->
+                                Error
+                                  ("deadline-ms: not a non-negative integer: "
+                                 ^ v))
+                      in
                       let* ladder = bool_field "ladder" in
                       let mode =
                         Option.value ~default:"realistic" (get "mode")
@@ -227,6 +242,7 @@ let decode ~id text =
                             fault_seed;
                             max_retries;
                             priority;
+                            deadline_ms;
                           }
                         in
                         Ok { entry_id = id; tenant; spec }))))
@@ -244,12 +260,16 @@ let inbox dir = Filename.concat dir "inbox"
 let results dir = Filename.concat dir "results"
 let cancels dir = Filename.concat dir "cancel"
 let tmp dir = Filename.concat dir "tmp"
+let active_dir dir = Filename.concat dir "active"
+let failed_dir dir = Filename.concat dir "failed"
 
 let init dir =
   mkdir_p (inbox dir);
   mkdir_p (results dir);
   mkdir_p (cancels dir);
-  mkdir_p (tmp dir)
+  mkdir_p (tmp dir);
+  mkdir_p (active_dir dir);
+  mkdir_p (failed_dir dir)
 
 let ids_in path =
   if Sys.file_exists path && Sys.is_directory path then
@@ -257,49 +277,87 @@ let ids_in path =
     |> List.filter_map (fun f -> int_of_string_opt (Filename.remove_extension f))
   else []
 
+(* active/ and failed/ participate: a claimed or retired job's id must not
+   be reissued while its journal entry is still alive. *)
 let next_id dir =
   let top =
     List.fold_left
       (fun acc d -> List.fold_left max acc (ids_in d))
       0
-      [ inbox dir; results dir; cancels dir ]
+      [ inbox dir; results dir; cancels dir; active_dir dir; failed_dir dir ]
   in
   Printf.sprintf "%06d" (top + 1)
 
-(* Write-then-rename so readers never observe a partial file. *)
-let atomic_write dir ~target content =
+let fsync_dir path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+(* Write-then-rename so readers never observe a partial file. With
+   [durable], the data and both directories are fsynced around the rename —
+   rename alone orders nothing on a real disk. *)
+let atomic_write ?(durable = false) dir ~target content =
   let staging = Filename.concat (tmp dir) (Filename.basename target) in
   let oc = open_out staging in
   output_string oc content;
+  if durable then begin
+    flush oc;
+    Unix.fsync (Unix.descr_of_out_channel oc)
+  end;
   close_out oc;
-  Sys.rename staging target
+  Sys.rename staging target;
+  if durable then begin
+    fsync_dir (Filename.dirname target);
+    fsync_dir (tmp dir)
+  end
 
-let submit ~dir ~tenant spec =
+let sweep_tmp ~dir =
+  let d = tmp dir in
+  if Sys.file_exists d && Sys.is_directory d then
+    Array.fold_left
+      (fun n f ->
+        match Sys.remove (Filename.concat d f) with
+        | () -> n + 1
+        | exception Sys_error _ -> n)
+      0 (Sys.readdir d)
+  else 0
+
+let submit ?durable ~dir ~tenant spec =
   match encode ~tenant spec with
   | Error e -> Error e
   | Ok text ->
       init dir;
       let id = next_id dir in
-      atomic_write dir
+      atomic_write ?durable dir
         ~target:(Filename.concat (inbox dir) (id ^ ".job"))
         text;
       Ok id
 
-let pending ~dir =
-  let d = inbox dir in
-  if not (Sys.file_exists d) then []
-  else
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  text
+
+let job_files d =
+  if Sys.file_exists d && Sys.is_directory d then
     Sys.readdir d |> Array.to_list
     |> List.filter (fun f -> Filename.check_suffix f ".job")
     |> List.sort compare
-    |> List.map (fun f ->
-           let id = Filename.remove_extension f in
-           let path = Filename.concat d f in
-           let ic = open_in path in
-           let n = in_channel_length ic in
-           let text = really_input_string ic n in
-           close_in ic;
-           decode ~id text)
+  else []
+
+let pending_ids ~dir =
+  let d = inbox dir in
+  job_files d
+  |> List.map (fun f ->
+         let id = Filename.remove_extension f in
+         (id, decode ~id (read_file (Filename.concat d f))))
+
+let pending ~dir = List.map snd (pending_ids ~dir)
 
 let in_inbox ~dir id =
   Sys.file_exists (Filename.concat (inbox dir) (id ^ ".job"))
@@ -312,18 +370,13 @@ let result_path dir id = Filename.concat (results dir) (id ^ ".json")
 
 let read_result ~dir id =
   let path = result_path dir id in
-  if Sys.file_exists path then begin
-    let ic = open_in path in
-    let n = in_channel_length ic in
-    let text = really_input_string ic n in
-    close_in ic;
-    Some text
-  end
-  else None
+  if Sys.file_exists path then Some (read_file path) else None
 
-let write_result ~dir ~id line =
+let write_result ?durable ~dir ~id line =
   init dir;
-  atomic_write dir ~target:(result_path dir id) (line ^ "\n")
+  Fault.crash_point "publish-pre";
+  atomic_write ?durable dir ~target:(result_path dir id) (line ^ "\n");
+  Fault.crash_point "publish-post"
 
 let request_cancel ~dir id =
   if Sys.file_exists (result_path dir id) then false
@@ -335,3 +388,175 @@ let request_cancel ~dir id =
 
 let cancel_requested ~dir id =
   Sys.file_exists (Filename.concat (cancels dir) id)
+
+let clear_cancel ~dir id =
+  let path = Filename.concat (cancels dir) id in
+  if Sys.file_exists path then Sys.remove path
+
+(* ---- the lifecycle journal -------------------------------------------- *)
+
+type claim = { claim_pid : int; attempt : int; claimed_at_ms : int }
+
+let now_ms () = int_of_float (Unix.gettimeofday () *. 1000.0)
+
+let active_job_path dir id = Filename.concat (active_dir dir) (id ^ ".job")
+let claim_path dir id = Filename.concat (active_dir dir) (id ^ ".claim")
+
+let write_claim dir ~id c =
+  atomic_write dir ~target:(claim_path dir id)
+    (Printf.sprintf "pid=%d\nattempt=%d\nclaimed-at-ms=%d\n" c.claim_pid
+       c.attempt c.claimed_at_ms)
+
+let read_claim ~dir id =
+  let path = claim_path dir id in
+  if not (Sys.file_exists path) then None
+  else
+    let fields =
+      String.split_on_char '\n' (read_file path)
+      |> List.filter_map (fun line ->
+             match String.index_opt line '=' with
+             | None -> None
+             | Some i ->
+                 Some
+                   ( String.sub line 0 i,
+                     String.sub line (i + 1) (String.length line - i - 1) ))
+    in
+    let int_of k =
+      Option.value ~default:0
+        (Option.bind (List.assoc_opt k fields) int_of_string_opt)
+    in
+    Some
+      {
+        claim_pid = int_of "pid";
+        attempt = int_of "attempt";
+        claimed_at_ms = int_of "claimed-at-ms";
+      }
+
+let in_active ~dir id =
+  if Sys.file_exists (active_job_path dir id) then
+    match read_claim ~dir id with
+    | Some c -> Some c
+    | None -> Some { claim_pid = 0; attempt = 0; claimed_at_ms = 0 }
+  else None
+
+let claim ~dir ~pid id =
+  let src = Filename.concat (inbox dir) (id ^ ".job") in
+  if not (Sys.file_exists src) then false
+  else begin
+    Fault.crash_point "claim-pre";
+    Sys.rename src (active_job_path dir id);
+    write_claim dir ~id
+      { claim_pid = pid; attempt = 1; claimed_at_ms = now_ms () };
+    Fault.crash_point "claim-post";
+    true
+  end
+
+let complete ~dir id =
+  let job = active_job_path dir id in
+  if Sys.file_exists job then Sys.remove job;
+  let c = claim_path dir id in
+  if Sys.file_exists c then Sys.remove c
+
+let retire ~dir id =
+  let job = active_job_path dir id in
+  if Sys.file_exists job then begin
+    mkdir_p (failed_dir dir);
+    Sys.rename job (Filename.concat (failed_dir dir) (id ^ ".job"))
+  end;
+  let c = claim_path dir id in
+  if Sys.file_exists c then Sys.remove c
+
+let active ~dir =
+  job_files (active_dir dir) |> List.map Filename.remove_extension
+
+(* ---- daemon heartbeat ------------------------------------------------- *)
+
+type heartbeat = {
+  hb_pid : int;
+  hb_state : string;
+  hb_started_at_ms : int;
+  hb_updated_at_ms : int;
+}
+
+let heartbeat_path dir = Filename.concat dir "daemon.json"
+
+let write_heartbeat ~dir ~pid ~state ~started_at_ms =
+  init dir;
+  atomic_write dir ~target:(heartbeat_path dir)
+    (Printf.sprintf
+       "{\"pid\":%d,\"state\":\"%s\",\"started_at_ms\":%d,\"updated_at_ms\":%d}\n"
+       pid state started_at_ms (now_ms ()))
+
+let read_heartbeat ~dir =
+  let path = heartbeat_path dir in
+  if not (Sys.file_exists path) then None
+  else
+    match
+      Scanf.sscanf (String.trim (read_file path))
+        "{\"pid\":%d,\"state\":%S,\"started_at_ms\":%d,\"updated_at_ms\":%d}"
+        (fun p s a u ->
+          { hb_pid = p; hb_state = s; hb_started_at_ms = a; hb_updated_at_ms = u })
+    with
+    | hb -> Some hb
+    | exception (Scanf.Scan_failure _ | End_of_file | Failure _) -> None
+
+let pid_alive pid =
+  pid > 0
+  &&
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (Unix.EPERM, _, _) -> true
+  | exception Unix.Unix_error _ -> false
+
+(* ---- crash recovery --------------------------------------------------- *)
+
+type recovered =
+  | Replay of {
+      id : string;
+      entry : (entry, Qca_util.Error.t) result;
+      attempt : int;
+    }
+  | Already_published of string
+  | Poison of { id : string; attempts : int; tenant : string; label : string }
+  | Busy of { id : string; owner : int }
+
+let recover ~dir ~pid ~max_attempts =
+  init dir;
+  active ~dir
+  |> List.map (fun id ->
+         if read_result ~dir id <> None then begin
+           (* The result is the commit point: a crash after publish but
+              before journal cleanup must not re-execute the job. *)
+           complete ~dir id;
+           Already_published id
+         end
+         else
+           match read_claim ~dir id with
+           | Some c when pid_alive c.claim_pid && c.claim_pid <> pid ->
+               (* A live daemon owns this claim (daemon.json names it too):
+                  stealing it would run the job twice. *)
+               Busy { id; owner = c.claim_pid }
+           | claim_opt ->
+               let attempts =
+                 match claim_opt with Some c -> c.attempt | None -> 0
+               in
+               let text = read_file (active_job_path dir id) in
+               if attempts + 1 > max_attempts then begin
+                 let tenant, label =
+                   match decode ~id text with
+                   | Ok e -> (e.tenant, e.spec.Job_spec.label)
+                   | Error _ -> ("unknown", "?")
+                 in
+                 retire ~dir id;
+                 Poison { id; attempts; tenant; label }
+               end
+               else begin
+                 write_claim dir ~id
+                   {
+                     claim_pid = pid;
+                     attempt = attempts + 1;
+                     claimed_at_ms = now_ms ();
+                   };
+                 Replay { id; entry = decode ~id text; attempt = attempts + 1 }
+               end)

@@ -10,6 +10,8 @@ type kind =
   | Syntax of { line : int; token : string; reason : string }
   | Overloaded of { queued : int; capacity : int }
   | Quota_exceeded of { tenant : string; queued : int; limit : int }
+  | Deadline_exceeded of { deadline_ms : int; elapsed_ms : int }
+  | Crash_loop of { attempts : int }
   | Cancelled of string
   | Invalid of string
 
@@ -31,7 +33,7 @@ let transient_kind = function
       true
   | Unknown_mnemonic _ | Missing_pulse _ | Unknown_accelerator _
   | Unsupported_gate _ | Non_convergence _ | Syntax _ | Cancelled _
-  | Invalid _ ->
+  | Invalid _ | Deadline_exceeded _ | Crash_loop _ ->
       false
 
 let kind_label = function
@@ -46,6 +48,8 @@ let kind_label = function
   | Syntax _ -> "syntax"
   | Overloaded _ -> "overloaded"
   | Quota_exceeded _ -> "quota-exceeded"
+  | Deadline_exceeded _ -> "deadline-exceeded"
+  | Crash_loop _ -> "crash-loop"
   | Cancelled _ -> "cancelled"
   | Invalid _ -> "invalid"
 
@@ -68,6 +72,12 @@ let kind_message = function
   | Quota_exceeded { tenant; queued; limit } ->
       Printf.sprintf "tenant '%s' quota exceeded: %d jobs queued (limit %d)"
         tenant queued limit
+  | Deadline_exceeded { deadline_ms; elapsed_ms } ->
+      Printf.sprintf "deadline of %d ms exceeded after %d ms" deadline_ms
+        elapsed_ms
+  | Crash_loop { attempts } ->
+      Printf.sprintf "job crashed the daemon %d times; retired as poison"
+        attempts
   | Cancelled job -> Printf.sprintf "job %s was cancelled" job
   | Invalid msg -> msg
 

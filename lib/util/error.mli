@@ -33,6 +33,14 @@ type kind =
   | Quota_exceeded of { tenant : string; queued : int; limit : int }
       (** A tenant hit its per-tenant queue quota in the job service.
           Transient: capacity frees up as the tenant's jobs complete. *)
+  | Deadline_exceeded of { deadline_ms : int; elapsed_ms : int }
+      (** The job's [deadline-ms] budget ran out; enforced cooperatively at
+          scheduler slice boundaries ([docs/service.md]). Terminal: the job
+          will not be retried. *)
+  | Crash_loop of { attempts : int }
+      (** A journaled job crashed the daemon on every execution attempt and
+          exhausted the attempt cap; it was retired to the spool's
+          [failed/] directory as poison ([docs/service.md]). *)
   | Cancelled of string  (** The named job was cancelled by the client. *)
   | Invalid of string  (** Malformed input (general). *)
 

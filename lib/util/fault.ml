@@ -83,3 +83,49 @@ let counts t =
     all_sites
 
 let total t = Array.fold_left ( + ) 0 t.counts
+
+(* ---- deterministic chaos kill points ---------------------------------- *)
+
+let crash_exit_code = 70
+
+let crash_sites =
+  [ "claim-pre"; "claim-post"; "slice"; "publish-pre"; "publish-post" ]
+
+let parse_crash_at v =
+  match String.index_opt v ':' with
+  | None -> if v = "" then None else Some (v, 1)
+  | Some i ->
+      let site = String.sub v 0 i in
+      let k = String.sub v (i + 1) (String.length v - i - 1) in
+      if site = "" then None
+      else Some (site, max 1 (Option.value ~default:1 (int_of_string_opt k)))
+
+(* One ref read on the (overwhelmingly common) disabled path: the guarantee
+   that leaving crash_point calls plumbed into the spool and scheduler is
+   free (the bench guard pins the disabled cost under 5% of a cache-hot
+   service slice). *)
+let crash_target : (string * int) option ref =
+  ref
+    (match Sys.getenv_opt "QCA_CRASH_AT" with
+    | None -> None
+    | Some v -> parse_crash_at v)
+
+let set_crash_at target = crash_target := target
+let crash_at () = !crash_target
+
+let crash_hits : (string, int) Hashtbl.t = Hashtbl.create 4
+
+let crash_point site =
+  match !crash_target with
+  | None -> ()
+  | Some (s, k) ->
+      if String.equal s site then begin
+        let n =
+          1 + Option.value ~default:0 (Hashtbl.find_opt crash_hits site)
+        in
+        Hashtbl.replace crash_hits site n;
+        if n >= k then begin
+          Printf.eprintf "qca: chaos: crashing at %s (hit %d)\n%!" site n;
+          Stdlib.exit crash_exit_code
+        end
+      end

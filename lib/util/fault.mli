@@ -70,3 +70,38 @@ val counts : t -> (string * int) list
 
 val total : t -> int
 (** Total fires across all sites. *)
+
+(** {2 Deterministic chaos kill points}
+
+    Whereas an injector perturbs {e results}, a kill point kills the
+    {e process}: [QCA_CRASH_AT=site:k] in the environment makes the [k]-th
+    {!crash_point} hit of the named site abort the process with
+    {!crash_exit_code}, leaving the filesystem exactly as it was at that
+    instant. The spool and scheduler are instrumented at the sites listed
+    in {!crash_sites} (taxonomy in [docs/resilience.md]); the chaos cram
+    harness loops submit → crash → restart over every site and checks that
+    recovery is bit-identical to an uncrashed run ([docs/service.md]).
+
+    With no target configured, {!crash_point} is one ref read — safe to
+    leave plumbed into hot paths. *)
+
+val crash_exit_code : int
+(** Process exit code of a chaos abort (70, [EX_SOFTWARE]). *)
+
+val crash_sites : string list
+(** The service-layer kill sites instrumented by this repo:
+    [claim-pre], [claim-post], [slice], [publish-pre], [publish-post]. *)
+
+val parse_crash_at : string -> (string * int) option
+(** Parse a ["site:k"] target (bare ["site"] means [k = 1]; malformed or
+    empty strings are [None], never an error). *)
+
+val crash_point : string -> unit
+(** Count a hit of [site]; abort the process when the configured target's
+    hit count is reached. No-op when chaos is off. *)
+
+val set_crash_at : (string * int) option -> unit
+(** Override the target parsed from [QCA_CRASH_AT] (tests/bench). *)
+
+val crash_at : unit -> (string * int) option
+(** The currently configured target. *)

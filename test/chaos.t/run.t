@@ -1,0 +1,110 @@
+Deterministic chaos harness for the crash-safe daemon (docs/resilience.md):
+QCA_CRASH_AT=site:k aborts the qxd process (exit 70) at the k-th hit of a
+named kill point. We crash the daemon at every lifecycle site, restart it,
+and assert that every job reaches exactly one terminal state with
+histograms bit-identical to an uncrashed baseline.
+
+  $ cat > bell.qasm <<'QASM'
+  > version 1.0
+  > qubits 2
+  > h q[0]
+  > cnot q[0], q[1]
+  > measure q[0]
+  > measure q[1]
+  > QASM
+
+The uncrashed baseline: two seeded jobs, one clean drain.
+
+  $ qxc submit bell.qasm --spool base --tenant alice --shots 400 --seed 7
+  submitted 000001
+  $ qxc submit bell.qasm --spool base --tenant bob --shots 400 --seed 8
+  submitted 000002
+  $ qxd serve --spool base --once
+  $ qxc status 000001 --spool base | grep -o '"histogram":{[^}]*}'
+  "histogram":{"00":203,"11":197}
+  $ qxc status 000002 --spool base | grep -o '"histogram":{[^}]*}'
+  "histogram":{"11":209,"00":191}
+
+Crash at every kill point, then restart cleanly. Whatever the site —
+before the claim rename, after the journal write, mid-execution, or on
+either side of the result write — the restarted daemon recovers the
+journal and finishes the work: 2 results, 0 journal entries, 0 poison
+files, and the exact baseline histograms.
+
+  $ for site in claim-pre claim-post slice publish-pre publish-post; do
+  >   qxc submit bell.qasm --spool chaos-$site --tenant alice --shots 400 --seed 7 >/dev/null
+  >   qxc submit bell.qasm --spool chaos-$site --tenant bob --shots 400 --seed 8 >/dev/null
+  >   QCA_CRASH_AT=$site:1 qxd serve --spool chaos-$site --once 2>/dev/null
+  >   code=$?
+  >   qxd serve --spool chaos-$site --once
+  >   echo "$site: crash=$code results=$(ls chaos-$site/results | wc -l) active=$(ls chaos-$site/active | wc -l) failed=$(ls chaos-$site/failed | wc -l)"
+  >   echo "  000001 $(qxc status 000001 --spool chaos-$site | grep -o '"histogram":{[^}]*}')"
+  >   echo "  000002 $(qxc status 000002 --spool chaos-$site | grep -o '"histogram":{[^}]*}')"
+  > done
+  claim-pre: crash=70 results=2 active=0 failed=0
+    000001 "histogram":{"00":203,"11":197}
+    000002 "histogram":{"11":209,"00":191}
+  claim-post: crash=70 results=2 active=0 failed=0
+    000001 "histogram":{"00":203,"11":197}
+    000002 "histogram":{"11":209,"00":191}
+  slice: crash=70 results=2 active=0 failed=0
+    000001 "histogram":{"00":203,"11":197}
+    000002 "histogram":{"11":209,"00":191}
+  publish-pre: crash=70 results=2 active=0 failed=0
+    000001 "histogram":{"00":203,"11":197}
+    000002 "histogram":{"11":209,"00":191}
+  publish-post: crash=70 results=2 active=0 failed=0
+    000001 "histogram":{"00":203,"11":197}
+    000002 "histogram":{"11":209,"00":191}
+
+A job that crashes the daemon on every attempt is poison. With
+--max-attempts 2 the first crash consumes attempt 1, the recovery replay
+consumes attempt 2, and the next recovery retires the job to failed/ with
+a structured crash-loop result instead of crash-looping forever.
+
+  $ qxc submit bell.qasm --spool poison --tenant alice --shots 400 --seed 7
+  submitted 000001
+  $ QCA_CRASH_AT=slice:1 qxd serve --spool poison --once --max-attempts 2 2>/dev/null
+  [70]
+
+Between crashes the heartbeat file pins the blast radius: the dead
+daemon's pid and the journaled job are visible to the operator.
+
+  $ qxc status --spool poison | sed 's/pid [0-9]*/pid PID/'
+  daemon: pid PID starting (dead)
+  inbox:  0 queued, active: 1 journaled
+  $ qxc status 000001 --spool poison | sed 's/pid [0-9]*/pid PID/'
+  000001 running (attempt 1, pid PID)
+
+  $ QCA_CRASH_AT=slice:1 qxd serve --spool poison --once --max-attempts 2 2>/dev/null
+  [70]
+
+A stale staging file (a submitter that died mid-write) is swept at
+startup; the clean restart then retires the poison job.
+
+  $ touch poison/tmp/stale-0042.job
+  $ qxd serve --spool poison --once --max-attempts 2 --verbose
+  qxd: swept 1 stale tmp file(s)
+  qxd: retiring poison job 000001 after 2 attempts
+
+  $ qxc status 000001 --spool poison | grep -o '"status":"[a-z]*"\|"kind":"[a-z-]*"'
+  "status":"failed"
+  "kind":"crash-loop"
+  $ ls poison/failed
+  000001.job
+
+A cancel marker that lands after the claim but before execution still
+wins: the claimed job is published as cancelled, the journal entry and
+the consumed marker are both cleaned up.
+
+  $ qxc submit bell.qasm --spool race --tenant alice --shots 400 --seed 7
+  submitted 000001
+  $ QCA_CRASH_AT=slice:1 qxd serve --spool race --once 2>/dev/null
+  [70]
+  $ qxc cancel 000001 --spool race
+  cancel requested for 000001
+  $ qxd serve --spool race --once
+  $ qxc status 000001 --spool race | grep -o '"status":"cancelled"'
+  "status":"cancelled"
+  $ echo "active=$(ls race/active | wc -l) cancel=$(ls race/cancel | wc -l)"
+  active=0 cancel=0

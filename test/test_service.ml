@@ -11,6 +11,7 @@ module Circuit = Qca_circuit.Circuit
 module Gate = Qca_circuit.Gate
 module Library = Qca_circuit.Library
 module Error = Qca_util.Error
+module Fault = Qca_util.Fault
 
 let measured_all n base =
   Circuit.append base
@@ -26,7 +27,8 @@ let canon h = List.sort compare h
 
 let total h = List.fold_left (fun acc (_, c) -> acc + c) 0 h
 
-let spec ?(shots = 1000) ?seed ?noise ?(trajectory = false) circuit =
+let spec ?(shots = 1000) ?seed ?noise ?(trajectory = false) ?deadline_ms circuit
+    =
   let base = Job_spec.of_circuit circuit in
   {
     base with
@@ -34,6 +36,7 @@ let spec ?(shots = 1000) ?seed ?noise ?(trajectory = false) circuit =
     seed;
     noise;
     force_trajectory = trajectory;
+    deadline_ms;
   }
 
 let submit_ok svc ~tenant s =
@@ -372,7 +375,7 @@ let temp_spool name =
       let d = Filename.concat dir sub in
       if Sys.file_exists d && Sys.is_directory d then
         Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d))
-    [ "inbox"; "results"; "cancel"; "tmp" ];
+    [ "inbox"; "active"; "results"; "failed"; "cancel"; "tmp" ];
   Spool.init dir;
   dir
 
@@ -440,6 +443,243 @@ let test_spool_decode_rejects_garbage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown keys must fail"
 
+(* --- deadlines --- *)
+
+let test_deadline_exceeded () =
+  (* deadline 0: the budget is exhausted before the first slice, so the
+     check at the slice boundary fails the job deterministically. *)
+  let svc = Service.create () in
+  let h = submit_ok svc ~tenant:"alice" (spec ~seed:1 ~deadline_ms:0 (bell ())) in
+  (match Service.await svc h with
+  | Ok _ -> Alcotest.fail "deadline-0 job must not complete"
+  | Error e -> (
+      match e.Error.kind with
+      | Error.Deadline_exceeded { deadline_ms; _ } ->
+          Alcotest.(check int) "deadline echoed" 0 deadline_ms
+      | _ -> Alcotest.failf "wrong error: %s" (Error.to_string e)));
+  let s = Service.stats svc in
+  Alcotest.(check int) "stats.deadline_exceeded" 1 s.Service.deadline_exceeded;
+  Alcotest.(check int) "also counted failed" 1 s.Service.failed
+
+let test_deadline_generous_completes () =
+  let svc = Service.create () in
+  let h =
+    submit_ok svc ~tenant:"alice" (spec ~seed:7 ~deadline_ms:3_600_000 (bell ()))
+  in
+  let o = await_ok svc h in
+  let direct = Engine.run ~seed:7 ~shots:1000 (bell ()) in
+  Alcotest.check hist_testable "an unexercised deadline changes nothing"
+    (canon direct.Engine.histogram)
+    (canon o.Runner.histogram);
+  Alcotest.(check int) "no deadline failures" 0
+    (Service.stats svc).Service.deadline_exceeded
+
+let test_deadline_spool_roundtrip () =
+  let s = { (spec ~seed:5 ~deadline_ms:250 (bell ())) with Job_spec.label = "dl" } in
+  match Spool.encode ~tenant:"alice" s with
+  | Error e -> Alcotest.failf "encode failed: %s" (Error.to_string e)
+  | Ok text -> (
+      match Spool.decode ~id:"000001" text with
+      | Error e -> Alcotest.failf "decode failed: %s" (Error.to_string e)
+      | Ok entry ->
+          Alcotest.(check (option int)) "deadline survives the header"
+            (Some 250) entry.Spool.spec.Job_spec.deadline_ms)
+
+(* --- the durable lifecycle journal --- *)
+
+(* A pid far above any live process: claims owned by it read as orphaned
+   (the probe's kill-0 reports ESRCH), which is exactly what a crashed
+   daemon leaves behind. *)
+let dead_pid = 999_999_999
+
+let run_entry (entry : Spool.entry) =
+  match Runner.run entry.Spool.spec with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "replay run failed: %s" (Error.to_string e)
+
+let test_journal_replay_bit_identity () =
+  let dir = temp_spool "qca-spool-replay" in
+  let s = spec ~seed:7 ~shots:300 (bell ()) in
+  let id = Result.get_ok (Spool.submit ~dir ~tenant:"alice" s) in
+  Alcotest.(check bool) "claimed" true (Spool.claim ~dir ~pid:dead_pid id);
+  Alcotest.(check bool) "left the inbox" false (Spool.in_inbox ~dir id);
+  Alcotest.(check (list string)) "journaled" [ id ] (Spool.active ~dir);
+  let me = Unix.getpid () in
+  (match Spool.recover ~dir ~pid:me ~max_attempts:3 with
+  | [ Spool.Replay { id = rid; entry = Ok entry; attempt } ] ->
+      Alcotest.(check string) "same id" id rid;
+      Alcotest.(check int) "attempt bumped" 2 attempt;
+      (match Spool.read_claim ~dir id with
+      | Some c ->
+          Alcotest.(check int) "claim re-owned" me c.Spool.claim_pid;
+          Alcotest.(check int) "claim attempt" 2 c.Spool.attempt
+      | None -> Alcotest.fail "claim sidecar missing after recovery");
+      (* the replay is bit-identical to an uncrashed run *)
+      let o = run_entry entry in
+      let direct = Engine.run ~seed:7 ~shots:300 (bell ()) in
+      Alcotest.check hist_testable "replay == uncrashed run"
+        (canon direct.Engine.histogram)
+        (canon o.Runner.histogram)
+  | rs -> Alcotest.failf "expected one replay, got %d entries" (List.length rs));
+  Spool.write_result ~dir ~id "{\"status\":\"done\"}";
+  Spool.complete ~dir id;
+  Alcotest.(check (list string)) "journal cleared" [] (Spool.active ~dir)
+
+let test_recover_already_published () =
+  let dir = temp_spool "qca-spool-published" in
+  let id =
+    Result.get_ok (Spool.submit ~dir ~tenant:"alice" (spec ~seed:1 (bell ())))
+  in
+  ignore (Spool.claim ~dir ~pid:dead_pid id);
+  (* the crash hit between the result write and the journal cleanup *)
+  Spool.write_result ~dir ~id "{\"status\":\"done\"}";
+  (match Spool.recover ~dir ~pid:(Unix.getpid ()) ~max_attempts:3 with
+  | [ Spool.Already_published rid ] -> Alcotest.(check string) "id" id rid
+  | _ -> Alcotest.fail "expected Already_published");
+  Alcotest.(check (list string)) "journal cleared, not re-run" []
+    (Spool.active ~dir)
+
+let test_recover_poison_after_cap () =
+  let dir = temp_spool "qca-spool-poison" in
+  let id =
+    Result.get_ok (Spool.submit ~dir ~tenant:"alice" (spec ~seed:1 (bell ())))
+  in
+  ignore (Spool.claim ~dir ~pid:dead_pid id);
+  let me = Unix.getpid () in
+  (* two recoveries consume attempts 2 and 3; the third trips the cap *)
+  (match Spool.recover ~dir ~pid:me ~max_attempts:3 with
+  | [ Spool.Replay { attempt = 2; _ } ] -> ()
+  | _ -> Alcotest.fail "first recovery should replay (attempt 2)");
+  (match Spool.recover ~dir ~pid:me ~max_attempts:3 with
+  | [ Spool.Replay { attempt = 3; _ } ] -> ()
+  | _ -> Alcotest.fail "second recovery should replay (attempt 3)");
+  (match Spool.recover ~dir ~pid:me ~max_attempts:3 with
+  | [ Spool.Poison { id = rid; attempts; tenant; _ } ] ->
+      Alcotest.(check string) "id" id rid;
+      Alcotest.(check int) "attempts recorded" 3 attempts;
+      Alcotest.(check string) "tenant decoded for the error" "alice" tenant
+  | _ -> Alcotest.fail "third recovery should retire the job as poison");
+  Alcotest.(check (list string)) "journal cleared" [] (Spool.active ~dir);
+  Alcotest.(check bool) "job file rests in failed/" true
+    (Sys.file_exists (Filename.concat (Filename.concat dir "failed") (id ^ ".job")))
+
+let test_recover_respects_live_owner () =
+  let dir = temp_spool "qca-spool-busy" in
+  let id =
+    Result.get_ok (Spool.submit ~dir ~tenant:"alice" (spec ~seed:1 (bell ())))
+  in
+  (* pid 1 is always alive (kill-0 reports EPERM, which means exists) *)
+  ignore (Spool.claim ~dir ~pid:1 id);
+  (match Spool.recover ~dir ~pid:(Unix.getpid ()) ~max_attempts:3 with
+  | [ Spool.Busy { id = rid; owner } ] ->
+      Alcotest.(check string) "id" id rid;
+      Alcotest.(check int) "owner reported" 1 owner
+  | _ -> Alcotest.fail "a live owner's claim must be left alone");
+  (match Spool.read_claim ~dir id with
+  | Some c -> Alcotest.(check int) "claim untouched" 1 c.Spool.claim_pid
+  | None -> Alcotest.fail "claim missing");
+  Alcotest.(check (list string)) "still journaled" [ id ] (Spool.active ~dir)
+
+let test_cancel_after_claim_still_wins () =
+  let dir = temp_spool "qca-spool-cancel-race" in
+  let id =
+    Result.get_ok (Spool.submit ~dir ~tenant:"alice" (spec ~seed:1 (bell ())))
+  in
+  ignore (Spool.claim ~dir ~pid:dead_pid id);
+  (* no result yet, so the cancel lands even though the job is claimed *)
+  Alcotest.(check bool) "cancel accepted after claim" true
+    (Spool.request_cancel ~dir id);
+  Alcotest.(check bool) "marker visible" true (Spool.cancel_requested ~dir id);
+  (* the daemon publishes the cancellation and cleans both artefacts up *)
+  Spool.write_result ~dir ~id "{\"status\":\"cancelled\"}";
+  Spool.complete ~dir id;
+  Spool.clear_cancel ~dir id;
+  Alcotest.(check bool) "marker consumed, not leaked" false
+    (Spool.cancel_requested ~dir id);
+  Alcotest.(check (list string)) "journal cleared" [] (Spool.active ~dir);
+  Alcotest.(check bool) "cancel after the result is refused" false
+    (Spool.request_cancel ~dir id)
+
+let test_sweep_tmp () =
+  let dir = temp_spool "qca-spool-sweep" in
+  let tmp = Filename.concat dir "tmp" in
+  List.iter
+    (fun f -> close_out (open_out (Filename.concat tmp f)))
+    [ "stale-1.job"; "stale-2.json" ];
+  Alcotest.(check int) "two stale files swept" 2 (Spool.sweep_tmp ~dir);
+  Alcotest.(check int) "second sweep finds nothing" 0 (Spool.sweep_tmp ~dir)
+
+let test_durable_submit_roundtrip () =
+  let dir = temp_spool "qca-spool-durable" in
+  let s = spec ~seed:11 ~shots:200 (bell ()) in
+  let id = Result.get_ok (Spool.submit ~durable:true ~dir ~tenant:"alice" s) in
+  (match Spool.pending ~dir with
+  | [ Ok entry ] ->
+      Alcotest.(check string) "id" id entry.Spool.entry_id;
+      Alcotest.(check (option int)) "seed survives" (Some 11)
+        entry.Spool.spec.Job_spec.seed
+  | _ -> Alcotest.fail "durable submit must land in the inbox");
+  Spool.write_result ~durable:true ~dir ~id "{\"status\":\"done\"}";
+  Alcotest.(check bool) "durable result readable" true
+    (Spool.read_result ~dir id <> None)
+
+let test_heartbeat_roundtrip () =
+  let dir = temp_spool "qca-spool-heartbeat" in
+  let me = Unix.getpid () in
+  Spool.write_heartbeat ~dir ~pid:me ~state:"serving" ~started_at_ms:123;
+  (match Spool.read_heartbeat ~dir with
+  | Some hb ->
+      Alcotest.(check int) "pid" me hb.Spool.hb_pid;
+      Alcotest.(check string) "state" "serving" hb.Spool.hb_state;
+      Alcotest.(check int) "started" 123 hb.Spool.hb_started_at_ms;
+      Alcotest.(check bool) "this process is alive" true
+        (Spool.pid_alive hb.Spool.hb_pid)
+  | None -> Alcotest.fail "heartbeat missing");
+  Alcotest.(check bool) "a dead pid reads dead" false (Spool.pid_alive dead_pid)
+
+let prop_replay_bit_identity =
+  QCheck.Test.make
+    ~name:"journal: recovery replay is bit-identical to the uncrashed run"
+    ~count:20
+    QCheck.(pair (int_range 0 9999) (int_range 50 300))
+    (fun (seed, shots) ->
+      let dir = temp_spool "qca-spool-replay-prop" in
+      let s = spec ~seed ~shots (ghz 3) in
+      let id = Result.get_ok (Spool.submit ~dir ~tenant:"p" s) in
+      ignore (Spool.claim ~dir ~pid:dead_pid id);
+      match Spool.recover ~dir ~pid:(Unix.getpid ()) ~max_attempts:3 with
+      | [ Spool.Replay { entry = Ok entry; attempt = 2; _ } ] ->
+          let o = run_entry entry in
+          let direct = Engine.run ~seed ~shots (ghz 3) in
+          canon o.Runner.histogram = canon direct.Engine.histogram
+      | _ -> false)
+
+(* The robustness machinery must be ~free when dormant: a disabled kill
+   point is one ref read, and must cost well under 5% of even the
+   cheapest job the service handles (a cache hit). *)
+let test_disabled_crash_point_overhead () =
+  Fault.set_crash_at None;
+  let calls = 200_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to calls do
+    Fault.crash_point "slice"
+  done;
+  let per_call = (Unix.gettimeofday () -. t0) /. float_of_int calls in
+  let svc = Service.create () in
+  let s = spec ~seed:5 (bell ()) in
+  let _ = await_ok svc (submit_ok svc ~tenant:"a" s) in
+  let jobs = 200 in
+  let t1 = Unix.gettimeofday () in
+  for _ = 1 to jobs do
+    ignore (await_ok svc (submit_ok svc ~tenant:"a" s))
+  done;
+  let per_hot_job = (Unix.gettimeofday () -. t1) /. float_of_int jobs in
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled kill point (%.1f ns) < 5%% of a cache-hot job (%.0f ns)"
+       (per_call *. 1e9) (per_hot_job *. 1e9))
+    true
+    (per_call < 0.05 *. per_hot_job)
+
 let () =
   let qtest = QCheck_alcotest.to_alcotest in
   Alcotest.run "qca_service"
@@ -487,4 +727,34 @@ let () =
           Alcotest.test_case "garbage rejected" `Quick
             test_spool_decode_rejects_garbage;
         ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "exhausted budget fails" `Quick
+            test_deadline_exceeded;
+          Alcotest.test_case "generous budget is inert" `Quick
+            test_deadline_generous_completes;
+          Alcotest.test_case "header roundtrip" `Quick
+            test_deadline_spool_roundtrip;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "replay bit-identity" `Quick
+            test_journal_replay_bit_identity;
+          Alcotest.test_case "already published" `Quick
+            test_recover_already_published;
+          Alcotest.test_case "poison after attempt cap" `Quick
+            test_recover_poison_after_cap;
+          Alcotest.test_case "live owner respected" `Quick
+            test_recover_respects_live_owner;
+          Alcotest.test_case "cancel/claim race" `Quick
+            test_cancel_after_claim_still_wins;
+          Alcotest.test_case "tmp sweep" `Quick test_sweep_tmp;
+          Alcotest.test_case "durable submit" `Quick
+            test_durable_submit_roundtrip;
+          Alcotest.test_case "heartbeat" `Quick test_heartbeat_roundtrip;
+          Alcotest.test_case "disabled kill-point overhead" `Quick
+            test_disabled_crash_point_overhead;
+        ] );
+      ( "journal-properties",
+        List.map qtest [ prop_replay_bit_identity ] );
     ]
