@@ -813,6 +813,105 @@ let run_service () =
   close_out oc;
   print_endline "wrote BENCH_service.json"
 
+(* --- optimizing-compiler benchmark (BENCH_optimizer.json) --- *)
+
+let run_optimizer () =
+  let module Mapping = Qca_compiler.Mapping in
+  let module Optimize = Qca_compiler.Optimize in
+  print_endline
+    "=== Optimizer: greedy route + basic sweep vs SABRE + full pipeline ===";
+  let measured n base =
+    Circuit.append base (Circuit.of_list n (List.init n (fun q -> Gate.Measure q)))
+  in
+  (* A ring-plus-chords Ising instance: QAOA's cost layers then stress both
+     the router (non-local ZZ terms) and the 1q-run resynthesis (each ZZ
+     term decomposes through CNOT/Rz sandwiches). *)
+  let qaoa n seed =
+    let rng = Rng.create seed in
+    let ring = List.init n (fun i -> (i, (i + 1) mod n)) in
+    let chords = List.init (n / 2) (fun i -> (i, i + (n / 2))) in
+    let couplings =
+      List.map
+        (fun (i, j) ->
+          let i, j = if i < j then (i, j) else (j, i) in
+          (i, j, Rng.float rng 2.0 -. 1.0))
+        (ring @ chords)
+    in
+    let model =
+      { Ising.n; h = Array.init n (fun _ -> Rng.float rng 2.0 -. 1.0); couplings }
+    in
+    Qaoa.full_circuit model
+      { Qaoa.gammas = [| 0.4; 0.7 |]; betas = [| 0.3; 0.2 |] }
+  in
+  (* The cram-fixture programs (test/fixtures/) rebuilt from the library,
+     plus the QFT and QAOA families and routing-heavy random circuits. *)
+  let corpus =
+    [
+      ("bell", measured 2 (Library.bell ()));
+      ("ghz5", measured 5 (Library.ghz 5));
+      ("teleport", Library.teleport ());
+      ("qft4", measured 4 (Library.qft 4));
+      ("qft6", Library.qft 6);
+      ("qft8", Library.qft 8);
+      ("qaoa6-p2", qaoa 6 21);
+      ("qaoa8-p2", qaoa 8 22);
+      ("random8x40", Library.random_circuit (Rng.create 303) ~qubits:8 ~gates:40);
+      ("random10x60", Library.random_circuit (Rng.create 404) ~qubits:10 ~gates:60);
+    ]
+  in
+  let platform = Platform.superconducting_17 in
+  let rows =
+    List.map
+      (fun (name, circuit) ->
+        let base =
+          Compiler.compile ~strategy:Mapping.Greedy ~optimizer:Optimize.Basic
+            platform Compiler.Realistic circuit
+        in
+        let opt = Compiler.compile platform Compiler.Realistic circuit in
+        let bg = Circuit.gate_count base.Compiler.physical in
+        let og = Circuit.gate_count opt.Compiler.physical in
+        let bd = Circuit.depth base.Compiler.physical in
+        let od = Circuit.depth opt.Compiler.physical in
+        let b2 = Circuit.two_qubit_gate_count base.Compiler.physical in
+        let o2 = Circuit.two_qubit_gate_count opt.Compiler.physical in
+        Printf.printf
+          "%-12s gates %4d -> %4d (%+5.1f%%) | 2q %3d -> %3d | depth %4d -> %4d \
+           (%+5.1f%%)\n"
+          name bg og
+          (100.0 *. float_of_int (og - bg) /. float_of_int (max 1 bg))
+          b2 o2 bd od
+          (100.0 *. float_of_int (od - bd) /. float_of_int (max 1 bd));
+        (name, bg, og, b2, o2, bd, od))
+      corpus
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let total_bg = sum (fun (_, bg, _, _, _, _, _) -> bg) in
+  let total_og = sum (fun (_, _, og, _, _, _, _) -> og) in
+  let total_bd = sum (fun (_, _, _, _, _, bd, _) -> bd) in
+  let total_od = sum (fun (_, _, _, _, _, _, od) -> od) in
+  let gate_cut = 100.0 *. float_of_int (total_bg - total_og) /. float_of_int total_bg in
+  let depth_cut = 100.0 *. float_of_int (total_bd - total_od) /. float_of_int total_bd in
+  Printf.printf
+    "total        gates %4d -> %4d (-%.1f%%, target 20%%) | depth %4d -> %4d \
+     (-%.1f%%, target 15%%)\n"
+    total_bg total_og gate_cut total_bd total_od depth_cut;
+  let oc = open_out "BENCH_optimizer.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\"benchmark\":\"optimizing-compiler\",\"baseline\":\"greedy+basic\",\"optimized\":\"sabre+full\",\"platform\":\"%s\",\"mode\":\"realistic\",\"gate_cut_pct\":%.2f,\"depth_cut_pct\":%.2f,\"target_gate_pct\":20.0,\"target_depth_pct\":15.0,\"entries\":["
+       platform.Platform.name gate_cut depth_cut);
+  List.iteri
+    (fun i (name, bg, og, b2, o2, bd, od) ->
+      if i > 0 then output_char oc ',';
+      output_string oc
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"base_gates\":%d,\"opt_gates\":%d,\"base_2q\":%d,\"opt_2q\":%d,\"base_depth\":%d,\"opt_depth\":%d}"
+           name bg og b2 o2 bd od))
+    rows;
+  output_string oc "]}\n";
+  close_out oc;
+  print_endline "wrote BENCH_optimizer.json"
+
 (* --- static checker benchmark (BENCH_lint.json) --- *)
 
 let run_lint () =
@@ -899,6 +998,7 @@ let () =
   | [ "trace" ] -> run_trace ()
   | [ "kernels" ] -> run_kernels ()
   | [ "lint" ] -> run_lint ()
+  | [ "optimizer" ] -> run_optimizer ()
   | [ "service" ] -> run_service ()
   | ids ->
       List.iter
@@ -908,7 +1008,7 @@ let () =
           | None ->
               Printf.eprintf
                 "unknown experiment '%s' (use e1..e13, micro, engine, resilience, \
-                 trace, kernels, lint or service)\n"
+                 trace, kernels, lint, optimizer or service)\n"
                 id;
               exit 1)
         ids

@@ -13,6 +13,7 @@ module Circuit = Qca_circuit.Circuit
 module Cqasm = Qca_circuit.Cqasm
 module Engine = Qca_qx.Engine
 module Compiler = Qca_compiler.Compiler
+module Mapping = Qca_compiler.Mapping
 module Eqasm = Qca_compiler.Eqasm
 module Controller = Qca_microarch.Controller
 module Rng = Qca_util.Rng
@@ -49,6 +50,7 @@ type common = {
   noise : float option;
   platform : string option;
   mode : string;
+  route : string;
   json : bool;
   metrics : string option;
   trace : string option;
@@ -84,6 +86,17 @@ let mode_arg =
     value
     & opt string "realistic"
     & info [ "mode" ] ~docv:"MODE" ~doc:"Qubit model: perfect, realistic or real.")
+
+let route_arg =
+  Arg.(
+    value
+    & opt string "sabre"
+    & info [ "route" ] ~docv:"STRATEGY"
+        ~doc:
+          "Routing strategy for compiled (--platform) paths: sabre (default, \
+           lookahead router), greedy (the historical baseline) or \
+           lookahead[:K] (score the next K two-qubit gates). See \
+           docs/compiler.md.")
 
 let json_flag =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
@@ -131,7 +144,7 @@ let max_retries_arg =
         ~doc:"Retries per shot before it counts as faulted.")
 
 let common_term =
-  let make shots seed noise platform mode json metrics trace fault_rate
+  let make shots seed noise platform mode route json metrics trace fault_rate
       fault_seed max_retries =
     {
       shots;
@@ -139,6 +152,7 @@ let common_term =
       noise;
       platform;
       mode;
+      route;
       json;
       metrics;
       trace;
@@ -149,8 +163,11 @@ let common_term =
   in
   Term.(
     const make $ shots_arg $ seed_arg $ noise_arg $ platform_arg $ mode_arg
-    $ json_flag $ metrics_arg $ trace_arg $ fault_rate_arg $ fault_seed_arg
-    $ max_retries_arg)
+    $ route_arg $ json_flag $ metrics_arg $ trace_arg $ fault_rate_arg
+    $ fault_seed_arg $ max_retries_arg)
+
+(* --route parsed once per command; a bad strategy is a usage error. *)
+let router_of_common common = Mapping.strategy_of_string common.route
 
 (* Build the canonical run-request from the shared flags. *)
 let spec_of_common common ~label ~route ~trajectory ~fusion =
@@ -168,22 +185,25 @@ let spec_of_common common ~label ~route ~trajectory ~fusion =
     max_retries = common.max_retries;
   }
 
-let write_metrics dest report =
+let write_json_line dest line =
   match dest with
   | None -> 0
   | Some "-" ->
-      print_endline (Engine.report_to_json report);
+      print_endline line;
       0
   | Some path -> (
       try
         let oc = open_out path in
-        output_string oc (Engine.report_to_json report);
+        output_string oc line;
         output_char oc '\n';
         close_out oc;
         0
       with Sys_error msg ->
         Printf.eprintf "cannot write metrics: %s\n" msg;
         1)
+
+let write_metrics dest report =
+  write_json_line dest (Engine.report_to_json report)
 
 (* Run [body] with a trace collector installed when --trace was given, then
    export: bare --trace prints the span tree, --trace=FILE writes Chrome
@@ -324,14 +344,23 @@ let check_command common file no_verify =
           | Error msg, _ | _, Error msg ->
               prerr_endline msg;
               2
-          | Ok platform, Ok mode ->
-              let source = Verify.source_check ~platform program in
-              (* Source errors (e.g. out-of-range operands) would make the
-                 compiler itself raise; report them without verifying. *)
-              if no_verify || Diagnostic.exit_code source = 2 then finish source None
-              else
-                let _out, report = Verify.compile platform mode circuit in
-                finish source (Some report)))
+          | Ok platform, Ok mode -> (
+              match router_of_common common with
+              | Error msg ->
+                  prerr_endline msg;
+                  2
+              | Ok strategy ->
+                  let source = Verify.source_check ~platform program in
+                  (* Source errors (e.g. out-of-range operands) would make
+                     the compiler itself raise; report them without
+                     verifying. *)
+                  if no_verify || Diagnostic.exit_code source = 2 then
+                    finish source None
+                  else
+                    let _out, report =
+                      Verify.compile ~strategy platform mode circuit
+                    in
+                    finish source (Some report))))
 
 let no_verify_flag =
   Arg.(
@@ -362,8 +391,10 @@ let run_command common file trajectory no_fusion lint lint_json =
     | Ok program -> (
         let circuit = Cqasm.flatten program in
         match
-          Spool.route_of_names ~platform:common.platform ~mode:common.mode
-            ~ladder:true ~qubits:(Circuit.qubit_count circuit)
+          Result.bind (router_of_common common) (fun router ->
+              Spool.route_of_names ~router ~platform:common.platform
+                ~mode:common.mode ~ladder:true
+                ~qubits:(Circuit.qubit_count circuit) ())
         with
         | Error msg ->
             prerr_endline msg;
@@ -434,6 +465,46 @@ let run_cmd =
 
 (* --- compile --- *)
 
+(* Per-pass gate/depth deltas for --metrics: each row's counts describe the
+   circuit after that pass, so the delta is simply row minus previous row
+   (the Full optimizer's "pre-opt/<pass>"/"optimize/<pass>" rows land
+   between their neighbours in pipeline order). *)
+let compile_metrics_json (out : Compiler.output) =
+  let rows_rev, _ =
+    List.fold_left
+      (fun (acc, prev) (p : Compiler.pass_stat) ->
+        let d_gates, d_depth =
+          match prev with
+          | None -> (0, 0)
+          | Some (g, d) -> (p.Compiler.gates - g, p.Compiler.depth - d)
+        in
+        ( Printf.sprintf
+            "{\"pass\":\"%s\",\"gates\":%d,\"two_qubit\":%d,\"depth\":%d,\"d_gates\":%d,\"d_depth\":%d,\"note\":\"%s\"}"
+            (json_escape p.Compiler.pass_name)
+            p.Compiler.gates p.Compiler.two_qubit_gates p.Compiler.depth
+            d_gates d_depth
+            (json_escape p.Compiler.note)
+          :: acc,
+          Some (p.Compiler.gates, p.Compiler.depth) ))
+      ([], None) out.Compiler.passes
+  in
+  let totals =
+    match (out.Compiler.passes, List.rev out.Compiler.passes) with
+    | first :: _, last :: _ ->
+        Printf.sprintf
+          "{\"gates_in\":%d,\"gates_out\":%d,\"d_gates\":%d,\"depth_in\":%d,\"depth_out\":%d,\"d_depth\":%d}"
+          first.Compiler.gates last.Compiler.gates
+          (last.Compiler.gates - first.Compiler.gates)
+          first.Compiler.depth last.Compiler.depth
+          (last.Compiler.depth - first.Compiler.depth)
+    | _ -> "null"
+  in
+  Printf.sprintf "{\"platform\":\"%s\",\"mode\":\"%s\",\"passes\":[%s],\"total\":%s}"
+    (json_escape out.Compiler.platform.Qca_compiler.Platform.name)
+    (Compiler.mode_to_string out.Compiler.mode)
+    (String.concat "," (List.rev rows_rev))
+    totals
+
 let compile_command common file emit_eqasm lint lint_json =
   match load_program file with
   | Error msg ->
@@ -444,21 +515,22 @@ let compile_command common file emit_eqasm lint lint_json =
       let platform_name = Option.value ~default:"superconducting" common.platform in
       match
         ( Spool.platform_of_string platform_name (Circuit.qubit_count circuit),
-          Spool.mode_of_string common.mode )
+          Spool.mode_of_string common.mode,
+          router_of_common common )
       with
-      | Error msg, _ | _, Error msg ->
+      | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
           prerr_endline msg;
           1
-      | Ok platform, Ok mode ->
+      | Ok platform, Ok mode, Ok strategy ->
           if not (run_lint ~lint ~lint_json ~platform program) then 2
           else begin
             (* With linting on, compile under the pass-verifier so a pass
                that introduces a violation is named on stderr. *)
             let out, verified =
               if lint || lint_json then
-                let out, report = Verify.compile platform mode circuit in
+                let out, report = Verify.compile ~strategy platform mode circuit in
                 (out, Some report)
-              else (Compiler.compile platform mode circuit, None)
+              else (Compiler.compile ~strategy platform mode circuit, None)
             in
             (match verified with
             | Some r when r.Verify.final <> [] -> prerr_string (Verify.render r)
@@ -471,9 +543,12 @@ let compile_command common file emit_eqasm lint lint_json =
               | None -> print_endline "# perfect mode: no eQASM emitted"
             end
             else print_string out.Compiler.cqasm;
+            let metrics_code =
+              write_json_line common.metrics (compile_metrics_json out)
+            in
             match verified with
             | Some r when Diagnostic.exit_code r.Verify.final = 2 -> 2
-            | _ -> 0
+            | _ -> metrics_code
           end)
 
 let eqasm_flag =
@@ -503,8 +578,10 @@ let exec_command common file =
           Option.value ~default:"superconducting" common.platform
         in
         match
-          Spool.route_of_names ~platform:(Some platform_name) ~mode:"real"
-            ~ladder:false ~qubits:(Circuit.qubit_count circuit)
+          Result.bind (router_of_common common) (fun router ->
+              Spool.route_of_names ~router ~platform:(Some platform_name)
+                ~mode:"real" ~ladder:false
+                ~qubits:(Circuit.qubit_count circuit) ())
         with
         | Error msg ->
             prerr_endline msg;
@@ -603,8 +680,10 @@ let submit_command common dir tenant priority deadline_ms durable file
         1
     | Ok circuit -> (
         match
-          Spool.route_of_names ~platform:common.platform ~mode:common.mode
-            ~ladder:true ~qubits:(Circuit.qubit_count circuit)
+          Result.bind (router_of_common common) (fun router ->
+              Spool.route_of_names ~router ~platform:common.platform
+                ~mode:common.mode ~ladder:true
+                ~qubits:(Circuit.qubit_count circuit) ())
         with
         | Error msg ->
             prerr_endline msg;

@@ -40,11 +40,14 @@ val compile :
   ?strategy:Qca_compiler.Mapping.strategy ->
   ?placement:Qca_compiler.Mapping.placement ->
   ?schedule_policy:Qca_compiler.Schedule.policy ->
+  ?optimizer:Qca_compiler.Optimize.level ->
   Qca_compiler.Platform.t ->
   Qca_compiler.Compiler.mode ->
   Qca_circuit.Circuit.t ->
   Qca_compiler.Compiler.output * report
-(** Compile with the verifier observing every pass. Never raises on
+(** Compile with the verifier observing every pass (including the [Full]
+    optimizer's individual ["pre-opt/<pass>"]/["optimize/<pass>"] rewrite
+    stages, so a single unsound rewrite is blamed by name). Never raises on
     diagnostics — inspect the report. *)
 
 val source_check :

@@ -66,8 +66,9 @@ let traced_pass name ~input f =
           ]);
       output)
 
-let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
-    ?(schedule_policy = Schedule.Asap) ?observer platform mode logical =
+let compile ?(strategy = Mapping.Sabre) ?(placement = Mapping.Trivial)
+    ?(schedule_policy = Schedule.Asap) ?(optimizer = Optimize.Full) ?observer
+    platform mode logical =
   Trace.with_span "compiler.compile" (fun compile_sp ->
   Trace.annotate compile_sp (fun () ->
       [
@@ -79,28 +80,63 @@ let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
   in
   let passes = ref [ stat_of "input" logical ] in
   let record ?note name circuit = passes := stat_of ?note name circuit :: !passes in
+  (* Run the optimizer as a named stage: each pipeline pass that changes the
+     circuit gets its own trace span, pass_stat row (with gate/depth deltas)
+     and observer artifact, so the pass-verifier can blame it individually. *)
+  let optimize_stage stage config input =
+    Trace.with_span ("compiler." ^ stage) (fun sp ->
+        Trace.annotate sp (fun () ->
+            [ ("gates_in", Trace.Int (Circuit.gate_count input)) ]);
+        let optimized, ostats =
+          match optimizer with
+          | Optimize.Basic -> Optimize.run_basic input
+          | Optimize.Full ->
+              let on_pass ~round ~pass ~before after =
+                let name = stage ^ "/" ^ pass in
+                Trace.with_span ("compiler." ^ name) (fun psp ->
+                    Trace.annotate psp (fun () ->
+                        [
+                          ("round", Trace.Int round);
+                          ("gates_in", Trace.Int (Circuit.gate_count before));
+                          ("gates_out", Trace.Int (Circuit.gate_count after));
+                          ("depth_in", Trace.Int (Circuit.depth before));
+                          ("depth_out", Trace.Int (Circuit.depth after));
+                        ]));
+                record
+                  ~note:
+                    (Printf.sprintf "round=%d dgates=%+d ddepth=%+d" round
+                       (Circuit.gate_count after - Circuit.gate_count before)
+                       (Circuit.depth after - Circuit.depth before))
+                  name after;
+                observe name (Circuit_stage after)
+              in
+              Optimize.pipeline ~config ~on_pass input
+        in
+        Trace.annotate sp (fun () ->
+            [
+              ("gates_out", Trace.Int (Circuit.gate_count optimized));
+              ("cancelled", Trace.Int ostats.Optimize.removed_pairs);
+              ("merged", Trace.Int ostats.Optimize.merged_rotations);
+              ("conjugated", Trace.Int ostats.Optimize.conjugations);
+              ("euler", Trace.Int ostats.Optimize.euler_runs);
+              ("blocks", Trace.Int ostats.Optimize.consolidations);
+              ("rounds", Trace.Int ostats.Optimize.rounds);
+            ]);
+        record
+          ~note:
+            (Printf.sprintf
+               "cancelled=%d merged=%d dropped=%d conj=%d euler=%d blocks=%d"
+               ostats.Optimize.removed_pairs ostats.Optimize.merged_rotations
+               ostats.Optimize.dropped_identities ostats.Optimize.conjugations
+               ostats.Optimize.euler_runs ostats.Optimize.consolidations)
+          stage optimized;
+        observe stage (Circuit_stage optimized);
+        optimized)
+  in
   match mode with
   | Perfect ->
       observe "input" (Circuit_stage logical);
-      let optimized, ostats =
-        Trace.with_span "compiler.optimize" (fun sp ->
-            Trace.annotate sp (fun () ->
-                [ ("gates_in", Trace.Int (Circuit.gate_count logical)) ]);
-            let optimized, ostats = Optimize.run logical in
-            Trace.annotate sp (fun () ->
-                [
-                  ("gates_out", Trace.Int (Circuit.gate_count optimized));
-                  ("cancelled", Trace.Int ostats.Optimize.removed_pairs);
-                  ("merged", Trace.Int ostats.Optimize.merged_rotations);
-                ]);
-            (optimized, ostats))
-      in
-      record
-        ~note:
-          (Printf.sprintf "cancelled=%d merged=%d dropped=%d" ostats.Optimize.removed_pairs
-             ostats.Optimize.merged_rotations ostats.Optimize.dropped_identities)
-        "optimize" optimized;
-      observe "optimize" (Circuit_stage optimized);
+      let optimized = optimize_stage "optimize" Optimize.logical_config logical in
       let schedule =
         Trace.with_span "compiler.schedule" (fun sp ->
             let schedule = Schedule.run ~policy:schedule_policy platform optimized in
@@ -123,7 +159,16 @@ let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
   | Realistic | Real ->
       let widened = widen platform logical in
       observe "input" (Circuit_stage widened);
-      (* 1. decompose to primitives (+ swap for routing support) *)
+      (* 1. optimise at the logical level first: algebraic structure (H
+         conjugations, named-gate contractions) is cheaper to exploit
+         before decomposition smears it into primitives. *)
+      let pre_optimized =
+        match optimizer with
+        | Optimize.Basic -> widened
+        | Optimize.Full ->
+            optimize_stage "pre-opt" Optimize.logical_config widened
+      in
+      (* 2. decompose to primitives (+ swap for routing support) *)
       let swap_capable =
         {
           platform with
@@ -131,11 +176,12 @@ let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
         }
       in
       let lowered =
-        traced_pass "decompose" ~input:widened (fun () -> Decompose.run swap_capable widened)
+        traced_pass "decompose" ~input:pre_optimized (fun () ->
+            Decompose.run swap_capable pre_optimized)
       in
       record "decompose" lowered;
       observe "decompose" (Circuit_stage lowered);
-      (* 2. place & route *)
+      (* 3. place & route *)
       let mapping =
         Trace.with_span "compiler.map" (fun sp ->
             Trace.annotate sp (fun () ->
@@ -152,34 +198,18 @@ let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
         ~note:(Printf.sprintf "swaps=%d" mapping.Mapping.swaps_added)
         "map/route" mapping.Mapping.circuit;
       observe "map/route" (Circuit_stage mapping.Mapping.circuit);
-      (* 3. expand routing swaps into primitives *)
+      (* 4. expand routing swaps into primitives *)
       let expanded =
         traced_pass "expand-swaps" ~input:mapping.Mapping.circuit (fun () ->
             Decompose.run platform mapping.Mapping.circuit)
       in
       record "expand-swaps" expanded;
       observe "expand-swaps" (Circuit_stage expanded);
-      (* 4. optimise *)
-      let optimized, ostats =
-        Trace.with_span "compiler.optimize" (fun sp ->
-            Trace.annotate sp (fun () ->
-                [ ("gates_in", Trace.Int (Circuit.gate_count expanded)) ]);
-            let optimized, ostats = Optimize.run expanded in
-            Trace.annotate sp (fun () ->
-                [
-                  ("gates_out", Trace.Int (Circuit.gate_count optimized));
-                  ("cancelled", Trace.Int ostats.Optimize.removed_pairs);
-                  ("merged", Trace.Int ostats.Optimize.merged_rotations);
-                ]);
-            (optimized, ostats))
+      (* 5. optimise in the platform's native basis *)
+      let optimized =
+        optimize_stage "optimize" (Optimize.physical_config platform) expanded
       in
-      record
-        ~note:
-          (Printf.sprintf "cancelled=%d merged=%d dropped=%d" ostats.Optimize.removed_pairs
-             ostats.Optimize.merged_rotations ostats.Optimize.dropped_identities)
-        "optimize" optimized;
-      observe "optimize" (Circuit_stage optimized);
-      (* 5. schedule with platform timing *)
+      (* 6. schedule with platform timing *)
       let schedule =
         Trace.with_span "compiler.schedule" (fun sp ->
             let schedule = Schedule.run ~policy:schedule_policy platform optimized in
@@ -188,7 +218,7 @@ let compile ?(strategy = Mapping.Greedy) ?(placement = Mapping.Trivial)
             schedule)
       in
       observe "schedule" (Schedule_stage schedule);
-      (* 6. lower to eQASM *)
+      (* 7. lower to eQASM *)
       let eqasm =
         Trace.with_span "compiler.eqasm" (fun sp ->
             let eqasm = Eqasm.of_schedule platform schedule in

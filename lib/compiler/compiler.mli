@@ -48,18 +48,27 @@ val compile :
   ?strategy:Mapping.strategy ->
   ?placement:Mapping.placement ->
   ?schedule_policy:Schedule.policy ->
+  ?optimizer:Optimize.level ->
   ?observer:(string -> pass_artifact -> unit) ->
   Platform.t ->
   mode ->
   Qca_circuit.Circuit.t ->
   output
-(** [observer] (the pass-verifier hook) is called after every pass with the
-    pass name (matching the {!pass_stat} rows: ["input"], ["decompose"],
-    ["map/route"], ["expand-swaps"], ["optimize"], plus ["schedule"] and
-    ["eqasm"]) and the artifact it produced. When absent the pipeline pays
-    one branch per pass. [Qca_analysis.Verify] drives this hook to run the
-    static-check suites after each pass and report which pass introduced a
-    violation. *)
+(** Defaults: [strategy] is {!Mapping.Sabre} (pass [Greedy] for the
+    historical baseline), [optimizer] is {!Optimize.Full} (the complete
+    pass pipeline; [Basic] restores the pre-pipeline single sweep).
+
+    [observer] (the pass-verifier hook) is called after every pass with the
+    pass name (matching the {!pass_stat} rows: ["input"], ["pre-opt"],
+    ["decompose"], ["map/route"], ["expand-swaps"], ["optimize"], plus
+    ["schedule"] and ["eqasm"]) and the artifact it produced. With the
+    [Full] optimizer, each individual optimizer pass that changed the
+    circuit additionally reports as ["pre-opt/<pass>"] or
+    ["optimize/<pass>"] (e.g. ["optimize/peephole"], ["optimize/euler"]),
+    with per-pass gate/depth deltas in its pass_stat note — so
+    [Qca_analysis.Verify] can blame a single rewrite pass and
+    [qxc --metrics] can report per-pass deltas. When absent the pipeline
+    pays one branch per pass. *)
 
 val execute_result :
   ?shots:int ->

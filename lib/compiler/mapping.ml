@@ -2,8 +2,34 @@ module Gate = Qca_circuit.Gate
 module Circuit = Qca_circuit.Circuit
 module Graph = Qca_util.Graph
 
-type strategy = Greedy | Lookahead of int
+type strategy = Greedy | Lookahead of int | Sabre
 type placement = Trivial | By_degree
+
+let strategy_to_string = function
+  | Greedy -> "greedy"
+  | Lookahead k -> Printf.sprintf "lookahead:%d" k
+  | Sabre -> "sabre"
+
+let strategy_of_string s =
+  match s with
+  | "greedy" -> Ok Greedy
+  | "sabre" -> Ok Sabre
+  | "lookahead" -> Ok (Lookahead 4)
+  | _ -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "lookahead" -> (
+          let k = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt k with
+          | Some k when k > 0 -> Ok (Lookahead k)
+          | _ ->
+              Error
+                (Printf.sprintf "lookahead window must be a positive integer: %s" k))
+      | _ ->
+          Error
+            (Printf.sprintf
+               "unknown routing strategy '%s' (expected sabre, greedy or \
+                lookahead[:K])"
+               s))
 
 type result = {
   circuit : Circuit.t;
@@ -112,7 +138,256 @@ let lookahead_score coupling st pairs =
     (fun acc (l1, l2) -> acc + hop coupling st.layout.(l1) st.layout.(l2))
     0 pairs
 
-let run ?(strategy = Greedy) ?(placement = Trivial) platform circuit =
+(* Qubits an instruction depends on, including a conditional's classical
+   source bit so measure→feedback ordering survives SABRE's reordering of
+   independent instructions. *)
+let instr_deps = function
+  | Gate.Unitary (_, ops) -> ops
+  | Gate.Conditional (bit, _, ops) -> Array.append [| bit |] ops
+  | Gate.Prep q | Gate.Measure q -> [| q |]
+  | Gate.Barrier qs -> qs
+
+let dedup_sorted arr =
+  let l = List.sort_uniq compare (Array.to_list arr) in
+  Array.of_list l
+
+(* SABRE-style router: maintain the front layer of dependency-ready
+   instructions, execute everything executable, and when stuck pick the
+   swap minimising the summed front-layer distance plus a discounted
+   extended-set lookahead, damped by a per-qubit decay factor. *)
+let run_sabre ~placement platform circuit =
+  let physical_count = platform.Platform.qubit_count in
+  if Circuit.qubit_count circuit > physical_count then
+    invalid_arg "Mapping.run: circuit larger than platform";
+  let coupling = Platform.connectivity platform in
+  let layout0 = initial_layout placement coupling circuit physical_count in
+  let st =
+    {
+      layout = Array.copy layout0;
+      occupant =
+        (let occ = Array.make physical_count (-1) in
+         Array.iteri (fun l p -> occ.(p) <- l) layout0;
+         occ);
+    }
+  in
+  (* All-pairs BFS hop distances over the coupling graph. *)
+  let dist =
+    Array.init physical_count (fun s ->
+        let d = Array.make physical_count max_int in
+        d.(s) <- 0;
+        let q = Queue.create () in
+        Queue.add s q;
+        while not (Queue.is_empty q) do
+          let v = Queue.pop q in
+          List.iter
+            (fun (u, _) ->
+              if d.(u) = max_int then begin
+                d.(u) <- d.(v) + 1;
+                Queue.add u q
+              end)
+            (Graph.neighbours coupling v)
+        done;
+        d)
+  in
+  let instrs = Array.of_list (Circuit.instructions circuit) in
+  let n = Array.length instrs in
+  let fpq = Array.map (fun i -> dedup_sorted (instr_deps i)) instrs in
+  let logical_count = Circuit.qubit_count circuit in
+  (* Per-qubit program order and cursors: instr [i] is dependency-ready
+     iff it is at the head of every operand qubit's list. *)
+  let per_qubit =
+    let tmp = Array.make logical_count [] in
+    for i = n - 1 downto 0 do
+      Array.iter (fun q -> tmp.(q) <- i :: tmp.(q)) fpq.(i)
+    done;
+    Array.map Array.of_list tmp
+  in
+  let head = Array.make logical_count 0 in
+  let is_ready i =
+    Array.for_all
+      (fun q -> head.(q) < Array.length per_qubit.(q) && per_qubit.(q).(head.(q)) = i)
+      fpq.(i)
+  in
+  let front = ref [] in
+  let in_front = Array.make n false in
+  for i = n - 1 downto 0 do
+    if is_ready i then begin
+      front := i :: !front;
+      in_front.(i) <- true
+    end
+  done;
+  let executed = Array.make n false in
+  let executed_count = ref 0 in
+  let out =
+    ref (Circuit.create ~name:(Circuit.name circuit ^ "_mapped") physical_count)
+  in
+  let measured_at = Array.make logical_count (-1) in
+  let swaps = ref 0 in
+  let emit instr = out := Circuit.add !out instr in
+  let emit_swap p1 p2 =
+    emit (Gate.Unitary (Gate.Swap, [| p1; p2 |]));
+    swap_physical st p1 p2;
+    incr swaps
+  in
+  let two_qubit_pair i =
+    match instrs.(i) with
+    | (Gate.Unitary (u, ops) | Gate.Conditional (_, u, ops))
+      when Gate.arity u = 2 ->
+        Some (ops.(0), ops.(1))
+    | _ -> None
+  in
+  let executable i =
+    match two_qubit_pair i with
+    | Some (l1, l2) ->
+        Platform.are_coupled platform st.layout.(l1) st.layout.(l2)
+    | None -> true
+  in
+  let exec i =
+    (match instrs.(i) with
+    | (Gate.Unitary (u, _) | Gate.Conditional (_, u, _)) when Gate.arity u > 2
+      ->
+        invalid_arg "Mapping.run: decompose >2-qubit gates before mapping"
+    | Gate.Measure q ->
+        measured_at.(q) <- st.layout.(q);
+        emit (Gate.Measure st.layout.(q))
+    | Gate.Conditional (bit, u, ops) ->
+        let physical_bit =
+          if measured_at.(bit) >= 0 then measured_at.(bit) else st.layout.(bit)
+        in
+        emit
+          (Gate.Conditional (physical_bit, u, Array.map (fun l -> st.layout.(l)) ops))
+    | instr -> emit (Gate.map_qubits (fun l -> st.layout.(l)) instr));
+    executed.(i) <- true;
+    in_front.(i) <- false;
+    incr executed_count;
+    Array.iter (fun q -> head.(q) <- head.(q) + 1) fpq.(i);
+    (* Newly unblocked successors join the front layer. *)
+    Array.iter
+      (fun q ->
+        if head.(q) < Array.length per_qubit.(q) then begin
+          let j = per_qubit.(q).(head.(q)) in
+          if (not in_front.(j)) && (not executed.(j)) && is_ready j then begin
+            in_front.(j) <- true;
+            front := j :: !front
+          end
+        end)
+      fpq.(i)
+  in
+  let decay = Array.make physical_count 1.0 in
+  let stall = ref 0 in
+  let stall_limit = (4 * physical_count) + 16 in
+  let ext_size = 20 in
+  let extended_pairs () =
+    let acc = ref [] and count = ref 0 and i = ref 0 in
+    while !count < ext_size && !i < n do
+      (if (not executed.(!i)) && not in_front.(!i) then
+         match two_qubit_pair !i with
+         | Some p ->
+             acc := p :: !acc;
+             incr count
+         | None -> ());
+      incr i
+    done;
+    List.rev !acc
+  in
+  let pair_dist (l1, l2) = dist.(st.layout.(l1)).(st.layout.(l2)) in
+  let mean_dist pairs =
+    match pairs with
+    | [] -> 0.0
+    | _ ->
+        float_of_int (List.fold_left (fun acc p -> acc + pair_dist p) 0 pairs)
+        /. float_of_int (List.length pairs)
+  in
+  while !executed_count < n do
+    (* Drain everything executable. *)
+    let progressed = ref false in
+    let continue = ref true in
+    while !continue do
+      let sorted = List.sort compare !front in
+      let execable = List.filter executable sorted in
+      match execable with
+      | [] -> continue := false
+      | _ ->
+          front := List.filter (fun i -> not (List.mem i execable)) !front;
+          List.iter exec execable;
+          progressed := true
+    done;
+    if !progressed then begin
+      Array.fill decay 0 physical_count 1.0;
+      stall := 0
+    end;
+    if !executed_count < n then begin
+      let fpairs = List.filter_map two_qubit_pair (List.sort compare !front) in
+      assert (fpairs <> []);
+      if !stall >= stall_limit then begin
+        (* Safety valve: route the first blocked pair directly. *)
+        let l1, l2 = List.hd fpairs in
+        let guard = ref 0 in
+        while
+          (not (Platform.are_coupled platform st.layout.(l1) st.layout.(l2)))
+          && !guard <= physical_count
+        do
+          incr guard;
+          match Graph.shortest_path coupling st.layout.(l1) st.layout.(l2) with
+          | None | Some ([] | [ _ ]) ->
+              invalid_arg "Mapping: no route between physical qubits"
+          | Some (p1 :: next :: _) -> emit_swap p1 next
+        done;
+        stall := 0
+      end
+      else begin
+        let epairs = extended_pairs () in
+        (* Candidate swaps: edges incident to a front-layer qubit. *)
+        let candidates =
+          List.sort_uniq compare
+            (List.concat_map
+               (fun (l1, l2) ->
+                 List.concat_map
+                   (fun p ->
+                     List.map
+                       (fun (pn, _) -> (min p pn, max p pn))
+                       (Graph.neighbours coupling p))
+                   [ st.layout.(l1); st.layout.(l2) ])
+               fpairs)
+        in
+        let score (p1, p2) =
+          swap_physical st p1 p2;
+          let s =
+            (mean_dist fpairs +. (0.5 *. mean_dist epairs))
+            *. Float.max decay.(p1) decay.(p2)
+          in
+          swap_physical st p1 p2;
+          s
+        in
+        let best =
+          List.fold_left
+            (fun best edge ->
+              let s = score edge in
+              match best with
+              | Some (bs, _) when bs <= s -> best
+              | _ -> Some (s, edge))
+            None candidates
+        in
+        match best with
+        | None -> invalid_arg "Mapping: no route between physical qubits"
+        | Some (_, (p1, p2)) ->
+            emit_swap p1 p2;
+            decay.(p1) <- decay.(p1) +. 0.01;
+            decay.(p2) <- decay.(p2) +. 0.01;
+            incr stall
+      end
+    end
+  done;
+  {
+    circuit = !out;
+    initial_layout = layout0;
+    final_layout = Array.copy st.layout;
+    swaps_added = !swaps;
+  }
+
+(* The original swap-walk mapper (greedy / k-lookahead), kept as the
+   baseline for `--route greedy`. *)
+let run_walk ~strategy ~placement platform circuit =
   let physical_count = platform.Platform.qubit_count in
   if Circuit.qubit_count circuit > physical_count then
     invalid_arg "Mapping.run: circuit larger than platform";
@@ -155,6 +430,7 @@ let run ?(strategy = Greedy) ?(placement = Trivial) platform circuit =
             in
             begin
               match strategy with
+              | Sabre -> assert false (* dispatched to run_sabre *)
               | Greedy -> move_from_p1 ()
               | Lookahead k ->
                   (* Try both endpoints; keep the swap that minimises the
@@ -209,6 +485,11 @@ let run ?(strategy = Greedy) ?(placement = Trivial) platform circuit =
   in
   process (Circuit.instructions circuit);
   { circuit = !out; initial_layout = layout; final_layout = Array.copy st.layout; swaps_added = !swaps }
+
+let run ?(strategy = Greedy) ?(placement = Trivial) platform circuit =
+  match strategy with
+  | Sabre -> run_sabre ~placement platform circuit
+  | Greedy | Lookahead _ -> run_walk ~strategy ~placement platform circuit
 
 let overhead platform result ~original =
   let routed_2q = Circuit.two_qubit_gate_count result.circuit in

@@ -3,13 +3,40 @@
     Real and realistic qubits only couple to nearest neighbours, so two-qubit
     gates on distant logical qubits require routing the qubit state across
     the topology with SWAPs (the compiler-inserted MOVE operations of
-    sections 2.6 and 3.2). *)
+    sections 2.6 and 3.2).
+
+    {b Mapping-permutation invariant.} Every strategy returns a circuit over
+    physical indices such that, at any point in the program, logical qubit
+    [l]'s state lives on exactly one physical wire, starting at
+    [initial_layout.(l)] and ending at [final_layout.(l)]; the routed circuit
+    equals the original conjugated by those wire permutations (inserted SWAPs
+    included). Measurement outcomes are preserved: classical bit indices
+    follow the physical qubit a logical qubit occupied when it was measured,
+    and classically-conditioned gates read that recorded bit. *)
 
 type strategy =
   | Greedy  (** Walk one endpoint along the shortest path. *)
   | Lookahead of int
       (** Choose which endpoint to move by scoring the next [k] two-qubit
           gates' total distance. *)
+  | Sabre
+      (** SABRE-style lookahead router (Li, Ding & Xie): keep the front
+          layer of dependency-ready gates, execute everything the coupling
+          graph allows, and when stuck insert the swap minimising the mean
+          front-layer hop distance plus a 0.5-weighted extended-set
+          lookahead, damped by a per-qubit decay factor that spreads
+          consecutive swaps across wires. Independent instructions may be
+          reordered (dependency order per qubit, and measure→conditional
+          order, are preserved). Deterministic: ties break on the smallest
+          physical edge. *)
+
+val strategy_to_string : strategy -> string
+(** Stable vocabulary name: ["greedy"], ["lookahead:K"], ["sabre"] — used by
+    the [qxc --route] flag and the spool header. *)
+
+val strategy_of_string : string -> (strategy, string) result
+(** Inverse of {!strategy_to_string}. Accepts bare ["lookahead"] (window 4).
+    [Error] carries a human-readable message. *)
 
 type placement =
   | Trivial  (** Logical qubit i starts on physical qubit i. *)
@@ -31,8 +58,10 @@ val run :
   result
 (** Route a circuit onto the platform topology. The input circuit may use at
     most [Platform.qubit_count] qubits; the result uses physical indices.
-    Raises [Invalid_argument] if the circuit needs more qubits than the
-    platform offers or contains >2-qubit unitaries (decompose first). *)
+    The default strategy is [Greedy] (the historical baseline);
+    {!Compiler.compile} defaults to [Sabre]. Raises [Invalid_argument] if
+    the circuit needs more qubits than the platform offers or contains
+    >2-qubit unitaries (decompose first). *)
 
 val overhead : Platform.t -> result -> original:Qca_circuit.Circuit.t -> float * float
 (** [(gate_overhead, latency_overhead)]: ratios of routed/original two-qubit

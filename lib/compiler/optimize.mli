@@ -1,15 +1,106 @@
-(** Peephole circuit optimisation: gate cancellation and rotation merging. *)
+(** Optimising pass pipeline: peephole rewriting, commutation-aware Rz
+    accumulation, Euler resynthesis of single-qubit runs, and two-qubit
+    block consolidation.
+
+    {b Contract.} Every pass preserves the circuit's semantics: for
+    measurement-free circuits the output is unitarily equivalent to the
+    input up to a global phase (checkable with
+    {!Decompose.check_equivalent}); for circuits with [Prep]/[Measure]
+    the measurement-outcome distribution at every measurement point is
+    unchanged (the only non-unitary rewrites are dropping a phase that
+    is immediately reset by [Prep] and commuting an [Rz] past a Z-basis
+    measurement, both of which are distribution-invariant). Passes never
+    add qubits, never reorder instructions across a [Barrier], and never
+    move anything across a classically-conditioned gate that shares a
+    wire or its source bit.
+
+    The catalog of rewrite rules, their soundness arguments, and tuning
+    knobs are documented in [docs/compiler.md]. *)
 
 type stats = {
-  removed_pairs : int;  (** Adjacent U, U-dagger pairs cancelled. *)
-  merged_rotations : int;  (** Same-axis rotation pairs folded into one. *)
-  dropped_identities : int;  (** I gates and ~0-angle rotations removed. *)
+  removed_pairs : int;  (** U·U† pairs cancelled (dependency-adjacent). *)
+  merged_rotations : int;
+      (** Same-axis rotation pairs folded into one, plus named-pair
+          contractions such as [S·S → Z]. *)
+  dropped_identities : int;  (** [I] gates and ~0-angle rotations removed. *)
+  conjugations : int;  (** [H·B·H → B'] basis-change rewrites applied. *)
+  euler_runs : int;  (** 1q runs resynthesised to a shorter Euler form. *)
+  consolidations : int;  (** 2q blocks re-expressed with fewer entanglers. *)
+  rounds : int;  (** Fixed-point rounds in which at least one pass fired. *)
 }
 
+(** Target form for resynthesised single-qubit runs. *)
+type basis =
+  | Zyz  (** [Rz·Ry·Rz] — at most three rotations; logical circuits. *)
+  | Pulse
+      (** [Rz·X90·Rz·X90·Rz] — at most two real pulses framed by virtual
+          Z rotations; pulse-level platforms such as superconducting_17. *)
+
+type config = {
+  basis : basis option;
+      (** Euler resynthesis target; [None] disables the pass (used when
+          the platform lacks x90/y90/rz primitives). *)
+  platform : Platform.t option;
+      (** When set, peephole contractions and consolidation candidates
+          are restricted to the platform's native primitives, so the
+          pipeline can run after decomposition/mapping without
+          reintroducing non-primitive gates. *)
+  consolidate : bool;  (** Enable two-qubit block consolidation. *)
+  max_rounds : int;  (** Fixed-point iteration bound. *)
+}
+
+val logical_config : config
+(** All passes on, [Zyz] basis, no platform restriction. *)
+
+val physical_config : Platform.t -> config
+(** Platform-restricted pipeline; picks [Pulse] basis when the platform
+    natively supports x90/y90/rz, otherwise disables resynthesis. *)
+
+(** Pipeline selector used by {!Compiler.compile}: [Basic] is the
+    pre-pipeline single sweep (cancellation/merging only), [Full] the
+    complete pass pipeline. *)
+type level = Basic | Full
+
+val pipeline :
+  ?config:config ->
+  ?on_pass:
+    (round:int ->
+    pass:string ->
+    before:Qca_circuit.Circuit.t ->
+    Qca_circuit.Circuit.t ->
+    unit) ->
+  Qca_circuit.Circuit.t ->
+  Qca_circuit.Circuit.t * stats
+(** Run the pass list to a fixed point (bounded by [config.max_rounds]).
+    [on_pass] fires after every pass application that changed the
+    circuit, with the round number, the pass name ([peephole], [rz-merge],
+    [euler], [2q-blocks]) and the circuit before/after — this is how
+    {!Compiler.compile} feeds each intermediate artifact to the
+    {!Qca_analysis} pass-verifier and the trace layer. Termination:
+    every counted rewrite strictly reduces the (gate count, non-Rz gate
+    count) pair, so the fixed point is reached in finitely many rounds
+    even without the bound. *)
+
 val run : Qca_circuit.Circuit.t -> Qca_circuit.Circuit.t * stats
-(** Iterate cancellation, merging and identity removal to a fixed point.
-    Cancellation only fires when two gates are adjacent in the dependency
-    order (no intervening instruction shares a qubit with them). *)
+(** {!pipeline} with {!logical_config}. *)
 
 val run_circuit : Qca_circuit.Circuit.t -> Qca_circuit.Circuit.t
 (** [run] without the statistics. *)
+
+val run_basic : Qca_circuit.Circuit.t -> Qca_circuit.Circuit.t * stats
+(** The legacy single-sweep optimiser (inverse-pair cancellation,
+    same-axis merging and identity removal between dependency-adjacent
+    instructions only), kept as the [--optimize basic] baseline for
+    benchmarking the full pipeline against. *)
+
+(**/**)
+
+(* Exposed for white-box tests and the bench harness. *)
+
+val normalize_angle : float -> float
+val zyz_angles : Qca_util.Matrix.t -> float * float * float
+val gates_zyz : int -> float * float * float -> Qca_circuit.Gate.t list
+val gates_pulse : int -> float * float * float -> Qca_circuit.Gate.t list
+val local_factors : Qca_util.Matrix.t -> (Qca_util.Matrix.t * Qca_util.Matrix.t) option
+
+(**/**)

@@ -3,6 +3,7 @@ module Cqasm = Qca_circuit.Cqasm
 module Gate = Qca_circuit.Gate
 module Platform = Qca_compiler.Platform
 module Compiler = Qca_compiler.Compiler
+module Mapping = Qca_compiler.Mapping
 module Controller = Qca_microarch.Controller
 module Error = Qca_util.Error
 module Fault = Qca_util.Fault
@@ -19,6 +20,7 @@ type route =
       mode : Compiler.mode;
       technology : Controller.technology option;
       ladder : bool;
+      router : Mapping.strategy;
     }
 
 type t = {
@@ -95,10 +97,17 @@ let digest circuit =
   Digest.to_hex
     (Digest.string (Printf.sprintf "%d\n%s" (Circuit.qubit_count circuit) body))
 
+let route_router = function
+  | Direct -> Mapping.Sabre
+  | Compiled { router; _ } -> router
+
+(* The router participates so compiled results produced by different
+   routing strategies never share a cache entry. The default ([Sabre])
+   adds no suffix, keeping historical fingerprints stable. *)
 let route_fingerprint = function
   | Direct -> "direct"
-  | Compiled { platform; mode; technology; ladder } ->
-      Printf.sprintf "%s/%s/%s%s" platform.Platform.name
+  | Compiled { platform; mode; technology; ladder; router } ->
+      Printf.sprintf "%s/%s/%s%s%s" platform.Platform.name
         (match mode with
         | Compiler.Perfect -> "perfect"
         | Compiler.Realistic -> "realistic"
@@ -107,6 +116,9 @@ let route_fingerprint = function
         | Some t -> t.Controller.tech_name
         | None -> "direct-qx")
         (if ladder then "+ladder" else "")
+        (match router with
+        | Mapping.Sabre -> ""
+        | r -> "+" ^ Mapping.strategy_to_string r)
 
 let route_description spec = route_fingerprint spec.route
 

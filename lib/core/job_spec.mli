@@ -33,6 +33,12 @@ type route =
               (micro-architecture -> realistic QX, the {!Stack.execute}
               semantics). [false]: fail fast with the structured error
               (the [qxc exec] semantics). *)
+      router : Qca_compiler.Mapping.strategy;
+          (** Routing strategy forwarded to
+              {!Qca_compiler.Compiler.compile} ([Sabre] is the default;
+              [Greedy] is the historical baseline). Participates in
+              {!cache_key} — differently-routed results are never
+              shared. *)
     }
 
 type t = {
@@ -119,6 +125,11 @@ val faults : t -> Qca_util.Fault.t option
 
 val retry_policy : t -> Qca_util.Resilience.policy
 
+val route_router : route -> Qca_compiler.Mapping.strategy
+(** The route's routing strategy ([Sabre] for [Direct] routes, where it is
+    never consulted). *)
+
 val route_description : t -> string
 (** One-line route summary for logs, e.g. ["direct"] or
-    ["superconducting-17/real/microarch+ladder"]. *)
+    ["superconducting-17/real/microarch+ladder"]; non-default routers
+    append ["+greedy"] / ["+lookahead:K"]. *)

@@ -69,7 +69,13 @@ module Microarch_runner = struct
   let run ?rng ?faults (spec : Job_spec.t) =
     match spec.Job_spec.route with
     | Job_spec.Compiled
-        { platform; mode = Compiler.Real; technology = Some technology; _ }
+        {
+          platform;
+          mode = Compiler.Real;
+          technology = Some technology;
+          router;
+          _;
+        }
       -> (
         match Job_spec.resolve spec with
         | Error e -> Stdlib.Error e
@@ -80,7 +86,10 @@ module Microarch_runner = struct
               | None -> Job_spec.faults spec
             in
             Error.protect ~site:"Runner.Microarch_runner" (fun () ->
-                let out = Compiler.compile platform Compiler.Real circuit in
+                let out =
+                  Compiler.compile ~strategy:router platform Compiler.Real
+                    circuit
+                in
                 match out.Compiler.eqasm with
                 | None ->
                     Error.fail ~site:"Runner.Microarch_runner"

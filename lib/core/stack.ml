@@ -94,7 +94,8 @@ let execute_spec ?rng ?faults stack (spec : Job_spec.t) =
         ("model", Trace.String (Qubit_model.to_string stack.model));
       ]);
   let mode = Qubit_model.compiler_mode stack.model in
-  let compiled = Compiler.compile stack.platform mode circuit in
+  let strategy = Job_spec.route_router spec.Job_spec.route in
+  let compiled = Compiler.compile ~strategy stack.platform mode circuit in
   let noise = Qubit_model.noise stack.model stack.platform in
   (* Realistic-Sim fallback: execute the already-compiled output directly on
      QX. Same platform width as the micro-architecture path, so histogram

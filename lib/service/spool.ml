@@ -42,7 +42,8 @@ let platform_to_string (p : Platform.t) =
     "semiconducting"
   else "perfect"
 
-let route_of_names ~platform ~mode ~ladder ~qubits =
+let route_of_names ?(router = Qca_compiler.Mapping.Sabre) ~platform ~mode
+    ~ladder ~qubits () =
   match platform with
   | None -> Ok Job_spec.Direct
   | Some pname -> (
@@ -55,7 +56,7 @@ let route_of_names ~platform ~mode ~ladder ~qubits =
             | Compiler.Real -> Some (technology_of_platform pname)
             | Compiler.Perfect | Compiler.Realistic -> None
           in
-          Ok (Job_spec.Compiled { platform; mode; technology; ladder }))
+          Ok (Job_spec.Compiled { platform; mode; technology; ladder; router }))
 
 (* ---- serialisation --------------------------------------------------- *)
 
@@ -89,10 +90,15 @@ let encode ~tenant spec =
       | None -> ());
       (match spec.Job_spec.route with
       | Job_spec.Direct -> ()
-      | Job_spec.Compiled { platform; mode; technology = _; ladder } ->
+      | Job_spec.Compiled { platform; mode; technology = _; ladder; router } ->
           add "platform" (platform_to_string platform);
           add "mode" (mode_to_string mode);
-          if ladder then add "ladder" "true");
+          if ladder then add "ladder" "true";
+          (* Sabre is the default; only non-default routers are spooled, so
+             pre-router job files stay decodable and byte-stable. *)
+          (match router with
+          | Qca_compiler.Mapping.Sabre -> ()
+          | r -> add "router" (Qca_compiler.Mapping.strategy_to_string r)));
       Buffer.add_string b "---\n";
       Buffer.add_string b (Cqasm.emit_circuit circuit);
       Ok (Buffer.contents b)
@@ -138,6 +144,7 @@ let decode ~id text =
                   "tenant"; "label"; "shots"; "seed"; "noise"; "trajectory";
                   "fusion"; "fault-rate"; "fault-seed"; "max-retries";
                   "priority"; "deadline-ms"; "platform"; "mode"; "ladder";
+                  "router";
                 ]
               in
               match
@@ -222,9 +229,17 @@ let decode ~id text =
                       let mode =
                         Option.value ~default:"realistic" (get "mode")
                       in
+                      let* router =
+                        match get "router" with
+                        | None -> Ok Qca_compiler.Mapping.Sabre
+                        | Some v -> (
+                            match Qca_compiler.Mapping.strategy_of_string v with
+                            | Ok r -> Ok r
+                            | Error m -> Error ("router: " ^ m))
+                      in
                       let* route =
-                        route_of_names ~platform:(get "platform") ~mode ~ladder
-                          ~qubits:(Circuit.qubit_count circuit)
+                        route_of_names ~router ~platform:(get "platform") ~mode
+                          ~ladder ~qubits:(Circuit.qubit_count circuit) ()
                       in
                       if shots < 1 then invalid "shots must be positive"
                       else

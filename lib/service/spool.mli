@@ -70,14 +70,17 @@ val technology_of_platform : string -> Qca_microarch.Controller.technology
     platform name ([semiconducting] or the superconducting default). *)
 
 val route_of_names :
+  ?router:Qca_compiler.Mapping.strategy ->
   platform:string option ->
   mode:string ->
   ladder:bool ->
   qubits:int ->
+  unit ->
   (Qca.Job_spec.route, string) result
 (** The route a [--platform]/[--mode]/[--ladder] flag triple denotes:
     [None] platform is the direct engine route; Real mode picks up the
-    platform's paired technology. *)
+    platform's paired technology. [router] (default
+    {!Qca_compiler.Mapping.Sabre}) is the [--route] routing strategy. *)
 
 (** {2 Spool directories} *)
 

@@ -100,14 +100,15 @@ same report: a chain of diagonal gates coalesces into one sweep, and
 
 Compile for the superconducting platform:
 
-  $ qxc compile bell.qasm --platform superconducting | head -8
+  $ qxc compile bell.qasm --platform superconducting | head -9
   compile circuit on superconducting-17 (realistic mode)
   pass              gates       2q    depth  notes
   input                 2        1        3  
+  pre-opt               2        1        3  cancelled=0 merged=0 dropped=0 conj=0 euler=0 blocks=0
   decompose             7        1        6  
   map/route             7        1        6  swaps=0
   expand-swaps          7        1        6  
-  optimize              7        1        6  cancelled=0 merged=0 dropped=0
+  optimize              7        1        6  cancelled=0 merged=0 dropped=0 conj=0 euler=0 blocks=0
   schedule: makespan=21 cycles, parallelism=1.81, peak=2
 
 Emit eQASM (mask registers get allocated):
@@ -232,10 +233,11 @@ pulse-level counters:
   ---------------00       9
   ---------------01       1
   - compiler.compile platform=superconducting-17 mode=real
+    - compiler.pre-opt gates_in=2 gates_out=2 cancelled=0 merged=0 conjugated=0 euler=0 blocks=0 rounds=0
     - compiler.decompose gates_in=2 gates_out=7 two_qubit=1 depth=6
     - compiler.map gates_in=7 gates_out=7 swaps=0
     - compiler.expand-swaps gates_in=7 gates_out=7 two_qubit=1 depth=6
-    - compiler.optimize gates_in=7 gates_out=7 cancelled=0 merged=0
+    - compiler.optimize gates_in=7 gates_out=7 cancelled=0 merged=0 conjugated=0 euler=0 blocks=0 rounds=0
     - compiler.schedule makespan_cycles=21
     - compiler.eqasm bundles=6 quantum_ops=9 duration_ns=420
   - microarch.run_shots technology=superconducting shots=20 qubits=17

@@ -69,6 +69,7 @@ exclusivity, eQASM timing windows) and a violating pass would be named:
 
   $ qxc check bell.qasm --platform superconducting
   pass input        clean
+  pass pre-opt      clean
   pass decompose    clean
   pass map/route    clean
   pass expand-swaps clean

@@ -144,7 +144,9 @@ let test_optimize_cancels_pairs () =
   Alcotest.(check int) "two pairs" 2 stats.Optimize.removed_pairs
 
 let test_optimize_respects_interference () =
-  (* H q0; X q0; H q0 must NOT cancel the two H gates. *)
+  (* H q0; X q0; H q0 must NOT cancel the two H gates around the X. The
+     basic sweep leaves all three; the full pipeline may legally rewrite
+     the triple via H-conjugation (H·X·H = Z) but must stay equivalent. *)
   let c =
     Circuit.of_list 1
       [
@@ -153,8 +155,13 @@ let test_optimize_respects_interference () =
         Gate.Unitary (Gate.H, [| 0 |]);
       ]
   in
-  let optimized, _ = Optimize.run c in
-  Alcotest.(check int) "nothing removed" 3 (Circuit.gate_count optimized)
+  let basic, _ = Optimize.run_basic c in
+  Alcotest.(check int) "basic: nothing removed" 3 (Circuit.gate_count basic);
+  let optimized, stats = Optimize.run c in
+  Alcotest.(check bool) "pipeline result equivalent" true
+    (Decompose.check_equivalent c optimized);
+  Alcotest.(check int) "conjugated to Z" 1 stats.Optimize.conjugations;
+  Alcotest.(check int) "single gate" 1 (Circuit.gate_count optimized)
 
 let test_optimize_merges_rotations () =
   let c =

@@ -1,0 +1,384 @@
+(* Tests for the optimizing pass pipeline (docs/compiler.md): one unit test
+   per rewrite rule, Euler-identity properties for the resynthesis helpers,
+   distribution preservation through the engine at matched seeds, SABRE
+   conformance under the pass-verifier, the engine-fusion interplay, and
+   the fixture-corpus depth guard. *)
+
+module Gate = Qca_circuit.Gate
+module Circuit = Qca_circuit.Circuit
+module Library = Qca_circuit.Library
+module Platform = Qca_compiler.Platform
+module Optimize = Qca_compiler.Optimize
+module Decompose = Qca_compiler.Decompose
+module Mapping = Qca_compiler.Mapping
+module Compiler = Qca_compiler.Compiler
+module Verify = Qca_analysis.Verify
+module Diagnostic = Qca_analysis.Diagnostic
+module Engine = Qca_qx.Engine
+module Matrix = Qca_util.Matrix
+module Rng = Qca_util.Rng
+
+let u g ops = Gate.Unitary (g, Array.of_list ops)
+let circ n gates = Circuit.of_list n gates
+
+let check_equiv name original optimized =
+  Alcotest.(check bool)
+    (name ^ ": equivalent")
+    true
+    (Circuit.gate_count original = 0
+     && Circuit.gate_count optimized = 0
+    || Decompose.check_equivalent original optimized)
+
+let optimize name c expected_gates =
+  let o, stats = Optimize.run c in
+  check_equiv name c o;
+  Alcotest.(check int) (name ^ ": gate count") expected_gates (Circuit.gate_count o);
+  (o, stats)
+
+(* --- one unit test per peephole rewrite rule --- *)
+
+let test_rule_inverse_pair () =
+  let c = circ 1 [ u Gate.H [ 0 ]; u Gate.H [ 0 ] ] in
+  let _, stats = optimize "h.h" c 0 in
+  Alcotest.(check int) "one pair" 1 stats.Optimize.removed_pairs;
+  ignore (optimize "t.tdag" (circ 1 [ u Gate.T [ 0 ]; u Gate.Tdag [ 0 ] ]) 0);
+  ignore (optimize "cnot.cnot" (circ 2 [ u Gate.Cnot [ 0; 1 ]; u Gate.Cnot [ 0; 1 ] ]) 0)
+
+let test_rule_merge_rotations () =
+  let c = circ 1 [ u (Gate.Rz 0.3) [ 0 ]; u (Gate.Rz 0.4) [ 0 ] ] in
+  let o, _ = optimize "rz merge" c 1 in
+  (match Circuit.instructions o with
+  | [ Gate.Unitary (Gate.Rz t, _) ] ->
+      Alcotest.(check (float 1e-9)) "angles add" 0.7 t
+  | _ -> Alcotest.fail "expected a single rz");
+  ignore (optimize "rx merge" (circ 1 [ u (Gate.Rx 1.0) [ 0 ]; u (Gate.Rx 0.5) [ 0 ] ]) 1)
+
+let test_rule_pair_contraction () =
+  (* Each like pair contracts to one gate (the pipeline may render it as a
+     named gate or an equivalent rotation; equivalence is what matters). *)
+  ignore (optimize "s.s -> z" (circ 1 [ u Gate.S [ 0 ]; u Gate.S [ 0 ] ]) 1);
+  ignore (optimize "t.t -> s" (circ 1 [ u Gate.T [ 0 ]; u Gate.T [ 0 ] ]) 1);
+  ignore (optimize "x90.x90 -> x" (circ 1 [ u Gate.X90 [ 0 ]; u Gate.X90 [ 0 ] ]) 1)
+
+let test_rule_drop_identity () =
+  let c = circ 1 [ u Gate.I [ 0 ]; u (Gate.Rz 1e-13) [ 0 ]; u Gate.X [ 0 ] ] in
+  let _, stats = optimize "identity drop" c 1 in
+  Alcotest.(check int) "two dropped" 2 stats.Optimize.dropped_identities
+
+let test_rule_h_conjugation () =
+  let c = circ 1 [ u Gate.H [ 0 ]; u Gate.X [ 0 ]; u Gate.H [ 0 ] ] in
+  let _, stats = optimize "h.x.h -> z" c 1 in
+  Alcotest.(check int) "one conjugation" 1 stats.Optimize.conjugations;
+  (* CNOT target conjugated by H on both sides is a CZ. *)
+  let c2 =
+    circ 2 [ u Gate.H [ 1 ]; u Gate.Cnot [ 0; 1 ]; u Gate.H [ 1 ] ]
+  in
+  let o2, _ = optimize "h.cnot.h -> cz" c2 1 in
+  match Circuit.instructions o2 with
+  | [ Gate.Unitary (Gate.Cz, _) ] -> ()
+  | _ -> Alcotest.fail "expected a single cz"
+
+let test_rule_commuting_cancellation () =
+  (* The Rz pair cancels through the diagonal CZ it commutes with. *)
+  let c =
+    circ 2
+      [ u (Gate.Rz 0.9) [ 0 ]; u Gate.Cz [ 0; 1 ]; u (Gate.Rz (-0.9)) [ 0 ] ]
+  in
+  ignore (optimize "rz cancels through cz" c 1)
+
+let test_rule_rz_accumulation_across_cnot () =
+  (* Rz on the control commutes past CNOT: the two rotations fold into one. *)
+  let c =
+    circ 2
+      [ u (Gate.Rz 0.4) [ 0 ]; u Gate.Cnot [ 0; 1 ]; u (Gate.Rz 0.5) [ 0 ] ]
+  in
+  let o, _ = optimize "rz folds across cnot control" c 2 in
+  let rz_count =
+    List.length
+      (List.filter
+         (function Gate.Unitary (Gate.Rz _, _) -> true | _ -> false)
+         (Circuit.instructions o))
+  in
+  Alcotest.(check int) "single rz left" 1 rz_count
+
+let test_rule_euler_resynthesis () =
+  (* A four-gate 1q run collapses to at most three rotations. *)
+  let c =
+    circ 1
+      [
+        u (Gate.Rx 0.3) [ 0 ]; u (Gate.Ry 0.2) [ 0 ]; u (Gate.Rx 0.5) [ 0 ];
+        u Gate.T [ 0 ];
+      ]
+  in
+  let o, stats = Optimize.run c in
+  check_equiv "euler run" c o;
+  Alcotest.(check bool) "at most 3 gates" true (Circuit.gate_count o <= 3);
+  Alcotest.(check bool) "euler fired" true (stats.Optimize.euler_runs >= 1)
+
+let test_rule_consolidate_swap () =
+  (* Three alternating CNOTs are a SWAP: consolidation re-expresses the
+     block with a single two-qubit gate. *)
+  let c =
+    circ 2
+      [ u Gate.Cnot [ 0; 1 ]; u Gate.Cnot [ 1; 0 ]; u Gate.Cnot [ 0; 1 ] ]
+  in
+  let o, stats = Optimize.run c in
+  check_equiv "cnot3 -> swap" c o;
+  Alcotest.(check bool) "fewer 2q gates" true
+    (Circuit.two_qubit_gate_count o < 3);
+  Alcotest.(check bool) "consolidation fired" true
+    (stats.Optimize.consolidations >= 1)
+
+let test_barrier_blocks_rewrites () =
+  let c =
+    Circuit.of_list 1
+      [ u Gate.H [ 0 ]; Gate.Barrier [| 0 |]; u Gate.H [ 0 ] ]
+  in
+  let o, _ = Optimize.run c in
+  Alcotest.(check int) "barrier keeps both" 2 (Circuit.gate_count o)
+
+(* --- Euler identity properties for the white-box helpers --- *)
+
+let random_1q_product rng gates =
+  let pool =
+    [|
+      (fun () -> Gate.H); (fun () -> Gate.T); (fun () -> Gate.S);
+      (fun () -> Gate.X90); (fun () -> Gate.Ym90);
+      (fun () -> Gate.Rx (Rng.float rng 6.28 -. 3.14));
+      (fun () -> Gate.Ry (Rng.float rng 6.28 -. 3.14));
+      (fun () -> Gate.Rz (Rng.float rng 6.28 -. 3.14));
+    |]
+  in
+  List.init gates (fun _ -> pool.(Rng.int rng (Array.length pool)) ())
+
+let matrix_of_gates gates =
+  List.fold_left
+    (fun acc g -> Matrix.mul (Gate.matrix g) acc)
+    (Matrix.identity 2) gates
+
+let prop_euler_reconstructs =
+  QCheck.Test.make ~name:"zyz/pulse resynthesis reconstructs 1q products"
+    ~count:200
+    (QCheck.make
+       ~print:(fun (s, g) -> Printf.sprintf "seed=%d gates=%d" s g)
+       QCheck.Gen.(pair (int_range 0 99999) (int_range 1 8)))
+    (fun (seed, gates) ->
+      let run = random_1q_product (Rng.create seed) gates in
+      let m = matrix_of_gates run in
+      let angles = Optimize.zyz_angles m in
+      let check form =
+        let unitaries =
+          List.filter_map
+            (function Gate.Unitary (g, _) -> Some g | _ -> None)
+            (form 0 angles)
+        in
+        Matrix.equal_up_to_phase ~eps:1e-7 m (matrix_of_gates unitaries)
+      in
+      check Optimize.gates_zyz && check Optimize.gates_pulse)
+
+let prop_local_factors_sound =
+  QCheck.Test.make ~name:"local_factors only reports true tensor products"
+    ~count:100
+    (QCheck.make
+       ~print:(fun s -> Printf.sprintf "seed=%d" s)
+       QCheck.Gen.(int_range 0 99999))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let a = matrix_of_gates (random_1q_product rng 3) in
+      let b = matrix_of_gates (random_1q_product rng 3) in
+      (* local_factors returns (q0 factor, q1 factor) for a matrix in the
+         engine's kron order — each factor only up to a complex scale, which
+         zyz_angles normalises away; reconstruct through that path. *)
+      match Optimize.local_factors (Matrix.kron a b) with
+      | None -> false (* a true tensor product must be detected *)
+      | Some (a', b') ->
+          let unitary m =
+            matrix_of_gates
+              (List.filter_map
+                 (function Gate.Unitary (g, _) -> Some g | _ -> None)
+                 (Optimize.gates_zyz 0 (Optimize.zyz_angles m)))
+          in
+          Matrix.equal_up_to_phase ~eps:1e-7
+            (Matrix.kron (unitary b') (unitary a'))
+            (Matrix.kron a b))
+
+(* --- distribution preservation at matched seeds (ideal noise) --- *)
+
+let measured n base =
+  Circuit.append base
+    (Circuit.of_list n (List.init n (fun q -> Gate.Measure q)))
+
+let histogram ?seed ?shots c =
+  (Engine.run ?seed ?shots c).Engine.histogram
+
+let prop_distribution_bit_identical =
+  QCheck.Test.make
+    ~name:"optimizer preserves sampled distributions bit-identically"
+    ~count:30
+    (QCheck.make
+       ~print:(fun (s, q, g) -> Printf.sprintf "seed=%d q=%d g=%d" s q g)
+       QCheck.Gen.(triple (int_range 0 9999) (int_range 2 4) (int_range 1 25)))
+    (fun (seed, qubits, gates) ->
+      let base =
+        measured qubits (Library.random_circuit (Rng.create seed) ~qubits ~gates)
+      in
+      let optimized = Optimize.run_circuit base in
+      histogram ~seed ~shots:300 base = histogram ~seed ~shots:300 optimized)
+
+let test_distribution_teleport () =
+  (* Mid-circuit measurement + classical feedback: the trajectory plan
+     consumes one RNG draw per measurement, which the optimizer leaves in
+     place, so seeded runs stay bit-identical. *)
+  let c = Library.teleport () in
+  let o = Optimize.run_circuit c in
+  Alcotest.(check (list (pair string int)))
+    "teleport histogram" (histogram ~seed:11 ~shots:200 c)
+    (histogram ~seed:11 ~shots:200 o)
+
+(* --- SABRE conformance: zero verifier diagnostics on fixture platforms --- *)
+
+let test_sabre_conformance () =
+  let cases =
+    [
+      (Platform.superconducting_17, Compiler.Real, measured 4 (Library.ghz 4));
+      (Platform.superconducting_17, Compiler.Realistic, measured 4 (Library.qft 4));
+      (Platform.superconducting_17, Compiler.Realistic, Library.teleport ());
+      (Platform.semiconducting_4, Compiler.Realistic, measured 4 (Library.ghz 4));
+      (Platform.semiconducting_4, Compiler.Realistic, measured 3 (Library.qft 3));
+    ]
+  in
+  List.iter
+    (fun (platform, mode, circuit) ->
+      let _out, report =
+        Verify.compile ~strategy:Mapping.Sabre platform mode circuit
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "no diagnostics on %s" platform.Platform.name)
+        []
+        (List.map Diagnostic.to_string report.Verify.final))
+    cases
+
+let test_sabre_routes_distant_pair () =
+  (* Logical 0 and 16 sit at opposite corners of the 17-qubit lattice;
+     SABRE must insert swaps and still preserve the measured marginal. *)
+  let c =
+    Circuit.of_list 17
+      [
+        u Gate.X [ 0 ]; u Gate.Cnot [ 0; 16 ]; Gate.Measure 0; Gate.Measure 16;
+      ]
+  in
+  let r = Mapping.run ~strategy:Mapping.Sabre Platform.superconducting_17 c in
+  Alcotest.(check bool) "swaps inserted" true (r.Mapping.swaps_added > 0);
+  (* One deterministic outcome with both measured (physical) qubits at 1. *)
+  match histogram ~seed:3 ~shots:100 r.Mapping.circuit with
+  | [ (key, 100) ] ->
+      let ones =
+        String.fold_left (fun n ch -> if ch = '1' then n + 1 else n) 0 key
+      in
+      Alcotest.(check int) "two ones" 2 ones
+  | hist ->
+      Alcotest.fail
+        (Printf.sprintf "expected one outcome, got %d" (List.length hist))
+
+(* --- engine fusion must not double-apply resynthesised runs --- *)
+
+let test_fused_1q_after_euler () =
+  (* The pulse-form Euler output is exactly the shape the engine's 1q-run
+     fusion coalesces; fused and unfused seeded runs must stay
+     bit-identical. *)
+  let base =
+    measured 2
+      (circ 2
+         [
+           u Gate.H [ 0 ]; u (Gate.Rx 0.7) [ 0 ]; u (Gate.Ry 0.4) [ 0 ];
+           u Gate.T [ 0 ]; u Gate.Cnot [ 0; 1 ]; u (Gate.Rz 0.5) [ 1 ];
+           u (Gate.Rx 1.1) [ 1 ]; u (Gate.Rz (-0.3)) [ 1 ];
+         ])
+  in
+  let optimized = Optimize.run_circuit base in
+  let fused = Engine.run ~seed:17 ~shots:400 ~fusion:true optimized in
+  let unfused = Engine.run ~seed:17 ~shots:400 ~fusion:false optimized in
+  Alcotest.(check (list (pair string int)))
+    "fused = unfused" unfused.Engine.histogram fused.Engine.histogram;
+  Alcotest.(check (list (pair string int)))
+    "optimized = original" (histogram ~seed:17 ~shots:400 base)
+    fused.Engine.histogram
+
+(* --- depth guard over the fixture corpus --- *)
+
+let fixture_corpus () =
+  [
+    ("bell", measured 2 (Library.bell ()));
+    ("ghz5", measured 5 (Library.ghz 5));
+    ("qft4", measured 4 (Library.qft 4));
+    ("teleport", Library.teleport ());
+    ("random6x30", measured 6 (Library.random_circuit (Rng.create 77) ~qubits:6 ~gates:30));
+  ]
+
+let test_depth_never_increases () =
+  List.iter
+    (fun (name, c) ->
+      let o = Optimize.run_circuit c in
+      Alcotest.(check bool)
+        (name ^ ": optimized depth <= input depth")
+        true
+        (Circuit.depth o <= Circuit.depth c))
+    (fixture_corpus ())
+
+let test_full_not_worse_than_basic () =
+  (* Same router on both sides: the Full pipeline must not produce a
+     larger physical circuit than the Basic sweep on the corpus. *)
+  List.iter
+    (fun (name, c) ->
+      let basic =
+        Compiler.compile ~strategy:Mapping.Sabre ~optimizer:Optimize.Basic
+          Platform.superconducting_17 Compiler.Realistic c
+      in
+      let full =
+        Compiler.compile ~strategy:Mapping.Sabre ~optimizer:Optimize.Full
+          Platform.superconducting_17 Compiler.Realistic c
+      in
+      Alcotest.(check bool)
+        (name ^ ": full gates <= basic gates")
+        true
+        (Circuit.gate_count full.Compiler.physical
+        <= Circuit.gate_count basic.Compiler.physical))
+    (fixture_corpus ())
+
+let () =
+  let qtest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qca_optimizer"
+    [
+      ( "rewrite-rules",
+        [
+          Alcotest.test_case "inverse pairs" `Quick test_rule_inverse_pair;
+          Alcotest.test_case "merge rotations" `Quick test_rule_merge_rotations;
+          Alcotest.test_case "pair contraction" `Quick test_rule_pair_contraction;
+          Alcotest.test_case "drop identities" `Quick test_rule_drop_identity;
+          Alcotest.test_case "h conjugation" `Quick test_rule_h_conjugation;
+          Alcotest.test_case "commuting cancellation" `Quick test_rule_commuting_cancellation;
+          Alcotest.test_case "rz across cnot" `Quick test_rule_rz_accumulation_across_cnot;
+          Alcotest.test_case "euler resynthesis" `Quick test_rule_euler_resynthesis;
+          Alcotest.test_case "consolidate swap" `Quick test_rule_consolidate_swap;
+          Alcotest.test_case "barrier blocks" `Quick test_barrier_blocks_rewrites;
+        ] );
+      ( "euler-properties",
+        [ qtest prop_euler_reconstructs; qtest prop_local_factors_sound ] );
+      ( "distributions",
+        [
+          qtest prop_distribution_bit_identical;
+          Alcotest.test_case "teleport" `Quick test_distribution_teleport;
+        ] );
+      ( "sabre",
+        [
+          Alcotest.test_case "conformance" `Quick test_sabre_conformance;
+          Alcotest.test_case "distant pair" `Quick test_sabre_routes_distant_pair;
+        ] );
+      ( "fusion",
+        [ Alcotest.test_case "no double apply" `Quick test_fused_1q_after_euler ] );
+      ( "depth-guard",
+        [
+          Alcotest.test_case "optimizer" `Quick test_depth_never_increases;
+          Alcotest.test_case "full vs basic" `Quick test_full_not_worse_than_basic;
+        ] );
+    ]
