@@ -13,6 +13,9 @@
    `dune exec bench/main.exe -- kernels` measures the seed state-vector
    kernels against the mask-specialised, fused and parallel ones and
    writes BENCH_kernels.json;
+   `dune exec bench/main.exe -- plan` measures the simulation planner's
+   Clifford tableau fast path against forced state-vector trajectories and
+   the batched-trajectory scaling curve, and writes BENCH_plan.json;
    `dune exec bench/main.exe -- lint` measures static-checker throughput
    and the pass-verifier's compile-time overhead and writes
    BENCH_lint.json;
@@ -575,6 +578,149 @@ let run_kernels () =
   close_out oc;
   print_endline "wrote BENCH_kernels.json"
 
+(* --- simulation-planner benchmark (BENCH_plan.json) --- *)
+
+let run_plan () =
+  let module Engine = Qca_qx.Engine in
+  let module Parallel = Qca_util.Parallel in
+  print_endline
+    "=== Simulation planner: Clifford tableau fast path + batched trajectories ===";
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Float.max 1e-9 (Sys.time () -. t0))
+  in
+  let measured n base =
+    Circuit.append base (Circuit.of_list n (List.init n (fun q -> Gate.Measure q)))
+  in
+  let canon h = List.sort compare h in
+  (* Clifford-heavy suites: the planner's automatic choice (tableau) against
+     the forced single-threaded state-vector trajectory plan — the
+     pre-planner path for these feedback/mid-measurement shapes. Trajectory
+     shots shrink with n (each shot is a full state-vector evolution); rates
+     are per shot, so the speedup column compares like with like. The
+     bit-identity column re-runs the auto plan at the trajectory arm's shot
+     count and seed and demands the identical histogram. *)
+  let suites =
+    [
+      (* |+> payload keeps the chain all-Clifford (the library default
+         teleports an Ry-prepared state). *)
+      ( "teleport-x64",
+        Circuit.repeat 64 (Library.teleport ~prepare:Gate.H ()),
+        1024, 512 );
+      ("qec-surface17-r2", Qca.Qec_run.cycle_circuit ~rounds:2 Code.surface_17, 1024, 8);
+      ("ghz-22", measured 22 (Library.ghz 22), 1024, 4);
+    ]
+  in
+  let saved_domains = Parallel.domain_count () in
+  let clifford_rows =
+    List.map
+      (fun (name, circuit, shots, traj_shots) ->
+        let n = Circuit.qubit_count circuit in
+        let auto, auto_s = time (fun () -> Engine.run ~seed:42 ~shots circuit) in
+        let plan = auto.Engine.report.Engine.plan in
+        if plan <> Engine.Clifford then
+          failwith
+            (Printf.sprintf "bench plan: %s misclassified as %s" name
+               (Engine.plan_to_string plan));
+        Parallel.set_domain_count 1;
+        let traj, traj_s =
+          time (fun () ->
+              Engine.run ~seed:42 ~plan:Engine.Trajectory ~shots:traj_shots circuit)
+        in
+        Parallel.set_domain_count saved_domains;
+        let check = Engine.run ~seed:42 ~shots:traj_shots circuit in
+        let identical =
+          canon check.Engine.histogram = canon traj.Engine.histogram
+        in
+        if not identical then
+          failwith
+            (Printf.sprintf
+               "bench plan: %s tableau histogram diverges from the state vector"
+               name);
+        let auto_rate = float_of_int shots /. auto_s in
+        let traj_rate = float_of_int traj_shots /. traj_s in
+        let speedup = auto_rate /. traj_rate in
+        Printf.printf
+          "%-18s n=%-3d auto=%s %d shots in %.4fs (%.0f sh/s) | trajectory %d \
+           shots in %.4fs (%.1f sh/s) | speedup %.1fx | bit-identical %b\n"
+          name n
+          (Engine.plan_to_string plan)
+          shots auto_s auto_rate traj_shots traj_s traj_rate speedup identical;
+        (name, n, shots, auto_s, auto_rate, traj_shots, traj_s, traj_rate, speedup))
+      suites
+  in
+  (* Trajectory scaling: a non-Clifford circuit forced onto the per-shot
+     state-vector plan at several domain-pool sizes. Histograms must be
+     bit-identical at every size (per-shot derived RNG streams); the curve
+     is honest about the machine — on a single-core container every point
+     sits near 1x. *)
+  let scaling_circuit =
+    measured 14 (Library.random_circuit (Rng.create 77) ~qubits:14 ~gates:80)
+  in
+  let scaling_shots = 96 in
+  Parallel.set_domain_count 1;
+  let base_run, base_s =
+    time (fun () ->
+        Engine.run ~seed:42 ~plan:Qca_qx.Engine.Trajectory ~shots:scaling_shots
+          scaling_circuit)
+  in
+  let scaling_rows =
+    List.map
+      (fun domains ->
+        Parallel.set_domain_count domains;
+        let r, dt =
+          if domains = 1 then (base_run, base_s)
+          else
+            time (fun () ->
+                Engine.run ~seed:42 ~plan:Qca_qx.Engine.Trajectory
+                  ~shots:scaling_shots scaling_circuit)
+        in
+        let identical = canon r.Engine.histogram = canon base_run.Engine.histogram in
+        if not identical then
+          failwith
+            (Printf.sprintf
+               "bench plan: trajectory histogram diverges at %d domains" domains);
+        let speedup = base_s /. dt in
+        Printf.printf
+          "trajectory-scaling random14x80 domains=%-2d %d shots in %.4fs \
+           (%.1f sh/s) | speedup vs 1 domain %.2fx | bit-identical %b\n"
+          domains scaling_shots dt
+          (float_of_int scaling_shots /. dt)
+          speedup identical;
+        (domains, dt, speedup))
+      [ 1; 2; 4; 8 ]
+  in
+  Parallel.set_domain_count saved_domains;
+  let oc = open_out "BENCH_plan.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\"benchmark\":\"simulation-planner\",\"cores\":%d,\"default_domains\":%d,\"clifford_suites\":["
+       saved_domains saved_domains);
+  List.iteri
+    (fun i (name, n, shots, auto_s, auto_rate, traj_shots, traj_s, traj_rate, speedup) ->
+      if i > 0 then output_char oc ',';
+      output_string oc
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"n\":%d,\"plan\":\"clifford\",\"shots\":%d,\"clifford_s\":%.6f,\"clifford_shots_per_s\":%.1f,\"trajectory_shots\":%d,\"trajectory_s\":%.6f,\"trajectory_shots_per_s\":%.2f,\"speedup\":%.2f,\"bit_identical\":true}"
+           name n shots auto_s auto_rate traj_shots traj_s traj_rate speedup))
+    clifford_rows;
+  output_string oc
+    (Printf.sprintf
+       "],\"trajectory_scaling\":{\"circuit\":\"random14x80\",\"shots\":%d,\"entries\":["
+       scaling_shots);
+  List.iteri
+    (fun i (domains, dt, speedup) ->
+      if i > 0 then output_char oc ',';
+      output_string oc
+        (Printf.sprintf
+           "{\"domains\":%d,\"elapsed_s\":%.6f,\"speedup_vs_1\":%.2f,\"bit_identical\":true}"
+           domains dt speedup))
+    scaling_rows;
+  output_string oc "]}}\n";
+  close_out oc;
+  print_endline "wrote BENCH_plan.json"
+
 (* --- job-service throughput benchmark (BENCH_service.json) --- *)
 
 let run_service () =
@@ -997,6 +1143,7 @@ let () =
   | [ "resilience" ] -> run_resilience ()
   | [ "trace" ] -> run_trace ()
   | [ "kernels" ] -> run_kernels ()
+  | [ "plan" ] -> run_plan ()
   | [ "lint" ] -> run_lint ()
   | [ "optimizer" ] -> run_optimizer ()
   | [ "service" ] -> run_service ()
@@ -1008,7 +1155,7 @@ let () =
           | None ->
               Printf.eprintf
                 "unknown experiment '%s' (use e1..e13, micro, engine, resilience, \
-                 trace, kernels, lint, optimizer or service)\n"
+                 trace, kernels, plan, lint, optimizer or service)\n"
                 id;
               exit 1)
         ids

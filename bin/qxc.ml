@@ -170,7 +170,7 @@ let common_term =
 let router_of_common common = Mapping.strategy_of_string common.route
 
 (* Build the canonical run-request from the shared flags. *)
-let spec_of_common common ~label ~route ~trajectory ~fusion =
+let spec_of_common common ~label ~route ~plan ~fusion =
   let base = Job_spec.make ~label (Job_spec.Circuit (Circuit.create 1)) in
   {
     base with
@@ -178,7 +178,7 @@ let spec_of_common common ~label ~route ~trajectory ~fusion =
     shots = common.shots;
     seed = Some common.seed;
     noise = common.noise;
-    force_trajectory = trajectory;
+    plan;
     fusion;
     fault_rate = common.fault_rate;
     fault_seed = common.fault_seed;
@@ -380,7 +380,35 @@ let check_cmd =
 
 (* --- run --- *)
 
-let run_command common file trajectory no_fusion lint lint_json =
+let plan_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("auto", None);
+             ("sampled", Some Engine.Sampled);
+             ("trajectory", Some Engine.Trajectory);
+             ("clifford", Some Engine.Clifford);
+           ])
+        None
+    & info [ "plan" ] ~docv:"PLAN"
+        ~doc:
+          "Simulation plan: $(b,auto) (the planner picks the cheapest sound \
+           backend; default), $(b,sampled) (single state-vector pass), \
+           $(b,trajectory) (per-shot state-vector runs) or $(b,clifford) \
+           (stabilizer tableau). Forcing a plan the circuit cannot soundly \
+           use fails with a structured error.")
+
+(* --plan wins over the historical --trajectory shorthand when both are
+   given (they can only conflict if --plan is sampled/clifford, which the
+   structured engine errors already report per-circuit). *)
+let resolve_plan plan trajectory =
+  match plan with
+  | Some _ -> plan
+  | None -> if trajectory then Some Engine.Trajectory else None
+
+let run_command common file plan trajectory no_fusion lint lint_json =
   if not (check_shots common.shots) then 1
   else
     match load_program file with
@@ -404,7 +432,8 @@ let run_command common file trajectory no_fusion lint lint_json =
                 let spec =
                   {
                     (spec_of_common common ~label:(Circuit.name circuit) ~route
-                       ~trajectory ~fusion:(not no_fusion))
+                       ~plan:(resolve_plan plan trajectory)
+                       ~fusion:(not no_fusion))
                     with
                     Job_spec.payload = Job_spec.Circuit circuit;
                   }
@@ -439,7 +468,9 @@ let trajectory_flag =
   Arg.(
     value & flag
     & info [ "trajectory" ]
-        ~doc:"Force the per-shot trajectory plan even when single-pass sampling applies.")
+        ~doc:
+          "Force the per-shot trajectory plan even when single-pass sampling \
+           applies (shorthand for $(b,--plan)=$(b,trajectory)).")
 
 let no_fusion_flag =
   Arg.(
@@ -451,8 +482,8 @@ let no_fusion_flag =
 
 let run_term =
   Term.(
-    const run_command $ common_term $ file_arg $ trajectory_flag $ no_fusion_flag
-    $ lint_flag $ lint_json_flag)
+    const run_command $ common_term $ file_arg $ plan_arg $ trajectory_flag
+    $ no_fusion_flag $ lint_flag $ lint_json_flag)
 
 let run_cmd =
   Cmd.v
@@ -566,7 +597,7 @@ let compile_cmd =
 
 (* --- exec (through the micro-architecture) --- *)
 
-let exec_command common file =
+let exec_command common plan file =
   if not (check_shots common.shots) then 1
   else
     match load_circuit file with
@@ -591,7 +622,7 @@ let exec_command common file =
                 let spec =
                   {
                     (spec_of_common common ~label:(Circuit.name circuit) ~route
-                       ~trajectory:false ~fusion:true)
+                       ~plan ~fusion:true)
                     with
                     Job_spec.payload = Job_spec.Circuit circuit;
                   }
@@ -622,7 +653,7 @@ let exec_command common file =
                     end;
                     write_metrics common.metrics o.Runner.report))
 
-let exec_term = Term.(const exec_command $ common_term $ file_arg)
+let exec_term = Term.(const exec_command $ common_term $ plan_arg $ file_arg)
 
 let exec_cmd =
   Cmd.v
@@ -670,7 +701,7 @@ let durable_flag =
           "fsync the job file and the spool directories around the atomic \
            rename, so the submission survives power loss.")
 
-let submit_command common dir tenant priority deadline_ms durable file
+let submit_command common dir tenant priority deadline_ms durable file plan
     trajectory no_fusion =
   if not (check_shots common.shots) then 1
   else
@@ -692,7 +723,8 @@ let submit_command common dir tenant priority deadline_ms durable file
             let spec =
               {
                 (spec_of_common common ~label:(Circuit.name circuit) ~route
-                   ~trajectory ~fusion:(not no_fusion))
+                   ~plan:(resolve_plan plan trajectory)
+                   ~fusion:(not no_fusion))
                 with
                 Job_spec.payload = Job_spec.Circuit circuit;
                 priority;
@@ -713,7 +745,8 @@ let submit_command common dir tenant priority deadline_ms durable file
 let submit_term =
   Term.(
     const submit_command $ common_term $ spool_arg $ tenant_arg $ priority_arg
-    $ deadline_arg $ durable_flag $ file_arg $ trajectory_flag $ no_fusion_flag)
+    $ deadline_arg $ durable_flag $ file_arg $ plan_arg $ trajectory_flag
+    $ no_fusion_flag)
 
 let submit_cmd =
   Cmd.v

@@ -30,7 +30,7 @@ type t = {
   shots : int;
   seed : int option;
   noise : float option;
-  force_trajectory : bool;
+  plan : Qca_qx.Engine.plan option;
   fusion : bool;
   fault_rate : float option;
   fault_seed : int;
@@ -42,7 +42,7 @@ type t = {
 }
 
 let make ?(label = "job") ?(route = Direct) ?(shots = 1024) ?seed ?noise
-    ?(force_trajectory = false) ?(fusion = true) ?fault_rate
+    ?plan ?(fusion = true) ?fault_rate
     ?(fault_seed = Fault.default_seed)
     ?(max_retries = Resilience.default_policy.Resilience.max_retries)
     ?(backoff_ns = Resilience.default_policy.Resilience.backoff_ns)
@@ -61,7 +61,7 @@ let make ?(label = "job") ?(route = Direct) ?(shots = 1024) ?seed ?noise
     shots;
     seed;
     noise;
-    force_trajectory;
+    plan;
     fusion;
     fault_rate;
     fault_seed;
@@ -122,24 +122,34 @@ let route_fingerprint = function
 
 let route_description spec = route_fingerprint spec.route
 
+(* The plan override participates like the router: the historical [traj=%b]
+   field keeps every pre-planner fingerprint stable (auto was [false],
+   --trajectory was [true]), and only the two new forces — sampled and
+   clifford — append a suffix. *)
+let plan_fingerprint = function
+  | None | Some Qca_qx.Engine.Trajectory -> ""
+  | Some Qca_qx.Engine.Sampled -> "|plan=sampled"
+  | Some Qca_qx.Engine.Clifford -> "|plan=clifford"
+
 let cache_key spec circuit =
   match spec.seed with
   | None -> None
   | Some seed ->
       Some
-        (Printf.sprintf "%s|%s|shots=%d|seed=%d|noise=%s|traj=%b|faults=%s"
+        (Printf.sprintf "%s|%s|shots=%d|seed=%d|noise=%s|traj=%b|faults=%s%s"
            (digest circuit)
            (route_fingerprint spec.route)
            spec.shots seed
            (match spec.noise with
            | None -> "ideal"
            | Some p -> Printf.sprintf "%.17g" p)
-           spec.force_trajectory
+           (spec.plan = Some Qca_qx.Engine.Trajectory)
            (match spec.fault_rate with
            | None -> "off"
            | Some p ->
                Printf.sprintf "%.17g:%d:%d:%d:%.17g" p spec.fault_seed
-                 spec.max_retries spec.backoff_ns spec.degrade_threshold))
+                 spec.max_retries spec.backoff_ns spec.degrade_threshold)
+           (plan_fingerprint spec.plan))
 
 let noise_model spec =
   match spec.noise with

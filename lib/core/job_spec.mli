@@ -51,8 +51,11 @@ type t = {
   noise : float option;
       (** Depolarising error rate for [Direct] runs ([None] = ideal);
           [Compiled] routes use the platform's own model. *)
-  force_trajectory : bool;
-      (** Force the per-shot trajectory plan ([qxc run --trajectory]). *)
+  plan : Qca_qx.Engine.plan option;
+      (** Simulation-plan override ([qxc run --plan]): [None] is the
+          planner's automatic choice; [Some Trajectory] is the historical
+          [--trajectory] force; [Some Sampled]/[Some Clifford] force those
+          plans (rejected with a structured error when unsound). *)
   fusion : bool;  (** Gate-fusion pre-pass (default on). *)
   fault_rate : float option;
       (** Per-site fault-injection probability ([None] = injection off). *)
@@ -76,7 +79,7 @@ val make :
   ?shots:int ->
   ?seed:int ->
   ?noise:float ->
-  ?force_trajectory:bool ->
+  ?plan:Qca_qx.Engine.plan ->
   ?fusion:bool ->
   ?fault_rate:float ->
   ?fault_seed:int ->
@@ -114,7 +117,10 @@ val cache_key : t -> Qca_circuit.Circuit.t -> string option
     [None] when the spec has no explicit seed — an unseeded run draws from
     the process-wide stream and is not reproducible, so it must not be
     cached. [fusion] deliberately does not participate: fused and unfused
-    runs are bit-identical. *)
+    runs are bit-identical. The plan override participates like the router:
+    the automatic plan (and the historical [--trajectory] force, which kept
+    its [traj=true] field) add no suffix, so pre-planner fingerprints stay
+    stable; forcing [sampled] or [clifford] appends a [|plan=...] suffix. *)
 
 val noise_model : t -> Qca_qx.Noise.model
 (** [noise] as an engine noise model (ideal when [None]). *)

@@ -42,13 +42,10 @@ module Engine_runner = struct
               | Some _ as f -> f
               | None -> Job_spec.faults spec
             in
-            let plan =
-              if spec.Job_spec.force_trajectory then Some Engine.Trajectory
-              else None
-            in
             match
               Engine.run_checked ~noise:(Job_spec.noise_model spec)
-                ?seed:spec.Job_spec.seed ?rng ?plan ~shots:spec.Job_spec.shots
+                ?seed:spec.Job_spec.seed ?rng ?plan:spec.Job_spec.plan
+                ~shots:spec.Job_spec.shots
                 ?faults ~policy:(Job_spec.retry_policy spec)
                 ~fusion:spec.Job_spec.fusion circuit
             with

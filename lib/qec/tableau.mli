@@ -13,6 +13,11 @@ val create : int -> t
 val qubit_count : t -> int
 val copy : t -> t
 
+val reset : t -> unit
+(** Back to |0...0> in place, without reallocating — the bulk-shot
+    primitive: one tableau per domain is reused across thousands of engine
+    shots. *)
+
 val h : t -> int -> unit
 val s : t -> int -> unit
 val sdag : t -> int -> unit
@@ -28,13 +33,29 @@ val swap : t -> int -> int -> unit
 val apply_pauli : t -> Pauli.t -> unit
 (** Apply an error operator. *)
 
+val supports : Qca_circuit.Gate.unitary -> bool
+(** Total Clifford classification of the shared gate set: [true] exactly
+    when {!apply_gate} accepts the gate. The engine's planner uses this to
+    classify circuits without exception probing. *)
+
 val apply_gate : t -> Qca_circuit.Gate.unitary -> int array -> unit
 (** Apply any Clifford from the shared gate set; raises [Invalid_argument]
-    for non-Clifford gates. *)
+    naming the gate and its operands for non-Clifford gates (those with
+    [supports u = false]) or an operand-count mismatch. *)
 
 val measure : t -> Qca_util.Rng.t -> int -> int
 (** Z-basis measurement with collapse; deterministic outcomes are returned
     without consuming randomness. *)
+
+val measure_with : t -> int -> random_outcome:(unit -> int) -> int
+(** Z-basis measurement with collapse, with the caller deciding random
+    outcomes: [random_outcome ()] must return 0 or 1 and is consulted only
+    when the measurement is genuinely random (a stabilizer anticommutes with
+    Z_q). The engine's Clifford plan uses this to mirror the state-vector
+    executor's randomness consumption exactly (see [docs/engine.md]). *)
+
+val measure_all : t -> Qca_util.Rng.t -> int array
+(** Measure qubits [0 .. n-1] in order, collapsing as it goes. *)
 
 val expectation_z : t -> int -> int option
 (** [Some 0]/[Some 1] when the Z measurement of the qubit is deterministic

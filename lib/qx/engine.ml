@@ -5,10 +5,15 @@ module Qerror = Qca_util.Error
 module Fault = Qca_util.Fault
 module Resilience = Qca_util.Resilience
 module Trace = Qca_util.Trace
+module Parallel = Qca_util.Parallel
+module Tableau = Qca_qec.Tableau
 
-type plan = Sampled | Trajectory
+type plan = Sampled | Trajectory | Clifford
 
-let plan_to_string = function Sampled -> "sampled" | Trajectory -> "trajectory"
+let plan_to_string = function
+  | Sampled -> "sampled"
+  | Trajectory -> "trajectory"
+  | Clifford -> "clifford"
 
 type phase_times = { analyse_s : float; simulate_s : float; sample_s : float }
 
@@ -137,15 +142,92 @@ let classify_structure circuit =
   | Some reason -> (Trajectory, reason, measured)
   | None -> (Sampled, "terminal unconditioned measurements", measured)
 
-let analyse ?(noise = Noise.ideal) circuit =
-  if not (Noise.is_ideal noise) then (Trajectory, "stochastic noise model")
+(* Total Clifford classification (no exception probing): the first gate the
+   tableau cannot simulate, with its instruction index, or [None] when the
+   whole circuit is Clifford. *)
+let clifford_blocker circuit =
+  let rec scan index = function
+    | [] -> None
+    | instr :: rest -> (
+        match instr with
+        | Gate.Unitary (u, _) | Gate.Conditional (_, u, _) ->
+            if Tableau.supports u then scan (index + 1) rest
+            else Some (Gate.name u, index)
+        | Gate.Prep _ | Gate.Measure _ | Gate.Barrier _ -> scan (index + 1) rest)
+  in
+  scan 0 (Circuit.instructions circuit)
+
+(* The state-vector layer refuses circuits beyond this width; the tableau
+   goes to 4096 qubits, so above it the Clifford plan is the only option. *)
+let sv_max_qubits = 30
+
+let count_work circuit =
+  let gates = ref 0 and measures = ref 0 in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Gate.Unitary _ | Gate.Conditional _ -> incr gates
+      | Gate.Measure _ | Gate.Prep _ -> incr measures
+      | Gate.Barrier _ -> ())
+    (Circuit.instructions circuit);
+  (!gates, !measures)
+
+(* Cost model for all-Clifford circuits that would otherwise take the
+   single-pass sampled plan: the sampled plan pays one state-vector
+   evolution (gates * 2^n amplitude sweeps) plus shots * n sampling, the
+   tableau pays per shot — gates * O(n) row updates plus measures * O(n^2)
+   rowsum work. The constants are coarse; the decision only has to be right
+   about orders of magnitude (the crossover is near n = 21 at 1024 shots). *)
+let clifford_wins ~n ~gates ~measures ~shots =
+  n > sv_max_qubits
+  || begin
+       let fn = float_of_int n in
+       let dim = ldexp 1.0 n in
+       let sampled = (float_of_int gates *. dim) +. (float_of_int shots *. fn) in
+       let tableau =
+         float_of_int shots
+         *. ((2.0 *. fn *. float_of_int gates)
+            +. (4.0 *. fn *. fn *. float_of_int (max 1 measures)))
+       in
+       tableau < sampled
+     end
+
+(* The planner's decision table (docs/engine.md): noise forces trajectories;
+   an all-Clifford circuit goes to the tableau when its structure would
+   force trajectories (mid-circuit measurement, feedback, resets — the big
+   win: per-shot cost drops from O(gates * 2^n) to O(poly n)) or when the
+   cost model says the state vector is more expensive (wide terminal
+   circuits); otherwise the sampled/trajectory structure analysis stands. *)
+let choose_auto ~noise ~shots circuit =
+  if not (Noise.is_ideal noise) then (Trajectory, "stochastic noise model", [||])
   else
-    let plan, reason, _ = classify_structure circuit in
-    (plan, reason)
+    let structure, structure_reason, measured = classify_structure circuit in
+    match clifford_blocker circuit with
+    | Some _ -> (structure, structure_reason, measured)
+    | None -> (
+        let n = Circuit.qubit_count circuit in
+        let gates, measures = count_work circuit in
+        match structure with
+        | Trajectory ->
+            (Clifford, "all-Clifford gates; " ^ structure_reason, measured)
+        | Sampled ->
+            if clifford_wins ~n ~gates ~measures ~shots then
+              ( Clifford,
+                Printf.sprintf
+                  "all-Clifford gates; tableau cheaper than the 2^%d-amplitude \
+                   state vector"
+                  n,
+                measured )
+            else (Sampled, structure_reason, measured)
+        | Clifford -> assert false)
+
+let analyse ?(noise = Noise.ideal) ?(shots = 1024) circuit =
+  let plan, reason, _ = choose_auto ~noise ~shots circuit in
+  (plan, reason)
 
 let terminal_split circuit =
   match classify_structure circuit with
-  | Trajectory, _, _ -> None
+  | (Trajectory | Clifford), _, _ -> None
   | Sampled, _, measured ->
       let prefix =
         List.filter
@@ -240,6 +322,36 @@ let apply_kernel state = function
   | Fused_1q (q, p, _) -> State.apply_fused1q state p q
   | Fused_diag (p, _) -> State.apply_diag_plan state p
 
+(* --- the flat micro-program -------------------------------------------- *)
+
+(* The compiled form every executor dispatches over: a flat array of
+   micro-ops walked by one indexed loop, instead of re-walking a cons list
+   of plan steps per shot. Barriers are dropped at compile time and
+   conditional gate names are cached, so the per-shot loop does no list
+   traversal and no string construction. *)
+type micro_op =
+  | M_kernel of fused_kernel
+  | M_cond of int * Gate.unitary * int array * string
+  | M_prep of int
+  | M_measure of int
+
+let compile_micro ~fusion instrs =
+  let steps, fstats = compile_steps ~fusion instrs in
+  let ops =
+    List.filter_map
+      (fun step ->
+        match step with
+        | Kernel k -> Some (M_kernel k)
+        | Instr (Gate.Conditional (bit, u, o)) ->
+            Some (M_cond (bit, u, o, Gate.name u))
+        | Instr (Gate.Prep q) -> Some (M_prep q)
+        | Instr (Gate.Measure q) -> Some (M_measure q)
+        | Instr (Gate.Barrier _) -> None
+        | Instr (Gate.Unitary _) -> assert false)
+      steps
+  in
+  (Array.of_list ops, fstats)
+
 (* --- trajectory executor ----------------------------------------------- *)
 
 (* The canonical per-shot executor (also backing [Sim.run]): one fresh state
@@ -285,52 +397,151 @@ let exec_instrumented ?(noise = Noise.ideal) ?tally rng circuit =
 
 let exec_shot ?noise rng circuit = exec_instrumented ?noise rng circuit
 
-(* Ideal-noise per-shot executor over a compiled (possibly fused) plan.
-   Consumes randomness exactly where [exec_instrumented] does (Prep and
-   Measure only — the plan exists only for ideal noise), and fused kernels
-   are bit-identical to gate-by-gate application, so trajectories match
-   the unfused executor bit for bit. The tally still counts every
-   {e logical} gate: fused kernels record each constituent gate name. *)
-let exec_plan ~tally rng steps n =
+(* Ideal-noise per-shot executor over the compiled (possibly fused)
+   micro-program. Consumes randomness exactly where [exec_instrumented]
+   does (Prep and Measure only — the program exists only for ideal noise),
+   and fused kernels are bit-identical to gate-by-gate application, so
+   trajectories match the unfused executor bit for bit. The tally still
+   counts every {e logical} gate: fused kernels record each constituent
+   gate name. *)
+let exec_micro ~tally rng ops n =
   let state = State.create n in
   let classical = Array.make n (-1) in
   let record name =
     count_apply tally name;
     if Trace.enabled () then Trace.add_counter ("qx.apply." ^ name) 1
   in
-  List.iter
-    (fun step ->
-      match step with
-      | Kernel k -> (
-          apply_kernel state k;
-          match k with
-          | Single (_, _, name) -> record name
-          | Fused_1q (_, _, names) | Fused_diag (_, names) -> List.iter record names)
-      | Instr (Gate.Conditional (bit, u, ops)) ->
-          if classical.(bit) = 1 then begin
-            State.apply state u ops;
-            record (Gate.name u)
-          end
-      | Instr (Gate.Prep q) ->
-          let current = State.measure state rng q in
-          if current = 1 then State.apply state Gate.X [| q |]
-      | Instr (Gate.Measure q) ->
-          let outcome = State.measure state rng q in
-          tally.measures <- tally.measures + 1;
-          if Trace.enabled () then Trace.add_counter "qx.measure" 1;
-          classical.(q) <- outcome
-      | Instr (Gate.Barrier _) -> ()
-      | Instr (Gate.Unitary _) -> assert false)
-    steps;
+  for i = 0 to Array.length ops - 1 do
+    match Array.unsafe_get ops i with
+    | M_kernel k -> (
+        apply_kernel state k;
+        match k with
+        | Single (_, _, name) -> record name
+        | Fused_1q (_, _, names) | Fused_diag (_, names) -> List.iter record names)
+    | M_cond (bit, u, o, name) ->
+        if classical.(bit) = 1 then begin
+          State.apply state u o;
+          record name
+        end
+    | M_prep q ->
+        let current = State.measure state rng q in
+        if current = 1 then State.apply state Gate.X [| q |]
+    | M_measure q ->
+        let outcome = State.measure state rng q in
+        tally.measures <- tally.measures + 1;
+        if Trace.enabled () then Trace.add_counter "qx.measure" 1;
+        classical.(q) <- outcome
+  done;
   classical
 
-let fold_trajectories ?noise ~rng ~shots ~init ~f circuit =
-  let acc = ref init in
-  for _ = 1 to shots do
-    let state, classical = exec_shot ?noise rng circuit in
-    acc := f !acc state classical
+(* Clifford-plan executor: the same micro-program, dispatched onto a reused
+   tableau ([Tableau.reset] per shot, no allocation). Seeding discipline
+   mirrors [State.measure]'s randomness contract exactly: one uniform draw
+   per measurement, outcome 1 iff the draw is below P(1). For a random
+   stabilizer measurement P(1) is exactly 1/2, so comparing the same draw
+   against 0.5 reproduces the state-vector executor's outcome —
+   seed-identical histograms across the two plans. Deterministic outcomes
+   consume the draw without using it, as [State.measure] also always
+   draws. *)
+let exec_micro_tableau ~tally rng tab ops =
+  Tableau.reset tab;
+  let n = Tableau.qubit_count tab in
+  let classical = Array.make n (-1) in
+  let record name =
+    count_apply tally name;
+    if Trace.enabled () then Trace.add_counter ("qx.apply." ^ name) 1
+  in
+  let measure q =
+    let draw = Rng.float rng 1.0 in
+    Tableau.measure_with tab q ~random_outcome:(fun () ->
+        if draw < 0.5 then 1 else 0)
+  in
+  for i = 0 to Array.length ops - 1 do
+    match Array.unsafe_get ops i with
+    | M_kernel (Single (u, o, name)) ->
+        Tableau.apply_gate tab u o;
+        record name
+    | M_kernel (Fused_1q _ | Fused_diag _) ->
+        (* The Clifford plan compiles with [~fusion:false]. *)
+        assert false
+    | M_cond (bit, u, o, name) ->
+        if classical.(bit) = 1 then begin
+          Tableau.apply_gate tab u o;
+          record name
+        end
+    | M_prep q ->
+        let current = measure q in
+        if current = 1 then Tableau.x tab q
+    | M_measure q ->
+        let outcome = measure q in
+        tally.measures <- tally.measures + 1;
+        if Trace.enabled () then Trace.add_counter "qx.measure" 1;
+        classical.(q) <- outcome
   done;
-  !acc
+  classical
+
+(* --- batched trajectories ---------------------------------------------- *)
+
+(* Shots per claimed chunk when batching across the domain pool: small
+   enough that a few hundred shots spread over every domain, large enough
+   to amortise chunk claims and per-chunk scratch (one tableau). *)
+let shot_chunk = 8
+
+let merge_tally ~into src =
+  Hashtbl.iter
+    (fun name c ->
+      Hashtbl.replace into.applies name
+        (c + Option.value ~default:0 (Hashtbl.find_opt into.applies name)))
+    src.applies;
+  into.measures <- into.measures + src.measures
+
+(* Whether a batch of shots is worth dispatching to the pool: tracing runs
+   stay sequential (trace counters are not domain-safe), and trivially
+   small batches are not worth the dispatch. *)
+let batch_shots shots =
+  Parallel.available () && (not (Trace.enabled ())) && shots > shot_chunk
+
+let fold_trajectories ?noise ~rng ~shots ~init ~f circuit =
+  let sequential () =
+    let acc = ref init in
+    for _ = 1 to shots do
+      let state, classical = exec_shot ?noise (Rng.split rng) circuit in
+      acc := f !acc state classical
+    done;
+    !acc
+  in
+  (* Parallel windows keep one in-flight state per shot, so the window is
+     bounded by a memory budget as well as the pool width; the fold itself
+     runs in shot order, so results are bit-identical to sequential. *)
+  let n = Circuit.qubit_count circuit in
+  let state_bytes = 16.0 *. ldexp 1.0 n in
+  let window =
+    let budget = 268_435_456.0 (* 256 MB of in-flight states *) in
+    let cap = int_of_float (Float.min 4096.0 (Float.max 1.0 (budget /. state_bytes))) in
+    min (4 * Parallel.domain_count ()) cap
+  in
+  if (not (batch_shots shots)) || window < 2 then sequential ()
+  else begin
+    let acc = ref init in
+    let done_ = ref 0 in
+    while !done_ < shots do
+      let w = min window (shots - !done_) in
+      let streams = Rng.streams rng w in
+      let results = Array.make w None in
+      Parallel.for_tasks ~chunk:1 w (fun lo hi ->
+          for i = lo to hi - 1 do
+            let state, classical = exec_shot ?noise streams.(i) circuit in
+            results.(i) <- Some (state, classical)
+          done);
+      Array.iter
+        (function
+          | Some (state, classical) -> acc := f !acc state classical
+          | None -> assert false)
+        results;
+      done_ := !done_ + w
+    done;
+    !acc
+  end
 
 let sorted_histogram table =
   Hashtbl.fold (fun key count acc -> (key, count) :: acc) table []
@@ -348,25 +559,59 @@ let inject_backend_fault faults ~site =
         (Qerror.Backend_transient "injected backend fault")
   | Some _ | None -> ()
 
-let run_trajectory ?(faults = None) ~policy ~counters ~shot_exec ~shots () =
+(* Per-shot derived RNG streams: one [Rng.split] per shot, taken in shot
+   order from the caller's generator. The derivation consumes the parent
+   stream exactly once per shot whether shots execute sequentially, across
+   the domain pool, or split over service slices, so the histogram is
+   independent of the execution geometry (the PR 4 bit-identity
+   discipline). [make_exec] is a per-chunk executor factory: each chunk
+   builds its own scratch (a tableau for the Clifford plan, nothing for the
+   state-vector plans) and its own tally, merged under a lock — counts are
+   sums, so the merge order cannot change the report. The histogram is
+   tallied from a keys array in shot order, keeping even hash-table
+   iteration order identical to a sequential run. *)
+let run_trajectory ?(faults = None) ~policy ~counters ~tally ~make_exec ~rng
+    ~shots () =
   let table = Hashtbl.create 64 in
-  let record classical =
-    let key = bitstring classical in
+  let record key =
     Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
   in
   (match faults with
   | None ->
-      for _ = 1 to shots do
-        record (shot_exec ())
-      done
+      let streams = Rng.streams rng shots in
+      let keys = Array.make shots "" in
+      if batch_shots shots then begin
+        let merge_lock = Mutex.create () in
+        Parallel.for_tasks ~chunk:shot_chunk shots (fun lo hi ->
+            let local = fresh_tally () in
+            let exec = make_exec () in
+            for i = lo to hi - 1 do
+              keys.(i) <- bitstring (exec local streams.(i))
+            done;
+            Mutex.lock merge_lock;
+            merge_tally ~into:tally local;
+            Mutex.unlock merge_lock)
+      end
+      else begin
+        let exec = make_exec () in
+        for i = 0 to shots - 1 do
+          keys.(i) <- bitstring (exec tally streams.(i))
+        done
+      end;
+      Array.iter record keys
   | Some _ ->
+      (* Fault injection retries shots, so the attempt order is
+         data-dependent: this path stays sequential. Each attempt draws a
+         fresh derived stream, so an injector that never fires is
+         bit-identical to the no-injector run. *)
+      let exec = make_exec () in
       for _ = 1 to shots do
         let shot () =
           inject_backend_fault faults ~site:"Engine.run_trajectory";
-          shot_exec ()
+          exec tally (Rng.split rng)
         in
         match Resilience.with_retries policy counters shot with
-        | Ok classical -> record classical
+        | Ok classical -> record (bitstring classical)
         | Error _ -> counters.Resilience.faulted_shots <- counters.Resilience.faulted_shots + 1
       done);
   sorted_histogram table
@@ -429,7 +674,7 @@ let sample_histogram ~probabilities ~measured ~rng ~shots =
   Hashtbl.fold (fun k count acc -> (key_of k, count) :: acc) counts []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
 
-let run_sampled ~tally rng ~shots ~measured ~steps circuit =
+let run_sampled ~tally rng ~shots ~measured ~ops circuit =
   (* [shots] here is the surviving-shot count (faults already applied). *)
   let n = Circuit.qubit_count circuit in
   let state = State.create n in
@@ -438,18 +683,17 @@ let run_sampled ~tally rng ~shots ~measured ~steps circuit =
     if Trace.enabled () then Trace.add_counter ("qx.apply." ^ name) 1
   in
   let sim_sp = Trace.begin_span "engine.simulate" in
-  List.iter
-    (fun step ->
-      match step with
-      | Kernel k -> (
+  Array.iter
+    (fun op ->
+      match op with
+      | M_kernel k -> (
           apply_kernel state k;
           match k with
           | Single (_, _, name) -> record name
           | Fused_1q (_, _, names) | Fused_diag (_, names) -> List.iter record names)
-      | Instr (Gate.Prep _ | Gate.Barrier _ | Gate.Measure _) -> ()
-      | Instr (Gate.Unitary _) -> assert false
-      | Instr (Gate.Conditional _) -> invalid_arg "Engine: conditional gate in sampled plan")
-    steps;
+      | M_prep _ | M_measure _ -> ()
+      | M_cond _ -> invalid_arg "Engine: conditional gate in sampled plan")
+    ops;
   Trace.annotate sim_sp (fun () ->
       [ ("gate_applies", Trace.Int (Hashtbl.fold (fun _ c acc -> acc + c) tally.applies 0)) ]);
   Trace.end_span sim_sp;
@@ -475,22 +719,22 @@ type sampled_distribution = {
 
 let sampled_distribution ?(fusion = true) circuit =
   match classify_structure circuit with
-  | Trajectory, _, _ -> None
+  | (Trajectory | Clifford), _, _ -> None
   | Sampled, _, measured ->
-      let steps, fstats = compile_steps ~fusion (Circuit.instructions circuit) in
+      let ops, fstats = compile_micro ~fusion (Circuit.instructions circuit) in
       let tally = fresh_tally () in
       let state = State.create (Circuit.qubit_count circuit) in
-      List.iter
-        (fun step ->
-          match step with
-          | Kernel k -> (
+      Array.iter
+        (fun op ->
+          match op with
+          | M_kernel k -> (
               apply_kernel state k;
               match k with
               | Single (_, _, name) -> count_apply tally name
               | Fused_1q (_, _, names) | Fused_diag (_, names) ->
                   List.iter (count_apply tally) names)
-          | Instr _ -> ())
-        steps;
+          | M_cond _ | M_prep _ | M_measure _ -> ())
+        ops;
       Some
         {
           probabilities = State.probabilities state;
@@ -509,19 +753,31 @@ let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) ?faults
   let t0 = Sys.time () in
   let analyse_sp = Trace.begin_span "engine.analyse" in
   let chosen, reason, measured =
-    let auto () =
-      if not (Noise.is_ideal noise) then
-        (Trajectory, "stochastic noise model", [||])
-      else classify_structure circuit
-    in
     match plan with
-    | None -> auto ()
+    | None -> choose_auto ~noise ~shots circuit
     | Some Trajectory -> (Trajectory, "trajectory plan forced by caller", [||])
     | Some Sampled -> (
-        match auto () with
+        if not (Noise.is_ideal noise) then
+          invalid_arg
+            "Engine.run: sampled plan forced but circuit needs trajectories: \
+             stochastic noise model";
+        match classify_structure circuit with
         | Sampled, _, measured -> (Sampled, "sampled plan forced by caller", measured)
         | Trajectory, r, _ ->
-            invalid_arg ("Engine.run: sampled plan forced but circuit needs trajectories: " ^ r))
+            invalid_arg ("Engine.run: sampled plan forced but circuit needs trajectories: " ^ r)
+        | Clifford, _, _ -> assert false)
+    | Some Clifford -> (
+        if not (Noise.is_ideal noise) then
+          Qerror.fail ~site:"Engine.run"
+            (Qerror.Invalid
+               "clifford plan forced but the noise model is stochastic (the \
+                tableau simulates ideal Clifford circuits only)");
+        match clifford_blocker circuit with
+        | Some (gate, index) ->
+            Qerror.fail ~site:"Engine.run"
+              ~context:[ ("gate", gate); ("index", string_of_int index) ]
+              (Qerror.Invalid "clifford plan forced on a non-Clifford circuit")
+        | None -> (Clifford, "clifford plan forced by caller", [||]))
   in
   Trace.annotate analyse_sp (fun () ->
       [ ("plan", Trace.String (plan_to_string chosen)); ("reason", Trace.String reason) ]);
@@ -538,10 +794,13 @@ let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) ?faults
      the gate-by-gate schedule). [~fusion:false] still compiles — into
      single-gate kernels — so both paths run the same executor. *)
   let ideal = Noise.is_ideal noise in
-  let steps, fstats =
+  (* The Clifford plan feeds every kernel to the tableau one gate at a time,
+     so it compiles unfused (fused kernels carry state-vector plans). *)
+  let fusion = fusion && chosen <> Clifford in
+  let prog, fstats =
     if ideal then
       Trace.with_span "engine.fuse" (fun fuse_sp ->
-          let steps, stats = compile_steps ~fusion (Circuit.instructions circuit) in
+          let ops, stats = compile_micro ~fusion (Circuit.instructions circuit) in
           Trace.annotate fuse_sp (fun () ->
               [
                 ("fusion", Trace.Bool fusion);
@@ -554,29 +813,41 @@ let run ?(noise = Noise.ideal) ?seed ?rng ?plan ?(shots = 1024) ?faults
             Trace.add_counter "qx.fusion.gates_in" stats.gates_in;
             Trace.add_counter "qx.fusion.kernels" stats.kernels
           end;
-          (Some steps, stats))
+          (Some ops, stats))
     else (None, no_fusion)
   in
   let t1 = Sys.time () in
   let tally = fresh_tally () in
+  let simulate make_exec =
+    Trace.with_span "engine.simulate" (fun sim_sp ->
+        Trace.annotate sim_sp (fun () ->
+            [
+              ("plan", Trace.String (plan_to_string chosen));
+              ("trajectories", Trace.Int shots);
+            ]);
+        run_trajectory ~faults ~policy ~counters ~tally ~make_exec ~rng ~shots ())
+  in
   let histogram, t_sample_start =
     match chosen with
     | Sampled ->
         let survivors = surviving_shots ~faults ~policy ~counters shots in
-        run_sampled ~tally rng ~shots:survivors ~measured ~steps:(Option.get steps) circuit
+        run_sampled ~tally rng ~shots:survivors ~measured ~ops:(Option.get prog) circuit
     | Trajectory ->
         let n = Circuit.qubit_count circuit in
-        let shot_exec =
-          match steps with
-          | Some steps -> fun () -> exec_plan ~tally rng steps n
-          | None -> fun () -> snd (exec_instrumented ~noise ~tally rng circuit)
+        let make_exec =
+          match prog with
+          | Some ops -> fun () t r -> exec_micro ~tally:t r ops n
+          | None -> fun () t r -> snd (exec_instrumented ~noise ~tally:t r circuit)
         in
-        let h =
-          Trace.with_span "engine.simulate" (fun sim_sp ->
-              Trace.annotate sim_sp (fun () -> [ ("trajectories", Trace.Int shots) ]);
-              run_trajectory ~faults ~policy ~counters ~shot_exec ~shots ())
+        (simulate make_exec, Sys.time ())
+    | Clifford ->
+        let n = Circuit.qubit_count circuit in
+        let ops = Option.get prog in
+        let make_exec () =
+          let tab = Tableau.create n in
+          fun t r -> exec_micro_tableau ~tally:t r tab ops
         in
-        (h, Sys.time ())
+        (simulate make_exec, Sys.time ())
   in
   let t2 = Sys.time () in
   let resilience =

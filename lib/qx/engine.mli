@@ -1,6 +1,7 @@
 (** Shot-batched execution engine: the single run surface of the stack.
 
-    [run] first analyses a circuit into a {e run plan}:
+    [run] first analyses a circuit into a {e run plan} (the simulation
+    planner, [docs/engine.md]):
 
     - {b Sampled}: the circuit's measurements are terminal and unconditioned
       and the noise model is ideal, so the state vector is simulated {e once}
@@ -9,6 +10,22 @@
     - {b Trajectory}: mid-circuit measurement, conditional (feedback) gates,
       mid-circuit resets or per-gate stochastic noise force one full
       state-vector simulation per shot (the Monte-Carlo trajectory path).
+    - {b Clifford}: every gate is Clifford (total {!Qca_qec.Tableau.supports}
+      classification, no exception probing) and the noise model is ideal, so
+      shots run on the Aaronson–Gottesman stabilizer tableau in [O(poly n)]
+      per shot. Chosen automatically when the circuit's structure would
+      force trajectories (mid-circuit measurement, feedback, resets), or
+      when a cost model says the tableau beats the single-pass state vector
+      (wide terminal circuits, including every [n > 30] Clifford circuit the
+      state vector cannot represent at all).
+
+    Circuits are compiled {e once} into a flat micro-program (an array of
+    kernel/conditional/prep/measure micro-ops) executed by a single
+    dispatch loop shared by all three plans — no per-shot list re-walk.
+    Trajectory and Clifford shots run as a batch across the
+    {!Qca_util.Parallel} domain pool with one derived RNG stream per shot
+    ({!Qca_util.Rng.streams}), so parallel histograms are bit-identical to
+    sequential ones at any [QCA_DOMAINS].
 
     Every run records per-run metrics — the plan chosen and why, gate-apply
     counts by kernel, wall time per phase, seed — in a {!run_report}
@@ -22,9 +39,15 @@
     default stream is created once (seed [0x5EED]) and {e advances across
     calls}, so repeated anonymous runs see fresh randomness while a whole
     program execution stays reproducible bit-for-bit. Pass [?seed] (or
-    [?rng]) for run-level reproducibility. *)
+    [?rng]) for run-level reproducibility.
 
-type plan = Sampled | Trajectory
+    Trajectory and Clifford plans derive one stream per shot from the run's
+    generator (one parent draw per shot, in shot order); the Clifford
+    executor consumes exactly one uniform draw per measurement like
+    [State.measure], so a Clifford-plan histogram is seed-identical to the
+    same circuit forced through the [Trajectory] state-vector plan. *)
+
+type plan = Sampled | Trajectory | Clifford
 
 val plan_to_string : plan -> string
 
@@ -114,9 +137,17 @@ type result = {
   report : run_report;
 }
 
-val analyse : ?noise:Noise.model -> Qca_circuit.Circuit.t -> plan * string
+val analyse :
+  ?noise:Noise.model -> ?shots:int -> Qca_circuit.Circuit.t -> plan * string
 (** The run plan [run] would choose, with the reason. [noise] defaults to
-    {!Noise.ideal}. *)
+    {!Noise.ideal}; [shots] (default 1024) feeds the Clifford-vs-sampled
+    cost model. *)
+
+val clifford_blocker :
+  Qca_circuit.Circuit.t -> (string * int) option
+(** The first gate the tableau cannot simulate — its name and instruction
+    index — or [None] when the circuit is all-Clifford. Total
+    classification via {!Qca_qec.Tableau.supports}; never raises. *)
 
 val run :
   ?noise:Noise.model ->
@@ -130,9 +161,12 @@ val run :
   Qca_circuit.Circuit.t ->
   result
 (** Execute [shots] shots (default 1024). [plan] overrides the analysis:
-    forcing [Trajectory] is always allowed (used to benchmark the two paths
+    forcing [Trajectory] is always allowed (used to benchmark the paths
     against each other); forcing [Sampled] on a circuit that needs
-    trajectories raises [Invalid_argument].
+    trajectories raises [Invalid_argument]; forcing [Clifford] on a
+    non-Clifford circuit (or under a stochastic noise model) raises a
+    structured {!Qca_util.Error.Error} whose context names the first
+    offending gate and its instruction index.
 
     [faults] enables fault injection at the {!Qca_util.Fault.Backend_transient}
     site: each shot may transiently fail and is retried per [policy]
@@ -197,7 +231,10 @@ val fold_trajectories :
   'a
 (** Run [shots] per-shot trajectories, folding over (final state, classical
     record): the building block for estimators that need more than counts
-    (e.g. {!Sim.state_fidelity_vs_ideal}). *)
+    (e.g. {!Sim.state_fidelity_vs_ideal}). Shots execute in
+    memory-bounded windows across the domain pool, each on its own derived
+    RNG stream, and the fold itself runs in shot order — results are
+    bit-identical to a sequential run at any [QCA_DOMAINS]. *)
 
 val terminal_split :
   Qca_circuit.Circuit.t -> (Qca_circuit.Gate.t list * bool array) option

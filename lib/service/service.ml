@@ -402,7 +402,21 @@ let classify t job =
   | Job_spec.Direct ->
       if job.spec.Job_spec.fault_rate <> None then Atomic
       else if
-        job.spec.Job_spec.noise <> None || job.spec.Job_spec.force_trajectory
+        job.spec.Job_spec.noise <> None
+        || (match job.spec.Job_spec.plan with
+           | Some (Engine.Trajectory | Engine.Clifford) -> true
+           | Some Engine.Sampled -> false
+           | None ->
+               (* Consult the planner: a job it would run per-shot (tableau
+                  or state-vector trajectories) must be Sliced, or the
+                  service's sampled semantics would diverge from a solo
+                  [Engine.run] of the same spec. [clifford_wins] is monotone
+                  in shots, so slicing never flips the plan mid-job. *)
+               (match
+                  Engine.analyse ~shots:job.spec.Job_spec.shots job.circuit
+                with
+               | Engine.Sampled, _ -> false
+               | (Engine.Trajectory | Engine.Clifford), _ -> true))
       then Sliced
       else (
         match Hashtbl.find_opt t.dist_cache job.digest with

@@ -75,7 +75,13 @@ let encode ~tenant spec =
       (match spec.Job_spec.noise with
       | Some p -> add "noise" (string_of_float p)
       | None -> ());
-      if spec.Job_spec.force_trajectory then add "trajectory" "true";
+      (* [--trajectory] keeps its historical key so pre-planner job files
+         stay byte-stable; only the two new forces use the [plan] key. *)
+      (match spec.Job_spec.plan with
+      | None -> ()
+      | Some Qca_qx.Engine.Trajectory -> add "trajectory" "true"
+      | Some Qca_qx.Engine.Sampled -> add "plan" "sampled"
+      | Some Qca_qx.Engine.Clifford -> add "plan" "clifford");
       if not spec.Job_spec.fusion then add "fusion" "false";
       (match spec.Job_spec.fault_rate with
       | Some p ->
@@ -142,7 +148,7 @@ let decode ~id text =
               let known =
                 [
                   "tenant"; "label"; "shots"; "seed"; "noise"; "trajectory";
-                  "fusion"; "fault-rate"; "fault-seed"; "max-retries";
+                  "plan"; "fusion"; "fault-rate"; "fault-seed"; "max-retries";
                   "priority"; "deadline-ms"; "platform"; "mode"; "ladder";
                   "router";
                 ]
@@ -198,6 +204,21 @@ let decode ~id text =
                       in
                       let* noise = float_field "noise" in
                       let* force_trajectory = bool_field "trajectory" in
+                      let* plan =
+                        match (get "plan", force_trajectory) with
+                        | None, false -> Ok None
+                        | None, true -> Ok (Some Qca_qx.Engine.Trajectory)
+                        | Some "sampled", false ->
+                            Ok (Some Qca_qx.Engine.Sampled)
+                        | Some "clifford", false ->
+                            Ok (Some Qca_qx.Engine.Clifford)
+                        | Some ("sampled" | "clifford"), true ->
+                            Error "plan: conflicts with trajectory=true"
+                        | Some v, _ ->
+                            Error
+                              (Printf.sprintf
+                                 "plan: expected sampled or clifford, got %s" v)
+                      in
                       let* fusion =
                         match get "fusion" with
                         | None | Some "true" -> Ok true
@@ -251,7 +272,7 @@ let decode ~id text =
                             shots;
                             seed;
                             noise;
-                            force_trajectory;
+                            plan;
                             fusion;
                             fault_rate;
                             fault_seed;

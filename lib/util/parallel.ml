@@ -36,6 +36,7 @@ let available () = !domains > 1
 type job = {
   body : int -> int -> unit;
   length : int;
+  chunk : int;  (* items per claimed chunk (fixed per job) *)
   next : int Atomic.t;  (* next unclaimed chunk start *)
   mutable active : int;  (* domains currently inside [run_chunks] *)
   mutable failed : exn option;  (* first exception raised by a chunk *)
@@ -50,22 +51,31 @@ let stopping = ref false
 let workers : unit Domain.t list ref = ref []
 let dispatches = ref 0
 
+(* Re-entrancy guard: a kernel body must never dispatch a nested parallel
+   loop (the pool has one job slot). The flag is domain-local so that a
+   worker running a body which itself calls [for_range]/[for_tasks] (e.g. a
+   per-shot state-vector kernel above the qubit threshold) falls back to
+   sequential instead of deadlocking on the occupied job slot. *)
+let in_parallel = Domain.DLS.new_key (fun () -> false)
+
 (* Claim and run fixed chunks until the job is exhausted. Lock-free between
    chunks: claims go through the atomic cursor. *)
 let run_chunks job =
+  Domain.DLS.set in_parallel true;
   let continue_ = ref true in
   while !continue_ do
-    let lo = Atomic.fetch_and_add job.next chunk_size in
+    let lo = Atomic.fetch_and_add job.next job.chunk in
     if lo >= job.length then continue_ := false
     else begin
-      let hi = min job.length (lo + chunk_size) in
+      let hi = min job.length (lo + job.chunk) in
       try job.body lo hi
       with e ->
         Mutex.lock mutex;
         if job.failed = None then job.failed <- Some e;
         Mutex.unlock mutex
     end
-  done
+  done;
+  Domain.DLS.set in_parallel false
 
 let worker_loop () =
   let seen = ref 0 in
@@ -108,35 +118,42 @@ let shutdown () =
 
 let () = at_exit shutdown
 
-(* Re-entrancy guard: a kernel body must never dispatch a nested parallel
-   loop (the pool has one job slot). Nested calls run sequentially. *)
-let dispatching = ref false
-
 let dispatch_count () = !dispatches
+
+let dispatch ~chunk length body =
+  ensure_workers !domains;
+  incr dispatches;
+  let job = { body; length; chunk; next = Atomic.make 0; active = 0; failed = None } in
+  Mutex.lock mutex;
+  current := Some job;
+  incr generation;
+  Condition.broadcast work_ready;
+  Mutex.unlock mutex;
+  (* The caller is one of the pool's domains. *)
+  run_chunks job;
+  Mutex.lock mutex;
+  while job.active > 0 do
+    Condition.wait job_done mutex
+  done;
+  current := None;
+  Mutex.unlock mutex;
+  match job.failed with Some e -> raise e | None -> ()
 
 let for_range length body =
   if length > 0 then begin
     let d = !domains in
-    if d <= 1 || length < 2 * chunk_size || !dispatching then body 0 length
-    else begin
-      ensure_workers d;
-      incr dispatches;
-      dispatching := true;
-      let job = { body; length; next = Atomic.make 0; active = 0; failed = None } in
-      Mutex.lock mutex;
-      current := Some job;
-      incr generation;
-      Condition.broadcast work_ready;
-      Mutex.unlock mutex;
-      (* The caller is one of the pool's domains. *)
-      run_chunks job;
-      Mutex.lock mutex;
-      while job.active > 0 do
-        Condition.wait job_done mutex
-      done;
-      current := None;
-      Mutex.unlock mutex;
-      dispatching := false;
-      match job.failed with Some e -> raise e | None -> ()
-    end
+    if d <= 1 || length < 2 * chunk_size || Domain.DLS.get in_parallel then
+      body 0 length
+    else dispatch ~chunk:chunk_size length body
+  end
+
+let default_task_chunk = 16
+
+let for_tasks ?(chunk = default_task_chunk) length body =
+  if length > 0 then begin
+    let d = !domains in
+    let chunk = max 1 chunk in
+    if d <= 1 || length <= chunk || Domain.DLS.get in_parallel then
+      body 0 length
+    else dispatch ~chunk length body
   end

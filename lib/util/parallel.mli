@@ -52,6 +52,18 @@ val for_range : int -> (int -> int -> unit) -> unit
     [f] must only write state owned by its index range. Exceptions raised
     by [f] are re-raised in the caller (first one wins). *)
 
+val for_tasks : ?chunk:int -> int -> (int -> int -> unit) -> unit
+(** [for_tasks ?chunk length f] is {!for_range} for coarse work items
+    (shots, jobs) rather than amplitudes: the range is claimed in chunks of
+    [chunk] items (default 16, clamped to at least 1), so even a few hundred
+    items spread across the pool. Chunk boundaries depend only on [length]
+    and [chunk], never on the domain count, preserving the determinism
+    contract. Sequential ([f 0 length]) when the pool has one domain, when
+    [length <= chunk], or when called from inside a parallel section. [f]
+    must only write state owned by its index range; each chunk is executed
+    left-to-right by exactly one domain, so per-chunk scratch (one
+    simulator instance reused across the chunk's items) is safe. *)
+
 val dispatch_count : unit -> int
 (** Number of parallel dispatches performed so far (sequential fallbacks
     not counted) — lets tests assert the parallel path stayed off below

@@ -19,6 +19,20 @@ let split t =
   let seed = bits64 t in
   { state = mix64 seed }
 
+(* One parent draw per stream, taken in index order: slicing a batch of k
+   streams into windows and deriving window-by-window from the same parent
+   yields exactly the same streams as deriving all k at once. *)
+let streams t k =
+  assert (k >= 0);
+  if k = 0 then [||]
+  else begin
+    let out = Array.make k t in
+    for i = 0 to k - 1 do
+      out.(i) <- split t
+    done;
+    out
+  end
+
 let int t bound =
   assert (bound > 0);
   (* Truncate to OCaml's native int width and clear the sign bit. *)

@@ -16,6 +16,13 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of [t]'s subsequent output. *)
 
+val streams : t -> int -> t array
+(** [streams t k] derives [k] independent generators by splitting [t] once
+    per stream, in index order. Because each stream costs exactly one parent
+    draw, deriving [k] streams in one call is bit-identical to deriving them
+    window-by-window from the same parent — the engine relies on this to
+    keep sliced, sequential and parallel shot execution interchangeable. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

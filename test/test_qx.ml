@@ -523,13 +523,23 @@ let test_plan_classification () =
   check "no measurement still samples" "sampled" (Library.ghz 3);
   check "leading prep is harmless" "sampled"
     (Circuit.of_list 2 [ Gate.Prep 0; Gate.Unitary (Gate.H, [| 0 |]); Gate.Measure 0 ]);
-  check "conditional forces trajectories" "trajectory"
+  (* All-Clifford circuits whose structure forces per-shot execution now go
+     to the tableau; the same shapes with a non-Clifford gate still take
+     state-vector trajectories. *)
+  check "all-Clifford conditional goes to the tableau" "clifford"
     (Circuit.of_list 2
        [ Gate.Measure 0; Gate.Conditional (0, Gate.X, [| 1 |]); Gate.Measure 1 ]);
-  check "mid-circuit measurement forces trajectories" "trajectory"
+  check "non-Clifford conditional forces trajectories" "trajectory"
+    (Circuit.of_list 2
+       [ Gate.Measure 0; Gate.Conditional (0, Gate.T, [| 1 |]); Gate.Measure 1 ]);
+  check "all-Clifford mid-circuit measurement goes to the tableau" "clifford"
     (Circuit.of_list 1 [ Gate.Measure 0; Gate.Unitary (Gate.X, [| 0 |]); Gate.Measure 0 ]);
-  check "mid-circuit reset forces trajectories" "trajectory"
+  check "non-Clifford mid-circuit measurement forces trajectories" "trajectory"
+    (Circuit.of_list 1 [ Gate.Measure 0; Gate.Unitary (Gate.T, [| 0 |]); Gate.Measure 0 ]);
+  check "all-Clifford mid-circuit reset goes to the tableau" "clifford"
     (Circuit.of_list 1 [ Gate.Unitary (Gate.H, [| 0 |]); Gate.Prep 0; Gate.Measure 0 ]);
+  check "non-Clifford mid-circuit reset forces trajectories" "trajectory"
+    (Circuit.of_list 1 [ Gate.Unitary (Gate.T, [| 0 |]); Gate.Prep 0; Gate.Measure 0 ]);
   let plan, reason =
     Engine.analyse ~noise:(Noise.depolarizing 0.01) (measured_all 2 (Library.bell ()))
   in
@@ -555,9 +565,13 @@ let test_conditional_takes_trajectory_path () =
       ]
   in
   let result = Engine.run ~seed:4 ~shots:64 c in
-  Alcotest.(check bool) "trajectory plan" true
-    (result.Engine.report.Engine.plan = Engine.Trajectory);
-  Alcotest.(check (list (pair string int))) "always 11" [ ("11", 64) ] result.Engine.histogram
+  Alcotest.(check bool) "per-shot plan (tableau: the circuit is Clifford)" true
+    (result.Engine.report.Engine.plan = Engine.Clifford);
+  Alcotest.(check (list (pair string int))) "always 11" [ ("11", 64) ] result.Engine.histogram;
+  (* Forcing the state-vector trajectory path must agree. *)
+  let forced = Engine.run ~seed:4 ~plan:Engine.Trajectory ~shots:64 c in
+  Alcotest.(check (list (pair string int)))
+    "forced trajectory agrees" [ ("11", 64) ] forced.Engine.histogram
 
 let test_report_metrics () =
   let result = Engine.run ~seed:3 ~shots:100 (measured_all 2 (Library.bell ())) in
@@ -1019,7 +1033,10 @@ let prop_fusion_preserves_measurement_order =
       in
       let run fusion = (Engine.run ~seed:(seed + 1) ~fusion ~shots:100 circuit) in
       let a = run true and b = run false in
-      a.Engine.report.Engine.plan = Engine.Trajectory
+      (* The mid-circuit measurement forces a per-shot plan: state-vector
+         trajectories, or the tableau when the random draw happens to be
+         all-Clifford. *)
+      a.Engine.report.Engine.plan <> Engine.Sampled
       && a.Engine.histogram = b.Engine.histogram
       && a.Engine.report.Engine.measurements = b.Engine.report.Engine.measurements)
 

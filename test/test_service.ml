@@ -35,7 +35,7 @@ let spec ?(shots = 1000) ?seed ?noise ?(trajectory = false) ?deadline_ms circuit
     Job_spec.shots;
     seed;
     noise;
-    force_trajectory = trajectory;
+    plan = (if trajectory then Some Qca_qx.Engine.Trajectory else None);
     deadline_ms;
   }
 
