@@ -21,7 +21,10 @@
    BENCH_lint.json;
    `dune exec bench/main.exe -- service` measures multi-tenant job-service
    throughput (distinct vs digest-shared vs cache-hit workloads) and
-   writes BENCH_service.json. *)
+   writes BENCH_service.json;
+   `dune exec bench/main.exe -- estimate` measures static-estimator
+   throughput (flat and symbolic) and the admission oracle's overhead on
+   cache-hot submissions, and writes BENCH_estimate.json. *)
 
 open Bechamel
 
@@ -1132,6 +1135,118 @@ let run_lint () =
   close_out oc;
   print_endline "wrote BENCH_lint.json"
 
+(* --- static estimator benchmark (BENCH_estimate.json) --- *)
+
+let run_estimate () =
+  let module Estimate = Qca_analysis.Estimate in
+  let module Cqasm = Qca_circuit.Cqasm in
+  let module Service = Qca_service.Service in
+  let module Job_spec = Qca.Job_spec in
+  print_endline "=== Static estimator throughput and admission overhead ===";
+  let best_of k f =
+    let best = ref infinity in
+    for _ = 1 to k do
+      let t0 = Sys.time () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = Sys.time () -. t0 in
+      if dt < !best then best := dt
+    done;
+    Float.max 1e-9 !best
+  in
+  (* Throughput over flat circuits: abstract interpretation is one walk,
+     so the rate should be flat in n and linear in gates. *)
+  let gates = 20_000 in
+  let throughput =
+    List.map
+      (fun n ->
+        let c = Library.random_circuit (Rng.create 21) ~qubits:n ~gates in
+        let dt = best_of 5 (fun () -> Estimate.of_circuit c) in
+        let rate = float_of_int gates /. dt in
+        Printf.printf "n=%-3d %d gates estimated in %.5fs (%.2e gates/s)\n" n
+          gates dt rate;
+        (n, dt, rate))
+      [ 10; 16; 20 ]
+  in
+  (* The symbolic path: a million-round surface-17 cycle program. The
+     interesting number is the effective rate over the gates the unrolled
+     circuit would have had. *)
+  let rounds = 1_000_000 in
+  let round = Qca.Qec_run.cycle_circuit ~rounds:1 Code.surface_17 in
+  let program =
+    { Cqasm.qubit_count = 17; error_model = None;
+      subcircuits = [ ("cycle", rounds, round) ] }
+  in
+  let sym_s = best_of 5 (fun () -> Estimate.of_program program) in
+  let est = Estimate.of_program program in
+  let sym_rate = float_of_int est.Estimate.gates /. sym_s in
+  Printf.printf
+    "symbolic: surface-17 x %d rounds (%d unrolled gates) in %.2f ms (%.2e gates/s equivalent)\n"
+    rounds est.Estimate.gates (sym_s *. 1e3) sym_rate;
+  (* Admission-oracle overhead on the service's hot path: a cache-hot
+     workload (identical seeded jobs) submitted with the oracle configured
+     on vs off. Cache hits consult the cache before the oracle, so the cap
+     should cost nothing once the entry is hot — the guard is < 5%. *)
+  let c =
+    Circuit.append (Library.ghz 12)
+      (Circuit.of_list 12 (List.init 12 (fun q -> Gate.Measure q)))
+  in
+  let spec = { (Job_spec.of_circuit c) with Job_spec.shots = 500; seed = Some 7 } in
+  let hot_jobs = 400 in
+  let run_hot config =
+    let svc = Service.create ~config () in
+    (* Populate the cache, then time the hot submits. *)
+    (match Service.submit svc ~tenant:"alice" spec with
+    | Ok _ -> Service.drain svc
+    | Error e -> failwith (Qca_util.Error.to_string e));
+    best_of 3 (fun () ->
+        for _ = 1 to hot_jobs do
+          match Service.submit svc ~tenant:"alice" spec with
+          | Ok _ -> ()
+          | Error e -> failwith (Qca_util.Error.to_string e)
+        done;
+        Service.drain svc)
+  in
+  let quota = { Service.default_quota with Service.max_queued = hot_jobs + 1 } in
+  let base =
+    {
+      Service.default_config with
+      Service.max_queue = hot_jobs + 1;
+      degrade_above = hot_jobs + 1;
+      default_quota = quota;
+    }
+  in
+  let oracle_off =
+    run_hot { base with Service.admission_max_bytes = 0.0; admission_max_ns = 0.0 }
+  in
+  let oracle_on =
+    run_hot
+      { base with Service.admission_max_ns = Estimate.budget_ns_default }
+  in
+  let overhead_pct = 100.0 *. (oracle_on -. oracle_off) /. oracle_off in
+  Printf.printf
+    "admission oracle on cache-hot submits: off %.4fs, on %.4fs -> %.1f%% overhead (target < 5%%)\n"
+    oracle_off oracle_on overhead_pct;
+  let oc = open_out "BENCH_estimate.json" in
+  output_string oc "{\"benchmark\":\"static-estimator\",";
+  output_string oc (Printf.sprintf "\"gates\":%d,\"throughput\":[" gates);
+  List.iteri
+    (fun i (n, dt, rate) ->
+      if i > 0 then output_char oc ',';
+      output_string oc
+        (Printf.sprintf "{\"n\":%d,\"estimate_s\":%.6f,\"gates_per_s\":%.1f}" n
+           dt rate))
+    throughput;
+  output_string oc
+    (Printf.sprintf
+       "],\"symbolic\":{\"rounds\":%d,\"unrolled_gates\":%d,\"estimate_s\":%.6f,\"equivalent_gates_per_s\":%.1f},"
+       rounds est.Estimate.gates sym_s sym_rate);
+  output_string oc
+    (Printf.sprintf
+       "\"admission\":{\"hot_jobs\":%d,\"oracle_off_s\":%.6f,\"oracle_on_s\":%.6f,\"overhead_pct\":%.2f,\"target_pct\":5.0}}\n"
+       hot_jobs oracle_off oracle_on overhead_pct);
+  close_out oc;
+  print_endline "wrote BENCH_estimate.json"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
@@ -1147,6 +1262,7 @@ let () =
   | [ "lint" ] -> run_lint ()
   | [ "optimizer" ] -> run_optimizer ()
   | [ "service" ] -> run_service ()
+  | [ "estimate" ] -> run_estimate ()
   | ids ->
       List.iter
         (fun id ->
@@ -1155,7 +1271,7 @@ let () =
           | None ->
               Printf.eprintf
                 "unknown experiment '%s' (use e1..e13, micro, engine, resilience, \
-                 trace, kernels, plan, lint, optimizer or service)\n"
+                 trace, kernels, plan, lint, optimizer, service or estimate)\n"
                 id;
               exit 1)
         ids

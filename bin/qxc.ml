@@ -20,6 +20,9 @@ module Rng = Qca_util.Rng
 module Error = Qca_util.Error
 module Diagnostic = Qca_analysis.Diagnostic
 module Verify = Qca_analysis.Verify
+module Estimate = Qca_analysis.Estimate
+module Error_budget = Qca.Error_budget
+module Platform = Qca_compiler.Platform
 module Job_spec = Qca.Job_spec
 module Runner = Qca.Runner
 module Spool = Qca_service.Spool
@@ -205,6 +208,23 @@ let write_json_line dest line =
 let write_metrics dest report =
   write_json_line dest (Engine.report_to_json report)
 
+(* --metrics with the static estimate of the same spec spliced in, so the
+   observed counters and the predicted costs land in one document and can
+   be diffed directly (docs/estimate.md). *)
+let write_metrics_with_estimate dest spec report =
+  match dest with
+  | None -> 0
+  | Some _ ->
+      let base = Engine.report_to_json report in
+      let line =
+        match Job_spec.estimate spec with
+        | Error _ -> base
+        | Ok est ->
+            String.sub base 0 (String.length base - 1)
+            ^ ",\"estimate\":" ^ Estimate.to_json est ^ "}"
+      in
+      write_json_line dest line
+
 (* Run [body] with a trace collector installed when --trace was given, then
    export: bare --trace prints the span tree, --trace=FILE writes Chrome
    JSON. The body's exit code wins over the export's. *)
@@ -327,30 +347,39 @@ let check_command common file no_verify =
     end;
     Diagnostic.exit_code all
   in
+  (* Bad flag values go through [finish] like any other finding (code X02)
+     so --json always emits exactly one JSON document, on every exit
+     path. *)
+  let flag_error msg =
+    finish
+      [ Diagnostic.make Diagnostic.Error ~code:"X02" ~check:"invalid-flag" ~site:file msg ]
+      None
+  in
   match load_program file with
   | Error msg ->
       finish
         [ Diagnostic.make Diagnostic.Error ~code:"X01" ~check:"parse-error" ~site:file msg ]
         None
   | Ok program -> (
+      let resources ?platform () =
+        Estimate.check ?platform (Estimate.of_program ~shots:common.shots program)
+      in
       match common.platform with
-      | None -> finish (Verify.source_check program) None
+      | None -> finish (Verify.source_check program @ resources ()) None
       | Some pname -> (
           let circuit = Cqasm.flatten program in
           match
             ( Spool.platform_of_string pname (Circuit.qubit_count circuit),
               Spool.mode_of_string common.mode )
           with
-          | Error msg, _ | _, Error msg ->
-              prerr_endline msg;
-              2
+          | Error msg, _ | _, Error msg -> flag_error msg
           | Ok platform, Ok mode -> (
               match router_of_common common with
-              | Error msg ->
-                  prerr_endline msg;
-                  2
+              | Error msg -> flag_error msg
               | Ok strategy ->
-                  let source = Verify.source_check ~platform program in
+                  let source =
+                    Verify.source_check ~platform program @ resources ~platform ()
+                  in
                   (* Source errors (e.g. out-of-range operands) would make
                      the compiler itself raise; report them without
                      verifying. *)
@@ -408,6 +437,124 @@ let resolve_plan plan trajectory =
   | Some _ -> plan
   | None -> if trajectory then Some Engine.Trajectory else None
 
+(* --- estimate (static resource estimator, docs/estimate.md) --- *)
+
+let target_error_arg =
+  Arg.(
+    value
+    & opt float 1e-9
+    & info [ "target-error" ] ~docv:"P"
+        ~doc:
+          "Total logical failure probability the fault-tolerant projection \
+           must meet (drives the surface-code distance search).")
+
+let physical_error_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "physical-error" ] ~docv:"P"
+        ~doc:
+          "Physical error rate assumed by the fault-tolerant projection. \
+           Defaults to the platform's worst gate error (with --platform) or \
+           1e-3.")
+
+let estimate_command common file plan target_error physical_error =
+  let finish est_ft diags =
+    if common.json then begin
+      let est_json, ft_json =
+        match est_ft with
+        | None -> ("null", "null")
+        | Some (est, ft) -> (Estimate.to_json est, Error_budget.ft_to_json ft)
+      in
+      Printf.printf
+        "{\"file\":\"%s\",\"estimate\":%s,\"ft\":%s,\"diagnostics\":%s,\"summary\":\"%s\"}\n"
+        (Diagnostic.json_escape file) est_json ft_json
+        (Diagnostic.json_of_list diags)
+        (Diagnostic.json_escape (Diagnostic.summary diags))
+    end
+    else begin
+      (match est_ft with
+      | None -> ()
+      | Some (est, ft) ->
+          print_string (Estimate.render est);
+          Printf.printf "fault-tolerant:    %s\n" (Error_budget.ft_to_string ft));
+      List.iter (fun d -> print_endline (Diagnostic.to_string d)) diags;
+      Printf.printf "%s: %s\n" file (Diagnostic.summary diags)
+    end;
+    Diagnostic.exit_code diags
+  in
+  let flag_error msg =
+    finish None
+      [ Diagnostic.make Diagnostic.Error ~code:"X02" ~check:"invalid-flag" ~site:file msg ]
+  in
+  if common.shots <= 0 then
+    flag_error (Printf.sprintf "--shots must be positive (got %d)" common.shots)
+  else
+    match load_program file with
+    | Error msg ->
+        finish None
+          [ Diagnostic.make Diagnostic.Error ~code:"X01" ~check:"parse-error" ~site:file msg ]
+    | Ok program -> (
+        let platform =
+          match common.platform with
+          | None -> Ok None
+          | Some pname ->
+              Result.map Option.some
+                (Spool.platform_of_string pname program.Cqasm.qubit_count)
+        in
+        match platform with
+        | Error msg -> flag_error msg
+        | Ok platform ->
+            (* The plan prediction follows Job_spec.estimate's notion of
+               "noisy": --noise forces trajectories on the direct route,
+               and a compiled target's own model does the same. *)
+            let noisy =
+              common.noise <> None
+              || (match platform with
+                 | Some p -> not (Qca_qx.Noise.is_ideal p.Platform.noise)
+                 | None -> false)
+            in
+            let est =
+              Estimate.of_program ~shots:common.shots ~noisy ?plan program
+            in
+            let physical_error =
+              match physical_error with
+              | Some p -> p
+              | None -> (
+                  match platform with
+                  | Some p ->
+                      let n = p.Platform.noise in
+                      let worst =
+                        Float.max n.Qca_qx.Noise.single_qubit_error
+                          n.Qca_qx.Noise.two_qubit_error
+                      in
+                      if worst > 0. then worst else 1e-3
+                  | None -> 1e-3)
+            in
+            let ft =
+              Error_budget.fault_tolerant ~target:target_error ~physical_error
+                ~logical_qubits:(max 1 est.Estimate.qubits_used)
+                ~depth:est.Estimate.depth ()
+            in
+            finish (Some (est, ft)) (Estimate.check ?platform est))
+
+let estimate_term =
+  Term.(
+    const estimate_command $ common_term $ file_arg $ plan_arg
+    $ target_error_arg $ physical_error_arg)
+
+let estimate_cmd =
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:
+         "Statically estimate a program's resources without running it: gate \
+          classes, logical depth, predicted simulation plan and cost, plus a \
+          fault-tolerant (surface-code) projection. Repeated subcircuits are \
+          costed symbolically, so a million-round QEC program estimates in \
+          milliseconds. Exit follows the diagnostic ladder of $(b,check) \
+          (codes R01-R04, docs/estimate.md).")
+    estimate_term
+
 let run_command common file plan trajectory no_fusion lint lint_json =
   if not (check_shots common.shots) then 1
   else
@@ -462,7 +609,7 @@ let run_command common file plan trajectory no_fusion lint lint_json =
                             (float_of_int count /. float_of_int common.shots))
                         o.Runner.histogram
                     end;
-                    write_metrics common.metrics report))
+                    write_metrics_with_estimate common.metrics spec report))
 
 let trajectory_flag =
   Arg.(
@@ -954,8 +1101,8 @@ let () =
   let main =
     Cmd.group (Cmd.info "qxc" ~version:"1.0" ~doc)
       [
-        run_cmd; compile_cmd; check_cmd; exec_cmd; submit_cmd; status_cmd;
-        cancel_cmd; qisa_cmd; info_cmd;
+        run_cmd; compile_cmd; check_cmd; estimate_cmd; exec_cmd; submit_cmd;
+        status_cmd; cancel_cmd; qisa_cmd; info_cmd;
       ]
   in
   (* Structured errors escaping a subcommand become a one-line diagnostic

@@ -68,7 +68,7 @@ type tracked = {
 }
 
 let serve_command dir once interval workers max_queue degrade_above slice_shots
-    cache_capacity max_attempts durable verbose print_stats =
+    cache_capacity max_bytes max_sim_ns max_attempts durable verbose print_stats =
   Spool.init dir;
   let pid = Unix.getpid () in
   let say fmt =
@@ -99,6 +99,8 @@ let serve_command dir once interval workers max_queue degrade_above slice_shots
       degrade_above;
       slice_shots;
       cache_capacity;
+      admission_max_bytes = max_bytes;
+      admission_max_ns = max_sim_ns;
     }
   in
   let service = Service.create ~config () in
@@ -170,10 +172,40 @@ let serve_command dir once interval workers max_queue degrade_above slice_shots
             admit_entry ~id ~attempt entry)
       (Spool.recover ~dir ~pid ~max_attempts)
   in
+  (* Reject an inbox entry without ever claiming it: result first (the
+     commit point), then drop the inbox file. A crash in between leaves
+     both; the result-exists guard below finishes the cleanup. *)
+  let reject_preclaim ~id ~tenant ~label e =
+    Spool.write_result ~durable ~dir ~id (error_line ~id ~tenant ~label "rejected" e);
+    Spool.consume ~dir id;
+    Spool.clear_cancel ~dir id
+  in
   let claim_inbox () =
     List.iter
       (fun (id, entry) ->
-        if Spool.claim ~dir ~pid id then admit_entry ~id ~attempt:1 entry)
+        if Spool.read_result ~dir id <> None then
+          (* A previous run published this id (e.g. crashed between a
+             pre-claim rejection's result write and the inbox removal):
+             the result is the commit point, so just finish the cleanup. *)
+          Spool.consume ~dir id
+        else
+          let rejected =
+            (* The admission oracle runs before the claim, so an
+               infeasible job is never journaled: no attempt is spent,
+               recovery never replays it. *)
+            match entry with
+            | Ok { Spool.tenant; spec; _ } -> (
+                match Service.preflight service spec with
+                | Ok () -> false
+                | Error e ->
+                    say "rejected %s pre-claim (%s): %s" id tenant
+                      (Error.kind_label e.Error.kind);
+                    reject_preclaim ~id ~tenant ~label:spec.Job_spec.label e;
+                    true)
+            | Error _ -> false
+          in
+          if not rejected then
+            if Spool.claim ~dir ~pid id then admit_entry ~id ~attempt:1 entry)
       (Spool.pending_ids ~dir)
   in
   let apply_cancels () =
@@ -330,6 +362,29 @@ let cache_arg =
         Qca_service.Service.default_config.Qca_service.Service.cache_capacity
     & info [ "cache" ] ~docv:"N" ~doc:"Result-cache capacity (0 disables).")
 
+let max_bytes_arg =
+  Arg.(
+    value
+    & opt float
+        Qca_service.Service.default_config
+          .Qca_service.Service.admission_max_bytes
+    & info [ "max-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Admission-oracle cap on a job's estimated simulation state \
+           memory; infeasible jobs are rejected before they are claimed \
+           (0 disables; docs/estimate.md).")
+
+let max_sim_ns_arg =
+  Arg.(
+    value
+    & opt float
+        Qca_service.Service.default_config.Qca_service.Service.admission_max_ns
+    & info [ "max-sim-ns" ] ~docv:"NS"
+        ~doc:
+          "Admission-oracle cap on a job's estimated simulation time; \
+           direct jobs over it are degraded (shot budget capped), the \
+           rest rejected pre-claim (0 disables).")
+
 let max_attempts_arg =
   Arg.(
     value
@@ -360,7 +415,8 @@ let serve_term =
   Term.(
     const serve_command $ spool_arg $ once_flag $ interval_arg $ workers_arg
     $ max_queue_arg $ degrade_above_arg $ slice_arg $ cache_arg
-    $ max_attempts_arg $ durable_flag $ verbose_flag $ stats_flag)
+    $ max_bytes_arg $ max_sim_ns_arg $ max_attempts_arg $ durable_flag
+    $ verbose_flag $ stats_flag)
 
 let serve_cmd =
   Cmd.v

@@ -79,3 +79,73 @@ let to_string e =
      measurements, %d ns)"
     e.gate_survival e.decoherence_survival e.readout_survival e.total e.dominant
     e.gate_count e.measurement_count e.makespan_ns
+
+(* ------------------------------------------------------------------ *)
+(* Fault-tolerant cost model.                                          *)
+
+type ft_estimate = {
+  code : string;
+  distance : int;
+  logical_qubits : int;
+  ft_physical_qubits : int;
+  cycles : int;
+  runtime_ns : float;
+  logical_error : float;
+  target : float;
+  physical_error : float;
+  feasible : bool;
+}
+
+let ft_scale_a = 0.1
+let ft_threshold = 0.01
+
+(* Per logical qubit, per logical time step (d syndrome cycles). *)
+let logical_error_rate ~physical_error d =
+  ft_scale_a *. ((physical_error /. ft_threshold) ** (float_of_int (d + 1) /. 2.0))
+
+let fault_tolerant ?(max_distance = 101) ?(cycle_ns = 1000.0) ~target
+    ~physical_error ~logical_qubits ~depth () =
+  let volume = float_of_int logical_qubits *. float_of_int (max 1 depth) in
+  let total d = volume *. logical_error_rate ~physical_error d in
+  let rec search d =
+    if total d <= target then (d, true)
+    else if d + 2 > max_distance then (d, false)
+    else search (d + 2)
+  in
+  let distance, feasible = search 3 in
+  (* Rotated-surface footprint: d^2 data + d^2 - 1 ancillas per logical
+     qubit — the closed form of Qca_qec.Code.physical_qubits
+     (rotated_surface d), kept closed-form so scanning distances never
+     materialises O(d^4) stabilizer tables. *)
+  let per_logical = (2 * distance * distance) - 1 in
+  let cycles = max 1 depth * distance in
+  {
+    code = "rotated-surface";
+    distance;
+    logical_qubits;
+    ft_physical_qubits = logical_qubits * per_logical;
+    cycles;
+    runtime_ns = float_of_int cycles *. cycle_ns;
+    logical_error = total distance;
+    target;
+    physical_error;
+    feasible;
+  }
+
+let ft_to_string ft =
+  Printf.sprintf
+    "%s d=%d%s: %d logical -> %d physical qubits, %d cycles (%.3g ns), p_L \
+     %.3g (target %.3g at p=%.3g)"
+    ft.code ft.distance
+    (if ft.feasible then "" else " [target unreachable]")
+    ft.logical_qubits ft.ft_physical_qubits ft.cycles ft.runtime_ns
+    ft.logical_error ft.target ft.physical_error
+
+let ft_to_json ft =
+  Printf.sprintf
+    "{\"code\":\"%s\",\"distance\":%d,\"logical_qubits\":%d,\
+     \"physical_qubits\":%d,\"cycles\":%d,\"runtime_ns\":%.6g,\
+     \"logical_error\":%.6g,\"target\":%.6g,\"physical_error\":%.6g,\
+     \"feasible\":%b}"
+    ft.code ft.distance ft.logical_qubits ft.ft_physical_qubits ft.cycles
+    ft.runtime_ns ft.logical_error ft.target ft.physical_error ft.feasible

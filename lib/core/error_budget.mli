@@ -29,3 +29,48 @@ val of_circuit :
 (** Convenience: schedule with platform timing, then estimate. *)
 
 val to_string : estimate -> string
+
+(** {2 Fault-tolerant cost model}
+
+    The forward-looking half of the resource question (section 2.1's
+    fault-tolerance discussion): given a target logical error rate and the
+    physical error rate, what surface-code distance does the program need,
+    and what does that cost in physical qubits and syndrome cycles? Uses
+    the standard threshold scaling [p_L(d) = A (p/p_th)^((d+1)/2)] with
+    A = 0.1, p_th = 1% and the rotated-surface footprint
+    ({!Qca_qec.Code.physical_qubits}, [2 d^2 - 1] per logical qubit).
+    Driven by the static estimator via [qxc estimate]
+    ([docs/estimate.md]). *)
+
+type ft_estimate = {
+  code : string;  (** Code family, ["rotated-surface"]. *)
+  distance : int;  (** Smallest odd distance meeting [target]. *)
+  logical_qubits : int;
+  ft_physical_qubits : int;  (** [logical_qubits * (2 d^2 - 1)]. *)
+  cycles : int;  (** Syndrome-extraction cycles: [depth * distance]. *)
+  runtime_ns : float;  (** [cycles * cycle_ns]. *)
+  logical_error : float;
+      (** Predicted total failure probability at [distance]:
+          [logical_qubits * depth * p_L(d)]. *)
+  target : float;
+  physical_error : float;
+  feasible : bool;
+      (** [false] when no distance up to [max_distance] meets the target
+          (in particular whenever [physical_error >= p_th]); the report
+          then shows the best (largest) distance tried. *)
+}
+
+val fault_tolerant :
+  ?max_distance:int ->
+  ?cycle_ns:float ->
+  target:float ->
+  physical_error:float ->
+  logical_qubits:int ->
+  depth:int ->
+  unit ->
+  ft_estimate
+(** [max_distance] defaults to 101; [cycle_ns] (default 1000) is the wall
+    time of one syndrome-extraction cycle. *)
+
+val ft_to_string : ft_estimate -> string
+val ft_to_json : ft_estimate -> string

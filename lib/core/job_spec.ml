@@ -84,6 +84,26 @@ let resolve spec =
       Error.protect ~site:("Job_spec.resolve(" ^ name ^ ")") (fun () ->
           Cqasm.parse_circuit text)
 
+(* The one estimation semantics shared by qxc, the service's admission
+   oracle and qxd's pre-claim gate: Source payloads are parsed but NOT
+   flattened, so repeated subcircuits estimate symbolically in O(body). *)
+let estimate spec =
+  let noisy =
+    match spec.route with
+    | Direct -> spec.noise <> None
+    | Compiled { platform; _ } -> not (Qca_qx.Noise.is_ideal platform.Platform.noise)
+  in
+  let run () =
+    match spec.payload with
+    | Circuit c ->
+        Qca_analysis.Estimate.of_circuit ~shots:spec.shots ~noisy
+          ?plan:spec.plan c
+    | Source { text; _ } ->
+        Qca_analysis.Estimate.of_program ~shots:spec.shots ~noisy
+          ?plan:spec.plan (Cqasm.parse text)
+  in
+  Error.protect ~site:("Job_spec.estimate(" ^ spec.label ^ ")") run
+
 (* The digest covers the semantic content only: qubit count plus the
    instruction list. The circuit's name is presentation, not semantics —
    two identically-shaped circuits submitted under different labels must

@@ -105,6 +105,15 @@ val resolve : t -> (Qca_circuit.Circuit.t, Qca_util.Error.t) result
 (** The payload as a circuit: [Circuit c] unwrapped, [Source] parsed and
     flattened (parse failures become [Error]). *)
 
+val estimate : t -> (Qca_analysis.Estimate.t, Qca_util.Error.t) result
+(** Static resource estimate of the job ({!Qca_analysis.Estimate}): the
+    shared semantics behind [qxc estimate], [qxc run --metrics] and the
+    service's admission oracle. [Source] payloads are parsed but {e not}
+    flattened, so repeated subcircuits estimate symbolically in O(body);
+    the spec's shots, plan override and noise (platform noise for
+    [Compiled] routes) feed the prediction. Parse failures become
+    [Error]. *)
+
 val digest : Qca_circuit.Circuit.t -> string
 (** Hex digest of the circuit's canonical form (qubit count +
     instruction list; the circuit's name does not participate). Two jobs

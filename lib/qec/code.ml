@@ -186,6 +186,7 @@ let steane =
   }
 
 let ancilla_count code = Array.length code.stabilizers
+let physical_qubits code = code.n + ancilla_count code
 
 (* One syndrome round: ancilla i measures stabilizer i.
    Z-type stabilizer: ancilla in |0>, CNOT(data -> ancilla) per qubit.

@@ -49,6 +49,11 @@ val steane : t
 val ancilla_count : t -> int
 (** Ancillas needed for one syndrome-extraction round (one per stabilizer). *)
 
+val physical_qubits : t -> int
+(** Data plus syndrome ancillas: the physical footprint of one logical
+    qubit ([2 d^2 - 1] for {!rotated_surface}). Feeds the fault-tolerant
+    cost model ({!Qca.Error_budget.fault_tolerant}). *)
+
 val syndrome_circuit : t -> Qca_circuit.Circuit.t
 (** Circuit-level syndrome extraction: data qubits [0 .. n-1], ancilla for
     stabilizer [i] at qubit [n + i]; ancillas are prepared, entangled via

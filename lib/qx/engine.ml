@@ -225,6 +225,10 @@ let analyse ?(noise = Noise.ideal) ?(shots = 1024) circuit =
   let plan, reason, _ = choose_auto ~noise ~shots circuit in
   (plan, reason)
 
+let structure circuit =
+  let plan, reason, _ = classify_structure circuit in
+  (plan, reason)
+
 let terminal_split circuit =
   match classify_structure circuit with
   | (Trajectory | Clifford), _, _ -> None

@@ -149,6 +149,23 @@ val clifford_blocker :
     index — or [None] when the circuit is all-Clifford. Total
     classification via {!Qca_qec.Tableau.supports}; never raises. *)
 
+val sv_max_qubits : int
+(** Width ceiling of the state-vector layer (30): beyond it only the
+    tableau plan can run the circuit. *)
+
+val structure : Qca_circuit.Circuit.t -> plan * string
+(** The sampled-vs-trajectory {e structure} verdict alone — the first stage
+    of {!analyse}, before noise and the Clifford upgrade are considered.
+    [Sampled] means terminal unconditioned measurements; [Trajectory]
+    carries the structural reason (mid-circuit measurement, feedback,
+    reset of a live qubit). Never returns [Clifford]. *)
+
+val clifford_wins : n:int -> gates:int -> measures:int -> shots:int -> bool
+(** The sampled-vs-tableau cost model used by {!analyse} for all-Clifford
+    circuits with sampled structure, exposed so the static estimator
+    ({!Qca_analysis.Estimate}) can reproduce the planner's decision from
+    symbolic gate counts without building the unrolled circuit. *)
+
 val run :
   ?noise:Noise.model ->
   ?seed:int ->

@@ -19,6 +19,8 @@ type config = {
   quotas : (string * quota) list;
   cache_capacity : int;
   service_seed : int;
+  admission_max_bytes : float;
+  admission_max_ns : float;
 }
 
 let default_quota = { max_running = 4; max_queued = 16; weight = 1.0 }
@@ -34,6 +36,8 @@ let default_config =
     quotas = [];
     cache_capacity = 128;
     service_seed = 0xD0_5EED;
+    admission_max_bytes = Qca_analysis.Estimate.host_bytes_default;
+    admission_max_ns = 0.0;
   }
 
 (* How a started job executes across scheduler slices. *)
@@ -116,6 +120,7 @@ type t = {
   mutable s_deadline : int;
   mutable s_cancelled : int;
   mutable s_rejected : int;
+  mutable s_rejected_estimate : int;
   mutable s_degraded : int;
   mutable s_cache_hits : int;
   mutable s_shared : int;
@@ -147,6 +152,7 @@ let create ?(config = default_config) () =
     s_deadline = 0;
     s_cancelled = 0;
     s_rejected = 0;
+    s_rejected_estimate = 0;
     s_degraded = 0;
     s_cache_hits = 0;
     s_shared = 0;
@@ -328,6 +334,75 @@ let degrade t (spec : Job_spec.t) =
           Printf.sprintf "service overload: shot budget capped to %d" cap )
       else (spec, "service overload: admitted under degraded policy")
 
+(* ---- the admission oracle -------------------------------------------- *)
+
+(* Static resource estimate against the configured caps
+   (docs/estimate.md): O(program body), no simulation — cheap enough that
+   qxd runs it on every inbox entry before claiming ({!preflight}). The
+   memory cap is a hard reject; a blown time cap degrades direct jobs by
+   capping their shot budget (re-estimated, since the planner's choice is
+   shots-dependent) and rejects only when even one shot cannot fit. *)
+let resource_error ~resource ~needed ~limit est =
+  Error.make ~site:"Service.admission"
+    ~context:
+      [
+        ("plan", Engine.plan_to_string est.Qca_analysis.Estimate.plan);
+        ("qubits", string_of_int est.Qca_analysis.Estimate.qubits);
+      ]
+    (Error.Resource_exceeded { resource; needed; limit })
+
+let admission t spec =
+  let open Qca_analysis.Estimate in
+  let cap_bytes = t.config.admission_max_bytes in
+  let cap_ns = t.config.admission_max_ns in
+  if cap_bytes <= 0.0 && cap_ns <= 0.0 then Ok (spec, None)
+  else
+    match Job_spec.estimate spec with
+    | Error _ ->
+        (* Unparseable payload: let resolve report the syntax error. *)
+        Ok (spec, None)
+    | Ok est ->
+        if cap_bytes > 0.0 && est.state_bytes > cap_bytes then
+          Error
+            (resource_error ~resource:"memory-bytes" ~needed:est.state_bytes
+               ~limit:cap_bytes est)
+        else if cap_ns > 0.0 && est.sim_ns > cap_ns then begin
+          let reject () =
+            Error
+              (resource_error ~resource:"sim-ns" ~needed:est.sim_ns
+                 ~limit:cap_ns est)
+          in
+          match spec.Job_spec.route with
+          | Job_spec.Direct when spec.Job_spec.shots > 1 ->
+              let capped =
+                max 1
+                  (int_of_float
+                     (float_of_int spec.Job_spec.shots *. cap_ns /. est.sim_ns))
+              in
+              let spec' = { spec with Job_spec.shots = capped } in
+              (match Job_spec.estimate spec' with
+              | Ok est' when est'.sim_ns <= cap_ns ->
+                  Ok
+                    ( spec',
+                      Some
+                        (Printf.sprintf
+                           "admission estimate: shot budget capped to %d"
+                           capped) )
+              | Ok _ | Error _ -> reject ())
+          | _ -> reject ()
+        end
+        else Ok (spec, None)
+
+let preflight t spec =
+  match admission t spec with
+  | Ok _ -> Ok ()
+  | Error e ->
+      t.s_submitted <- t.s_submitted + 1;
+      t.s_rejected <- t.s_rejected + 1;
+      t.s_rejected_estimate <- t.s_rejected_estimate + 1;
+      Trace.add_counter "service.rejected_estimate" 1;
+      Error e
+
 let submit t ~tenant spec =
   t.s_submitted <- t.s_submitted + 1;
   match Job_spec.resolve spec with
@@ -357,42 +432,59 @@ let submit t ~tenant spec =
           ts.t_completed <- ts.t_completed + 1;
           Trace.add_counter "service.cache_hit" 1;
           admit (make_job spec None (Finished (Ok outcome)))
-      | _ ->
-          let waiting_here = Queue.length ts.waiting in
-          if waiting_here >= ts.quota.max_queued then begin
-            t.s_rejected <- t.s_rejected + 1;
-            Error
-              (Error.make ~site:"Service.submit"
-                 (Error.Quota_exceeded
-                    {
-                      tenant;
-                      queued = waiting_here;
-                      limit = ts.quota.max_queued;
-                    }))
-          end
-          else
-            let backlog = queued_total t in
-            if backlog >= t.config.max_queue then begin
+      | _ -> (
+          match admission t spec with
+          | Error e ->
               t.s_rejected <- t.s_rejected + 1;
-              Error
-                (Error.make ~site:"Service.submit"
-                   (Error.Overloaded
-                      { queued = backlog; capacity = t.config.max_queue }))
-            end
-            else begin
-              let spec, note =
-                if backlog >= t.config.degrade_above then begin
-                  t.s_degraded <- t.s_degraded + 1;
-                  Trace.add_counter "service.degraded" 1;
-                  let spec, n = degrade t spec in
-                  (spec, Some n)
+              t.s_rejected_estimate <- t.s_rejected_estimate + 1;
+              Trace.add_counter "service.rejected_estimate" 1;
+              Error e
+          | Ok (spec, estimate_note) ->
+              if estimate_note <> None then begin
+                t.s_degraded <- t.s_degraded + 1;
+                Trace.add_counter "service.degraded" 1
+              end;
+              let waiting_here = Queue.length ts.waiting in
+              if waiting_here >= ts.quota.max_queued then begin
+                t.s_rejected <- t.s_rejected + 1;
+                Error
+                  (Error.make ~site:"Service.submit"
+                     (Error.Quota_exceeded
+                        {
+                          tenant;
+                          queued = waiting_here;
+                          limit = ts.quota.max_queued;
+                        }))
+              end
+              else
+                let backlog = queued_total t in
+                if backlog >= t.config.max_queue then begin
+                  t.s_rejected <- t.s_rejected + 1;
+                  Error
+                    (Error.make ~site:"Service.submit"
+                       (Error.Overloaded
+                          { queued = backlog; capacity = t.config.max_queue }))
                 end
-                else (spec, None)
-              in
-              t.s_accepted <- t.s_accepted + 1;
-              Queue.add id ts.waiting;
-              admit (make_job spec note Waiting)
-            end)
+                else begin
+                  let spec, note =
+                    if backlog >= t.config.degrade_above then begin
+                      t.s_degraded <- t.s_degraded + 1;
+                      Trace.add_counter "service.degraded" 1;
+                      let spec, n = degrade t spec in
+                      (spec, Some n)
+                    end
+                    else (spec, None)
+                  in
+                  let note =
+                    match (estimate_note, note) with
+                    | Some a, Some b -> Some (a ^ "; " ^ b)
+                    | Some a, None -> Some a
+                    | None, n -> n
+                  in
+                  t.s_accepted <- t.s_accepted + 1;
+                  Queue.add id ts.waiting;
+                  admit (make_job spec note Waiting)
+                end))
 
 (* ---- execution ------------------------------------------------------- *)
 
@@ -748,6 +840,7 @@ type stats = {
   deadline_exceeded : int;
   cancelled : int;
   rejected : int;
+  rejected_estimate : int;
   degraded : int;
   cache_hits : int;
   shared_analyses : int;
@@ -768,6 +861,7 @@ let stats t =
     deadline_exceeded = t.s_deadline;
     cancelled = t.s_cancelled;
     rejected = t.s_rejected;
+    rejected_estimate = t.s_rejected_estimate;
     degraded = t.s_degraded;
     cache_hits = t.s_cache_hits;
     shared_analyses = t.s_shared;
@@ -779,9 +873,10 @@ let stats_to_json t =
   let s = stats t in
   let buf = Buffer.create 256 in
   Printf.bprintf buf
-    "{\"service\":{\"submitted\":%d,\"accepted\":%d,\"completed\":%d,\"failed\":%d,\"deadline_exceeded\":%d,\"cancelled\":%d,\"rejected\":%d,\"degraded\":%d,\"cache_hits\":%d,\"shared_analyses\":%d,\"slices\":%d,\"tenants\":{"
+    "{\"service\":{\"submitted\":%d,\"accepted\":%d,\"completed\":%d,\"failed\":%d,\"deadline_exceeded\":%d,\"cancelled\":%d,\"rejected\":%d,\"rejected_estimate\":%d,\"degraded\":%d,\"cache_hits\":%d,\"shared_analyses\":%d,\"slices\":%d,\"tenants\":{"
     s.submitted s.accepted s.completed s.failed s.deadline_exceeded
-    s.cancelled s.rejected s.degraded s.cache_hits s.shared_analyses s.slices;
+    s.cancelled s.rejected s.rejected_estimate s.degraded s.cache_hits
+    s.shared_analyses s.slices;
   List.iteri
     (fun i (name, completed) ->
       if i > 0 then Buffer.add_char buf ',';

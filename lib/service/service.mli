@@ -59,6 +59,18 @@ type config = {
   cache_capacity : int;  (** Result-cache entries (0 disables caching). *)
   service_seed : int;
       (** Derives per-job RNG streams for jobs without an explicit seed. *)
+  admission_max_bytes : float;
+      (** Admission-oracle cap on estimated simulation state memory
+          ({!Qca_analysis.Estimate.t.state_bytes}); exceeding it rejects
+          the job with {!Qca_util.Error.Resource_exceeded} before any work
+          is done. [0.] disables. Default 8 GiB
+          ({!Qca_analysis.Estimate.host_bytes_default}). *)
+  admission_max_ns : float;
+      (** Admission-oracle cap on estimated simulation time
+          ({!Qca_analysis.Estimate.t.sim_ns}). Direct jobs over the cap
+          are {e degraded} (shot budget capped to fit, recorded in
+          [stats.degraded]); jobs that cannot fit even at one shot are
+          rejected. [0.] (the default) disables. *)
 }
 
 val default_quota : quota
@@ -87,8 +99,20 @@ val submit :
 (** Admit a job. The payload is resolved now (parse errors are reported
     here, not at execution), the result cache is consulted (hits complete
     immediately and bypass admission control — they cost nothing), then
+    the static-estimate oracle ([admission_max_bytes] /
+    [admission_max_ns], rejections counted in [stats.rejected_estimate]),
     quota, backpressure-degradation and capacity checks run in that
     order. *)
+
+val preflight : t -> Qca.Job_spec.t -> (unit, Qca_util.Error.t) result
+(** The admission oracle alone — the {e pre-claim} gate [qxd serve] runs
+    on every inbox entry before {!Qca_service.Spool.claim}: a static
+    {!Qca.Job_spec.estimate} against the configured caps, O(program body),
+    no simulation and no queue-state consultation. An [Error] (structured
+    {!Qca_util.Error.Resource_exceeded}) is accounted in {!stats}
+    ([submitted], [rejected], [rejected_estimate]); [Ok] performs no
+    accounting — the subsequent {!submit} does it. Degradable jobs (time
+    cap, direct route) pass preflight and are degraded at submission. *)
 
 val poll : t -> handle -> status
 (** Non-blocking status; never advances execution. *)
@@ -128,6 +152,10 @@ type stats = {
           boundary (also counted in [failed]). *)
   cancelled : int;
   rejected : int;  (** Refused: overload, quota or unresolvable payload. *)
+  rejected_estimate : int;
+      (** Subset of [rejected] refused by the static-estimate admission
+          oracle ({!Qca_util.Error.Resource_exceeded}), including [qxd]
+          pre-claim rejections via {!preflight}. *)
   degraded : int;  (** Admitted via the backpressure degradation ladder. *)
   cache_hits : int;
   shared_analyses : int;

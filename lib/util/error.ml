@@ -12,6 +12,7 @@ type kind =
   | Quota_exceeded of { tenant : string; queued : int; limit : int }
   | Deadline_exceeded of { deadline_ms : int; elapsed_ms : int }
   | Crash_loop of { attempts : int }
+  | Resource_exceeded of { resource : string; needed : float; limit : float }
   | Cancelled of string
   | Invalid of string
 
@@ -33,7 +34,7 @@ let transient_kind = function
       true
   | Unknown_mnemonic _ | Missing_pulse _ | Unknown_accelerator _
   | Unsupported_gate _ | Non_convergence _ | Syntax _ | Cancelled _
-  | Invalid _ | Deadline_exceeded _ | Crash_loop _ ->
+  | Invalid _ | Deadline_exceeded _ | Crash_loop _ | Resource_exceeded _ ->
       false
 
 let kind_label = function
@@ -50,6 +51,7 @@ let kind_label = function
   | Quota_exceeded _ -> "quota-exceeded"
   | Deadline_exceeded _ -> "deadline-exceeded"
   | Crash_loop _ -> "crash-loop"
+  | Resource_exceeded _ -> "resource-exceeded"
   | Cancelled _ -> "cancelled"
   | Invalid _ -> "invalid"
 
@@ -78,6 +80,9 @@ let kind_message = function
   | Crash_loop { attempts } ->
       Printf.sprintf "job crashed the daemon %d times; retired as poison"
         attempts
+  | Resource_exceeded { resource; needed; limit } ->
+      Printf.sprintf "estimated %s %.3g exceeds the admission limit %.3g"
+        resource needed limit
   | Cancelled job -> Printf.sprintf "job %s was cancelled" job
   | Invalid msg -> msg
 

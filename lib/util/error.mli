@@ -41,6 +41,11 @@ type kind =
       (** A journaled job crashed the daemon on every execution attempt and
           exhausted the attempt cap; it was retired to the spool's
           [failed/] directory as poison ([docs/service.md]). *)
+  | Resource_exceeded of { resource : string; needed : float; limit : float }
+      (** The static resource estimator ({!Qca_analysis.Estimate}) predicts
+          the job needs more of [resource] (["memory-bytes"], ["sim-ns"])
+          than the admission cap allows; rejected before any work was done
+          ([docs/estimate.md]). Permanent: the same job cannot fit. *)
   | Cancelled of string  (** The named job was cancelled by the client. *)
   | Invalid of string  (** Malformed input (general). *)
 

@@ -59,6 +59,11 @@ The per-run metrics report is available as JSON:
   "gate_applies":{"cnot":1
   "h":1}
   "faulted_shots":0
+  "cnot":1
+  "measurements":2
+  "plan":"sampled"
+  "plan_reason":"terminal unconditioned measurements"
+  "shots":1000
 
 Every counter family — fusion, fault/retry and the job-service cache —
 rides under one stable "counters" object (schema in docs/engine.md):

@@ -1,0 +1,147 @@
+The static resource estimator: gate classes, depth, predicted plan and
+simulation cost without running anything, a fault-tolerant projection,
+and the admission oracle that guards the daemon (docs/estimate.md).
+
+  $ cat > bell.qasm <<'QASM'
+  > version 1.0
+  > qubits 2
+  > h q[0]
+  > cnot q[0], q[1]
+  > measure q[0]
+  > measure q[1]
+  > QASM
+
+The text report:
+
+  $ qxc estimate bell.qasm --shots 100
+  qubits:             2 (2 used)
+  instructions:       4
+  gates:              2
+    t:                0
+    toffoli:          0
+    2q clifford:      1
+    1q clifford:      1
+    rotations:        0
+  conditionals:       0
+  measurements:       2
+  preps:              0
+  depth:              3
+  clifford fraction:  100.0%
+  plan:               sampled (terminal unconditioned measurements)
+  shots:              100
+  state memory:       64 B
+  est sim time:       5.10 us
+  fault-tolerant:    rotated-surface d=17: 2 logical -> 1154 physical qubits, 51 cycles (5.1e+04 ns), p_L 6e-10 (target 1e-09 at p=0.001)
+  bell.qasm: clean
+
+The same report as one JSON document:
+
+  $ qxc estimate bell.qasm --shots 100 --json
+  {"file":"bell.qasm","estimate":{"qubits":2,"qubits_used":2,"instructions":4,"gates":2,"classes":{"t":0,"toffoli":0,"cnot":1,"clifford_1q":1,"rotations":0},"conditionals":0,"measurements":2,"preps":0,"barriers":0,"depth":3,"depth_exact":true,"clifford_fraction":1,"plan":"sampled","plan_reason":"terminal unconditioned measurements","shots":100,"amplitudes":4,"state_bytes":64,"sim_ns":5104},"ft":{"code":"rotated-surface","distance":17,"logical_qubits":2,"physical_qubits":1154,"cycles":51,"runtime_ns":51000,"logical_error":6e-10,"target":1e-09,"physical_error":0.001,"feasible":true},"diagnostics":[],"summary":"clean"}
+
+A million-round surface-code memory experiment is costed symbolically —
+counts scale linearly, the depth walk extrapolates the per-round shift,
+and the whole estimate is O(body), not O(body * rounds):
+
+  $ cat > surface.qasm <<'QASM'
+  > version 1.0
+  > qubits 17
+  > .init
+  > prep_z q[0]
+  > .cycle(1000000)
+  > h q[1]
+  > cnot q[1], q[0]
+  > cnot q[1], q[2]
+  > h q[1]
+  > measure q[1]
+  > QASM
+
+  $ qxc estimate surface.qasm | head -3
+  qubits:             17 (3 used)
+  instructions:       5000001
+  gates:              4000000
+  $ qxc estimate surface.qasm --json | grep -o '"depth":5000000,"depth_exact":true'
+  "depth":5000000,"depth_exact":true
+
+The diagnostic exit ladder matches qxc check: a 40-qubit non-Clifford
+program needs a 16 TiB state vector, which trips the R03 memory wall
+(error, exit 2):
+
+  $ cat > wide.qasm <<'QASM'
+  > version 1.0
+  > qubits 40
+  > t q[0]
+  > measure q[0]
+  > QASM
+
+  $ qxc estimate wide.qasm
+  qubits:             40 (1 used)
+  instructions:       2
+  gates:              1
+    t:                1
+    toffoli:          0
+    2q clifford:      0
+    1q clifford:      0
+    rotations:        0
+  conditionals:       0
+  measurements:       1
+  preps:              0
+  depth:              2
+  clifford fraction:  0.0%
+  plan:               sampled (terminal unconditioned measurements)
+  shots:              1024
+  state memory:       16384.0 GiB
+  est sim time:       15393.16 s
+  fault-tolerant:    rotated-surface d=17: 1 logical -> 577 physical qubits, 34 cycles (3.4e+04 ns), p_L 2e-10 (target 1e-09 at p=0.001)
+  error[R03 estimated-memory] estimate: estimated sampled plan needs 16384.0 GiB of state but the host budget is 8.0 GiB (fix: reduce the register below 30 qubits (or keep the circuit all-Clifford for the tableau plan))
+  warning[R04 estimated-runtime] estimate: estimated simulation time 15393.16 s exceeds the 60.00 s budget (fix: reduce shots or gate count)
+  wide.qasm: 1 error, 1 warning, 0 hints
+  [2]
+
+qxc check appends the same resource diagnostics to its source findings:
+
+  $ qxc check wide.qasm
+  hint[C05 unused-qubit] circuit: 39 of 40 declared qubits never used: {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37, 38, 39} (fix: declare 'qubits 1' or use the idle qubits)
+  error[R03 estimated-memory] estimate: estimated sampled plan needs 16384.0 GiB of state but the host budget is 8.0 GiB (fix: reduce the register below 30 qubits (or keep the circuit all-Clifford for the tableau plan))
+  warning[R04 estimated-runtime] estimate: estimated simulation time 15393.16 s exceeds the 60.00 s budget (fix: reduce shots or gate count)
+  wide.qasm: 1 error, 1 warning, 1 hint
+  [2]
+
+Bad flag values are diagnostics too (X02), so --json emits exactly one
+JSON document on every exit path:
+
+  $ qxc estimate bell.qasm --platform nope --json
+  {"file":"bell.qasm","estimate":null,"ft":null,"diagnostics":[{"severity":"error","code":"X02","check":"invalid-flag","site":"bell.qasm","message":"unknown platform 'nope'"}],"summary":"1 error, 0 warnings, 0 hints"}
+  [2]
+  $ qxc check bell.qasm --platform nope --json
+  {"file":"bell.qasm","diagnostics":[{"severity":"error","code":"X02","check":"invalid-flag","site":"bell.qasm","message":"unknown platform 'nope'"}],"passes":[],"summary":"1 error, 0 warnings, 0 hints"}
+  [2]
+
+The daemon runs the estimate oracle on every inbox entry before claiming
+it: the infeasible job is rejected with a durable result and never
+occupies a worker, while the feasible one runs normally.
+
+  $ qxc submit wide.qasm --spool spool --tenant alice --seed 1
+  submitted 000001
+  $ qxc submit bell.qasm --spool spool --tenant alice --seed 2 --shots 100
+  submitted 000002
+
+  $ qxd serve --spool spool --once --verbose --max-bytes 1000000 --stats
+  qxd: rejected 000001 pre-claim (alice): resource-exceeded
+  qxd: admitted 000002 (alice, 100 shots)
+  qxd: published 000002
+  {"service":{"submitted":2,"accepted":1,"completed":1,"failed":0,"deadline_exceeded":0,"cancelled":0,"rejected":1,"rejected_estimate":1,"degraded":0,"cache_hits":0,"shared_analyses":0,"slices":1,"tenants":{"alice":1}}}
+
+The rejection is a structured result the client can read back:
+
+  $ qxc status 000001 --spool spool | grep -o '"status":"rejected","error":{"kind":"resource-exceeded"'
+  "status":"rejected","error":{"kind":"resource-exceeded"
+
+  $ qxc status 000002 --spool spool | grep -o '"status":"done"'
+  "status":"done"
+
+Nothing is left queued or journaled — the rejected job was consumed
+without ever being claimed:
+
+  $ qxc status --spool spool --json | grep -o '"inbox":0,"active":0'
+  "inbox":0,"active":0

@@ -37,7 +37,7 @@ Drain the spool once. The verbose log narrates fair admission per tenant;
   qxd: published 000001
   qxd: published 000002
   qxd: published 000003
-  {"service":{"submitted":3,"accepted":3,"completed":3,"failed":0,"deadline_exceeded":0,"cancelled":0,"rejected":0,"degraded":0,"cache_hits":0,"shared_analyses":2,"slices":21,"tenants":{"alice":2,"bob":1}}}
+  {"service":{"submitted":3,"accepted":3,"completed":3,"failed":0,"deadline_exceeded":0,"cancelled":0,"rejected":0,"rejected_estimate":0,"degraded":0,"cache_hits":0,"shared_analyses":2,"slices":21,"tenants":{"alice":2,"bob":1}}}
 
 Results are one JSON line per job; the histogram is deterministic for a
 fixed seed:
@@ -87,7 +87,7 @@ daemon never crashes:
   submitted 000005
 
   $ qxd serve --spool flood --once --max-queue 4 --degrade-above 2 --stats
-  {"service":{"submitted":5,"accepted":4,"completed":4,"failed":0,"deadline_exceeded":0,"cancelled":0,"rejected":1,"degraded":2,"cache_hits":0,"shared_analyses":3,"slices":10,"tenants":{"mallory":4}}}
+  {"service":{"submitted":5,"accepted":4,"completed":4,"failed":0,"deadline_exceeded":0,"cancelled":0,"rejected":1,"rejected_estimate":0,"degraded":2,"cache_hits":0,"shared_analyses":3,"slices":10,"tenants":{"mallory":4}}}
 
   $ qxc status 000001 --spool flood | grep -o '"degraded":[^,]*'
   "degraded":null}

@@ -212,6 +212,93 @@ let test_overload_ladder () =
   Alcotest.(check int) "stats.degraded" 2 s.Service.degraded;
   Alcotest.(check int) "stats.rejected" 1 s.Service.rejected
 
+(* --- the static-estimate admission oracle (docs/estimate.md) --- *)
+
+(* 20 qubits with a T gate: non-Clifford, so the state vector is the only
+   backend and the estimate is 2^20 * 16 bytes — over a 1 MB cap. *)
+let wide_t () =
+  measured_all 20
+    (Circuit.of_list 20 [ Gate.Unitary (Gate.T, [| 0 |]) ])
+
+let test_admission_memory_rejection () =
+  let config =
+    { Service.default_config with Service.admission_max_bytes = 1e6 }
+  in
+  let svc = Service.create ~config () in
+  (match Service.submit svc ~tenant:"alice" (spec ~seed:1 (wide_t ())) with
+  | Ok _ -> Alcotest.fail "oversized job should be rejected pre-admission"
+  | Error e -> (
+      match e.Error.kind with
+      | Error.Resource_exceeded { resource; needed; limit } ->
+          Alcotest.(check string) "resource named" "memory-bytes" resource;
+          Alcotest.(check bool) "needed over limit" true (needed > limit);
+          Alcotest.(check bool) "estimate rejection is terminal" false
+            e.Error.transient
+      | _ -> Alcotest.failf "wrong error: %s" (Error.to_string e)));
+  (* A small job on the same service is untouched. *)
+  let h = submit_ok svc ~tenant:"alice" (spec ~seed:2 (bell ())) in
+  let _ = await_ok svc h in
+  let s = Service.stats svc in
+  Alcotest.(check int) "stats.rejected" 1 s.Service.rejected;
+  Alcotest.(check int) "stats.rejected_estimate" 1 s.Service.rejected_estimate;
+  Alcotest.(check int) "stats.completed" 1 s.Service.completed
+
+let test_admission_time_degrade () =
+  (* A direct job whose full shot budget blows the time cap is degraded —
+     shots capped to fit — rather than rejected; the note rides the same
+     resilience field as the backpressure ladder. *)
+  let c = bell () in
+  let per_shot_ns =
+    match Job_spec.estimate (spec ~shots:1 ~seed:1 ~trajectory:true c) with
+    | Ok est -> est.Qca_analysis.Estimate.sim_ns
+    | Error e -> Alcotest.failf "estimate failed: %s" (Error.to_string e)
+  in
+  let config =
+    {
+      Service.default_config with
+      Service.admission_max_ns = per_shot_ns *. 10.5;
+    }
+  in
+  let svc = Service.create ~config () in
+  let h =
+    submit_ok svc ~tenant:"alice"
+      (spec ~shots:1000 ~seed:1 ~trajectory:true c)
+  in
+  let o = await_ok svc h in
+  (match o.Runner.report.Engine.resilience.Engine.degraded with
+  | Some note ->
+      Alcotest.(check bool) "note names the admission estimate" true
+        (String.length note >= 18
+        && String.sub note 0 18 = "admission estimate")
+  | None -> Alcotest.fail "time-capped job should carry a degradation note");
+  Alcotest.(check bool) "shots were capped" true (total o.Runner.histogram < 1000);
+  let s = Service.stats svc in
+  Alcotest.(check int) "stats.degraded" 1 s.Service.degraded;
+  Alcotest.(check int) "stats.rejected_estimate" 0 s.Service.rejected_estimate
+
+let test_preflight_accounting () =
+  let config =
+    { Service.default_config with Service.admission_max_bytes = 1e6 }
+  in
+  let svc = Service.create ~config () in
+  (* Ok performs no accounting: the later submit owns the counters. *)
+  (match Service.preflight svc (spec ~seed:1 (bell ())) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "small job failed preflight: %s" (Error.to_string e));
+  Alcotest.(check int) "ok preflight is unaccounted" 0
+    (Service.stats svc).Service.submitted;
+  (* An Error is accounted exactly as a rejected submission. *)
+  (match Service.preflight svc (spec ~seed:2 (wide_t ())) with
+  | Ok () -> Alcotest.fail "oversized job should fail preflight"
+  | Error e -> (
+      match e.Error.kind with
+      | Error.Resource_exceeded _ -> ()
+      | _ -> Alcotest.failf "wrong error: %s" (Error.to_string e)));
+  let s = Service.stats svc in
+  Alcotest.(check int) "submitted" 1 s.Service.submitted;
+  Alcotest.(check int) "rejected" 1 s.Service.rejected;
+  Alcotest.(check int) "rejected_estimate" 1 s.Service.rejected_estimate
+
 (* --- cancellation --- *)
 
 let test_cancel_while_queued () =
@@ -703,6 +790,12 @@ let () =
         [
           Alcotest.test_case "tenant quota" `Quick test_tenant_quota;
           Alcotest.test_case "overload ladder" `Quick test_overload_ladder;
+          Alcotest.test_case "estimate oracle: memory rejection" `Quick
+            test_admission_memory_rejection;
+          Alcotest.test_case "estimate oracle: time degrade" `Quick
+            test_admission_time_degrade;
+          Alcotest.test_case "estimate oracle: preflight accounting" `Quick
+            test_preflight_accounting;
         ] );
       ( "cancel",
         [

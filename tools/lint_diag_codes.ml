@@ -1,0 +1,92 @@
+(* Diagnostic-code lint: the check catalogue in docs/analysis.md must stay
+   in lockstep with the code. Every `~code:"Xnn"` literal passed to
+   Diagnostic.make in the sources must have a `| Xnn | ... |` table row in
+   the docs, and every documented code must still be emitted somewhere —
+   both directions fail `dune runtest` (via the lint-docs alias).
+
+   Usage: lint_diag_codes.exe DOCS.md SOURCE.ml... *)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  content
+
+module S = Set.Make (String)
+
+let is_code s =
+  String.length s >= 2
+  && s.[0] >= 'A'
+  && s.[0] <= 'Z'
+  && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub s 1 (String.length s - 1))
+
+(* Every ~code:"..." literal in an .ml file. The attribute and its string
+   always sit on one line in this codebase; a split one would simply not
+   match and surface as a missing-in-source failure, which is loud. *)
+let source_codes content =
+  let acc = ref S.empty in
+  let marker = "~code:\"" in
+  let mlen = String.length marker in
+  let n = String.length content in
+  let i = ref 0 in
+  while !i + mlen <= n do
+    if String.sub content !i mlen = marker then begin
+      (match String.index_from_opt content (!i + mlen) '"' with
+      | Some close ->
+          let code = String.sub content (!i + mlen) (close - !i - mlen) in
+          if is_code code then acc := S.add code !acc
+      | None -> ());
+      i := !i + mlen
+    end
+    else incr i
+  done;
+  !acc
+
+(* Every `| Xnn |` first-column cell of a markdown table row. *)
+let doc_codes content =
+  let acc = ref S.empty in
+  String.split_on_char '\n' content
+  |> List.iter (fun line ->
+         match String.split_on_char '|' line with
+         | "" :: cell :: _ ->
+             let code = String.trim cell in
+             if is_code code then acc := S.add code !acc
+         | _ -> ());
+  !acc
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: docs :: sources when sources <> [] ->
+      let documented = doc_codes (read_file docs) in
+      let emitted =
+        List.fold_left
+          (fun acc f -> S.union acc (source_codes (read_file f)))
+          S.empty sources
+      in
+      let failures = ref 0 in
+      S.iter
+        (fun c ->
+          if not (S.mem c documented) then begin
+            incr failures;
+            Printf.eprintf
+              "%s: diagnostic code %s is emitted but has no table row\n" docs c
+          end)
+        emitted;
+      S.iter
+        (fun c ->
+          if not (S.mem c emitted) then begin
+            incr failures;
+            Printf.eprintf
+              "%s: diagnostic code %s is documented but never emitted\n" docs c
+          end)
+        documented;
+      if !failures > 0 then begin
+        Printf.eprintf "diagnostic-code lint: %d mismatch(es)\n" !failures;
+        exit 1
+      end
+  | argv0 :: _ ->
+      Printf.eprintf "usage: %s DOCS.md SOURCE.ml...\n"
+        (Filename.basename argv0);
+      exit 2
+  | [] -> exit 2
